@@ -1,0 +1,92 @@
+//===-- bench/ablation_interp.cpp - why Akima, not cubic ------------------===//
+//
+// Ablation for the framework's interpolation choice (paper ref [15]): the
+// Akima-spline FPM is used instead of a classical C2 cubic spline because
+// empirical performance data contains outliers and sharp cliffs, around
+// which cubic splines oscillate globally while Akima's weights keep the
+// disturbance local.
+//
+// Setup: the true time function of a CPU device with a cache cliff is
+// sampled at 24 points; one sample is corrupted by a 3x outlier (a
+// one-off measurement glitch). Each interpolant is compared against the
+// clean ground truth on a dense grid.
+//
+// Output: RMS error, maximum error, and worst overshoot *outside* the
+// corrupted sample's neighbourhood, per interpolant.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/AkimaSpline.h"
+#include "interp/CubicSpline.h"
+#include "interp/PiecewiseLinear.h"
+#include "sim/DeviceProfile.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace fupermod;
+
+int main() {
+  std::cout << "=== ablation: interpolation method for FPM time functions "
+               "===\n\n";
+
+  DeviceProfile Device =
+      makeCpuProfile("cpu", 800.0, 25.0, 2000.0, 150.0, 0.55);
+  const double MaxSize = 4000.0;
+  const int NumPoints = 24;
+  const int OutlierIdx = 9;
+
+  std::vector<double> Xs, Ts;
+  Xs.push_back(0.0);
+  Ts.push_back(0.0);
+  for (int I = 1; I <= NumPoints; ++I) {
+    double D = MaxSize * I / NumPoints;
+    double T = Device.time(D);
+    if (I == OutlierIdx)
+      T *= 3.0; // One glitched measurement.
+    Xs.push_back(D);
+    Ts.push_back(T);
+  }
+  double OutlierX = MaxSize * OutlierIdx / NumPoints;
+
+  AkimaSpline Akima(Xs, Ts);
+  CubicSpline Cubic(Xs, Ts);
+  PiecewiseLinear Linear(Xs, Ts);
+
+  std::cout << "device: " << Device.name() << "; " << NumPoints
+            << " samples up to " << MaxSize << " units; sample at "
+            << OutlierX << " units corrupted by 3x\n\n";
+
+  Table T({"interpolant", "rms_err(s)", "max_err(s)",
+           "max_err_far_from_outlier(s)"});
+  auto Evaluate = [&](const char *Name, const Interpolator &I) {
+    double Sum = 0.0, Max = 0.0, MaxFar = 0.0;
+    int Count = 0;
+    for (double D = 50.0; D <= MaxSize; D += 10.0) {
+      double Err = std::fabs(I.eval(D) - Device.time(D));
+      Sum += Err * Err;
+      ++Count;
+      Max = std::max(Max, Err);
+      // "Far": more than one sample spacing away from the outlier.
+      if (std::fabs(D - OutlierX) > 1.5 * MaxSize / NumPoints)
+        MaxFar = std::max(MaxFar, Err);
+    }
+    T.addRow({Name, Table::num(std::sqrt(Sum / Count), 4),
+              Table::num(Max, 4), Table::num(MaxFar, 4)});
+  };
+  Evaluate("akima", Akima);
+  Evaluate("natural cubic", Cubic);
+  Evaluate("piecewise linear", Linear);
+  T.print(std::cout);
+
+  std::cout << "\nExpected shape: all interpolants are wrong near the "
+               "corrupted sample, but the\ncubic spline also rings far "
+               "away from it (global C2 coupling), while Akima and\n"
+               "piecewise-linear errors stay confined to the outlier's "
+               "neighbourhood. This is\nwhy the Akima FPM is the smooth "
+               "model of choice (it additionally offers the C1\n"
+               "derivative the numerical partitioner needs, which "
+               "piecewise-linear lacks).\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+//===-- bench/ablation_precision.cpp - measurement precision knob ---------===//
+//
+// Ablation for the Precision parameters (paper's `fupermod_precision`):
+// how tight must the confidence interval of each benchmark point be
+// before the resulting models partition well? Looser targets are cheaper
+// (fewer repetitions) but noisier models misplace the distribution.
+//
+// Setup: two heterogeneous devices with 8% measurement noise; full
+// piecewise FPMs built from 16 synchronised benchmark points per device
+// at different target relative errors; the resulting distribution is
+// scored against the noise-free ground truth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dynamic.h"
+#include "core/Metrics.h"
+#include "core/Partitioners.h"
+#include "mpp/Runtime.h"
+#include "sim/Cluster.h"
+#include "support/Table.h"
+
+#include <iostream>
+#include <memory>
+
+using namespace fupermod;
+
+int main() {
+  std::cout << "=== ablation: benchmark precision vs partition quality "
+               "===\n\n";
+
+  Cluster Cl = makeTwoDeviceCluster();
+  Cl.NoiseSigma = 0.08; // Deliberately noisy platform.
+  const std::int64_t D = 6000;
+  double Opt = optimalMakespan(D, Cl.Devices);
+
+  std::cout << "2 devices, 8% relative measurement noise, D = " << D
+            << " units, 16 model points per device\n\n";
+
+  Table T({"target_rel_err", "avg_reps", "build_cost(s)", "makespan/opt",
+           "imbalance"});
+
+  for (double Target : {0.5, 0.2, 0.1, 0.05, 0.02, 0.01}) {
+    std::vector<std::unique_ptr<Model>> Models(2);
+    Models[0] = makeModel("piecewise");
+    Models[1] = makeModel("piecewise");
+    double BuildCost = 0.0;
+    long long TotalReps = 0, NumPoints = 0;
+
+    runSpmd(2,
+            [&](Comm &C) {
+              SimDevice Dev = Cl.makeDevice(C.rank());
+              SimDeviceBackend Backend(Dev, &C);
+              Precision Prec;
+              Prec.MinReps = 2;
+              Prec.MaxReps = 60;
+              Prec.TargetRelativeError = Target;
+              for (int I = 1; I <= 16; ++I) {
+                Point P = runBenchmark(Backend,
+                                       1.2 * static_cast<double>(D) * I /
+                                           16.0,
+                                       Prec, &C);
+                std::vector<Point> All =
+                    C.allgatherv(std::span<const Point>(&P, 1));
+                if (C.rank() == 0) {
+                  for (int Q = 0; Q < 2; ++Q) {
+                    Models[static_cast<std::size_t>(Q)]->update(
+                        All[static_cast<std::size_t>(Q)]);
+                    TotalReps += All[static_cast<std::size_t>(Q)].Reps;
+                    ++NumPoints;
+                  }
+                }
+              }
+              C.barrier();
+              if (C.rank() == 0)
+                BuildCost = C.time();
+            },
+            Cl.makeCostModel());
+
+    std::vector<Model *> Ptrs = {Models[0].get(), Models[1].get()};
+    Dist Out;
+    if (!partitionGeometric(D, Ptrs, Out)) {
+      std::cout << "partitioning failed at target " << Target << "\n";
+      continue;
+    }
+    auto Times = trueTimes(Out, Cl.Devices);
+    T.addRow({Table::num(Target, 2),
+              Table::num(static_cast<double>(TotalReps) /
+                             static_cast<double>(NumPoints),
+                         1),
+              Table::num(BuildCost, 1),
+              Table::num(makespan(Times) / Opt, 3),
+              Table::num(imbalance(Times), 3)});
+  }
+  T.print(std::cout);
+
+  std::cout << "\nExpected shape: repetitions (and benchmarking cost) grow "
+               "steeply as the target\ntightens, while partition quality "
+               "saturates — a moderate target (2-5%) buys\nnearly all the "
+               "achievable balance, which is why Precision is a first-class "
+               "knob.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===-- bench/ablation_sync.cpp - why synchronised measurement ------------===//
+//
+// Ablation for the paper's measurement methodology (Section 4.1): on
+// multicore nodes, processes interfere through shared memory, so the
+// speed of a core must be measured while *all* co-located cores execute
+// the benchmark simultaneously (synchronised measurement). Benchmarking
+// cores one at a time measures uncontended speed, which the application
+// will never see.
+//
+// Setup: a node of 4 identical cores whose contended speed is ~2x lower
+// than solo speed, plus a remote uncontended device. Models are built
+// either from solo measurements (unsynchronised) or contended
+// measurements (synchronised); both distributions are then evaluated
+// against the *contended* ground truth, which is what execution delivers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Metrics.h"
+#include "core/Partitioners.h"
+#include "sim/Cluster.h"
+#include "support/Table.h"
+
+#include <iostream>
+#include <memory>
+
+using namespace fupermod;
+
+namespace {
+
+std::unique_ptr<Model> modelFromProfile(const DeviceProfile &P,
+                                        double MaxSize) {
+  auto M = makeModel("piecewise");
+  for (int I = 1; I <= 24; ++I) {
+    Point Pt;
+    Pt.Units = MaxSize * I / 24.0;
+    Pt.Time = P.time(Pt.Units);
+    Pt.Reps = 1;
+    M->update(Pt);
+  }
+  return M;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== ablation: synchronised vs unsynchronised benchmarking "
+               "on shared resources ===\n\n";
+
+  // Node 0: four cores, heavy memory contention when all run (alpha 0.4
+  // with 3 active peers -> contended speed = solo / 2.2).
+  DeviceProfile Solo = makeCpuProfile("core-solo", 700.0, 20.0, 2500.0,
+                                      300.0, 0.5);
+  DeviceProfile Contended = withContention(Solo, /*ActivePeers=*/3, 0.4);
+  // Node 1: one uncontended device.
+  DeviceProfile Remote = makeCpuProfile("remote", 500.0, 20.0, 6000.0,
+                                        600.0, 0.3);
+
+  const int Cores = 4;
+  const std::int64_t D = 9000;
+
+  // Ground truth at execution time: all cores contended.
+  std::vector<DeviceProfile> Truth;
+  for (int I = 0; I < Cores; ++I)
+    Truth.push_back(Contended);
+  Truth.push_back(Remote);
+  double Opt = optimalMakespan(D, Truth);
+
+  auto Partition = [&](const DeviceProfile &CoreProfile) {
+    std::vector<std::unique_ptr<Model>> Models;
+    std::vector<Model *> Ptrs;
+    for (int I = 0; I < Cores; ++I)
+      Models.push_back(modelFromProfile(CoreProfile, 1.2 * D));
+    Models.push_back(modelFromProfile(Remote, 1.2 * D));
+    for (auto &M : Models)
+      Ptrs.push_back(M.get());
+    Dist Out;
+    bool Ok = partitionGeometric(D, Ptrs, Out);
+    (void)Ok;
+    return Out;
+  };
+
+  Dist Sync = Partition(Contended);   // Measured under full contention.
+  Dist Unsync = Partition(Solo);      // Measured one core at a time.
+
+  Table T({"measurement", "core_share", "remote_share", "makespan(s)",
+           "makespan/opt", "imbalance"});
+  auto AddRow = [&](const char *Name, const Dist &Dst) {
+    auto Times = trueTimes(Dst, Truth);
+    T.addRow({Name, Table::num(Dst.Parts[0].Units),
+              Table::num(Dst.Parts[Cores].Units),
+              Table::num(makespan(Times), 3),
+              Table::num(makespan(Times) / Opt, 3),
+              Table::num(imbalance(Times), 3)});
+  };
+  AddRow("synchronised (contended)", Sync);
+  AddRow("unsynchronised (solo)", Unsync);
+  T.print(std::cout);
+
+  std::cout << "\nExpected shape (paper Section 4.1): solo measurements "
+               "overestimate the shared\ncores' speed, so the "
+               "unsynchronised distribution overloads them and its true\n"
+               "makespan exceeds the synchronised one's, which sits near "
+               "the optimum.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+//===-- bench/fig3_partial_fpm.cpp - E3: paper Fig. 3 ---------------------===//
+//
+// Reproduces Fig. 3 of the paper: construction of *partial* piecewise
+// FPMs by the dynamic data partitioning algorithm with the geometric
+// partitioner. Two heterogeneous simulated devices share a problem of D
+// units; each iteration benchmarks the kernel at the current shares, adds
+// the points to the partial models and repartitions (a new line through
+// the origin of the speed plane).
+//
+// Output: per iteration, the distribution, the measured speeds at the new
+// points (the intersections with the current line), and the relative
+// change; then the accumulated partial models.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dynamic.h"
+#include "core/Metrics.h"
+#include "core/Partitioners.h"
+#include "mpp/Runtime.h"
+#include "sim/Cluster.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace fupermod;
+
+int main() {
+  std::cout << "=== E3 (paper Fig. 3): partial FPM construction by dynamic "
+               "partitioning ===\n\n";
+
+  Cluster Cl = makeTwoDeviceCluster();
+  Cl.NoiseSigma = 0.02;
+  const std::int64_t D = 2000;
+  const double Eps = 0.005;
+  const int MaxIters = 15;
+
+  std::cout << "devices: " << Cl.Devices[0].name() << ", "
+            << Cl.Devices[1].name() << "; total D = " << D
+            << " units; eps = " << Eps << "\n\n";
+
+  Table Steps({"iter", "d0", "d1", "speed0(d0)", "speed1(d1)",
+               "line_tau", "rel_change"});
+  std::vector<std::vector<Point>> FinalPoints(2);
+
+  runSpmd(2,
+          [&](Comm &C) {
+            SimDevice Dev = Cl.makeDevice(C.rank());
+            SimDeviceBackend Backend(Dev, &C);
+            DynamicContext Ctx(partitionGeometric, "piecewise", D, 2);
+            Precision Prec;
+            Prec.MinReps = 3;
+            Prec.MaxReps = 6;
+            Prec.TargetRelativeError = 0.03;
+
+            for (int It = 1; It <= MaxIters; ++It) {
+              Dist Before = Ctx.dist();
+              std::int64_t MyUnits = Before.Parts[C.rank()].Units;
+              double Units =
+                  static_cast<double>(std::max<std::int64_t>(MyUnits, 1));
+              Point Mine = runBenchmark(Backend, Units, Prec, &C);
+              std::vector<Point> All =
+                  C.allgatherv(std::span<const Point>(&Mine, 1));
+              double Change = Ctx.updateAllAndRepartition(All);
+
+              if (C.rank() == 0) {
+                // The "line through the origin" of this iteration passes
+                // through the measured points: its time coordinate is the
+                // common completion time of the balanced distribution.
+                double Tau = Ctx.dist().maxPredictedTime();
+                Steps.addRow(
+                    {Table::num(static_cast<long long>(It)),
+                     Table::num(Before.Parts[0].Units),
+                     Table::num(Before.Parts[1].Units),
+                     Table::num(All[0].speed(), 1),
+                     Table::num(All[1].speed(), 1), Table::num(Tau, 4),
+                     Table::num(Change, 4)});
+              }
+              if (Change <= Eps)
+                break;
+            }
+            if (C.rank() == 0)
+              for (int Q = 0; Q < 2; ++Q)
+                FinalPoints[static_cast<std::size_t>(Q)] =
+                    Ctx.model(Q).points();
+          },
+          Cl.makeCostModel());
+
+  Steps.print(std::cout);
+
+  std::cout << "\n## accumulated partial-model points (few, clustered near "
+               "the optimum)\n\n";
+  for (int Q = 0; Q < 2; ++Q) {
+    std::cout << "device " << Q << " (" << Cl.Devices[Q].name() << "):\n";
+    Table Pts({"size", "time", "speed", "reps"});
+    for (const Point &P : FinalPoints[static_cast<std::size_t>(Q)])
+      Pts.addRow({Table::num(P.Units, 0), Table::num(P.Time, 4),
+                  Table::num(P.speed(), 1),
+                  Table::num(static_cast<long long>(P.Reps))});
+    Pts.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Expected shape (paper): the bisection lines bracket the "
+               "balanced slope within a\nfew iterations; the partial models "
+               "hold only a handful of points, clustered\naround the final "
+               "distribution, instead of a full sweep.\n";
+  return 0;
+}

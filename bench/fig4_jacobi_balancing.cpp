@@ -1,0 +1,83 @@
+//===-- bench/fig4_jacobi_balancing.cpp - E4: paper Fig. 4 ----------------===//
+//
+// Reproduces Fig. 4 of the paper: dynamic load balancing of the Jacobi
+// method with geometric data partitioning on a heterogeneous platform.
+// The paper's figure shows per-process iteration times starting heavily
+// imbalanced (~0.5 s vs ~0.1 s) and converging after a few iterations,
+// with row counts annotated as they migrate (16 -> 11 -> 9 on the slow
+// process).
+//
+// Output: per application iteration, each process's compute time and row
+// count, plus the imbalance metric.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Jacobi.h"
+#include "core/Metrics.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace fupermod;
+
+int main() {
+  std::cout << "=== E4 (paper Fig. 4): dynamic load balancing of the "
+               "Jacobi method ===\n\n";
+
+  Cluster Cl = makeHclLikeCluster(false);
+  Cl.NoiseSigma = 0.01;
+
+  JacobiOptions O;
+  O.N = 360;
+  O.MaxIterations = 9; // The paper's figure shows 9 iterations.
+  O.Tolerance = 0.0;   // Run all of them.
+  O.Balance = true;
+  O.Algorithm = "geometric";
+  O.ModelKind = "piecewise";
+
+  std::cout << "platform: " << Cl.size()
+            << " heterogeneous devices (2 nodes); system size N = " << O.N
+            << " rows\n\n";
+
+  JacobiReport R = runJacobi(Cl, O);
+
+  std::vector<std::string> Headers = {"iter"};
+  for (int Q = 0; Q < Cl.size(); ++Q) {
+    Headers.push_back("t" + std::to_string(Q) + "(s)");
+    Headers.push_back("rows" + std::to_string(Q));
+  }
+  Headers.push_back("imbalance");
+  Table T(std::move(Headers));
+
+  for (std::size_t It = 0; It < R.Iterations.size(); ++It) {
+    const JacobiIteration &Iter = R.Iterations[It];
+    std::vector<std::string> Row = {
+        Table::num(static_cast<long long>(It + 1))};
+    for (int Q = 0; Q < Cl.size(); ++Q) {
+      Row.push_back(
+          Table::num(Iter.ComputeTimes[static_cast<std::size_t>(Q)], 4));
+      Row.push_back(Table::num(Iter.Rows[static_cast<std::size_t>(Q)]));
+    }
+    Row.push_back(Table::num(imbalance(Iter.ComputeTimes), 3));
+    T.addRow(std::move(Row));
+  }
+  T.print(std::cout);
+
+  std::cout << "\nrun makespan: " << R.Makespan
+            << " s; final residual: " << R.Residual << "\n";
+
+  // Comparison run without balancing, as the figure's implicit baseline.
+  JacobiOptions Off = O;
+  Off.Balance = false;
+  JacobiReport Plain = runJacobi(Cl, Off);
+  double FirstImb = imbalance(R.Iterations.front().ComputeTimes);
+  double LastImb = imbalance(R.Iterations.back().ComputeTimes);
+  std::cout << "imbalance first -> last iteration: " << FirstImb << " -> "
+            << LastImb << "\n";
+  std::cout << "makespan balanced vs static-even: " << R.Makespan << " vs "
+            << Plain.Makespan << " s\n";
+  std::cout << "\nExpected shape (paper): per-process times converge to "
+               "near-equality within\n~4-6 iterations while rows migrate "
+               "from slow to fast devices.\n";
+  return 0;
+}

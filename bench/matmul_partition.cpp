@@ -1,0 +1,117 @@
+//===-- bench/matmul_partition.cpp - E6: heterogeneous matmul -------------===//
+//
+// Reproduces the paper's Section 4.1 use case end to end: heterogeneous
+// parallel matrix multiplication with the column-based 2D matrix
+// partitioning of Beaumont et al. (ref [2]) driven by FPM-balanced areas.
+//
+// Two comparisons:
+//  1. communication volume: column-based 2D arrangement vs 1D row strips
+//     (total half-perimeter, and actual blocks transferred by the run);
+//  2. execution time: FPM-balanced areas vs even areas, on the simulated
+//     heterogeneous cluster, with the product verified against a serial
+//     GEMM.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/MatMul.h"
+#include "core/Metrics.h"
+#include "core/Partitioners.h"
+#include "support/Table.h"
+
+#include <iostream>
+#include <memory>
+
+using namespace fupermod;
+
+namespace {
+
+std::vector<double> fpmAreas(const Cluster &Cl, std::int64_t D) {
+  std::vector<std::unique_ptr<Model>> Models;
+  std::vector<Model *> Ptrs;
+  for (const DeviceProfile &P : Cl.Devices) {
+    auto M = makeModel("piecewise");
+    for (int I = 1; I <= 32; ++I) {
+      Point Pt;
+      Pt.Units = 1.5 * static_cast<double>(D) * I / 32.0;
+      Pt.Time = P.time(Pt.Units);
+      Pt.Reps = 1;
+      M->update(Pt);
+    }
+    Models.push_back(std::move(M));
+    Ptrs.push_back(Models.back().get());
+  }
+  Dist Out;
+  bool Ok = partitionGeometric(D, Ptrs, Out);
+  std::vector<double> Areas;
+  for (const Part &P : Out.Parts)
+    Areas.push_back(Ok ? static_cast<double>(P.Units) : 1.0);
+  return Areas;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== E6 (Section 4.1): heterogeneous parallel matrix "
+               "multiplication ===\n\n";
+
+  Cluster Cl = makeHclLikeCluster(false);
+  Cl.NoiseSigma = 0.01;
+  const int N = 18;      // 18x18 blocks.
+  const int B = 8;       // 8x8 doubles per block.
+  const std::int64_t D = static_cast<std::int64_t>(N) * N;
+
+  std::cout << "platform: " << Cl.size() << " devices; matrix " << N * B
+            << "x" << N * B << " doubles (" << N << "x" << N
+            << " blocks of " << B << "x" << B << ")\n\n";
+
+  std::vector<double> Balanced = fpmAreas(Cl, D);
+  std::vector<double> Even(static_cast<std::size_t>(Cl.size()), 1.0);
+
+  // Communication volume: column-based DP vs 1D row strips.
+  std::cout << "## communication volume (unit-square half-perimeter, lower "
+               "is better)\n\n";
+  Table V({"areas", "column_based", "row_strips", "ratio"});
+  for (auto [Name, Areas] :
+       {std::pair<const char *, std::vector<double> &>{"fpm-balanced",
+                                                       Balanced},
+        std::pair<const char *, std::vector<double> &>{"even", Even}}) {
+    double DP = partitionColumnBased(Areas).totalHalfPerimeter();
+    double RS = partitionRowStrips(Areas).totalHalfPerimeter();
+    V.addRow({Name, Table::num(DP, 3), Table::num(RS, 3),
+              Table::num(DP / RS, 3)});
+  }
+  V.print(std::cout);
+
+  // Execution: four combinations of {balanced, even} x {2D, 1D}.
+  std::cout << "\n## execution on the simulated cluster (virtual seconds; "
+               "verified against serial GEMM)\n\n";
+  MatMulOptions O;
+  O.NBlocks = N;
+  O.BlockSize = B;
+  O.Verify = true;
+
+  Table E({"layout", "makespan(s)", "blocks_sent", "max_error",
+           "compute_imbalance"});
+  auto RunOne = [&](const char *Name, const std::vector<double> &Areas,
+                    bool TwoD) {
+    ColumnLayout L =
+        TwoD ? partitionColumnBased(Areas) : partitionRowStrips(Areas);
+    auto Rects = scaleToGrid(L, N);
+    MatMulReport R = runParallelMatMul(Cl, Rects, O);
+    E.addRow({Name, Table::num(R.Makespan, 3),
+              Table::num(R.BlocksCommunicated),
+              Table::num(R.MaxError, 12),
+              Table::num(imbalance(R.ComputeTimes), 3)});
+  };
+  RunOne("fpm-balanced 2D", Balanced, true);
+  RunOne("fpm-balanced 1D", Balanced, false);
+  RunOne("even 2D", Even, true);
+  RunOne("even 1D", Even, false);
+  E.print(std::cout);
+
+  std::cout << "\nExpected shape (paper): FPM-balanced areas cut the "
+               "makespan well below the\neven split; the column-based 2D "
+               "arrangement transfers fewer blocks than 1D\nrow strips for "
+               "the same areas.\n";
+  return 0;
+}

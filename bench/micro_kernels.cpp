@@ -1,0 +1,182 @@
+//===-- bench/micro_kernels.cpp - E8: substrate microbenchmarks -----------===//
+//
+// google-benchmark microbenchmarks of the substrates the framework is
+// built on: GEMM kernels, interpolators, the Newton solver, the
+// partitioning algorithms, and the message-passing collectives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blas/Gemm.h"
+#include "core/Partitioners.h"
+#include "interp/AkimaSpline.h"
+#include "interp/PiecewiseLinear.h"
+#include "mpp/Runtime.h"
+#include "sim/Cluster.h"
+#include "solver/NewtonSolver.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+using namespace fupermod;
+
+namespace {
+
+void BM_GemmNaive(benchmark::State &State) {
+  std::size_t N = static_cast<std::size_t>(State.range(0));
+  std::vector<double> A(N * N), B(N * N), C(N * N, 0.0);
+  fillDeterministic(A, 1);
+  fillDeterministic(B, 2);
+  for (auto _ : State) {
+    gemmNaive(N, N, N, A, B, C);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<std::int64_t>(2 * N * N * N));
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmBlocked(benchmark::State &State) {
+  std::size_t N = static_cast<std::size_t>(State.range(0));
+  std::vector<double> A(N * N), B(N * N), C(N * N, 0.0);
+  fillDeterministic(A, 1);
+  fillDeterministic(B, 2);
+  for (auto _ : State) {
+    gemmBlocked(N, N, N, A, B, C);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<std::int64_t>(2 * N * N * N));
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+std::pair<std::vector<double>, std::vector<double>> interpData(int N) {
+  std::vector<double> X, Y;
+  for (int I = 0; I <= N; ++I) {
+    X.push_back(static_cast<double>(I));
+    Y.push_back(std::sin(0.1 * I) + 0.01 * I);
+  }
+  return {X, Y};
+}
+
+void BM_PiecewiseEval(benchmark::State &State) {
+  auto [X, Y] = interpData(static_cast<int>(State.range(0)));
+  PiecewiseLinear PL(X, Y);
+  double T = 0.0;
+  for (auto _ : State) {
+    T += 0.37;
+    if (T > X.back())
+      T = 0.0;
+    benchmark::DoNotOptimize(PL.eval(T));
+  }
+}
+BENCHMARK(BM_PiecewiseEval)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AkimaFit(benchmark::State &State) {
+  auto [X, Y] = interpData(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    AkimaSpline Ak(X, Y);
+    benchmark::DoNotOptimize(Ak.eval(1.5));
+  }
+}
+BENCHMARK(BM_AkimaFit)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AkimaEval(benchmark::State &State) {
+  auto [X, Y] = interpData(static_cast<int>(State.range(0)));
+  AkimaSpline Ak(X, Y);
+  double T = 0.0;
+  for (auto _ : State) {
+    T += 0.37;
+    if (T > X.back())
+      T = 0.0;
+    benchmark::DoNotOptimize(Ak.eval(T));
+  }
+}
+BENCHMARK(BM_AkimaEval)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_NewtonSolve(benchmark::State &State) {
+  std::size_t N = static_cast<std::size_t>(State.range(0));
+  VectorFunction F = [N](std::span<const double> X, std::span<double> R) {
+    for (std::size_t I = 0; I < N; ++I) {
+      double Target = static_cast<double>(I + 1);
+      R[I] = X[I] * X[I] - Target * Target;
+    }
+  };
+  std::vector<double> X0(N, 0.5);
+  for (auto _ : State) {
+    NewtonResult Res = solveNewton(F, X0);
+    benchmark::DoNotOptimize(Res.X.data());
+  }
+}
+BENCHMARK(BM_NewtonSolve)->Arg(2)->Arg(8)->Arg(32);
+
+std::vector<std::unique_ptr<Model>> benchModels(int P, double MaxSize,
+                                                const char *Kind) {
+  Cluster Cl = makeHclLikeCluster(true);
+  std::vector<std::unique_ptr<Model>> Models;
+  for (int I = 0; I < P; ++I) {
+    auto M = makeModel(Kind);
+    const DeviceProfile &Prof =
+        Cl.Devices[static_cast<std::size_t>(I % Cl.size())];
+    for (int K = 1; K <= 24; ++K) {
+      Point Pt;
+      Pt.Units = MaxSize * K / 24.0;
+      Pt.Time = Prof.time(Pt.Units);
+      Pt.Reps = 1;
+      M->update(Pt);
+    }
+    Models.push_back(std::move(M));
+  }
+  return Models;
+}
+
+void BM_PartitionGeometric(benchmark::State &State) {
+  int P = static_cast<int>(State.range(0));
+  auto Models = benchModels(P, 30000.0, "piecewise");
+  std::vector<Model *> Ptrs;
+  for (auto &M : Models)
+    Ptrs.push_back(M.get());
+  Dist Out;
+  for (auto _ : State) {
+    partitionGeometric(20000, Ptrs, Out);
+    benchmark::DoNotOptimize(Out.Parts.data());
+  }
+}
+BENCHMARK(BM_PartitionGeometric)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_PartitionNumerical(benchmark::State &State) {
+  int P = static_cast<int>(State.range(0));
+  auto Models = benchModels(P, 30000.0, "akima");
+  std::vector<Model *> Ptrs;
+  for (auto &M : Models)
+    Ptrs.push_back(M.get());
+  Dist Out;
+  for (auto _ : State) {
+    partitionNumerical(20000, Ptrs, Out);
+    benchmark::DoNotOptimize(Out.Parts.data());
+  }
+}
+BENCHMARK(BM_PartitionNumerical)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_AllgathervWallClock(benchmark::State &State) {
+  // Wall-clock cost of running a P-rank allgatherv round on the thread
+  // runtime (spawn + exchange + join).
+  int P = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    SpmdResult R = runSpmd(P, [](Comm &C) {
+      std::vector<double> Mine(64, static_cast<double>(C.rank()));
+      for (int I = 0; I < 10; ++I) {
+        std::vector<double> All =
+            C.allgatherv(std::span<const double>(Mine));
+        benchmark::DoNotOptimize(All.data());
+      }
+    });
+    benchmark::DoNotOptimize(R.FinalTimes.data());
+  }
+}
+BENCHMARK(BM_AllgathervWallClock)->Arg(2)->Arg(4)->Arg(8);
+
+} // namespace
+
+BENCHMARK_MAIN();

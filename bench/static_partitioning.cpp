@@ -1,0 +1,129 @@
+//===-- bench/static_partitioning.cpp - E5: CPM vs FPM quality ------------===//
+//
+// Reproduces the paper's Section 4.3 claims about the three static
+// partitioning algorithms: CPM-based proportional division is cheap and
+// adequate while every allocation sits in a flat region of its device's
+// speed function, but breaks down once allocations straddle memory-
+// hierarchy cliffs; the geometric (piecewise FPM) and numerical (Akima
+// FPM) algorithms stay near-optimal everywhere and agree with each other.
+//
+// Output: for a sweep of total problem sizes D on the heterogeneous
+// cluster, the true makespan and imbalance achieved by each algorithm,
+// normalised by the true optimal makespan.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Metrics.h"
+#include "core/Partitioners.h"
+#include "sim/Cluster.h"
+#include "support/Table.h"
+
+#include <iostream>
+#include <cmath>
+#include <memory>
+
+using namespace fupermod;
+
+namespace {
+
+std::vector<std::unique_ptr<Model>>
+buildModels(const char *Kind, std::span<const DeviceProfile> Profiles,
+            double MaxSize, int NumPoints) {
+  std::vector<std::unique_ptr<Model>> Models;
+  for (const DeviceProfile &P : Profiles) {
+    auto M = makeModel(Kind);
+    // Log-spaced sizes: real model construction samples small sizes too,
+    // otherwise small allocations live in the extrapolated region.
+    const double MinSize = 50.0;
+    for (int I = 0; I < NumPoints; ++I) {
+      double D = MinSize * std::pow(MaxSize / MinSize,
+                                    static_cast<double>(I) /
+                                        (NumPoints - 1));
+      Point Pt;
+      Pt.Units = D;
+      Pt.Time = P.time(D);
+      Pt.Reps = 1;
+      M->update(Pt);
+    }
+    Models.push_back(std::move(M));
+  }
+  return Models;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== E5 (Section 4.3): static partitioning quality, CPM vs "
+               "geometric vs numerical ===\n\n";
+
+  Cluster Cl = makeHclLikeCluster(true);
+  std::cout << "platform: " << Cl.size()
+            << " devices (fast/contended/slow CPUs + GPU with memory "
+               "limit)\n"
+            << "CPM speeds probed with one small benchmark (200 units), "
+               "the traditional approach\n\n";
+
+  const double MaxModelSize = 60000.0;
+
+  // CPM the traditional way: a single small serial benchmark per device.
+  std::vector<std::unique_ptr<Model>> Cpm;
+  for (const DeviceProfile &P : Cl.Devices) {
+    auto M = makeModel("cpm");
+    Point Pt;
+    Pt.Units = 200.0;
+    Pt.Time = P.time(200.0);
+    Pt.Reps = 1;
+    M->update(Pt);
+    Cpm.push_back(std::move(M));
+  }
+  auto Piecewise = buildModels("piecewise", Cl.Devices, MaxModelSize, 48);
+  auto Akima = buildModels("akima", Cl.Devices, MaxModelSize, 48);
+  auto Linear = buildModels("linear", Cl.Devices, MaxModelSize, 48);
+
+  auto Ptrs = [](std::vector<std::unique_ptr<Model>> &Ms) {
+    std::vector<Model *> Out;
+    for (auto &M : Ms)
+      Out.push_back(M.get());
+    return Out;
+  };
+  auto CpmPtrs = Ptrs(Cpm);
+  auto GeoPtrs = Ptrs(Piecewise);
+  auto NumPtrs = Ptrs(Akima);
+  auto LinPtrs = Ptrs(Linear);
+
+  Table T({"D", "opt_makespan", "cpm/opt", "linear/opt", "geometric/opt",
+           "numerical/opt", "cpm_imb", "geo_imb", "num_imb"});
+
+  for (std::int64_t D : {1000, 2000, 4000, 8000, 12000, 16000, 24000,
+                         32000, 48000}) {
+    double Opt = optimalMakespan(D, Cl.Devices);
+    Dist CpmDist, LinDist, GeoDist, NumDist;
+    bool OkC = partitionConstant(D, CpmPtrs, CpmDist);
+    bool OkL = partitionGeometric(D, LinPtrs, LinDist);
+    bool OkG = partitionGeometric(D, GeoPtrs, GeoDist);
+    bool OkN = partitionNumerical(D, NumPtrs, NumDist);
+    if (!OkC || !OkL || !OkG || !OkN) {
+      std::cout << "partitioning failed at D = " << D << "\n";
+      continue;
+    }
+    auto TC = trueTimes(CpmDist, Cl.Devices);
+    auto TL = trueTimes(LinDist, Cl.Devices);
+    auto TG = trueTimes(GeoDist, Cl.Devices);
+    auto TN = trueTimes(NumDist, Cl.Devices);
+    T.addRow({Table::num(static_cast<long long>(D)), Table::num(Opt, 3),
+              Table::num(makespan(TC) / Opt, 3),
+              Table::num(makespan(TL) / Opt, 3),
+              Table::num(makespan(TG) / Opt, 3),
+              Table::num(makespan(TN) / Opt, 3),
+              Table::num(imbalance(TC), 3), Table::num(imbalance(TG), 3),
+              Table::num(imbalance(TN), 3)});
+  }
+  T.print(std::cout);
+
+  std::cout
+      << "\nExpected shape (paper): CPM is competitive at small D (flat "
+         "speed regions)\nand degrades sharply once allocations cross the "
+         "devices' cliffs; both FPM\nalgorithms stay within a few percent "
+         "of optimal across the whole sweep and\nagree with each other.\n";
+  return 0;
+}

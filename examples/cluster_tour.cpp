@@ -1,0 +1,98 @@
+//===-- examples/cluster_tour.cpp - inspect the simulated platform --------===//
+//
+// A tour of the simulated heterogeneous platform: prints every device's
+// ground-truth speed function (the thing functional performance models
+// approximate), the communication topology, and a side-by-side of what
+// each model kind predicts after benchmarking. Useful for understanding
+// the other examples and for designing new cluster presets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Benchmark.h"
+#include "core/Model.h"
+#include "sim/Cluster.h"
+#include "support/Table.h"
+
+#include <iostream>
+#include <memory>
+
+using namespace fupermod;
+
+int main() {
+  std::cout << "Simulated platform tour\n=======================\n\n";
+
+  Cluster Cl = makeHclLikeCluster(true);
+
+  std::cout << "## devices\n\n";
+  Table Dev({"rank", "name", "node", "mem_limit(units)"});
+  for (int R = 0; R < Cl.size(); ++R) {
+    const DeviceProfile &P = Cl.Devices[static_cast<std::size_t>(R)];
+    std::string Lim = std::isinf(P.memoryLimitUnits())
+                          ? "unlimited"
+                          : Table::num(P.memoryLimitUnits(), 0);
+    Dev.addRow({Table::num(static_cast<long long>(R)), P.name(),
+                Table::num(static_cast<long long>(
+                    Cl.NodeOfRank[static_cast<std::size_t>(R)])),
+                Lim});
+  }
+  Dev.print(std::cout);
+
+  std::cout << "\n## ground-truth speed functions (units/second)\n\n";
+  std::vector<std::string> Headers = {"size"};
+  for (int R = 0; R < Cl.size(); ++R)
+    Headers.push_back("dev" + std::to_string(R));
+  Table Speeds(std::move(Headers));
+  for (double D : {100.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0,
+                   32000.0}) {
+    std::vector<std::string> Row = {Table::num(D, 0)};
+    for (int R = 0; R < Cl.size(); ++R)
+      Row.push_back(Table::num(
+          Cl.Devices[static_cast<std::size_t>(R)].speed(D), 1));
+    Speeds.addRow(std::move(Row));
+  }
+  Speeds.print(std::cout);
+  std::cout << "\nnote the different cliff locations, the contended cores "
+               "and the GPU whose\nspeed *grows* with size until its memory "
+               "limit (12000 units), after which\nit falls back to the "
+               "slower out-of-core mode.\n";
+
+  std::cout << "\n## communication topology\n\n"
+            << "intra-node: " << Cl.Intra.Latency * 1e6 << " us + "
+            << 1.0 / Cl.Intra.BytePeriod / 1e9 << " GB/s\n"
+            << "inter-node: " << Cl.Inter.Latency * 1e6 << " us + "
+            << 1.0 / Cl.Inter.BytePeriod / 1e9 << " GB/s\n";
+
+  // What the three model kinds make of noisy measurements of device 0.
+  std::cout << "\n## model predictions for device 0 after 12 noisy "
+               "benchmark points\n\n";
+  SimDevice Device = Cl.makeDevice(0);
+  SimDeviceBackend Backend(Device);
+  Precision Prec;
+  Prec.MinReps = 3;
+  Prec.MaxReps = 8;
+  Prec.TargetRelativeError = 0.03;
+
+  auto Cpm = makeModel("cpm");
+  auto Piecewise = makeModel("piecewise");
+  auto Akima = makeModel("akima");
+  for (int I = 1; I <= 12; ++I) {
+    Point P = runBenchmark(Backend, 4000.0 * I / 12.0, Prec);
+    Cpm->update(P);
+    Piecewise->update(P);
+    Akima->update(P);
+  }
+
+  Table Pred({"size", "true_speed", "cpm", "piecewise", "akima"});
+  for (double D : {200.0, 800.0, 1600.0, 2400.0, 3200.0, 4000.0}) {
+    Pred.addRow({Table::num(D, 0),
+                 Table::num(Cl.Devices[0].speed(D), 1),
+                 Table::num(Cpm->speedAt(D), 1),
+                 Table::num(Piecewise->speedAt(D), 1),
+                 Table::num(Akima->speedAt(D), 1)});
+  }
+  Pred.print(std::cout);
+
+  std::cout << "\nthe constant model averages across the cliff; the "
+               "functional models track it.\n";
+  return 0;
+}

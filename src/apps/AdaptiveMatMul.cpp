@@ -1,0 +1,79 @@
+//===-- apps/AdaptiveMatMul.cpp - dynamic 2D matmul partitioning ----------===//
+
+#include "apps/AdaptiveMatMul.h"
+
+#include "core/Partitioners.h"
+
+#include <cassert>
+
+using namespace fupermod;
+
+AdaptiveMatMulReport
+fupermod::runAdaptiveMatMul(const Cluster &Platform,
+                            const AdaptiveMatMulOptions &Options) {
+  int P = Platform.size();
+  int N = Options.NBlocks;
+  const std::int64_t D = static_cast<std::int64_t>(N) * N;
+  assert(Options.Rounds >= 1 && "need at least one round");
+
+  AdaptiveMatMulReport Report;
+  Partitioner Algorithm = getPartitioner(Options.Algorithm);
+  std::vector<std::unique_ptr<Model>> Models(static_cast<std::size_t>(P));
+  for (int R = 0; R < P; ++R)
+    Models[static_cast<std::size_t>(R)] = makeModel(Options.ModelKind);
+
+  // Round 1 runs with even areas; later rounds use whatever the models
+  // produced after the previous round.
+  std::vector<double> Areas(static_cast<std::size_t>(P), 1.0);
+
+  for (int Round = 0; Round < Options.Rounds; ++Round) {
+    auto Rects = scaleToGrid(partitionColumnBased(Areas), N);
+
+    MatMulOptions O;
+    O.NBlocks = N;
+    O.BlockSize = Options.BlockSize;
+    O.Verify =
+        Options.VerifyLastRound && Round + 1 == Options.Rounds;
+    MatMulReport R = runParallelMatMul(Platform, Rects, O);
+
+    Report.RoundMakespans.push_back(R.Makespan);
+    std::vector<long long> RoundArea(static_cast<std::size_t>(P), 0);
+    for (const GridRect &Rect : Rects)
+      RoundArea[static_cast<std::size_t>(Rect.Owner)] = Rect.area();
+    Report.RoundAreas.push_back(std::move(RoundArea));
+    if (O.Verify)
+      Report.MaxError = R.MaxError;
+
+    if (Round + 1 == Options.Rounds)
+      break;
+
+    // Feed the measured computation back into the partial models: a rank
+    // that processed `area` block updates per inner iteration took
+    // ComputeTimes[rank] over N iterations.
+    for (int Q = 0; Q < P; ++Q) {
+      long long Area = Report.RoundAreas.back()[static_cast<std::size_t>(
+          Q)];
+      if (Area <= 0)
+        continue;
+      Point Pt;
+      Pt.Units = static_cast<double>(Area);
+      Pt.Time = R.ComputeTimes[static_cast<std::size_t>(Q)] /
+                static_cast<double>(N);
+      Pt.Reps = N;
+      Models[static_cast<std::size_t>(Q)]->update(Pt);
+    }
+
+    std::vector<Model *> Ptrs;
+    for (auto &M : Models)
+      Ptrs.push_back(M.get());
+    Dist Out;
+    if (Algorithm(D, Ptrs, Out))
+      for (int Q = 0; Q < P; ++Q)
+        Areas[static_cast<std::size_t>(Q)] = static_cast<double>(
+            std::max<std::int64_t>(Out.Parts[static_cast<std::size_t>(Q)]
+                                       .Units,
+                                   0));
+    // On failure (some model still unfitted) the old areas are kept.
+  }
+  return Report;
+}

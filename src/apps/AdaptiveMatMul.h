@@ -1,0 +1,60 @@
+//===-- apps/AdaptiveMatMul.h - dynamic 2D matmul partitioning --*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic 2D partitioning of matrix multiplication (the approach the
+/// paper's ref [19] extends FPMs to): the application runs repeatedly
+/// (e.g. an outer iteration of a solver); after each round, the measured
+/// per-device computation times feed partial performance models, the
+/// relative speeds are re-estimated, and the column-based 2D layout is
+/// rebuilt — no a-priori model construction, the application adapts
+/// itself round over round.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_APPS_ADAPTIVEMATMUL_H
+#define FUPERMOD_APPS_ADAPTIVEMATMUL_H
+
+#include "apps/MatMul.h"
+
+#include <string>
+
+namespace fupermod {
+
+/// Parameters of an adaptive multi-round matmul run.
+struct AdaptiveMatMulOptions {
+  /// Matrices are NBlocks x NBlocks blocks.
+  int NBlocks = 16;
+  /// Block edge b.
+  int BlockSize = 8;
+  /// Number of application rounds (each is one full multiplication).
+  int Rounds = 6;
+  /// Partitioning algorithm used between rounds.
+  std::string Algorithm = "geometric";
+  /// Partial-model kind.
+  std::string ModelKind = "piecewise";
+  /// Verify the final round's product against a serial GEMM.
+  bool VerifyLastRound = true;
+};
+
+/// Outcome of an adaptive run.
+struct AdaptiveMatMulReport {
+  /// Virtual makespan of each round.
+  std::vector<double> RoundMakespans;
+  /// Block counts per rank per round (layout areas).
+  std::vector<std::vector<long long>> RoundAreas;
+  /// Verification error of the final round (0 when disabled).
+  double MaxError = 0.0;
+};
+
+/// Runs \p Options.Rounds multiplications, rebuilding the 2D layout from
+/// runtime measurements between rounds.
+AdaptiveMatMulReport runAdaptiveMatMul(const Cluster &Platform,
+                                       const AdaptiveMatMulOptions &Options);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_APPS_ADAPTIVEMATMUL_H

@@ -1,0 +1,229 @@
+//===-- apps/MatMul.cpp - Heterogeneous parallel matmul -------------------===//
+
+#include "apps/MatMul.h"
+
+#include "blas/Gemm.h"
+#include "mpp/Runtime.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace fupermod;
+
+namespace {
+
+enum : int {
+  TagA = 1 << 20,
+  TagB = 1 << 21,
+};
+
+/// Deterministic content of one b x b block of matrix \p MatId at block
+/// coordinates (\p Row, \p Col); any rank can generate any block, so
+/// ownership never affects the numerical result.
+std::vector<double> makeBlock(int MatId, int Row, int Col, int B) {
+  std::vector<double> Block(static_cast<std::size_t>(B) *
+                            static_cast<std::size_t>(B));
+  std::uint64_t Seed = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(
+                           (MatId * 1048573 + Row) * 1048573 + Col + 1);
+  fillDeterministic(Block, Seed);
+  return Block;
+}
+
+} // namespace
+
+MatMulReport fupermod::runParallelMatMul(const Cluster &Platform,
+                                         std::span<const GridRect> Rects,
+                                         const MatMulOptions &Options) {
+  int P = Platform.size();
+  int N = Options.NBlocks;
+  int B = Options.BlockSize;
+  assert(static_cast<int>(Rects.size()) == P &&
+         "one rectangle per rank expected");
+  assert(tilesGrid(Rects, N) && "rectangles must tile the block grid");
+  assert(N > 0 && N < 1024 && "block grid too large for the tag scheme");
+
+  // Owner lookup for every block of the grid.
+  std::vector<int> OwnerOf(static_cast<std::size_t>(N) *
+                               static_cast<std::size_t>(N),
+                           -1);
+  for (const GridRect &R : Rects)
+    for (int Col = R.X; Col < R.X + R.W; ++Col)
+      for (int Row = R.Y; Row < R.Y + R.H; ++Row)
+        OwnerOf[static_cast<std::size_t>(Row) * static_cast<std::size_t>(N) +
+                static_cast<std::size_t>(Col)] = R.Owner;
+
+  std::vector<double> ComputeTimes(static_cast<std::size_t>(P), 0.0);
+  std::vector<double> LoopEndTimes(static_cast<std::size_t>(P), 0.0);
+  std::vector<long long> SendCounts(static_cast<std::size_t>(P), 0);
+  double MaxError = 0.0;
+
+  auto Body = [&](Comm &C) {
+    int Me = C.rank();
+    const GridRect R = Rects[static_cast<std::size_t>(Me)];
+    SimDevice Dev = Platform.makeDevice(Me);
+    std::size_t BB = static_cast<std::size_t>(B) * static_cast<std::size_t>(B);
+
+    // Owned storage: A and B are partitioned identically to C.
+    auto LocalIndex = [&](int Col, int Row) {
+      return static_cast<std::size_t>(Row - R.Y) *
+                 static_cast<std::size_t>(R.W) +
+             static_cast<std::size_t>(Col - R.X);
+    };
+    std::vector<std::vector<double>> ABlocks(
+        static_cast<std::size_t>(R.area()));
+    std::vector<std::vector<double>> BBlocks(
+        static_cast<std::size_t>(R.area()));
+    std::vector<std::vector<double>> CBlocks(
+        static_cast<std::size_t>(R.area()),
+        std::vector<double>(BB, 0.0));
+    for (int Col = R.X; Col < R.X + R.W; ++Col) {
+      for (int Row = R.Y; Row < R.Y + R.H; ++Row) {
+        ABlocks[LocalIndex(Col, Row)] = makeBlock(0, Row, Col, B);
+        BBlocks[LocalIndex(Col, Row)] = makeBlock(1, Row, Col, B);
+      }
+    }
+
+    std::vector<std::vector<double>> AFrag(static_cast<std::size_t>(R.H));
+    std::vector<std::vector<double>> BFrag(static_cast<std::size_t>(R.W));
+    long long Sent = 0;
+
+    for (int K = 0; K < N; ++K) {
+      // Send phase: pivot-column blocks of A go to every rank sharing the
+      // block's row; pivot-row blocks of B to every rank sharing the
+      // block's column. Buffered sends cannot deadlock.
+      for (int Row = R.Y; Row < R.Y + R.H; ++Row) {
+        if (!R.contains(K, Row))
+          continue;
+        const std::vector<double> &Block = ABlocks[LocalIndex(K, Row)];
+        for (const GridRect &Q : Rects) {
+          if (Q.Owner == Me || Q.W == 0 || Q.H == 0)
+            continue;
+          if (Row >= Q.Y && Row < Q.Y + Q.H) {
+            C.send<double>(Q.Owner, TagA + K * N + Row, Block);
+            ++Sent;
+          }
+        }
+      }
+      for (int Col = R.X; Col < R.X + R.W; ++Col) {
+        if (!R.contains(Col, K))
+          continue;
+        const std::vector<double> &Block = BBlocks[LocalIndex(Col, K)];
+        for (const GridRect &Q : Rects) {
+          if (Q.Owner == Me || Q.W == 0 || Q.H == 0)
+            continue;
+          if (Col >= Q.X && Col < Q.X + Q.W) {
+            C.send<double>(Q.Owner, TagB + K * N + Col, Block);
+            ++Sent;
+          }
+        }
+      }
+
+      // Receive phase: collect the pivot fragments this rectangle needs.
+      for (int Row = R.Y; Row < R.Y + R.H; ++Row) {
+        if (R.contains(K, Row))
+          AFrag[static_cast<std::size_t>(Row - R.Y)] =
+              ABlocks[LocalIndex(K, Row)];
+        else
+          AFrag[static_cast<std::size_t>(Row - R.Y)] = C.recv<double>(
+              OwnerOf[static_cast<std::size_t>(Row) *
+                          static_cast<std::size_t>(N) +
+                      static_cast<std::size_t>(K)],
+              TagA + K * N + Row);
+      }
+      for (int Col = R.X; Col < R.X + R.W; ++Col) {
+        if (R.contains(Col, K))
+          BFrag[static_cast<std::size_t>(Col - R.X)] =
+              BBlocks[LocalIndex(Col, K)];
+        else
+          BFrag[static_cast<std::size_t>(Col - R.X)] = C.recv<double>(
+              OwnerOf[static_cast<std::size_t>(K) *
+                          static_cast<std::size_t>(N) +
+                      static_cast<std::size_t>(Col)],
+              TagB + K * N + Col);
+      }
+
+      // Compute phase: real block updates for correctness, virtual time
+      // from the device profile for cost (size = rectangle area in block
+      // updates, the kernel's computation unit).
+      for (int Col = R.X; Col < R.X + R.W; ++Col)
+        for (int Row = R.Y; Row < R.Y + R.H; ++Row)
+          gemmNaive(static_cast<std::size_t>(B), static_cast<std::size_t>(B),
+                    static_cast<std::size_t>(B),
+                    AFrag[static_cast<std::size_t>(Row - R.Y)],
+                    BFrag[static_cast<std::size_t>(Col - R.X)],
+                    CBlocks[LocalIndex(Col, Row)]);
+      if (R.area() > 0) {
+        double T = Dev.measureTime(static_cast<double>(R.area()));
+        C.compute(T);
+        ComputeTimes[static_cast<std::size_t>(Me)] += T;
+      }
+    }
+
+    LoopEndTimes[static_cast<std::size_t>(Me)] = C.time();
+    SendCounts[static_cast<std::size_t>(Me)] = Sent;
+
+    if (!Options.Verify)
+      return;
+
+    // Verification: serialise owned C blocks as (col, row, data...) and
+    // gather on rank 0, which checks against a serial product.
+    std::vector<double> Packed;
+    Packed.reserve(static_cast<std::size_t>(R.area()) * (2 + BB));
+    for (int Col = R.X; Col < R.X + R.W; ++Col) {
+      for (int Row = R.Y; Row < R.Y + R.H; ++Row) {
+        Packed.push_back(static_cast<double>(Col));
+        Packed.push_back(static_cast<double>(Row));
+        const std::vector<double> &Blk = CBlocks[LocalIndex(Col, Row)];
+        Packed.insert(Packed.end(), Blk.begin(), Blk.end());
+      }
+    }
+    std::vector<double> All = C.gatherv(std::span<const double>(Packed), 0);
+    if (Me != 0)
+      return;
+
+    std::size_t NB = static_cast<std::size_t>(N) * static_cast<std::size_t>(B);
+    std::vector<double> CFull(NB * NB, 0.0);
+    std::size_t Cursor = 0;
+    while (Cursor < All.size()) {
+      int Col = static_cast<int>(All[Cursor]);
+      int Row = static_cast<int>(All[Cursor + 1]);
+      Cursor += 2;
+      for (int BR = 0; BR < B; ++BR)
+        for (int BC = 0; BC < B; ++BC)
+          CFull[(static_cast<std::size_t>(Row) * B + BR) * NB +
+                static_cast<std::size_t>(Col) * B + BC] =
+              All[Cursor + static_cast<std::size_t>(BR) * B + BC];
+      Cursor += BB;
+    }
+
+    std::vector<double> AFull(NB * NB), BFull(NB * NB),
+        Ref(NB * NB, 0.0);
+    for (int Row = 0; Row < N; ++Row) {
+      for (int Col = 0; Col < N; ++Col) {
+        std::vector<double> BlkA = makeBlock(0, Row, Col, B);
+        std::vector<double> BlkB = makeBlock(1, Row, Col, B);
+        for (int BR = 0; BR < B; ++BR) {
+          for (int BC = 0; BC < B; ++BC) {
+            std::size_t Dst = (static_cast<std::size_t>(Row) * B + BR) * NB +
+                              static_cast<std::size_t>(Col) * B + BC;
+            AFull[Dst] = BlkA[static_cast<std::size_t>(BR) * B + BC];
+            BFull[Dst] = BlkB[static_cast<std::size_t>(BR) * B + BC];
+          }
+        }
+      }
+    }
+    gemmBlocked(NB, NB, NB, AFull, BFull, Ref);
+    MaxError = maxAbsDiff(CFull, Ref);
+  };
+
+  runSpmd(P, Body, Platform.makeCostModel());
+
+  MatMulReport Report;
+  Report.ComputeTimes = ComputeTimes;
+  for (double T : LoopEndTimes)
+    Report.Makespan = std::max(Report.Makespan, T);
+  for (long long S : SendCounts)
+    Report.BlocksCommunicated += S;
+  Report.MaxError = MaxError;
+  return Report;
+}

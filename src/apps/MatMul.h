@@ -1,0 +1,63 @@
+//===-- apps/MatMul.h - Heterogeneous parallel matmul -----------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heterogeneous parallel matrix multiplication (paper Section 4.1,
+/// Fig. 1(a)): square matrices of N x N blocks (blocking factor b) are
+/// partitioned over processes as 2D rectangles; at iteration k the pivot
+/// block column of A and pivot block row of B are communicated to the
+/// processes whose rectangles intersect them, and every process updates
+/// its C rectangle with one GEMM per owned block.
+///
+/// The computation is performed for real (block GEMMs on real data, so
+/// the result can be verified against a serial product), while per-rank
+/// computation *cost* is charged to the virtual clock from the simulated
+/// device profiles, and communication is costed by the mpp runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_APPS_MATMUL_H
+#define FUPERMOD_APPS_MATMUL_H
+
+#include "apps/MatrixPartition2D.h"
+#include "sim/Cluster.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fupermod {
+
+/// Parameters of one parallel matmul run.
+struct MatMulOptions {
+  /// Matrices are NBlocks x NBlocks blocks.
+  int NBlocks = 8;
+  /// Block edge b (a block is b x b doubles).
+  int BlockSize = 8;
+  /// Gather the product on rank 0 and compare against a serial GEMM.
+  bool Verify = true;
+};
+
+/// Outcome of one parallel matmul run.
+struct MatMulReport {
+  /// Virtual completion time of the whole run.
+  double Makespan = 0.0;
+  /// Per-rank total virtual computation time.
+  std::vector<double> ComputeTimes;
+  /// Number of b x b blocks sent over links.
+  long long BlocksCommunicated = 0;
+  /// Largest |parallel - serial| element difference (0 when Verify off).
+  double MaxError = 0.0;
+};
+
+/// Runs the parallel multiplication on the given cluster; \p Rects (one
+/// per rank) must tile the NBlocks grid.
+MatMulReport runParallelMatMul(const Cluster &Platform,
+                               std::span<const GridRect> Rects,
+                               const MatMulOptions &Options);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_APPS_MATMUL_H

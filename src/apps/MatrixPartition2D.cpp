@@ -1,0 +1,189 @@
+//===-- apps/MatrixPartition2D.cpp - Column-based 2D partition ------------===//
+
+#include "apps/MatrixPartition2D.h"
+
+#include "core/Partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+using namespace fupermod;
+
+double ColumnLayout::totalHalfPerimeter() const {
+  double Sum = 0.0;
+  for (const Rect &R : Rects)
+    Sum += R.halfPerimeter();
+  return Sum;
+}
+
+namespace {
+
+std::vector<double> normalise(std::span<const double> RelAreas) {
+  double Sum = 0.0;
+  for (double A : RelAreas) {
+    assert(A >= 0.0 && "areas must be non-negative");
+    Sum += A;
+  }
+  assert(Sum > 0.0 && "at least one positive area required");
+  std::vector<double> Out(RelAreas.begin(), RelAreas.end());
+  for (double &A : Out)
+    A /= Sum;
+  return Out;
+}
+
+/// Lays out the given column groups (owners in stacking order, columns in
+/// left-to-right order) into rectangles.
+ColumnLayout layoutColumns(std::span<const double> Areas,
+                           std::vector<std::vector<int>> Columns) {
+  ColumnLayout Layout;
+  Layout.Rects.assign(Areas.size(), Rect());
+  double X = 0.0;
+  for (const auto &Col : Columns) {
+    double Width = 0.0;
+    for (int Owner : Col)
+      Width += Areas[static_cast<std::size_t>(Owner)];
+    double Y = 0.0;
+    for (int Owner : Col) {
+      Rect &R = Layout.Rects[static_cast<std::size_t>(Owner)];
+      R.Owner = Owner;
+      R.X = X;
+      R.Y = Y;
+      R.W = Width;
+      // A zero-width column (all-zero areas) carries empty rectangles.
+      R.H = Width > 0.0
+                ? Areas[static_cast<std::size_t>(Owner)] / Width
+                : 0.0;
+      Y += R.H;
+    }
+    X += Width;
+  }
+  Layout.Columns = std::move(Columns);
+  return Layout;
+}
+
+} // namespace
+
+ColumnLayout
+fupermod::partitionColumnBased(std::span<const double> RelAreas) {
+  std::vector<double> Areas = normalise(RelAreas);
+  std::size_t P = Areas.size();
+
+  // Sort processes by non-increasing area; contiguous groups of this
+  // order are optimal among column-based partitions (Beaumont et al.).
+  std::vector<int> Order(P);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::sort(Order.begin(), Order.end(), [&](int A, int B) {
+    if (Areas[static_cast<std::size_t>(A)] !=
+        Areas[static_cast<std::size_t>(B)])
+      return Areas[static_cast<std::size_t>(A)] >
+             Areas[static_cast<std::size_t>(B)];
+    return A < B;
+  });
+
+  std::vector<double> Prefix(P + 1, 0.0);
+  for (std::size_t I = 0; I < P; ++I)
+    Prefix[I + 1] = Prefix[I] + Areas[static_cast<std::size_t>(Order[I])];
+
+  // DP over contiguous groups: Best[i] = minimal cost of arranging the
+  // first i sorted processes, cost of a column = k * w + 1.
+  std::vector<double> Best(P + 1,
+                           std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> Cut(P + 1, 0);
+  Best[0] = 0.0;
+  for (std::size_t I = 1; I <= P; ++I) {
+    for (std::size_t J = 0; J < I; ++J) {
+      double Width = Prefix[I] - Prefix[J];
+      double Cost = Best[J] + static_cast<double>(I - J) * Width + 1.0;
+      if (Cost < Best[I]) {
+        Best[I] = Cost;
+        Cut[I] = J;
+      }
+    }
+  }
+
+  // Reconstruct the groups (reconstruction walks right to left).
+  std::vector<std::vector<int>> Columns;
+  std::size_t End = P;
+  while (End > 0) {
+    std::size_t Start = Cut[End];
+    std::vector<int> Col;
+    for (std::size_t K = Start; K < End; ++K)
+      Col.push_back(Order[K]);
+    Columns.push_back(std::move(Col));
+    End = Start;
+  }
+  std::reverse(Columns.begin(), Columns.end());
+  return layoutColumns(Areas, std::move(Columns));
+}
+
+ColumnLayout fupermod::partitionRowStrips(std::span<const double> RelAreas) {
+  std::vector<double> Areas = normalise(RelAreas);
+  std::vector<int> All(Areas.size());
+  std::iota(All.begin(), All.end(), 0);
+  return layoutColumns(Areas, {All});
+}
+
+std::vector<GridRect> fupermod::scaleToGrid(const ColumnLayout &Layout,
+                                            int N) {
+  assert(N > 0 && "grid must be non-empty");
+  std::vector<GridRect> Rects(Layout.Rects.size());
+
+  // Integer column widths that sum to N (largest remainder), then integer
+  // heights within each column that sum to N.
+  std::vector<double> WidthShares;
+  WidthShares.reserve(Layout.Columns.size());
+  for (const auto &Col : Layout.Columns) {
+    assert(!Col.empty() && "empty column");
+    double W = Layout.Rects[static_cast<std::size_t>(Col.front())].W;
+    WidthShares.push_back(W * N);
+  }
+  std::vector<std::int64_t> Widths = roundShares(WidthShares, N);
+
+  int X = 0;
+  for (std::size_t C = 0; C < Layout.Columns.size(); ++C) {
+    int W = static_cast<int>(Widths[C]);
+    const auto &Col = Layout.Columns[C];
+    std::vector<double> HeightShares;
+    HeightShares.reserve(Col.size());
+    for (int Owner : Col)
+      HeightShares.push_back(Layout.Rects[static_cast<std::size_t>(Owner)].H *
+                             N);
+    std::vector<std::int64_t> Heights = roundShares(HeightShares, N);
+    int Y = 0;
+    for (std::size_t R = 0; R < Col.size(); ++R) {
+      GridRect &G = Rects[static_cast<std::size_t>(Col[R])];
+      G.Owner = Col[R];
+      G.X = X;
+      G.Y = Y;
+      G.W = W;
+      G.H = static_cast<int>(Heights[R]);
+      Y += G.H;
+    }
+    assert(Y == N && "column heights must tile the grid");
+    X += W;
+  }
+  assert(X == N && "column widths must tile the grid");
+  assert(tilesGrid(Rects, N) && "scaled rectangles must tile the grid");
+  return Rects;
+}
+
+bool fupermod::tilesGrid(std::span<const GridRect> Rects, int N) {
+  std::vector<int> Cover(static_cast<std::size_t>(N) *
+                             static_cast<std::size_t>(N),
+                         0);
+  for (const GridRect &R : Rects) {
+    if (R.X < 0 || R.Y < 0 || R.X + R.W > N || R.Y + R.H > N)
+      return false;
+    for (int Col = R.X; Col < R.X + R.W; ++Col)
+      for (int Row = R.Y; Row < R.Y + R.H; ++Row)
+        ++Cover[static_cast<std::size_t>(Row) * static_cast<std::size_t>(N) +
+                static_cast<std::size_t>(Col)];
+  }
+  for (int C : Cover)
+    if (C != 1)
+      return false;
+  return true;
+}

@@ -1,0 +1,92 @@
+//===-- apps/MatrixPartition2D.h - Column-based 2D partition ----*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-based 2D matrix partitioning (Beaumont, Boudet, Rastello,
+/// Robert, IEEE TPDS 2001 — the paper's ref [2]). Given relative areas
+/// proportional to process speeds, the unit square is cut into columns of
+/// stacked rectangles, one per process, such that
+///
+///   - every rectangle's area equals the process's relative speed
+///     (computational balance), and
+///   - the total half-perimeter sum_i (w_i + h_i), which is proportional
+///     to the communication volume of blocked matrix multiplication, is
+///     minimal over all column-based arrangements.
+///
+/// With processes sorted by non-increasing area, an optimal column-based
+/// partition uses contiguous groups, found here by an O(p^2) dynamic
+/// program minimising sum_j (k_j * w_j) + c (k_j processes in column j of
+/// width w_j, c columns; each column's heights sum to 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_APPS_MATRIXPARTITION2D_H
+#define FUPERMOD_APPS_MATRIXPARTITION2D_H
+
+#include <span>
+#include <vector>
+
+namespace fupermod {
+
+/// An axis-aligned rectangle in the unit square owned by one process.
+struct Rect {
+  double X = 0.0;
+  double Y = 0.0;
+  double W = 0.0;
+  double H = 0.0;
+  int Owner = -1;
+
+  /// Half perimeter w + h (proportional to the process's communication).
+  double halfPerimeter() const { return W + H; }
+};
+
+/// A column-based arrangement of rectangles covering the unit square.
+struct ColumnLayout {
+  /// Owners of each column, top to bottom.
+  std::vector<std::vector<int>> Columns;
+  /// One rectangle per process, indexed by owner id.
+  std::vector<Rect> Rects;
+
+  /// Sum of half perimeters over all rectangles.
+  double totalHalfPerimeter() const;
+};
+
+/// Optimal column-based partition for the given relative areas (any
+/// positive scale; normalised internally). Zero areas are allowed and
+/// produce empty rectangles.
+ColumnLayout partitionColumnBased(std::span<const double> RelAreas);
+
+/// Baseline 1D partition: one column of full-width row strips.
+ColumnLayout partitionRowStrips(std::span<const double> RelAreas);
+
+/// A rectangle of whole blocks on an N x N block grid.
+struct GridRect {
+  int X = 0;
+  int Y = 0;
+  int W = 0;
+  int H = 0;
+  int Owner = -1;
+
+  bool contains(int Col, int Row) const {
+    return Col >= X && Col < X + W && Row >= Y && Row < Y + H;
+  }
+  long long area() const {
+    return static_cast<long long>(W) * static_cast<long long>(H);
+  }
+};
+
+/// Scales a unit-square layout to an N x N block grid. Column widths and
+/// in-column heights are rounded so the rectangles tile the grid exactly
+/// (verified by assertion).
+std::vector<GridRect> scaleToGrid(const ColumnLayout &Layout, int N);
+
+/// True when \p Rects tile the N x N grid exactly (each block covered
+/// once).
+bool tilesGrid(std::span<const GridRect> Rects, int N);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_APPS_MATRIXPARTITION2D_H

@@ -1,0 +1,298 @@
+//===-- apps/Stencil.cpp - 2D heat stencil with balancing -----------------===//
+
+#include "apps/Stencil.h"
+
+#include "core/Dynamic.h"
+#include "core/Partitioners.h"
+#include "mpp/Runtime.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace fupermod;
+
+namespace {
+
+enum : int {
+  TagHaloUp = (1 << 23) + 1, // My top row, going to the band above.
+  TagHaloDown,               // My bottom row, going to the band below.
+  TagMoveRows,
+};
+
+std::uint64_t mix(std::uint64_t Z) {
+  Z += 0x9e3779b97f4a7c15ull;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+/// Global interior-row ranges [Start[r], Start[r+1]) implied by a
+/// distribution, in grid coordinates (interior rows begin at 1).
+std::vector<std::int64_t> bandStarts(const Dist &D) {
+  std::vector<std::int64_t> Starts(D.Parts.size() + 1, 1);
+  for (std::size_t I = 0; I < D.Parts.size(); ++I)
+    Starts[I + 1] = Starts[I] + D.Parts[I].Units;
+  return Starts;
+}
+
+/// One serial sweep of the 5-point stencil over the whole grid.
+void serialSweep(std::vector<double> &U, int Rows, int Cols) {
+  std::vector<double> Next = U;
+  for (int R = 1; R + 1 < Rows; ++R)
+    for (int C = 1; C + 1 < Cols; ++C)
+      Next[static_cast<std::size_t>(R) * Cols + C] =
+          0.25 * (U[static_cast<std::size_t>(R - 1) * Cols + C] +
+                  U[static_cast<std::size_t>(R + 1) * Cols + C] +
+                  U[static_cast<std::size_t>(R) * Cols + C - 1] +
+                  U[static_cast<std::size_t>(R) * Cols + C + 1]);
+  U = std::move(Next);
+}
+
+} // namespace
+
+double fupermod::stencilInitial(int Rows, int Cols, int Row, int Col) {
+  // A hot top edge, cool bottom edge, and a deterministic speckle inside.
+  if (Row == 0)
+    return 100.0 + 10.0 * std::sin(0.3 * Col);
+  if (Row == Rows - 1)
+    return 0.0;
+  if (Col == 0 || Col == Cols - 1)
+    return 50.0;
+  std::uint64_t H = mix(static_cast<std::uint64_t>(Row) * 69069u +
+                        static_cast<std::uint64_t>(Col));
+  return static_cast<double>(H >> 11) * (1.0 / 9007199254740992.0) * 20.0;
+}
+
+StencilReport fupermod::runStencil(const Cluster &Platform,
+                                   const StencilOptions &Options) {
+  int P = Platform.size();
+  int Rows = Options.Rows;
+  int Cols = Options.Cols;
+  assert(Rows >= 3 && Cols >= 3 && "grid too small for a stencil");
+  const std::int64_t Interior = Rows - 2;
+
+  std::vector<StencilIteration> Stats(
+      static_cast<std::size_t>(Options.Iterations));
+  for (auto &S : Stats) {
+    S.ComputeTimes.assign(static_cast<std::size_t>(P), 0.0);
+    S.Rows.assign(static_cast<std::size_t>(P), 0);
+  }
+  std::vector<double> FinalGrid;
+  double MaxError = 0.0;
+  std::vector<long long> HaloSent(static_cast<std::size_t>(P), 0);
+  int Rebalances = 0;
+
+  auto Body = [&](Comm &C) {
+    int Me = C.rank();
+    SimDevice Dev = Platform.makeDevice(Me);
+    DynamicContext Ctx(getPartitioner(Options.Algorithm),
+                       Options.ModelKind, Interior, P);
+    Dist Current = Ctx.dist();
+    std::vector<std::int64_t> Starts = bandStarts(Current);
+    std::int64_t MyStart = Starts[static_cast<std::size_t>(Me)];
+    std::int64_t MyRows = Current.Parts[static_cast<std::size_t>(Me)].Units;
+
+    // Band storage: MyRows interior rows, row-major, width Cols.
+    std::vector<double> Band(static_cast<std::size_t>(MyRows) *
+                             static_cast<std::size_t>(Cols));
+    for (std::int64_t R = 0; R < MyRows; ++R)
+      for (int Col = 0; Col < Cols; ++Col)
+        Band[static_cast<std::size_t>(R) * Cols + Col] = stencilInitial(
+            Rows, Cols, static_cast<int>(MyStart + R), Col);
+
+    auto OwnerOfRow = [&](std::int64_t Row) {
+      for (int Q = 0; Q < P; ++Q)
+        if (Row >= Starts[static_cast<std::size_t>(Q)] &&
+            Row < Starts[static_cast<std::size_t>(Q) + 1])
+          return Q;
+      assert(false && "interior row has no owner");
+      return -1;
+    };
+
+    for (int It = 0; It < Options.Iterations; ++It) {
+      double IterStart = C.time();
+      std::int64_t MyEnd = MyStart + MyRows;
+
+      // Halo sends (buffered, deadlock-free): my top row to the band
+      // ending at MyStart, my bottom row to the band starting at MyEnd.
+      if (MyRows > 0) {
+        for (int Q = 0; Q < P; ++Q) {
+          if (Q == Me ||
+              Current.Parts[static_cast<std::size_t>(Q)].Units == 0)
+            continue;
+          std::int64_t QStart = Starts[static_cast<std::size_t>(Q)];
+          std::int64_t QEnd = Starts[static_cast<std::size_t>(Q) + 1];
+          if (QEnd == MyStart) {
+            C.send<double>(Q, TagHaloUp,
+                           std::span<const double>(Band.data(), Cols));
+            ++HaloSent[static_cast<std::size_t>(Me)];
+          }
+          if (QStart == MyEnd) {
+            C.send<double>(
+                Q, TagHaloDown,
+                std::span<const double>(
+                    Band.data() + (MyRows - 1) * Cols, Cols));
+            ++HaloSent[static_cast<std::size_t>(Me)];
+          }
+        }
+      }
+
+      // Halo receives (or fixed boundary rows).
+      std::vector<double> Above(static_cast<std::size_t>(Cols), 0.0);
+      std::vector<double> Below(static_cast<std::size_t>(Cols), 0.0);
+      if (MyRows > 0) {
+        if (MyStart - 1 == 0) {
+          for (int Col = 0; Col < Cols; ++Col)
+            Above[static_cast<std::size_t>(Col)] =
+                stencilInitial(Rows, Cols, 0, Col);
+        } else {
+          Above = C.recv<double>(OwnerOfRow(MyStart - 1), TagHaloDown);
+        }
+        if (MyEnd == Rows - 1) {
+          for (int Col = 0; Col < Cols; ++Col)
+            Below[static_cast<std::size_t>(Col)] =
+                stencilInitial(Rows, Cols, Rows - 1, Col);
+        } else {
+          Below = C.recv<double>(OwnerOfRow(MyEnd), TagHaloUp);
+        }
+      }
+
+      // Sweep the band (real arithmetic; edge columns stay fixed).
+      if (MyRows > 0) {
+        std::vector<double> Next = Band;
+        for (std::int64_t R = 0; R < MyRows; ++R) {
+          const double *Up =
+              R == 0 ? Above.data() : &Band[(R - 1) * Cols];
+          const double *Down =
+              R == MyRows - 1 ? Below.data() : &Band[(R + 1) * Cols];
+          const double *Mid = &Band[R * Cols];
+          double *Out = &Next[R * Cols];
+          for (int Col = 1; Col + 1 < Cols; ++Col)
+            Out[Col] = 0.25 * (Up[Col] + Down[Col] + Mid[Col - 1] +
+                               Mid[Col + 1]);
+        }
+        Band = std::move(Next);
+
+        double T = Dev.measureTime(static_cast<double>(MyRows));
+        C.compute(T);
+        Stats[static_cast<std::size_t>(It)]
+            .ComputeTimes[static_cast<std::size_t>(Me)] = T;
+      }
+      if (Me == 0)
+        for (int Q = 0; Q < P; ++Q)
+          Stats[static_cast<std::size_t>(It)]
+              .Rows[static_cast<std::size_t>(Q)] =
+              Current.Parts[static_cast<std::size_t>(Q)].Units;
+
+      // Dynamic balancing, as in the Jacobi use case.
+      if (Options.Balance) {
+        double MyIterTime = C.time() - IterStart;
+        bool Rebalance = true;
+        if (Options.RebalanceThreshold > 0.0) {
+          double MaxT = C.allreduceValue(MyIterTime, ReduceOp::Max);
+          double MinT = C.allreduceValue(MyIterTime, ReduceOp::Min);
+          Rebalance = MaxT > 0.0 && (MaxT - MinT) / MaxT >
+                                        Options.RebalanceThreshold;
+        }
+        if (Rebalance) {
+          balanceIterate(Ctx, C, C.time() - MyIterTime);
+          if (Me == 0)
+            ++Rebalances;
+        }
+
+        const Dist &Next = Ctx.dist();
+        if (Next.relativeChange(Current) > 0.0) {
+          std::vector<std::int64_t> NewStarts = bandStarts(Next);
+          std::int64_t NewStart = NewStarts[static_cast<std::size_t>(Me)];
+          std::int64_t NewRows =
+              Next.Parts[static_cast<std::size_t>(Me)].Units;
+          std::vector<double> NewBand(static_cast<std::size_t>(NewRows) *
+                                      static_cast<std::size_t>(Cols));
+          // Ship overlaps of my old band with everyone's new band.
+          for (int Q = 0; Q < P; ++Q) {
+            std::int64_t Lo =
+                std::max(MyStart, NewStarts[static_cast<std::size_t>(Q)]);
+            std::int64_t Hi = std::min(
+                MyStart + MyRows, NewStarts[static_cast<std::size_t>(Q) +
+                                            1]);
+            if (Lo >= Hi)
+              continue;
+            if (Q == Me) {
+              std::copy(&Band[(Lo - MyStart) * Cols],
+                        &Band[(Hi - MyStart) * Cols],
+                        NewBand.begin() + (Lo - NewStart) * Cols);
+              continue;
+            }
+            C.send<double>(
+                Q, TagMoveRows,
+                std::span<const double>(&Band[(Lo - MyStart) * Cols],
+                                        static_cast<std::size_t>(Hi - Lo) *
+                                            Cols));
+          }
+          for (int Q = 0; Q < P; ++Q) {
+            if (Q == Me)
+              continue;
+            std::int64_t Lo =
+                std::max(NewStart, Starts[static_cast<std::size_t>(Q)]);
+            std::int64_t Hi =
+                std::min(NewStart + NewRows,
+                         Starts[static_cast<std::size_t>(Q) + 1]);
+            if (Lo >= Hi)
+              continue;
+            std::vector<double> Payload = C.recv<double>(Q, TagMoveRows);
+            assert(Payload.size() == static_cast<std::size_t>(Hi - Lo) *
+                                         static_cast<std::size_t>(Cols) &&
+                   "unexpected band payload size");
+            std::copy(Payload.begin(), Payload.end(),
+                      NewBand.begin() + (Lo - NewStart) * Cols);
+          }
+          Band = std::move(NewBand);
+          Current = Next;
+          Starts = std::move(NewStarts);
+          MyStart = NewStart;
+          MyRows = NewRows;
+        }
+      }
+    }
+
+    // Assemble the final grid on rank 0 and verify against a serial run.
+    std::vector<double> All =
+        C.gatherv(std::span<const double>(Band), 0);
+    if (Me != 0)
+      return;
+    std::vector<double> Grid(static_cast<std::size_t>(Rows) *
+                             static_cast<std::size_t>(Cols));
+    for (int Col = 0; Col < Cols; ++Col) {
+      Grid[static_cast<std::size_t>(Col)] =
+          stencilInitial(Rows, Cols, 0, Col);
+      Grid[static_cast<std::size_t>(Rows - 1) * Cols + Col] =
+          stencilInitial(Rows, Cols, Rows - 1, Col);
+    }
+    // gatherv concatenates bands in rank order = global row order.
+    std::copy(All.begin(), All.end(),
+              Grid.begin() + static_cast<std::size_t>(Cols));
+
+    std::vector<double> Ref(Grid.size());
+    for (int R = 0; R < Rows; ++R)
+      for (int Col = 0; Col < Cols; ++Col)
+        Ref[static_cast<std::size_t>(R) * Cols + Col] =
+            stencilInitial(Rows, Cols, R, Col);
+    for (int It = 0; It < Options.Iterations; ++It)
+      serialSweep(Ref, Rows, Cols);
+    for (std::size_t I = 0; I < Grid.size(); ++I)
+      MaxError = std::max(MaxError, std::fabs(Grid[I] - Ref[I]));
+    FinalGrid = std::move(Grid);
+  };
+
+  SpmdResult Run = runSpmd(P, Body, Platform.makeCostModel());
+
+  StencilReport Report;
+  Report.Iterations = std::move(Stats);
+  Report.Makespan = Run.makespan();
+  Report.Grid = std::move(FinalGrid);
+  Report.MaxError = MaxError;
+  for (long long H : HaloSent)
+    Report.HaloRowsSent += H;
+  Report.Rebalances = Rebalances;
+  return Report;
+}

@@ -1,0 +1,71 @@
+//===-- blas/Gemm.cpp - Dense matrix multiply kernels ---------------------===//
+
+#include "blas/Gemm.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace fupermod;
+
+void fupermod::gemmNaive(std::size_t M, std::size_t N, std::size_t K,
+                         std::span<const double> A, std::span<const double> B,
+                         std::span<double> C) {
+  assert(A.size() >= M * K && B.size() >= K * N && C.size() >= M * N &&
+         "matrix buffers too small");
+  for (std::size_t I = 0; I < M; ++I) {
+    for (std::size_t L = 0; L < K; ++L) {
+      double AIL = A[I * K + L];
+      if (AIL == 0.0)
+        continue;
+      const double *BRow = &B[L * N];
+      double *CRow = &C[I * N];
+      for (std::size_t J = 0; J < N; ++J)
+        CRow[J] += AIL * BRow[J];
+    }
+  }
+}
+
+void fupermod::gemmBlocked(std::size_t M, std::size_t N, std::size_t K,
+                           std::span<const double> A,
+                           std::span<const double> B, std::span<double> C,
+                           std::size_t Tile) {
+  assert(A.size() >= M * K && B.size() >= K * N && C.size() >= M * N &&
+         "matrix buffers too small");
+  assert(Tile > 0 && "tile must be positive");
+  for (std::size_t I0 = 0; I0 < M; I0 += Tile) {
+    std::size_t IMax = std::min(I0 + Tile, M);
+    for (std::size_t L0 = 0; L0 < K; L0 += Tile) {
+      std::size_t LMax = std::min(L0 + Tile, K);
+      for (std::size_t J0 = 0; J0 < N; J0 += Tile) {
+        std::size_t JMax = std::min(J0 + Tile, N);
+        for (std::size_t I = I0; I < IMax; ++I) {
+          for (std::size_t L = L0; L < LMax; ++L) {
+            double AIL = A[I * K + L];
+            const double *BRow = &B[L * N];
+            double *CRow = &C[I * N];
+            for (std::size_t J = J0; J < JMax; ++J)
+              CRow[J] += AIL * BRow[J];
+          }
+        }
+      }
+    }
+  }
+}
+
+void fupermod::fillDeterministic(std::span<double> Data, std::uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  for (double &E : Data)
+    E = Rng.uniform(-1.0, 1.0);
+}
+
+double fupermod::maxAbsDiff(std::span<const double> A,
+                            std::span<const double> B) {
+  assert(A.size() == B.size() && "mismatched buffers");
+  double Max = 0.0;
+  for (std::size_t I = 0; I < A.size(); ++I)
+    Max = std::max(Max, std::fabs(A[I] - B[I]));
+  return Max;
+}

@@ -1,0 +1,53 @@
+//===-- blas/Gemm.h - Dense matrix multiply kernels -------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense double-precision GEMM kernels. The paper's computation kernels are
+/// built on BLAS GEMM (Fig. 1(b): Ci += A(b) x B(b)); since no vendor BLAS
+/// is assumed, two implementations are provided:
+///
+///  - gemmNaive: straightforward triple loop, the stand-in for the
+///    reference Netlib BLAS whose speed function Fig. 2 plots;
+///  - gemmBlocked: cache-tiled variant, the stand-in for an optimised BLAS.
+///
+/// All matrices are row-major and contiguous: C (MxN) += A (MxK) * B (KxN).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_BLAS_GEMM_H
+#define FUPERMOD_BLAS_GEMM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fupermod {
+
+/// C += A * B with the textbook i-k-j loop nest.
+void gemmNaive(std::size_t M, std::size_t N, std::size_t K,
+               std::span<const double> A, std::span<const double> B,
+               std::span<double> C);
+
+/// C += A * B with square cache tiles of the given edge length.
+void gemmBlocked(std::size_t M, std::size_t N, std::size_t K,
+                 std::span<const double> A, std::span<const double> B,
+                 std::span<double> C, std::size_t Tile = 64);
+
+/// Floating point operations performed by one C += A*B call.
+inline double gemmFlops(std::size_t M, std::size_t N, std::size_t K) {
+  return 2.0 * static_cast<double>(M) * static_cast<double>(N) *
+         static_cast<double>(K);
+}
+
+/// Fills \p Data with deterministic pseudo-random values in [-1, 1).
+void fillDeterministic(std::span<double> Data, std::uint64_t Seed);
+
+/// Largest absolute elementwise difference between \p A and \p B.
+double maxAbsDiff(std::span<const double> A, std::span<const double> B);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_BLAS_GEMM_H

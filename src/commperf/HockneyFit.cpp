@@ -1,0 +1,97 @@
+//===-- commperf/HockneyFit.cpp - Link parameter fitting ------------------===//
+
+#include "commperf/HockneyFit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace fupermod;
+
+std::optional<LinkCost>
+fupermod::fitHockney(std::span<const CommSample> Samples) {
+  if (Samples.size() < 2)
+    return std::nullopt;
+  double SumB = 0.0, SumT = 0.0, SumBB = 0.0, SumBT = 0.0;
+  for (const CommSample &S : Samples) {
+    double B = static_cast<double>(S.Bytes);
+    SumB += B;
+    SumT += S.Time;
+    SumBB += B * B;
+    SumBT += B * S.Time;
+  }
+  double N = static_cast<double>(Samples.size());
+  double Det = N * SumBB - SumB * SumB;
+  if (Det <= 0.0)
+    return std::nullopt; // All sizes identical: slope undetermined.
+  double Beta = (N * SumBT - SumB * SumT) / Det;
+  double Alpha = (SumT - Beta * SumB) / N;
+  if (Beta <= 0.0)
+    return std::nullopt;
+  LinkCost Link;
+  Link.Latency = std::max(Alpha, 0.0);
+  Link.BytePeriod = Beta;
+  return Link;
+}
+
+double fupermod::predictBcast(const LinkCost &Link, int P,
+                              std::size_t Bytes) {
+  assert(P >= 1 && "empty communicator");
+  if (P == 1)
+    return 0.0;
+  double Transfer = Link.transferTime(Bytes);
+
+  // Replay the binomial tree's arithmetic: node r becomes ready at
+  // Ready[r]; it then sends to r + mask for mask halving down from its
+  // subtree size, paying the injection latency per send. Parents have
+  // smaller relative ranks than their children, so one ascending pass
+  // suffices.
+  std::vector<double> Ready(static_cast<std::size_t>(P), 0.0);
+  unsigned TopMask = 1;
+  while (static_cast<int>(TopMask << 1) < P)
+    TopMask <<= 1;
+  double Completion = 0.0;
+  for (int R = 0; R < P; ++R) {
+    unsigned Mask;
+    if (R == 0) {
+      Mask = TopMask;
+    } else {
+      Mask = 1;
+      while ((static_cast<unsigned>(R) & Mask) == 0)
+        Mask <<= 1;
+      Mask >>= 1;
+    }
+    double Clock = Ready[static_cast<std::size_t>(R)];
+    Completion = std::max(Completion, Clock);
+    for (; Mask > 0; Mask >>= 1) {
+      int Child = R + static_cast<int>(Mask);
+      if (Child >= P)
+        continue;
+      Ready[static_cast<std::size_t>(Child)] = Clock + Transfer;
+      Completion =
+          std::max(Completion, Ready[static_cast<std::size_t>(Child)]);
+      Clock += Link.Latency;
+    }
+  }
+  return Completion;
+}
+
+double fupermod::predictGatherLinear(const LinkCost &Link, int P,
+                                     std::size_t Bytes) {
+  assert(P >= 1 && "empty communicator");
+  if (P == 1)
+    return 0.0;
+  // Each non-root sends a small count message (latency-dominated) then
+  // the payload; transfers from different senders proceed concurrently
+  // in the runtime's model, so the root finishes with the slowest single
+  // sender: latency (count) + latency + payload transfer.
+  return Link.Latency + Link.transferTime(Bytes);
+}
+
+double fupermod::predictRingAllgather(const LinkCost &Link, int P,
+                                      std::size_t ChunkBytes) {
+  assert(P >= 1 && "empty communicator");
+  if (P == 1)
+    return 0.0;
+  return static_cast<double>(P - 1) * Link.transferTime(ChunkBytes);
+}

@@ -1,0 +1,49 @@
+//===-- commperf/HockneyFit.h - Link parameter fitting ----------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Least-squares estimation of Hockney link parameters (latency alpha and
+/// inverse bandwidth beta) from ping-pong samples, plus analytic time
+/// predictions for the runtime's collective algorithms under a fitted (or
+/// configured) link. Predictions are exact for the runtime's virtual-time
+/// semantics, which makes them a strong end-to-end consistency check of
+/// the whole communication model (see CommPerfTest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_COMMPERF_HOCKNEYFIT_H
+#define FUPERMOD_COMMPERF_HOCKNEYFIT_H
+
+#include "commperf/PingPong.h"
+#include "mpp/CostModel.h"
+
+#include <optional>
+
+namespace fupermod {
+
+/// Fits time = Latency + Bytes * BytePeriod to the samples by ordinary
+/// least squares. Needs at least two distinct sizes; returns std::nullopt
+/// for degenerate inputs (including a non-positive fitted bandwidth).
+/// A tiny negative fitted latency (measurement noise around a zero-latency
+/// link) is clamped to zero.
+std::optional<LinkCost> fitHockney(std::span<const CommSample> Samples);
+
+/// Completion time of a binomial-tree broadcast of \p Bytes over \p P
+/// ranks connected by \p Link (all clocks aligned at the start).
+double predictBcast(const LinkCost &Link, int P, std::size_t Bytes);
+
+/// Completion time of the linear gather of per-rank \p Bytes at the root.
+/// Transfers are concurrent in the runtime's model, so the root finishes
+/// at the slowest single transfer.
+double predictGatherLinear(const LinkCost &Link, int P, std::size_t Bytes);
+
+/// Completion time of the ring allgatherv with equal per-rank chunks.
+double predictRingAllgather(const LinkCost &Link, int P,
+                            std::size_t ChunkBytes);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_COMMPERF_HOCKNEYFIT_H

@@ -1,0 +1,49 @@
+//===-- commperf/PingPong.cpp - Link benchmarking -------------------------===//
+
+#include "commperf/PingPong.h"
+
+#include <cassert>
+
+using namespace fupermod;
+
+std::vector<CommSample>
+fupermod::pingPong(Comm &C, int A, int B,
+                   std::span<const std::size_t> Sizes,
+                   int RoundTripsPerSize) {
+  assert(A >= 0 && A < C.size() && B >= 0 && B < C.size() && A != B &&
+         "invalid rank pair");
+  assert(RoundTripsPerSize >= 1 && "need at least one round trip");
+  enum : int { TagPing = (1 << 27) + 1, TagPong };
+
+  std::vector<CommSample> Samples;
+  Samples.reserve(Sizes.size());
+  for (std::size_t Bytes : Sizes) {
+    // Align clocks so the round-trip time is attributable to this
+    // exchange alone.
+    C.barrier();
+    double OneWay = 0.0;
+    if (C.rank() == A) {
+      double Start = C.time();
+      std::vector<std::byte> Payload(Bytes);
+      for (int Rep = 0; Rep < RoundTripsPerSize; ++Rep) {
+        C.sendBytes(B, TagPing, Payload);
+        C.recvBytes(B, TagPong);
+      }
+      OneWay = (C.time() - Start) /
+               (2.0 * static_cast<double>(RoundTripsPerSize));
+    } else if (C.rank() == B) {
+      for (int Rep = 0; Rep < RoundTripsPerSize; ++Rep) {
+        std::vector<std::byte> Echo = C.recvBytes(A, TagPing);
+        C.sendBytes(A, TagPong, Echo);
+      }
+    }
+    // Everyone gets the sample (and the barrier keeps idle ranks from
+    // racing ahead into the next size).
+    C.bcastValue(OneWay, A);
+    CommSample S;
+    S.Bytes = Bytes;
+    S.Time = OneWay;
+    Samples.push_back(S);
+  }
+  return Samples;
+}

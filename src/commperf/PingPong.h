@@ -1,0 +1,46 @@
+//===-- commperf/PingPong.h - Link benchmarking -----------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Point-to-point communication benchmarking on the SPMD runtime. The
+/// FuPerMod research line pairs computation performance models with
+/// *communication* performance models (the same group's MPIBlib); this
+/// library provides the measurement side: ping-pong experiments between
+/// rank pairs, producing (message size, one-way time) samples that
+/// HockneyFit turns into link parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_COMMPERF_PINGPONG_H
+#define FUPERMOD_COMMPERF_PINGPONG_H
+
+#include "mpp/Comm.h"
+
+#include <span>
+#include <vector>
+
+namespace fupermod {
+
+/// One point-to-point measurement.
+struct CommSample {
+  /// Message payload in bytes.
+  std::size_t Bytes = 0;
+  /// One-way message time in (virtual) seconds.
+  double Time = 0.0;
+};
+
+/// Runs ping-pong between ranks \p A and \p B of \p C for every message
+/// size in \p Sizes and returns one sample per size (one-way time =
+/// round-trip / 2). Collective over \p C: every rank must call it; ranks
+/// other than A and B only take part in the surrounding barriers. The
+/// returned samples are valid on every rank (broadcast internally).
+std::vector<CommSample> pingPong(Comm &C, int A, int B,
+                                 std::span<const std::size_t> Sizes,
+                                 int RoundTripsPerSize = 3);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_COMMPERF_PINGPONG_H

@@ -1,0 +1,114 @@
+//===-- core/Benchmark.cpp - Performance measurement ----------------------===//
+
+#include "core/Benchmark.h"
+
+#include "mpp/Comm.h"
+#include "sim/SimDevice.h"
+
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+using namespace fupermod;
+
+BenchmarkBackend::~BenchmarkBackend() = default;
+
+bool NativeKernelBackend::prepare(double Units) {
+  assert(Units >= 1.0 && "kernel sizes are whole units");
+  return K.initialize(static_cast<std::int64_t>(std::llround(Units)));
+}
+
+double NativeKernelBackend::runOnce() {
+  auto Start = std::chrono::steady_clock::now();
+  K.execute();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+void NativeKernelBackend::teardown() { K.finalize(); }
+
+bool SimDeviceBackend::prepare(double InUnits) {
+  if (!Device.profile().canExecute(InUnits))
+    return false;
+  Units = InUnits;
+  return true;
+}
+
+double SimDeviceBackend::runOnce() {
+  double T = Device.measureTime(Units);
+  if (Clocked)
+    Clocked->compute(T);
+  return T;
+}
+
+Point fupermod::runBenchmark(BenchmarkBackend &Backend, double Units,
+                             const Precision &Prec, Comm *Sync) {
+  assert(Prec.MinReps >= 1 && Prec.MaxReps >= Prec.MinReps &&
+         "invalid precision");
+  Point Result;
+  Result.Units = Units;
+  bool Prepared = Backend.prepare(Units);
+  if (!Prepared && !Sync) {
+    // Size not executable on this device (e.g. out of memory with no
+    // out-of-core mode). Reps = 0 flags the failure to the caller.
+    Result.Reps = 0;
+    Result.Time = std::numeric_limits<double>::infinity();
+    return Result;
+  }
+
+  // With synchronised measurement every rank must execute the *same*
+  // number of loop rounds — the continue/stop decision is collective
+  // (any rank still needing repetitions keeps everyone going), and a
+  // rank whose device cannot run the size still joins every barrier.
+  RunningStat Stat;
+  std::vector<double> Samples;
+  double Accumulated = 0.0;
+  for (int Rep = 0; Rep < Prec.MaxReps; ++Rep) {
+    // Synchronise processes sharing resources so that every repetition
+    // runs under full contention (paper Section 4.1).
+    if (Sync)
+      Sync->barrier();
+    if (Prepared) {
+      double T = Backend.runOnce();
+      Stat.push(T);
+      Samples.push_back(T);
+      Accumulated += T;
+    }
+    bool WantMore = false;
+    if (Prepared) {
+      bool EnoughReps =
+          Stat.count() >= static_cast<std::size_t>(Prec.MinReps);
+      bool Tight =
+          relativeError(Stat, Prec.Level) <= Prec.TargetRelativeError;
+      bool OutOfTime = Accumulated >= Prec.TimeLimit;
+      WantMore = !(EnoughReps && Tight) && !OutOfTime;
+    }
+    if (Sync)
+      WantMore = Sync->allreduceValue(WantMore ? 1.0 : 0.0,
+                                      ReduceOp::Max) > 0.0;
+    if (!WantMore)
+      break;
+  }
+  if (Prepared)
+    Backend.teardown();
+
+  if (!Prepared) {
+    Result.Reps = 0;
+    Result.Time = std::numeric_limits<double>::infinity();
+    return Result;
+  }
+  if (Prec.RejectOutliers && Samples.size() >= 3) {
+    std::vector<double> Kept = rejectOutliers(Samples);
+    if (!Kept.empty() && Kept.size() < Samples.size()) {
+      Stat.clear();
+      for (double T : Kept)
+        Stat.push(T);
+    }
+  }
+  Result.Time = Stat.mean();
+  Result.Reps = static_cast<int>(Stat.count());
+  Result.ConfidenceInterval = confidenceHalfWidth(Stat, Prec.Level);
+  if (!std::isfinite(Result.ConfidenceInterval))
+    Result.ConfidenceInterval = 0.0; // Single-rep measurement: no interval.
+  return Result;
+}

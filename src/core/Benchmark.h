@@ -1,0 +1,118 @@
+//===-- core/Benchmark.h - Performance measurement --------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistically reliable performance measurement (the paper's
+/// `fupermod_benchmark`, Section 4.1). A benchmark repeats a timed kernel
+/// execution until the Student-t confidence interval around the mean is
+/// tight enough (or a repetition/time cap is hit) and returns a Point.
+///
+/// Two backends:
+///  - NativeKernelBackend: really executes a Kernel and measures wall
+///    clock (for model building on the host machine);
+///  - SimDeviceBackend: draws a noisy sample from a simulated device and
+///    (when attached to a communicator) advances the rank's virtual clock,
+///    so benchmarking costs simulated time just like on a real platform.
+///
+/// Passing a Comm synchronises every repetition across the processes that
+/// share resources — the paper's `comm_sync`, which maximises memory
+/// traffic during measurement on multicore nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_CORE_BENCHMARK_H
+#define FUPERMOD_CORE_BENCHMARK_H
+
+#include "core/Kernel.h"
+#include "core/Point.h"
+#include "support/Statistics.h"
+
+#include <limits>
+
+namespace fupermod {
+
+class Comm;
+class SimDevice;
+
+/// Statistical parameters of a measurement (the paper's
+/// `fupermod_precision`).
+struct Precision {
+  /// Minimum repetitions before the confidence test may stop the run.
+  int MinReps = 3;
+  /// Hard cap on repetitions.
+  int MaxReps = 30;
+  /// Target relative half-width of the confidence interval.
+  double TargetRelativeError = 0.025;
+  /// Confidence level of the interval.
+  ConfidenceLevel Level = ConfidenceLevel::CL95;
+  /// Stop repeating once this much measurement time has accumulated.
+  double TimeLimit = std::numeric_limits<double>::infinity();
+  /// Drop repetitions further than 3.5 scaled MADs from the median
+  /// before computing the final mean/interval — robust against the
+  /// occasional scheduler hiccup on real machines.
+  bool RejectOutliers = false;
+};
+
+/// How a single timed repetition is obtained.
+class BenchmarkBackend {
+public:
+  virtual ~BenchmarkBackend();
+
+  /// Prepares the execution context for \p Units; returns false when the
+  /// size cannot be executed on this device (e.g. exceeds memory).
+  virtual bool prepare(double Units) = 0;
+
+  /// Runs the kernel once and returns the elapsed time in seconds.
+  virtual double runOnce() = 0;
+
+  /// Releases the execution context.
+  virtual void teardown() {}
+};
+
+/// Executes a real Kernel and measures wall-clock time.
+class NativeKernelBackend : public BenchmarkBackend {
+public:
+  explicit NativeKernelBackend(Kernel &K) : K(K) {}
+
+  bool prepare(double Units) override;
+  double runOnce() override;
+  void teardown() override;
+
+private:
+  Kernel &K;
+};
+
+/// Samples execution times from a simulated device. When a communicator
+/// is attached, each repetition advances the rank's virtual clock by the
+/// sampled time, so model construction has a visible cost in experiments.
+class SimDeviceBackend : public BenchmarkBackend {
+public:
+  explicit SimDeviceBackend(SimDevice &Device, Comm *Clocked = nullptr)
+      : Device(Device), Clocked(Clocked) {}
+
+  bool prepare(double Units) override;
+  double runOnce() override;
+
+  /// Re-points the virtual-clock target (e.g. after a split).
+  void attachComm(Comm *C) { Clocked = C; }
+
+private:
+  SimDevice &Device;
+  Comm *Clocked;
+  double Units = 0.0;
+};
+
+/// Measures \p Backend at problem size \p Units under the given precision.
+///
+/// When \p Sync is non-null, all ranks of that communicator barrier before
+/// every repetition (synchronous measurement on shared resources). Returns
+/// a Point with Reps = 0 when the backend cannot execute the size.
+Point runBenchmark(BenchmarkBackend &Backend, double Units,
+                   const Precision &Prec, Comm *Sync = nullptr);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_CORE_BENCHMARK_H

@@ -1,0 +1,142 @@
+//===-- core/Dynamic.cpp - Dynamic partitioning & balancing ---------------===//
+
+#include "core/Dynamic.h"
+
+#include "mpp/Comm.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace fupermod;
+
+DynamicContext::DynamicContext(Partitioner Algorithm,
+                               const std::string &ModelKind,
+                               std::int64_t Total, int NumProcs)
+    : Algorithm(std::move(Algorithm)) {
+  assert(this->Algorithm && "null partitioning algorithm");
+  assert(NumProcs > 0 && "need at least one process");
+  Models.reserve(static_cast<std::size_t>(NumProcs));
+  for (int I = 0; I < NumProcs; ++I)
+    Models.push_back(makeModel(ModelKind));
+  Current = Dist::even(Total, NumProcs);
+}
+
+double DynamicContext::updateAndRepartition(int Rank, Point P) {
+  assert(Rank >= 0 && Rank < size() && "rank out of range");
+  Models[static_cast<std::size_t>(Rank)]->update(P);
+  std::vector<Model *> Ptrs;
+  Ptrs.reserve(Models.size());
+  for (auto &M : Models)
+    Ptrs.push_back(M.get());
+
+  Dist Next = Current;
+  if (!Algorithm(Current.Total, Ptrs, Next))
+    // Models not all fitted yet (or capacity unknown): keep the current
+    // distribution and report "not converged".
+    return std::numeric_limits<double>::infinity();
+  double Change = Next.relativeChange(Current);
+  Current = Next;
+  return Change;
+}
+
+double
+DynamicContext::updateAllAndRepartition(std::span<const Point> PerRank) {
+  assert(static_cast<int>(PerRank.size()) == size() &&
+         "one point per process expected");
+  for (int R = 0; R < size(); ++R)
+    Models[static_cast<std::size_t>(R)]->update(PerRank[R]);
+  std::vector<Model *> Ptrs;
+  Ptrs.reserve(Models.size());
+  for (auto &M : Models)
+    Ptrs.push_back(M.get());
+
+  Dist Next = Current;
+  if (!Algorithm(Current.Total, Ptrs, Next))
+    return std::numeric_limits<double>::infinity();
+  double Change = Next.relativeChange(Current);
+  Current = Next;
+  return Change;
+}
+
+bool fupermod::partitionIterate(DynamicContext &Ctx, Comm &C,
+                                BenchmarkBackend &Backend,
+                                const Precision &Prec, double Eps) {
+  assert(Ctx.size() == C.size() && "context/communicator size mismatch");
+  // Benchmark the representative kernel at this rank's current share; a
+  // rank holding nothing still measures one unit so its model gets data.
+  std::int64_t MyUnits = Ctx.dist().Parts[C.rank()].Units;
+  double Units = static_cast<double>(std::max<std::int64_t>(MyUnits, 1));
+
+  // Once a measurement has failed on this device (size beyond its
+  // memory), sizes between the largest known success and the smallest
+  // known failure are unknown territory. Probing the midpoint instead of
+  // the assigned share bisects towards the true limit, so the feasibility
+  // cap converges in logarithmically many iterations instead of shrinking
+  // one unit per failure.
+  const Model &Mine = Ctx.model(C.rank());
+  double Limit = Mine.feasibleLimit();
+  if (std::isfinite(Limit)) {
+    double Known = Mine.fitted() ? Mine.points().back().Units : 0.0;
+    if (Units > Known) {
+      double Probe =
+          std::floor(0.5 * (Known + std::min(Units, Limit)));
+      if (Probe <= Known)
+        Probe = Known + 1.0; // One-unit gap left: test it directly.
+      Units = std::max(1.0, Probe);
+    }
+  }
+
+  Point Measured = runBenchmark(Backend, Units, Prec, &C);
+
+  // Exchange points; every rank then performs the identical model update
+  // and repartitioning, keeping the contexts in lockstep without a root.
+  std::vector<Point> All =
+      C.allgatherv(std::span<const Point>(&Measured, 1));
+  double Change = Ctx.updateAllAndRepartition(All);
+
+  // Converged only when the distribution is stable AND every rank's
+  // assignment lies in its known-feasible region; a capped device whose
+  // exact limit is still being bisected keeps the loop alive even though
+  // the (capped) distribution no longer moves.
+  const Model &MineNow = Ctx.model(C.rank());
+  double NewUnits = static_cast<double>(
+      std::max<std::int64_t>(Ctx.dist().Parts[C.rank()].Units, 1));
+  bool Settled = true;
+  if (std::isfinite(MineNow.feasibleLimit())) {
+    double Known =
+        MineNow.fitted() ? MineNow.points().back().Units : 0.0;
+    Settled = NewUnits <= Known;
+  }
+  bool AllSettled =
+      C.allreduceValue(Settled ? 1.0 : 0.0, ReduceOp::Min) > 0.0;
+  return Change <= Eps && AllSettled;
+}
+
+int fupermod::runDynamicPartitioning(DynamicContext &Ctx, Comm &C,
+                                     BenchmarkBackend &Backend,
+                                     const Precision &Prec, double Eps,
+                                     int MaxIterations) {
+  for (int It = 1; It <= MaxIterations; ++It)
+    if (partitionIterate(Ctx, C, Backend, Prec, Eps))
+      return It;
+  return MaxIterations;
+}
+
+double fupermod::balanceIterate(DynamicContext &Ctx, Comm &C,
+                                double IterStartTime) {
+  assert(Ctx.size() == C.size() && "context/communicator size mismatch");
+  // The measurement is the real duration of the application iteration the
+  // caller just finished on its current share (paper Fig. 4 usage).
+  Point Mine;
+  Mine.Units = static_cast<double>(
+      std::max<std::int64_t>(Ctx.dist().Parts[C.rank()].Units, 1));
+  Mine.Time = C.time() - IterStartTime;
+  Mine.Reps = 1;
+  assert(Mine.Time >= 0.0 && "iteration start lies in the future");
+  if (Mine.Time <= 0.0)
+    Mine.Reps = 0; // Degenerate timing: contribute nothing.
+
+  std::vector<Point> All = C.allgatherv(std::span<const Point>(&Mine, 1));
+  return Ctx.updateAllAndRepartition(All);
+}

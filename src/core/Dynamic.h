@@ -1,0 +1,93 @@
+//===-- core/Dynamic.h - Dynamic partitioning & balancing -------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic data partitioning and dynamic load balancing (the paper's
+/// `fupermod_dynamic`, `fupermod_partition_iterate` and
+/// `fupermod_balance_iterate`, Section 4.4). Instead of full performance
+/// models built in advance, these algorithms build *partial* estimates
+/// from measurements taken at the problem sizes the partitioning itself
+/// visits, converging to a balanced distribution at a fraction of the
+/// model-construction cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_CORE_DYNAMIC_H
+#define FUPERMOD_CORE_DYNAMIC_H
+
+#include "core/Benchmark.h"
+#include "core/Partition.h"
+
+#include <memory>
+#include <string>
+
+namespace fupermod {
+
+class Comm;
+
+/// Execution context of the dynamic algorithms: the partitioning
+/// algorithm, one partial model per process, and the current distribution.
+class DynamicContext {
+public:
+  /// Creates a context with empty partial models of \p ModelKind and an
+  /// even starting distribution of \p Total over \p NumProcs.
+  DynamicContext(Partitioner Algorithm, const std::string &ModelKind,
+                 std::int64_t Total, int NumProcs);
+
+  /// Current (most recently computed) distribution.
+  const Dist &dist() const { return Current; }
+
+  /// Partial model of one process.
+  const Model &model(int Rank) const { return *Models[Rank]; }
+
+  /// Number of processes.
+  int size() const { return static_cast<int>(Models.size()); }
+
+  /// Feeds one experimental point of process \p Rank into its partial
+  /// model and recomputes the distribution with the context's algorithm.
+  /// Returns the relative change between the old and new distributions,
+  /// or +infinity when repartitioning was not possible yet (some model
+  /// still has no successful point) so callers never mistake a skipped
+  /// repartition for convergence.
+  double updateAndRepartition(int Rank, Point P);
+
+  /// Feeds one point per process (index = rank), then repartitions once.
+  double updateAllAndRepartition(std::span<const Point> PerRank);
+
+private:
+  Partitioner Algorithm;
+  std::vector<std::unique_ptr<Model>> Models;
+  Dist Current;
+};
+
+/// One step of dynamic data partitioning, executed collectively on \p C.
+///
+/// Every rank benchmarks its backend at its current share (synchronised
+/// measurement), the points are exchanged, all ranks update all partial
+/// models identically and repartition. Returns true when the distribution
+/// changed by no more than \p Eps (relative to the total) — the paper's
+/// termination criterion.
+bool partitionIterate(DynamicContext &Ctx, Comm &C,
+                      BenchmarkBackend &Backend, const Precision &Prec,
+                      double Eps);
+
+/// Runs partitionIterate until convergence or \p MaxIterations; returns
+/// the number of iterations performed.
+int runDynamicPartitioning(DynamicContext &Ctx, Comm &C,
+                           BenchmarkBackend &Backend, const Precision &Prec,
+                           double Eps, int MaxIterations);
+
+/// One step of dynamic load balancing, executed collectively on \p C.
+///
+/// The calling rank contributes the duration of the application iteration
+/// that started at virtual time \p IterStartTime on its current share;
+/// every rank then updates the partial models and repartitions. Returns
+/// the relative change of the distribution.
+double balanceIterate(DynamicContext &Ctx, Comm &C, double IterStartTime);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_CORE_DYNAMIC_H

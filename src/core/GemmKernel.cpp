@@ -1,0 +1,78 @@
+//===-- core/GemmKernel.cpp - Matrix-multiplication kernel ----------------===//
+
+#include "core/GemmKernel.h"
+
+#include "blas/Gemm.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+using namespace fupermod;
+
+Kernel::~Kernel() = default;
+
+GemmKernel::GemmKernel(std::size_t BlockSize, bool UseBlockedGemm)
+    : B(BlockSize), UseBlockedGemm(UseBlockedGemm) {
+  assert(BlockSize > 0 && "block size must be positive");
+}
+
+double GemmKernel::complexity(double Units) const {
+  // One unit is one b x b block update: 2 * b^3 flops. A problem of d
+  // units performs 2 * (m*b) * (n*b) * b = 2 * d * b^3 flops.
+  double B3 = static_cast<double>(B) * static_cast<double>(B) *
+              static_cast<double>(B);
+  return 2.0 * Units * B3;
+}
+
+bool GemmKernel::initialize(std::int64_t Units) {
+  assert(Units > 0 && "problem size must be positive");
+  // Nearly-square block grid covering at least `Units` block updates
+  // (paper: m = floor(sqrt(d)), n = d / m).
+  M = static_cast<std::size_t>(
+      std::max<double>(1.0, std::floor(std::sqrt(
+                                static_cast<double>(Units)))));
+  N = static_cast<std::size_t>(Units) / M;
+  if (N == 0)
+    N = 1;
+
+  std::size_t MB = M * B;
+  std::size_t NB = N * B;
+  AStore.assign(MB * B, 0.0);
+  BStore.assign(B * NB, 0.0);
+  CStore.assign(MB * NB, 0.0);
+  APivot.assign(MB * B, 0.0);
+  BPivot.assign(B * NB, 0.0);
+  fillDeterministic(AStore, 0x41);
+  fillDeterministic(BStore, 0x42);
+  fillDeterministic(CStore, 0x43);
+  return true;
+}
+
+void GemmKernel::execute() {
+  assert(!CStore.empty() && "kernel not initialised");
+  std::size_t MB = M * B;
+  std::size_t NB = N * B;
+  // Replicate the local overhead of the application's pivot broadcast:
+  // copy the pivot column of Ai and pivot row of Bi into working buffers.
+  std::memcpy(APivot.data(), AStore.data(), MB * B * sizeof(double));
+  std::memcpy(BPivot.data(), BStore.data(), B * NB * sizeof(double));
+  // The block update Ci += A(b) * B(b).
+  if (UseBlockedGemm)
+    gemmBlocked(MB, NB, B, APivot, BPivot, CStore);
+  else
+    gemmNaive(MB, NB, B, APivot, BPivot, CStore);
+}
+
+void GemmKernel::finalize() {
+  AStore.clear();
+  BStore.clear();
+  CStore.clear();
+  APivot.clear();
+  BPivot.clear();
+  AStore.shrink_to_fit();
+  BStore.shrink_to_fit();
+  CStore.shrink_to_fit();
+  APivot.shrink_to_fit();
+  BPivot.shrink_to_fit();
+}

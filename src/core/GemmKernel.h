@@ -1,0 +1,65 @@
+//===-- core/GemmKernel.h - Matrix-multiplication kernel --------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's running example of a computation kernel (Section 4.1,
+/// Fig. 1(b)): one iteration of heterogeneous parallel matrix
+/// multiplication updates an m x n arrangement of b x b blocks of C with
+/// a pivot column of A and pivot row of B:
+///
+///     Ci (mb x nb) += A(b) (mb x b) * B(b) (b x nb)
+///
+/// One computation unit is one b x b block update; a problem of d units
+/// uses m = floor(sqrt(d)), n = d / m (nearly-square submatrix). The
+/// execute() call replicates the application's memory access pattern: it
+/// copies the pivot column/row out of the stored submatrices into working
+/// buffers (the local side of the MPI broadcast) and then calls GEMM once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_CORE_GEMMKERNEL_H
+#define FUPERMOD_CORE_GEMMKERNEL_H
+
+#include "core/Kernel.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace fupermod {
+
+/// GEMM-based computation kernel with configurable blocking factor.
+class GemmKernel : public Kernel {
+public:
+  /// \p BlockSize is the blocking factor b; \p UseBlockedGemm selects the
+  /// cache-tiled GEMM (optimised BLAS stand-in) over the naive one
+  /// (Netlib stand-in).
+  explicit GemmKernel(std::size_t BlockSize = 16, bool UseBlockedGemm = true);
+
+  double complexity(double Units) const override;
+  bool initialize(std::int64_t Units) override;
+  void execute() override;
+  void finalize() override;
+
+  /// Rows of the block grid chosen for the current size.
+  std::size_t rows() const { return M; }
+  /// Columns of the block grid chosen for the current size.
+  std::size_t cols() const { return N; }
+
+private:
+  std::size_t B;
+  bool UseBlockedGemm;
+  std::size_t M = 0;
+  std::size_t N = 0;
+  std::vector<double> AStore; // Submatrix Ai: (M*B) x (K columns = B).
+  std::vector<double> BStore; // Submatrix Bi: B x (N*B).
+  std::vector<double> CStore; // Submatrix Ci: (M*B) x (N*B).
+  std::vector<double> APivot; // Working buffer A(b).
+  std::vector<double> BPivot; // Working buffer B(b).
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_CORE_GEMMKERNEL_H

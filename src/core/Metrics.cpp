@@ -1,0 +1,83 @@
+//===-- core/Metrics.cpp - Partition quality metrics ----------------------===//
+
+#include "core/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fupermod;
+
+std::vector<double>
+fupermod::trueTimes(const Dist &D, std::span<const DeviceProfile> Profiles) {
+  assert(D.Parts.size() == Profiles.size() &&
+         "one profile per part expected");
+  std::vector<double> Times(D.Parts.size(), 0.0);
+  for (std::size_t I = 0; I < D.Parts.size(); ++I)
+    Times[I] = Profiles[I].time(static_cast<double>(D.Parts[I].Units));
+  return Times;
+}
+
+double fupermod::makespan(std::span<const double> Times) {
+  double Max = 0.0;
+  for (double T : Times)
+    Max = std::max(Max, T);
+  return Max;
+}
+
+double fupermod::imbalance(std::span<const double> Times) {
+  assert(!Times.empty() && "no times to compare");
+  double Max = Times[0], Min = Times[0];
+  for (double T : Times) {
+    Max = std::max(Max, T);
+    Min = std::min(Min, T);
+  }
+  if (Max <= 0.0)
+    return 0.0;
+  return (Max - Min) / Max;
+}
+
+double
+fupermod::optimalMakespan(std::int64_t Total,
+                          std::span<const DeviceProfile> Profiles) {
+  assert(!Profiles.empty() && Total > 0 && "invalid optimisation request");
+  double D = static_cast<double>(Total);
+
+  // Units a device can process within time T (monotone in T because work
+  // is divisible: the device may always process less than its peak).
+  // Found by bisection on x in [0, D] of the monotone-envelope condition
+  // time(x) <= T; profiles here are true time functions, which are
+  // monotone for all shipped profile shapes.
+  auto UnitsWithin = [&](const DeviceProfile &P, double T) {
+    if (P.time(D) <= T)
+      return D;
+    double Lo = 0.0, Hi = D;
+    for (int I = 0; I < 60; ++I) {
+      double Mid = 0.5 * (Lo + Hi);
+      if (P.time(Mid) <= T)
+        Lo = Mid;
+      else
+        Hi = Mid;
+    }
+    return Lo;
+  };
+  auto Capacity = [&](double T) {
+    double Sum = 0.0;
+    for (const DeviceProfile &P : Profiles)
+      Sum += UnitsWithin(P, T);
+    return Sum;
+  };
+
+  double Hi = Profiles[0].time(D);
+  for (const DeviceProfile &P : Profiles)
+    Hi = std::min(Hi, P.time(D));
+  // Hi = everything on the single best device: certainly enough capacity.
+  double Lo = 0.0;
+  for (int I = 0; I < 80; ++I) {
+    double Mid = 0.5 * (Lo + Hi);
+    if (Capacity(Mid) >= D)
+      Hi = Mid;
+    else
+      Lo = Mid;
+  }
+  return Hi;
+}

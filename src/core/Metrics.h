@@ -1,0 +1,45 @@
+//===-- core/Metrics.h - Partition quality metrics --------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quality metrics for distributions evaluated against the *ground truth*
+/// device profiles of the simulated platform (not against the models that
+/// produced the distribution). The benches report these to compare the
+/// partitioning algorithms the way the paper's evaluation does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_CORE_METRICS_H
+#define FUPERMOD_CORE_METRICS_H
+
+#include "core/Partition.h"
+#include "sim/DeviceProfile.h"
+
+#include <span>
+#include <vector>
+
+namespace fupermod {
+
+/// True (noise-free) computation time of each part on its device.
+std::vector<double> trueTimes(const Dist &D,
+                              std::span<const DeviceProfile> Profiles);
+
+/// Largest element of \p Times — the parallel completion time.
+double makespan(std::span<const double> Times);
+
+/// Load imbalance of \p Times: (max - min) / max, in [0, 1); 0 is a
+/// perfectly balanced distribution.
+double imbalance(std::span<const double> Times);
+
+/// Makespan of the best real-valued distribution, found by high-resolution
+/// bisection directly on the true profiles; the baseline against which
+/// algorithmic distributions are judged.
+double optimalMakespan(std::int64_t Total,
+                       std::span<const DeviceProfile> Profiles);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_CORE_METRICS_H

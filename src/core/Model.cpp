@@ -1,0 +1,262 @@
+//===-- core/Model.cpp - Computation performance models -------------------===//
+
+#include "core/Model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace fupermod;
+
+Model::~Model() = default;
+
+void Model::update(Point P) {
+  if (P.Reps <= 0 || !std::isfinite(P.Time)) {
+    // Failed measurement: the size exceeded what the device can execute
+    // (e.g. GPU memory without an out-of-core mode). Remember the
+    // tightest known limit so partitioners avoid the infeasible region.
+    if (P.Units > 0.0)
+      MinInfeasible = std::min(MinInfeasible, P.Units);
+    return;
+  }
+  assert(P.Units > 0.0 && P.Time > 0.0 && "invalid experimental point");
+  // A success at or above the recorded limit supersedes it (the failure
+  // may have been transient or an out-of-core mode became available).
+  if (P.Units >= MinInfeasible)
+    MinInfeasible =
+        std::nextafter(P.Units, std::numeric_limits<double>::infinity());
+
+  // Merge with an existing point at (numerically) the same size.
+  for (Point &Existing : Points) {
+    if (std::fabs(Existing.Units - P.Units) <=
+        1e-9 * std::max(1.0, P.Units)) {
+      double W1 = static_cast<double>(Existing.Reps);
+      double W2 = static_cast<double>(P.Reps);
+      Existing.Time = (Existing.Time * W1 + P.Time * W2) / (W1 + W2);
+      Existing.Reps += P.Reps;
+      Existing.ConfidenceInterval =
+          std::max(Existing.ConfidenceInterval, P.ConfidenceInterval);
+      refit();
+      return;
+    }
+  }
+
+  auto Pos = std::lower_bound(
+      Points.begin(), Points.end(), P.Units,
+      [](const Point &A, double Units) { return A.Units < Units; });
+  Points.insert(Pos, P);
+  refit();
+}
+
+double Model::timeAt(double X) const {
+  assert(fitted() && "model has no experimental points");
+  assert(X >= 0.0 && "negative problem size");
+  if (X == 0.0)
+    return 0.0;
+  double T = timeImpl(X);
+  // Guard against non-monotone interpolants dipping below zero at the
+  // fringes of the data.
+  return std::max(T, 1e-300);
+}
+
+double Model::speedAt(double X) const {
+  assert(X > 0.0 && "speed is defined for positive sizes");
+  return X / timeAt(X);
+}
+
+double Model::timeDerivative(double X) const {
+  double H = 1e-4 * std::max(1.0, std::fabs(X));
+  double Lo = std::max(X - H, 1e-12);
+  double Hi = X + H;
+  return (timeAt(Hi) - timeAt(Lo)) / (Hi - Lo);
+}
+
+double Model::sizeForTime(double T) const {
+  assert(fitted() && "model has no experimental points");
+  if (T <= 0.0)
+    return 0.0;
+  // Bracket a crossing of timeAt(x) = T by doubling, then bisect. timeAt
+  // is 0 at x = 0, so once timeAt(Hi) >= T a crossing exists in [0, Hi].
+  double Hi = std::max(1.0, Points.back().Units);
+  for (int I = 0; I < 200 && timeAt(Hi) < T; ++I)
+    Hi *= 2.0;
+  if (timeAt(Hi) < T)
+    return Hi; // Degenerate model (e.g. flat extrapolation); saturate.
+  double Lo = 0.0;
+  for (int I = 0; I < 100; ++I) {
+    double Mid = 0.5 * (Lo + Hi);
+    if (timeAt(Mid) < T)
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  return 0.5 * (Lo + Hi);
+}
+
+//===----------------------------------------------------------------------===//
+// ConstantModel
+//===----------------------------------------------------------------------===//
+
+void ConstantModel::refit() {
+  // Equal-weight mean of the observed speeds: with a single point (the
+  // usual CPM construction) this is exactly that point's speed.
+  double Sum = 0.0;
+  for (const Point &P : Points)
+    Sum += P.speed();
+  Speed = Sum / static_cast<double>(Points.size());
+  assert(Speed > 0.0 && "constant model needs positive speed");
+}
+
+double ConstantModel::timeImpl(double X) const { return X / Speed; }
+
+double ConstantModel::sizeForTime(double T) const {
+  return T <= 0.0 ? 0.0 : Speed * T;
+}
+
+//===----------------------------------------------------------------------===//
+// PiecewiseModel
+//===----------------------------------------------------------------------===//
+
+void PiecewiseModel::refit() {
+  // Coarsening (paper Fig. 2(a)): the geometric algorithm requires each
+  // line through the origin of the speed plane to cut the speed function
+  // at most once. In time coordinates that is exactly strict monotone
+  // growth of t(x), so lift any measured time below the running maximum
+  // up to it (plus a hair, to keep the inverse well defined).
+  std::size_t N = Points.size();
+  Xs.resize(N);
+  Ts.resize(N);
+  double Prev = 0.0;
+  for (std::size_t I = 0; I < N; ++I) {
+    Xs[I] = Points[I].Units;
+    double Floor = Prev + 1e-12 * std::max(1.0, Prev);
+    Ts[I] = std::max(Points[I].Time, Floor);
+    Prev = Ts[I];
+  }
+}
+
+double PiecewiseModel::timeImpl(double X) const {
+  // Left of the first knot the speed is held constant (line through the
+  // origin); right of the last knot likewise.
+  if (X <= Xs.front())
+    return Ts.front() * X / Xs.front();
+  if (X >= Xs.back())
+    return Ts.back() * X / Xs.back();
+  auto It = std::upper_bound(Xs.begin(), Xs.end(), X);
+  std::size_t I = static_cast<std::size_t>(It - Xs.begin()) - 1;
+  double Frac = (X - Xs[I]) / (Xs[I + 1] - Xs[I]);
+  return Ts[I] + Frac * (Ts[I + 1] - Ts[I]);
+}
+
+double PiecewiseModel::timeDerivative(double X) const {
+  if (X <= Xs.front())
+    return Ts.front() / Xs.front();
+  if (X >= Xs.back())
+    return Ts.back() / Xs.back();
+  auto It = std::upper_bound(Xs.begin(), Xs.end(), X);
+  std::size_t I = static_cast<std::size_t>(It - Xs.begin()) - 1;
+  return (Ts[I + 1] - Ts[I]) / (Xs[I + 1] - Xs[I]);
+}
+
+double PiecewiseModel::sizeForTime(double T) const {
+  assert(fitted() && "model has no experimental points");
+  if (T <= 0.0)
+    return 0.0;
+  // The coarsened time function is strictly increasing: invert exactly.
+  if (T <= Ts.front())
+    return Xs.front() * T / Ts.front();
+  if (T >= Ts.back())
+    return Xs.back() * T / Ts.back();
+  auto It = std::upper_bound(Ts.begin(), Ts.end(), T);
+  std::size_t I = static_cast<std::size_t>(It - Ts.begin()) - 1;
+  double Frac = (T - Ts[I]) / (Ts[I + 1] - Ts[I]);
+  return Xs[I] + Frac * (Xs[I + 1] - Xs[I]);
+}
+
+//===----------------------------------------------------------------------===//
+// LinearModel
+//===----------------------------------------------------------------------===//
+
+void LinearModel::refit() {
+  std::size_t N = Points.size();
+  if (N == 1) {
+    // One point cannot determine two parameters: assume no overhead.
+    Intercept = 0.0;
+    Slope = Points[0].Time / Points[0].Units;
+    return;
+  }
+  // Unweighted least squares for t = a + b*x.
+  double SumX = 0.0, SumT = 0.0, SumXX = 0.0, SumXT = 0.0;
+  for (const Point &P : Points) {
+    SumX += P.Units;
+    SumT += P.Time;
+    SumXX += P.Units * P.Units;
+    SumXT += P.Units * P.Time;
+  }
+  double Nd = static_cast<double>(N);
+  double Det = Nd * SumXX - SumX * SumX;
+  if (Det <= 0.0) {
+    Intercept = 0.0;
+    Slope = SumT / SumX;
+    return;
+  }
+  Slope = (Nd * SumXT - SumX * SumT) / Det;
+  Intercept = (SumT - Slope * SumX) / Nd;
+  if (Slope <= 0.0) {
+    // Degenerate fit (noise dominated): fall back to the line through
+    // the origin so the time function stays invertible.
+    Intercept = 0.0;
+    Slope = SumT / SumX;
+  }
+}
+
+double LinearModel::timeImpl(double X) const { return Intercept + Slope * X; }
+
+double LinearModel::timeDerivative(double X) const {
+  (void)X;
+  return Slope;
+}
+
+double LinearModel::sizeForTime(double T) const {
+  if (T <= Intercept)
+    return 0.0;
+  return (T - Intercept) / Slope;
+}
+
+//===----------------------------------------------------------------------===//
+// AkimaModel
+//===----------------------------------------------------------------------===//
+
+void AkimaModel::refit() {
+  // Fit the spline through the origin plus every experimental point; the
+  // time of zero work is zero, which anchors the left boundary.
+  std::vector<double> Xs(Points.size() + 1);
+  std::vector<double> Ts(Points.size() + 1);
+  Xs[0] = 0.0;
+  Ts[0] = 0.0;
+  for (std::size_t I = 0; I < Points.size(); ++I) {
+    Xs[I + 1] = Points[I].Units;
+    Ts[I + 1] = Points[I].Time;
+  }
+  Spline.fit(Xs, Ts, Extrapolation::Linear);
+}
+
+double AkimaModel::timeImpl(double X) const { return Spline.eval(X); }
+
+double AkimaModel::timeDerivative(double X) const {
+  assert(fitted() && "model has no experimental points");
+  return Spline.derivative(std::max(X, 0.0));
+}
+
+std::unique_ptr<Model> fupermod::makeModel(const std::string &Kind) {
+  if (Kind == "cpm")
+    return std::make_unique<ConstantModel>();
+  if (Kind == "piecewise")
+    return std::make_unique<PiecewiseModel>();
+  if (Kind == "akima")
+    return std::make_unique<AkimaModel>();
+  if (Kind == "linear")
+    return std::make_unique<LinearModel>();
+  assert(false && "unknown model kind");
+  return nullptr;
+}

@@ -1,0 +1,176 @@
+//===-- core/Model.h - Computation performance models -----------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computation performance models (the paper's `fupermod_model`,
+/// Section 4.2). A model accumulates experimental points and approximates
+/// the device's *time* function t(x); the speed function is derived as
+/// s(x) = x / t(x) (units/second; multiply by the kernel's complexity per
+/// unit to obtain FLOPS).
+///
+/// Implemented models:
+///  - ConstantModel (CPM): one constant speed; needs a single point.
+///  - PiecewiseModel (FPM): piecewise-linear time function, with the
+///    coarsening that enforces the shape restrictions the geometric
+///    partitioning algorithm requires (any line through the origin of the
+///    speed plane cuts the speed function at most once, equivalently the
+///    time function is strictly increasing) — Fig. 2(a).
+///  - AkimaModel (FPM): Akima-spline time function; smooth, C1, no shape
+///    restrictions — Fig. 2(b), input of the numerical partitioner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_CORE_MODEL_H
+#define FUPERMOD_CORE_MODEL_H
+
+#include "core/Point.h"
+#include "interp/AkimaSpline.h"
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fupermod {
+
+/// Base class of all computation performance models.
+class Model {
+public:
+  virtual ~Model();
+
+  /// Short model-kind name ("cpm", "piecewise", "akima").
+  virtual const char *kind() const = 0;
+
+  /// Adds an experimental point and refits the approximation. Points at
+  /// an already-known size are merged (repetition-weighted mean time).
+  /// Points from failed measurements (Reps == 0) carry no timing but
+  /// record that the size is infeasible on the device (e.g. exceeds GPU
+  /// memory, paper Section 4.1) — see feasibleLimit().
+  void update(Point P);
+
+  /// Smallest problem size known to be infeasible on this device;
+  /// +infinity when every measured size succeeded. Partitioning
+  /// algorithms never allocate a device this many units or more.
+  double feasibleLimit() const { return MinInfeasible; }
+
+  /// Predicted execution time at size \p X (X >= 0). Requires at least
+  /// one point.
+  double timeAt(double X) const;
+
+  /// Predicted speed (units/second) at size \p X > 0.
+  double speedAt(double X) const;
+
+  /// Derivative of the time function at \p X. The default is a central
+  /// finite difference; smooth models override it analytically.
+  virtual double timeDerivative(double X) const;
+
+  /// Inverse of the time function: a size whose predicted time is \p T.
+  /// For monotone models this is exact; for non-monotone models a
+  /// bracketed search returns one crossing. Used by the geometric
+  /// partitioner (intersection of the speed function with a line through
+  /// the origin at slope 1/T).
+  virtual double sizeForTime(double T) const;
+
+  /// Experimental points, sorted by size.
+  const std::vector<Point> &points() const { return Points; }
+
+  /// True once at least one point has been accepted.
+  bool fitted() const { return !Points.empty(); }
+
+protected:
+  /// Model-specific prediction; called with X > 0 and a fitted model.
+  virtual double timeImpl(double X) const = 0;
+
+  /// Model-specific refit after Points changed.
+  virtual void refit() = 0;
+
+  std::vector<Point> Points;
+
+private:
+  double MinInfeasible = std::numeric_limits<double>::infinity();
+};
+
+/// Constant performance model: speed does not depend on problem size.
+class ConstantModel : public Model {
+public:
+  const char *kind() const override { return "cpm"; }
+  double sizeForTime(double T) const override;
+
+protected:
+  double timeImpl(double X) const override;
+  void refit() override;
+
+private:
+  double Speed = 0.0;
+};
+
+/// Piecewise-linear functional model with monotone-time coarsening.
+class PiecewiseModel : public Model {
+public:
+  const char *kind() const override { return "piecewise"; }
+  double sizeForTime(double T) const override;
+  double timeDerivative(double X) const override;
+
+  /// The coarsened knots actually used by the approximation (sizes and
+  /// adjusted times); exposed for tests and the Fig. 2(a) bench.
+  const std::vector<double> &knotSizes() const { return Xs; }
+  const std::vector<double> &knotTimes() const { return Ts; }
+
+protected:
+  double timeImpl(double X) const override;
+  void refit() override;
+
+private:
+  std::vector<double> Xs;
+  std::vector<double> Ts;
+};
+
+/// Linear time model t(x) = a + b*x (least squares), the approach of the
+/// paper's ref [12] (Qilin): a fixed per-invocation overhead plus a
+/// constant marginal cost per unit. Exact for GPU-like devices (staging
+/// overhead + linear kernel time), wrong across cache cliffs — included
+/// both as a useful model for that device class and as the comparison
+/// point the paper discusses.
+class LinearModel : public Model {
+public:
+  const char *kind() const override { return "linear"; }
+  double sizeForTime(double T) const override;
+  double timeDerivative(double X) const override;
+
+  /// Fitted per-invocation overhead (seconds).
+  double intercept() const { return Intercept; }
+  /// Fitted marginal cost (seconds/unit).
+  double slope() const { return Slope; }
+
+protected:
+  double timeImpl(double X) const override;
+  void refit() override;
+
+private:
+  double Intercept = 0.0;
+  double Slope = 0.0;
+};
+
+/// Akima-spline functional model.
+class AkimaModel : public Model {
+public:
+  const char *kind() const override { return "akima"; }
+  double timeDerivative(double X) const override;
+
+protected:
+  double timeImpl(double X) const override;
+  void refit() override;
+
+private:
+  AkimaSpline Spline;
+};
+
+/// Factory by kind name; asserts on unknown kinds.
+std::unique_ptr<Model> makeModel(const std::string &Kind);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_CORE_MODEL_H

@@ -1,0 +1,139 @@
+//===-- core/ModelIO.cpp - Model persistence ------------------------------===//
+
+#include "core/ModelIO.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+using namespace fupermod;
+
+bool fupermod::writeModel(std::ostream &OS, const Model &M) {
+  OS << "# fupermod model\n";
+  OS << "kind " << M.kind() << '\n';
+  if (std::isfinite(M.feasibleLimit()))
+    OS << "limit " << M.feasibleLimit() << '\n';
+  OS << "points " << M.points().size() << '\n';
+  OS.precision(17);
+  for (const Point &P : M.points())
+    OS << P.Units << ' ' << P.Time << ' ' << P.Reps << ' '
+       << P.ConfidenceInterval << '\n';
+  return static_cast<bool>(OS);
+}
+
+std::unique_ptr<Model> fupermod::readModel(std::istream &IS) {
+  std::string Line;
+  std::string Kind;
+  std::size_t Count = 0;
+  bool HaveKind = false, HavePoints = false;
+  double Limit = std::numeric_limits<double>::infinity();
+
+  while (std::getline(IS, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream LS(Line);
+    std::string Key;
+    LS >> Key;
+    if (Key == "kind") {
+      LS >> Kind;
+      HaveKind = !Kind.empty();
+    } else if (Key == "limit") {
+      LS >> Limit;
+    } else if (Key == "points") {
+      LS >> Count;
+      HavePoints = true;
+      break;
+    } else {
+      return nullptr; // Unknown key.
+    }
+  }
+  if (!HaveKind || !HavePoints)
+    return nullptr;
+  if (Kind != "cpm" && Kind != "piecewise" && Kind != "akima" &&
+      Kind != "linear")
+    return nullptr;
+
+  std::unique_ptr<Model> M = makeModel(Kind);
+  for (std::size_t I = 0; I < Count; ++I) {
+    if (!std::getline(IS, Line))
+      return nullptr;
+    std::istringstream LS(Line);
+    Point P;
+    if (!(LS >> P.Units >> P.Time >> P.Reps >> P.ConfidenceInterval))
+      return nullptr;
+    if (P.Units <= 0.0 || P.Time <= 0.0 || P.Reps <= 0)
+      return nullptr;
+    M->update(P);
+  }
+  if (std::isfinite(Limit)) {
+    Point Fail;
+    Fail.Units = Limit;
+    Fail.Reps = 0;
+    Fail.Time = std::numeric_limits<double>::infinity();
+    M->update(Fail);
+  }
+  return M;
+}
+
+bool fupermod::saveModel(const std::string &Path, const Model &M) {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  return writeModel(OS, M);
+}
+
+std::unique_ptr<Model> fupermod::loadModel(const std::string &Path) {
+  std::ifstream IS(Path);
+  if (!IS)
+    return nullptr;
+  return readModel(IS);
+}
+
+bool fupermod::writeDist(std::ostream &OS, const Dist &D) {
+  OS << "# fupermod dist\n";
+  OS << "total " << D.Total << '\n';
+  OS << "parts " << D.Parts.size() << '\n';
+  OS.precision(17);
+  for (std::size_t I = 0; I < D.Parts.size(); ++I)
+    OS << I << ' ' << D.Parts[I].Units << ' ' << D.Parts[I].PredictedTime
+       << '\n';
+  return static_cast<bool>(OS);
+}
+
+bool fupermod::readDist(std::istream &IS, Dist &Out) {
+  std::string Line;
+  Out = Dist();
+  std::size_t Count = 0;
+  bool HaveTotal = false, HaveParts = false;
+  while (std::getline(IS, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream LS(Line);
+    std::string Key;
+    LS >> Key;
+    if (Key == "total") {
+      LS >> Out.Total;
+      HaveTotal = true;
+    } else if (Key == "parts") {
+      LS >> Count;
+      HaveParts = true;
+      break;
+    } else {
+      return false;
+    }
+  }
+  if (!HaveTotal || !HaveParts)
+    return false;
+  Out.Parts.resize(Count);
+  for (std::size_t I = 0; I < Count; ++I) {
+    if (!std::getline(IS, Line))
+      return false;
+    std::istringstream LS(Line);
+    std::size_t Rank;
+    Part P;
+    if (!(LS >> Rank >> P.Units >> P.PredictedTime) || Rank != I)
+      return false;
+    Out.Parts[I] = P;
+  }
+  return true;
+}

@@ -1,0 +1,58 @@
+//===-- core/ModelIO.h - Model persistence ----------------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text-format persistence for performance models and distributions. The
+/// original FuPerMod ships `builder` and `partitioner` command-line tools
+/// that communicate through model data files: the models are built once
+/// (expensively) and reused by many application runs (paper Section 4.3).
+/// The format is line-oriented and human-readable:
+///
+///   # fupermod model
+///   kind <cpm|piecewise|akima>
+///   points <N>
+///   <units> <time> <reps> <ci>
+///   ...
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_CORE_MODELIO_H
+#define FUPERMOD_CORE_MODELIO_H
+
+#include "core/Model.h"
+#include "core/Partition.h"
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+namespace fupermod {
+
+/// Writes \p M (kind and experimental points) to \p OS. Returns false on
+/// stream failure.
+bool writeModel(std::ostream &OS, const Model &M);
+
+/// Reads a model written by writeModel(). Returns null on malformed
+/// input.
+std::unique_ptr<Model> readModel(std::istream &IS);
+
+/// Writes \p M to \p Path (overwrites). Returns false on I/O failure.
+bool saveModel(const std::string &Path, const Model &M);
+
+/// Reads a model from \p Path. Returns null when the file is missing or
+/// malformed.
+std::unique_ptr<Model> loadModel(const std::string &Path);
+
+/// Writes a distribution as lines of "rank units predicted_time".
+bool writeDist(std::ostream &OS, const Dist &D);
+
+/// Reads a distribution written by writeDist(). Returns false on
+/// malformed input.
+bool readDist(std::istream &IS, Dist &Out);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_CORE_MODELIO_H

@@ -1,0 +1,140 @@
+//===-- core/Partition.cpp - Workload distribution ------------------------===//
+
+#include "core/Partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+using namespace fupermod;
+
+Dist Dist::even(std::int64_t Total, int NumProcs) {
+  assert(Total >= 0 && NumProcs > 0 && "invalid distribution request");
+  Dist D;
+  D.Total = Total;
+  D.Parts.resize(static_cast<std::size_t>(NumProcs));
+  std::int64_t Base = Total / NumProcs;
+  std::int64_t Rem = Total % NumProcs;
+  for (int I = 0; I < NumProcs; ++I)
+    D.Parts[static_cast<std::size_t>(I)].Units = Base + (I < Rem ? 1 : 0);
+  return D;
+}
+
+std::int64_t Dist::sum() const {
+  std::int64_t S = 0;
+  for (const Part &P : Parts)
+    S += P.Units;
+  return S;
+}
+
+double Dist::maxPredictedTime() const {
+  double Max = 0.0;
+  for (const Part &P : Parts)
+    Max = std::max(Max, P.PredictedTime);
+  return Max;
+}
+
+double Dist::relativeChange(const Dist &Other) const {
+  assert(Parts.size() == Other.Parts.size() && "mismatched distributions");
+  assert(Total > 0 && "relative change of an empty distribution");
+  double MaxChange = 0.0;
+  for (std::size_t I = 0; I < Parts.size(); ++I) {
+    double Delta = static_cast<double>(
+        std::llabs(Parts[I].Units - Other.Parts[I].Units));
+    MaxChange = std::max(MaxChange, Delta / static_cast<double>(Total));
+  }
+  return MaxChange;
+}
+
+std::int64_t fupermod::maxUnitsUnderCap(double Cap) {
+  if (!std::isfinite(Cap))
+    return std::numeric_limits<std::int64_t>::max();
+  double Limit = std::ceil(Cap) - 1.0;
+  if (Limit <= 0.0)
+    return 0;
+  if (Limit >= 9.2e18)
+    return std::numeric_limits<std::int64_t>::max();
+  return static_cast<std::int64_t>(Limit);
+}
+
+std::vector<std::int64_t>
+fupermod::roundSharesCapped(std::span<const double> Shares,
+                            std::int64_t Total,
+                            std::span<const double> Caps) {
+  assert(Shares.size() == Caps.size() && "one cap per share expected");
+  std::vector<std::int64_t> Units = roundShares(Shares, Total);
+
+  // Pull any excess above the caps into a pool...
+  std::int64_t Pool = 0;
+  for (std::size_t I = 0; I < Units.size(); ++I) {
+    std::int64_t Max = maxUnitsUnderCap(Caps[I]);
+    if (Units[I] > Max) {
+      Pool += Units[I] - Max;
+      Units[I] = Max;
+    }
+  }
+  // ...and redistribute it one unit at a time to the parts with the most
+  // remaining headroom (callers verify aggregate capacity beforehand).
+  while (Pool > 0) {
+    std::size_t Best = Units.size();
+    std::int64_t BestHeadroom = 0;
+    for (std::size_t I = 0; I < Units.size(); ++I) {
+      std::int64_t Headroom = maxUnitsUnderCap(Caps[I]) - Units[I];
+      if (Headroom > BestHeadroom) {
+        BestHeadroom = Headroom;
+        Best = I;
+      }
+    }
+    if (Best == Units.size())
+      break; // Saturated: not enough capacity for Total.
+    std::int64_t Move = std::min(Pool, (BestHeadroom + 1) / 2);
+    Move = std::max<std::int64_t>(Move, 1);
+    Units[Best] += Move;
+    Pool -= Move;
+  }
+  return Units;
+}
+
+std::vector<std::int64_t> fupermod::roundShares(std::span<const double> Shares,
+                                                std::int64_t Total) {
+  std::size_t N = Shares.size();
+  assert(N > 0 && "no shares to round");
+  std::vector<std::int64_t> Units(N, 0);
+  std::vector<double> Frac(N, 0.0);
+  std::int64_t Assigned = 0;
+  for (std::size_t I = 0; I < N; ++I) {
+    double S = std::max(Shares[I], 0.0);
+    Units[I] = static_cast<std::int64_t>(std::floor(S));
+    Frac[I] = S - std::floor(S);
+    Assigned += Units[I];
+  }
+
+  // Distribute the remainder to the largest fractional parts; if rounding
+  // overshot (shares summed above Total), trim from the smallest.
+  std::vector<std::size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::sort(Order.begin(), Order.end(), [&](std::size_t A, std::size_t B) {
+    if (Frac[A] != Frac[B])
+      return Frac[A] > Frac[B];
+    return A < B;
+  });
+  std::size_t Cursor = 0;
+  while (Assigned < Total) {
+    Units[Order[Cursor % N]] += 1;
+    ++Assigned;
+    ++Cursor;
+  }
+  Cursor = 0;
+  while (Assigned > Total) {
+    // Trim in reverse preference order, skipping empty parts.
+    std::size_t Idx = Order[N - 1 - (Cursor % N)];
+    if (Units[Idx] > 0) {
+      Units[Idx] -= 1;
+      --Assigned;
+    }
+    ++Cursor;
+  }
+  return Units;
+}

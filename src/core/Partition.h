@@ -1,0 +1,85 @@
+//===-- core/Partition.h - Workload distribution ----------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload-distribution types (the paper's `fupermod_dist` /
+/// `fupermod_part`) and the data partitioning interface shared by the
+/// static and dynamic algorithms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_CORE_PARTITION_H
+#define FUPERMOD_CORE_PARTITION_H
+
+#include "core/Model.h"
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace fupermod {
+
+/// Workload assigned to one process.
+struct Part {
+  /// Computation units given to the process.
+  std::int64_t Units = 0;
+  /// Predicted computation time of that workload.
+  double PredictedTime = 0.0;
+};
+
+/// A distribution of a total problem over processes.
+struct Dist {
+  /// Total problem size in computation units.
+  std::int64_t Total = 0;
+  /// Per-process workloads; Parts.size() is the number of processes.
+  std::vector<Part> Parts;
+
+  /// Even distribution of \p Total over \p NumProcs (remainder spread
+  /// over the first processes) — the usual starting distribution of the
+  /// dynamic algorithms.
+  static Dist even(std::int64_t Total, int NumProcs);
+
+  /// Sum of per-process units (equals Total for a valid distribution).
+  std::int64_t sum() const;
+
+  /// Largest predicted completion time over all parts.
+  double maxPredictedTime() const;
+
+  /// Largest relative change in per-process units against \p Other;
+  /// used as the termination test of dynamic partitioning.
+  double relativeChange(const Dist &Other) const;
+};
+
+/// A data partitioning algorithm: distributes \p Total units over the
+/// processes whose performance models are given, writing the result into
+/// \p Out. Returns false when no valid distribution could be produced
+/// (e.g. a model is unfitted). All models must have at least one point.
+using Partitioner = std::function<bool(
+    std::int64_t Total, std::span<Model *const> Models, Dist &Out)>;
+
+/// Rounds non-negative real shares summing to about \p Total to integers
+/// summing to exactly \p Total (largest-remainder method). Exposed for
+/// tests.
+std::vector<std::int64_t> roundShares(std::span<const double> Shares,
+                                      std::int64_t Total);
+
+/// Like roundShares(), but no result exceeds its (strict) cap: part i
+/// receives at most ceil(Caps[i]) - 1 units (a cap is the smallest
+/// *infeasible* size). Requires enough aggregate capacity; the remainder
+/// is redistributed to parts with headroom.
+std::vector<std::int64_t> roundSharesCapped(std::span<const double> Shares,
+                                            std::int64_t Total,
+                                            std::span<const double> Caps);
+
+/// Largest number of units part i may receive under the strict cap
+/// \p Cap (the smallest size known infeasible): ceil(Cap) - 1, saturated
+/// for infinite caps.
+std::int64_t maxUnitsUnderCap(double Cap);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_CORE_PARTITION_H

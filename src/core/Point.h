@@ -1,0 +1,38 @@
+//===-- core/Point.h - Measurement result -----------------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of benchmarking a computation kernel at one problem size
+/// (the paper's `fupermod_point`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_CORE_POINT_H
+#define FUPERMOD_CORE_POINT_H
+
+namespace fupermod {
+
+/// One experimental point of a computation performance model.
+///
+/// Trivially copyable so points can be exchanged through the
+/// message-passing runtime directly.
+struct Point {
+  /// Problem size in computation units.
+  double Units = 0.0;
+  /// Measured (mean) execution time in seconds.
+  double Time = 0.0;
+  /// Number of repetitions the measurement actually took.
+  int Reps = 0;
+  /// Half-width of the confidence interval around Time.
+  double ConfidenceInterval = 0.0;
+
+  /// Measured speed in units per second.
+  double speed() const { return Time > 0.0 ? Units / Time : 0.0; }
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_CORE_POINT_H

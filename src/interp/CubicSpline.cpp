@@ -1,0 +1,109 @@
+//===-- interp/CubicSpline.cpp - Natural cubic spline ---------------------===//
+
+#include "interp/CubicSpline.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fupermod;
+
+CubicSpline::CubicSpline(std::span<const double> Xs,
+                         std::span<const double> Ys, Extrapolation Policy) {
+  fit(Xs, Ys, Policy);
+}
+
+void CubicSpline::fit(std::span<const double> InXs,
+                      std::span<const double> InYs, Extrapolation InPolicy) {
+  assert(InXs.size() == InYs.size() && "mismatched sample lengths");
+  assert(!InXs.empty() && "cannot fit an empty sample");
+  assert(isStrictlyIncreasing(InXs) && "abscissae must strictly increase");
+  Xs.assign(InXs.begin(), InXs.end());
+  Ys.assign(InYs.begin(), InYs.end());
+  Policy = InPolicy;
+
+  std::size_t N = Xs.size();
+  M2.assign(N, 0.0);
+  if (N < 3)
+    return; // One or two knots: constant/straight line, M2 = 0.
+
+  // Solve the tridiagonal system for the interior second derivatives
+  // (Thomas algorithm); natural boundary: M2[0] = M2[N-1] = 0.
+  std::vector<double> Diag(N, 2.0);
+  std::vector<double> Rhs(N, 0.0);
+  std::vector<double> H(N - 1);
+  for (std::size_t I = 0; I + 1 < N; ++I)
+    H[I] = Xs[I + 1] - Xs[I];
+  for (std::size_t I = 1; I + 1 < N; ++I) {
+    double SlopeRight = (Ys[I + 1] - Ys[I]) / H[I];
+    double SlopeLeft = (Ys[I] - Ys[I - 1]) / H[I - 1];
+    Rhs[I] = 6.0 * (SlopeRight - SlopeLeft) / (H[I - 1] + H[I]);
+  }
+  // Off-diagonals: mu (lower) and lambda (upper), normalised form.
+  std::vector<double> Lower(N, 0.0), Upper(N, 0.0);
+  for (std::size_t I = 1; I + 1 < N; ++I) {
+    Lower[I] = H[I - 1] / (H[I - 1] + H[I]);
+    Upper[I] = H[I] / (H[I - 1] + H[I]);
+  }
+  // Forward sweep on interior rows 1..N-2.
+  for (std::size_t I = 2; I + 1 < N; ++I) {
+    double Factor = Lower[I] / Diag[I - 1];
+    Diag[I] -= Factor * Upper[I - 1];
+    Rhs[I] -= Factor * Rhs[I - 1];
+  }
+  for (std::size_t I = N - 2; I >= 1; --I) {
+    double Next = I + 1 < N - 1 ? M2[I + 1] : 0.0;
+    M2[I] = (Rhs[I] - Upper[I] * Next) / Diag[I];
+    if (I == 1)
+      break;
+  }
+}
+
+std::size_t CubicSpline::segmentIndex(double X) const {
+  assert(Xs.size() >= 2 && "segment lookup needs two knots");
+  if (X <= Xs.front())
+    return 0;
+  if (X >= Xs[Xs.size() - 2])
+    return Xs.size() - 2;
+  auto It = std::upper_bound(Xs.begin(), Xs.end(), X);
+  return static_cast<std::size_t>(It - Xs.begin()) - 1;
+}
+
+double CubicSpline::eval(double X) const {
+  assert(!Xs.empty() && "interpolator not fitted");
+  if (Xs.size() == 1)
+    return Ys.front();
+  if (X < Xs.front()) {
+    if (Policy == Extrapolation::Clamp)
+      return Ys.front();
+    return Ys.front() + derivative(Xs.front()) * (X - Xs.front());
+  }
+  if (X > Xs.back()) {
+    if (Policy == Extrapolation::Clamp)
+      return Ys.back();
+    return Ys.back() + derivative(Xs.back()) * (X - Xs.back());
+  }
+  std::size_t I = segmentIndex(X);
+  double H = Xs[I + 1] - Xs[I];
+  double A = (Xs[I + 1] - X) / H;
+  double B = (X - Xs[I]) / H;
+  return A * Ys[I] + B * Ys[I + 1] +
+         ((A * A * A - A) * M2[I] + (B * B * B - B) * M2[I + 1]) * H * H /
+             6.0;
+}
+
+double CubicSpline::derivative(double X) const {
+  assert(!Xs.empty() && "interpolator not fitted");
+  if (Xs.size() == 1)
+    return 0.0;
+  if (X < Xs.front())
+    return Policy == Extrapolation::Clamp ? 0.0 : derivative(Xs.front());
+  if (X > Xs.back())
+    return Policy == Extrapolation::Clamp ? 0.0 : derivative(Xs.back());
+  std::size_t I = segmentIndex(X);
+  double H = Xs[I + 1] - Xs[I];
+  double A = (Xs[I + 1] - X) / H;
+  double B = (X - Xs[I]) / H;
+  return (Ys[I + 1] - Ys[I]) / H -
+         (3.0 * A * A - 1.0) * H * M2[I] / 6.0 +
+         (3.0 * B * B - 1.0) * H * M2[I + 1] / 6.0;
+}

@@ -1,0 +1,52 @@
+//===-- interp/CubicSpline.h - Natural cubic spline -------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural cubic spline interpolation. Not used by the performance models
+/// themselves — the framework follows the paper (ref [15]) in choosing
+/// Akima splines because cubic splines oscillate around outliers in
+/// empirical performance data — but provided as the comparison baseline
+/// for the `ablation_interp` bench and as a general substrate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_INTERP_CUBICSPLINE_H
+#define FUPERMOD_INTERP_CUBICSPLINE_H
+
+#include "interp/Interpolator.h"
+
+namespace fupermod {
+
+/// C2 natural cubic spline (zero second derivative at both ends).
+class CubicSpline : public Interpolator {
+public:
+  CubicSpline() = default;
+
+  /// Convenience constructor that fits immediately.
+  CubicSpline(std::span<const double> Xs, std::span<const double> Ys,
+              Extrapolation Policy = Extrapolation::Linear);
+
+  void fit(std::span<const double> Xs, std::span<const double> Ys,
+           Extrapolation Policy) override;
+  double eval(double X) const override;
+  double derivative(double X) const override;
+  std::size_t size() const override { return Xs.size(); }
+
+  /// Second derivatives at the knots (zero at both ends by construction).
+  const std::vector<double> &secondDerivatives() const { return M2; }
+
+private:
+  std::size_t segmentIndex(double X) const;
+
+  std::vector<double> Xs;
+  std::vector<double> Ys;
+  std::vector<double> M2; // Second derivative at each knot.
+  Extrapolation Policy = Extrapolation::Linear;
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_INTERP_CUBICSPLINE_H

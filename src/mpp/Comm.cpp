@@ -1,0 +1,125 @@
+//===-- mpp/Comm.cpp - SPMD communicator ----------------------------------===//
+
+#include "mpp/Comm.h"
+
+#include "mpp/Group.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fupermod;
+
+Comm::Comm(std::shared_ptr<Group> G, int Rank, VirtualClock *Clock)
+    : G(std::move(G)), Rank(Rank), Clock(Clock) {
+  assert(this->G && "null group");
+  assert(Clock && "null clock");
+  assert(Rank >= 0 && Rank < this->G->size() && "rank out of range");
+}
+
+int Comm::size() const { return G->size(); }
+
+int Comm::globalRank() const { return G->globalRankOf(Rank); }
+
+void Comm::sendBytes(int Dst, int Tag, std::span<const std::byte> Data) {
+  assert(Dst >= 0 && Dst < size() && "destination out of range");
+  LinkCost Cost = G->costModel().link(globalRank(), G->globalRankOf(Dst));
+  double Start = Clock->now();
+  Message Msg;
+  Msg.Tag = Tag;
+  Msg.ArrivalTime = Start + Cost.transferTime(Data.size());
+  Msg.Data.assign(Data.begin(), Data.end());
+  // The sender is busy for the injection overhead only; the full transfer
+  // time is charged to the message arrival (receiver side).
+  Clock->advance(Cost.Latency);
+  G->mailbox(Rank, Dst).push(std::move(Msg));
+}
+
+std::vector<std::byte> Comm::recvBytes(int Src, int Tag) {
+  assert(Src >= 0 && Src < size() && "source out of range");
+  Message Msg = G->mailbox(Src, Rank).popMatching(Tag);
+  Clock->advanceTo(Msg.ArrivalTime);
+  return std::move(Msg.Data);
+}
+
+void Comm::barrier() {
+  double Release = G->enterBarrier(Clock->now());
+  Clock->advanceTo(Release);
+}
+
+void Comm::bcastBytes(std::vector<std::byte> &Data, int Root) {
+  assert(Root >= 0 && Root < size() && "root out of range");
+  int P = size();
+  if (P == 1)
+    return;
+  int RelRank = (Rank - Root + P) % P;
+
+  // Binomial tree: receive from the parent, then forward to children.
+  unsigned Mask = 1;
+  while (static_cast<int>(Mask) < P) {
+    if (RelRank & static_cast<int>(Mask)) {
+      int Parent = (RelRank - static_cast<int>(Mask) + Root) % P;
+      Data = recvBytes(Parent, TagBcast);
+      break;
+    }
+    Mask <<= 1;
+  }
+  Mask >>= 1;
+  while (Mask > 0) {
+    int Child = RelRank + static_cast<int>(Mask);
+    if (Child < P)
+      sendBytes((Child + Root) % P, TagBcast, Data);
+    Mask >>= 1;
+  }
+}
+
+std::vector<double> Comm::allreduce(std::span<const double> Local,
+                                    ReduceOp Op) {
+  // Gather all contributions at rank 0, reduce, broadcast the result. The
+  // vectors involved are tiny (per-rank scalars), so the linear gather is
+  // fine.
+  std::vector<double> All = gatherv(Local, /*Root=*/0);
+  std::vector<double> Result(Local.size(), 0.0);
+  if (rank() == 0) {
+    assert(All.size() == Local.size() * static_cast<std::size_t>(size()) &&
+           "allreduce contributions must have equal length");
+    for (std::size_t I = 0; I < Local.size(); ++I) {
+      double Acc = All[I];
+      for (int R = 1; R < size(); ++R) {
+        double V = All[static_cast<std::size_t>(R) * Local.size() + I];
+        switch (Op) {
+        case ReduceOp::Sum:
+          Acc += V;
+          break;
+        case ReduceOp::Max:
+          Acc = std::max(Acc, V);
+          break;
+        case ReduceOp::Min:
+          Acc = std::min(Acc, V);
+          break;
+        }
+      }
+      Result[I] = Acc;
+    }
+  }
+  bcast(Result, /*Root=*/0);
+  return Result;
+}
+
+double Comm::allreduceValue(double Value, ReduceOp Op) {
+  std::vector<double> R = allreduce(std::span<const double>(&Value, 1), Op);
+  return R.front();
+}
+
+Comm Comm::split(int Color, int Key) {
+  Group::SplitEntry Entry;
+  Entry.Color = Color;
+  Entry.Key = Key;
+  Entry.ParentRank = Rank;
+  std::shared_ptr<Group> Sub = G->split(Entry);
+  // Find our rank inside the new group by matching the parent rank.
+  int NewRank = Sub->rankOfParent(Rank);
+  // A split is also a synchronisation point among the members of the new
+  // group in real MPI; we keep clocks independent (no time cost) because
+  // MPI_Comm_split cost is not part of any modelled experiment.
+  return Comm(std::move(Sub), NewRank, Clock);
+}

@@ -1,0 +1,250 @@
+//===-- mpp/Comm.h - SPMD communicator --------------------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An MPI-like communicator for the in-process SPMD runtime. Ranks run as
+/// threads; messages carry virtual arrival times computed from a
+/// CostModel, so communication cost is part of the simulation. This is the
+/// substrate standing in for MPI in the paper's data-parallel applications.
+///
+/// Supported operations: blocking send/recv (FIFO matching per source and
+/// tag), barrier, broadcast (binomial tree), gatherv/scatterv (linear),
+/// allgatherv, allreduce, and communicator splitting (the paper's
+/// `comm_sync` used to synchronise co-located benchmark processes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_MPP_COMM_H
+#define FUPERMOD_MPP_COMM_H
+
+#include "mpp/CostModel.h"
+#include "mpp/VirtualClock.h"
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace fupermod {
+
+class Group;
+
+/// Combining operation for allreduce.
+enum class ReduceOp { Sum, Max, Min };
+
+/// Per-rank handle to a communication group.
+///
+/// A Comm is cheap to copy; all state lives in the shared Group and in the
+/// rank's VirtualClock. All collective operations must be entered by every
+/// rank of the group in the same order (standard SPMD contract).
+class Comm {
+public:
+  Comm(std::shared_ptr<Group> G, int Rank, VirtualClock *Clock);
+
+  /// Rank of the calling thread within this communicator.
+  int rank() const { return Rank; }
+
+  /// Number of ranks in this communicator.
+  int size() const;
+
+  /// Rank within the top-level (world) communicator.
+  int globalRank() const;
+
+  /// The calling rank's virtual clock.
+  VirtualClock &clock() { return *Clock; }
+
+  /// Current virtual time of the calling rank.
+  double time() const { return Clock->now(); }
+
+  /// Advances the calling rank's clock by \p Seconds of computation.
+  void compute(double Seconds) { Clock->advance(Seconds); }
+
+  /// Sends \p Data to \p Dst with the given tag. Never blocks (buffered);
+  /// charges the link latency to the sender and the full transfer time to
+  /// the message's arrival.
+  void sendBytes(int Dst, int Tag, std::span<const std::byte> Data);
+
+  /// Receives the oldest pending message from \p Src with tag \p Tag,
+  /// blocking until one arrives. The caller's clock advances to the
+  /// message arrival time.
+  std::vector<std::byte> recvBytes(int Src, int Tag);
+
+  /// Synchronises all ranks: every clock advances to the group maximum
+  /// (plus the cost model's barrier cost).
+  void barrier();
+
+  /// Broadcasts root's \p Data to all ranks over a binomial tree.
+  void bcastBytes(std::vector<std::byte> &Data, int Root);
+
+  /// Splits the communicator: ranks with equal \p Color form a new group,
+  /// ordered by (\p Key, parent rank). Must be called by every rank.
+  Comm split(int Color, int Key);
+
+  // --- Typed convenience wrappers (trivially copyable element types) ---
+
+  template <typename T> void send(int Dst, int Tag, std::span<const T> Data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    sendBytes(Dst, Tag, std::as_bytes(Data));
+  }
+
+  template <typename T> void sendValue(int Dst, int Tag, const T &Value) {
+    send(Dst, Tag, std::span<const T>(&Value, 1));
+  }
+
+  template <typename T> std::vector<T> recv(int Src, int Tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> Raw = recvBytes(Src, Tag);
+    std::vector<T> Out(Raw.size() / sizeof(T));
+    std::memcpy(Out.data(), Raw.data(), Out.size() * sizeof(T));
+    return Out;
+  }
+
+  template <typename T> T recvValue(int Src, int Tag) {
+    std::vector<T> V = recv<T>(Src, Tag);
+    return V.front();
+  }
+
+  template <typename T> void bcast(std::vector<T> &Data, int Root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> Raw(Data.size() * sizeof(T));
+    std::memcpy(Raw.data(), Data.data(), Raw.size());
+    bcastBytes(Raw, Root);
+    Data.resize(Raw.size() / sizeof(T));
+    std::memcpy(Data.data(), Raw.data(), Raw.size());
+  }
+
+  template <typename T> void bcastValue(T &Value, int Root) {
+    std::vector<T> V = {Value};
+    bcast(V, Root);
+    Value = V.front();
+  }
+
+  /// Gathers variable-length contributions at \p Root; the result on the
+  /// root is the concatenation in rank order, other ranks get an empty
+  /// vector.
+  template <typename T>
+  std::vector<T> gatherv(std::span<const T> Local, int Root) {
+    static const int CountTag = TagGathervCount;
+    static const int DataTag = TagGathervData;
+    if (rank() != Root) {
+      sendValue<std::size_t>(Root, CountTag, Local.size());
+      send(Root, DataTag, Local);
+      return {};
+    }
+    std::vector<T> All;
+    for (int Src = 0; Src < size(); ++Src) {
+      if (Src == rank()) {
+        All.insert(All.end(), Local.begin(), Local.end());
+        continue;
+      }
+      std::size_t Count = recvValue<std::size_t>(Src, CountTag);
+      std::vector<T> Part = recv<T>(Src, DataTag);
+      (void)Count;
+      All.insert(All.end(), Part.begin(), Part.end());
+    }
+    return All;
+  }
+
+  /// Scatters \p All (significant on the root only) so that rank i
+  /// receives \p Counts[i] elements; returns the local chunk.
+  template <typename T>
+  std::vector<T> scatterv(std::span<const T> All, std::span<const int> Counts,
+                          int Root) {
+    static const int DataTag = TagScattervData;
+    if (rank() == Root) {
+      std::size_t Offset = 0;
+      std::vector<T> Mine;
+      for (int Dst = 0; Dst < size(); ++Dst) {
+        std::size_t Count = static_cast<std::size_t>(Counts[Dst]);
+        std::span<const T> Chunk = All.subspan(Offset, Count);
+        if (Dst == rank())
+          Mine.assign(Chunk.begin(), Chunk.end());
+        else
+          send(Dst, DataTag, Chunk);
+        Offset += Count;
+      }
+      return Mine;
+    }
+    return recv<T>(Root, DataTag);
+  }
+
+  /// All ranks obtain the concatenation (in rank order) of every rank's
+  /// contribution. Gather-to-root + broadcast; latency-optimal for small
+  /// payloads.
+  template <typename T> std::vector<T> allgatherv(std::span<const T> Local) {
+    std::vector<T> All = gatherv(Local, /*Root=*/0);
+    bcast(All, /*Root=*/0);
+    return All;
+  }
+
+  /// Ring algorithm for allgatherv: P-1 steps, each rank forwarding the
+  /// chunk it just received to its right neighbour. Each chunk crosses
+  /// every link exactly once, so for large payloads the completion time
+  /// approaches one full-payload transfer instead of the broadcast
+  /// tree's log(P) transfers. Result identical to allgatherv().
+  template <typename T>
+  std::vector<T> allgathervRing(std::span<const T> Local) {
+    int P = size();
+    if (P == 1)
+      return std::vector<T>(Local.begin(), Local.end());
+    int Right = (rank() + 1) % P;
+    int Left = (rank() + P - 1) % P;
+
+    std::vector<std::vector<T>> Chunks(static_cast<std::size_t>(P));
+    Chunks[static_cast<std::size_t>(rank())]
+        .assign(Local.begin(), Local.end());
+    int Forward = rank();
+    for (int Step = 0; Step + 1 < P; ++Step) {
+      send(Right, TagRing,
+           std::span<const T>(Chunks[static_cast<std::size_t>(Forward)]));
+      int Incoming = (rank() - 1 - Step + 2 * P) % P;
+      Chunks[static_cast<std::size_t>(Incoming)] = recv<T>(Left, TagRing);
+      Forward = Incoming;
+    }
+
+    std::vector<T> All;
+    for (const auto &Chunk : Chunks)
+      All.insert(All.end(), Chunk.begin(), Chunk.end());
+    return All;
+  }
+
+  /// Combined send-to-\p Dst / receive-from-\p Src (buffered sends make
+  /// the pairing deadlock-free regardless of ordering).
+  template <typename T>
+  std::vector<T> sendrecv(int Dst, int SendTag, std::span<const T> Data,
+                          int Src, int RecvTag) {
+    send(Dst, SendTag, Data);
+    return recv<T>(Src, RecvTag);
+  }
+
+  /// Elementwise reduction of equal-length vectors across all ranks; every
+  /// rank receives the result.
+  std::vector<double> allreduce(std::span<const double> Local, ReduceOp Op);
+
+  /// Scalar form of allreduce().
+  double allreduceValue(double Value, ReduceOp Op);
+
+private:
+  // Reserved internal tags, outside the range user code should use.
+  enum : int {
+    TagGathervCount = 1 << 28,
+    TagGathervData,
+    TagScattervData,
+    TagBcast,
+    TagSplit,
+    TagRing,
+  };
+
+  std::shared_ptr<Group> G;
+  int Rank;
+  VirtualClock *Clock;
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_MPP_COMM_H

@@ -1,0 +1,43 @@
+//===-- mpp/CostModel.cpp - Communication cost models ---------------------===//
+
+#include "mpp/CostModel.h"
+
+#include <cassert>
+
+using namespace fupermod;
+
+CostModel::~CostModel() = default;
+
+double CostModel::barrierCost(int NumRanks) const {
+  (void)NumRanks;
+  return 0.0;
+}
+
+UniformCostModel::UniformCostModel(double Latency, double BytesPerSecond) {
+  assert(Latency >= 0.0 && BytesPerSecond > 0.0 && "invalid link parameters");
+  Cost.Latency = Latency;
+  Cost.BytePeriod = 1.0 / BytesPerSecond;
+}
+
+LinkCost UniformCostModel::link(int FromGlobalRank, int ToGlobalRank) const {
+  if (FromGlobalRank == ToGlobalRank)
+    return LinkCost(); // Self-sends are local copies; model them as free.
+  return Cost;
+}
+
+TwoLevelCostModel::TwoLevelCostModel(std::vector<int> NodeOfRank,
+                                     LinkCost Intra, LinkCost Inter)
+    : NodeOfRank(std::move(NodeOfRank)), Intra(Intra), Inter(Inter) {}
+
+int TwoLevelCostModel::nodeOf(int GlobalRank) const {
+  assert(GlobalRank >= 0 &&
+         static_cast<std::size_t>(GlobalRank) < NodeOfRank.size() &&
+         "rank out of range");
+  return NodeOfRank[GlobalRank];
+}
+
+LinkCost TwoLevelCostModel::link(int FromGlobalRank, int ToGlobalRank) const {
+  if (FromGlobalRank == ToGlobalRank)
+    return LinkCost();
+  return nodeOf(FromGlobalRank) == nodeOf(ToGlobalRank) ? Intra : Inter;
+}

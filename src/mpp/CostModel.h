@@ -1,0 +1,87 @@
+//===-- mpp/CostModel.h - Communication cost models -------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hockney-style communication cost: a message of S bytes from rank i to
+/// rank j costs Latency(i,j) + S * BytePeriod(i,j). A two-level model
+/// distinguishes intra-node (shared memory) from inter-node (network)
+/// links, matching the hierarchy of the paper's target platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_MPP_COSTMODEL_H
+#define FUPERMOD_MPP_COSTMODEL_H
+
+#include <cstddef>
+#include <vector>
+
+namespace fupermod {
+
+/// Cost parameters of one directed link.
+struct LinkCost {
+  /// Fixed per-message cost in seconds.
+  double Latency = 0.0;
+  /// Seconds per transferred byte (inverse bandwidth).
+  double BytePeriod = 0.0;
+
+  /// Transfer time of \p Bytes over this link.
+  double transferTime(std::size_t Bytes) const {
+    return Latency + static_cast<double>(Bytes) * BytePeriod;
+  }
+};
+
+/// Interface mapping a (source, destination) global-rank pair to a link.
+class CostModel {
+public:
+  virtual ~CostModel();
+
+  /// Link cost between two global ranks. Self-sends are allowed and should
+  /// be cheap but may be non-zero (local copy).
+  virtual LinkCost link(int FromGlobalRank, int ToGlobalRank) const = 0;
+
+  /// Extra synchronisation cost charged by a barrier. Defaults to zero.
+  virtual double barrierCost(int NumRanks) const;
+};
+
+/// Zero-cost model: communication is free (useful for pure-correctness
+/// tests of the collectives).
+class FreeCostModel : public CostModel {
+public:
+  LinkCost link(int, int) const override { return LinkCost(); }
+};
+
+/// Same latency/bandwidth between every pair of ranks.
+class UniformCostModel : public CostModel {
+public:
+  UniformCostModel(double Latency, double BytesPerSecond);
+  LinkCost link(int FromGlobalRank, int ToGlobalRank) const override;
+
+private:
+  LinkCost Cost;
+};
+
+/// Intra-node vs inter-node link costs, given a rank -> node mapping.
+class TwoLevelCostModel : public CostModel {
+public:
+  /// \p NodeOfRank maps each global rank to a node id; ranks on the same
+  /// node use \p Intra, others \p Inter.
+  TwoLevelCostModel(std::vector<int> NodeOfRank, LinkCost Intra,
+                    LinkCost Inter);
+
+  LinkCost link(int FromGlobalRank, int ToGlobalRank) const override;
+
+  /// Node id of a global rank.
+  int nodeOf(int GlobalRank) const;
+
+private:
+  std::vector<int> NodeOfRank;
+  LinkCost Intra;
+  LinkCost Inter;
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_MPP_COSTMODEL_H

@@ -1,0 +1,119 @@
+//===-- mpp/Group.cpp - Shared communicator state -------------------------===//
+
+#include "mpp/Group.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fupermod;
+
+void Mailbox::push(Message Msg) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Msg));
+  }
+  Ready.notify_all();
+}
+
+Message Mailbox::popMatching(int Tag) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  auto Match = Queue.end();
+  Ready.wait(Lock, [&] {
+    Match = std::find_if(Queue.begin(), Queue.end(),
+                         [Tag](const Message &M) { return M.Tag == Tag; });
+    return Match != Queue.end();
+  });
+  Message Msg = std::move(*Match);
+  Queue.erase(Match);
+  return Msg;
+}
+
+Group::Group(std::shared_ptr<const CostModel> Cost,
+             std::vector<int> GlobalRanks, std::vector<int> ParentRanks)
+    : Cost(std::move(Cost)), GlobalRanks(std::move(GlobalRanks)),
+      ParentRanks(std::move(ParentRanks)) {
+  assert(this->Cost && "null cost model");
+  assert(!this->GlobalRanks.empty() && "empty group");
+  assert(this->GlobalRanks.size() == this->ParentRanks.size() &&
+         "rank mapping size mismatch");
+  std::size_t N = this->GlobalRanks.size();
+  Mailboxes.resize(N * N);
+  for (auto &Box : Mailboxes)
+    Box = std::make_unique<Mailbox>();
+}
+
+Mailbox &Group::mailbox(int Src, int Dst) {
+  assert(Src >= 0 && Src < size() && Dst >= 0 && Dst < size() &&
+         "rank out of range");
+  return *Mailboxes[static_cast<std::size_t>(Src) * GlobalRanks.size() +
+                    static_cast<std::size_t>(Dst)];
+}
+
+double Group::enterBarrier(double LocalTime) {
+  std::unique_lock<std::mutex> Lock(BarrierMutex);
+  std::uint64_t Gen = BarrierGeneration;
+  BarrierMaxTime = std::max(BarrierMaxTime, LocalTime);
+  if (++BarrierCount == size()) {
+    BarrierRelease = BarrierMaxTime + Cost->barrierCost(size());
+    BarrierCount = 0;
+    BarrierMaxTime = 0.0;
+    ++BarrierGeneration;
+    BarrierCv.notify_all();
+    return BarrierRelease;
+  }
+  BarrierCv.wait(Lock, [&] { return BarrierGeneration != Gen; });
+  return BarrierRelease;
+}
+
+std::shared_ptr<Group> Group::split(const SplitEntry &Entry) {
+  std::unique_lock<std::mutex> Lock(SplitMutex);
+  std::uint64_t Gen = SplitGeneration;
+  SplitEntries.push_back(Entry);
+  if (static_cast<int>(SplitEntries.size()) == size()) {
+    // Last rank in: build one subgroup per color, ordered by (key, parent
+    // rank), then release the waiters. Entries are cleared immediately so
+    // an early re-split by a released rank accumulates into the next
+    // generation; SplitResult stays valid until the *next* build, which
+    // cannot start before every rank has read this one.
+    std::stable_sort(SplitEntries.begin(), SplitEntries.end(),
+                     [](const SplitEntry &A, const SplitEntry &B) {
+                       if (A.Color != B.Color)
+                         return A.Color < B.Color;
+                       if (A.Key != B.Key)
+                         return A.Key < B.Key;
+                       return A.ParentRank < B.ParentRank;
+                     });
+    SplitResult.clear();
+    std::size_t I = 0;
+    while (I < SplitEntries.size()) {
+      std::size_t J = I;
+      std::vector<int> SubGlobal;
+      std::vector<int> SubParent;
+      while (J < SplitEntries.size() &&
+             SplitEntries[J].Color == SplitEntries[I].Color) {
+        SubGlobal.push_back(GlobalRanks[SplitEntries[J].ParentRank]);
+        SubParent.push_back(SplitEntries[J].ParentRank);
+        ++J;
+      }
+      SplitResult[SplitEntries[I].Color] = std::make_shared<Group>(
+          Cost, std::move(SubGlobal), std::move(SubParent));
+      I = J;
+    }
+    SplitEntries.clear();
+    ++SplitGeneration;
+    SplitCv.notify_all();
+  } else {
+    SplitCv.wait(Lock, [&] { return SplitGeneration != Gen; });
+  }
+  auto It = SplitResult.find(Entry.Color);
+  assert(It != SplitResult.end() && "split result missing for color");
+  return It->second;
+}
+
+int Group::rankOfParent(int ParentRank) const {
+  for (std::size_t I = 0; I < ParentRanks.size(); ++I)
+    if (ParentRanks[I] == ParentRank)
+      return static_cast<int>(I);
+  assert(false && "parent rank not in subgroup");
+  return -1;
+}

@@ -1,0 +1,113 @@
+//===-- mpp/Group.h - Shared communicator state -----------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal shared state behind Comm: mailboxes, barrier, split
+/// rendezvous. This header is private to the mpp library and its tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_MPP_GROUP_H
+#define FUPERMOD_MPP_GROUP_H
+
+#include "mpp/CostModel.h"
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace fupermod {
+
+/// A point-to-point message in flight.
+struct Message {
+  int Tag = 0;
+  /// Virtual time at which the receiver may consume the message.
+  double ArrivalTime = 0.0;
+  std::vector<std::byte> Data;
+};
+
+/// FIFO channel for one (source, destination) rank pair.
+class Mailbox {
+public:
+  /// Enqueues a message and wakes a waiting receiver.
+  void push(Message Msg);
+
+  /// Blocks until a message with \p Tag is present, then removes and
+  /// returns the oldest such message.
+  Message popMatching(int Tag);
+
+private:
+  std::mutex Mutex;
+  std::condition_variable Ready;
+  std::deque<Message> Queue;
+};
+
+/// Shared state of one communicator (world or split subgroup).
+class Group {
+public:
+  /// Builds a group of \p GlobalRanks.size() ranks; \p GlobalRanks[i] is
+  /// the world rank of group rank i (used for cost-model lookups).
+  Group(std::shared_ptr<const CostModel> Cost, std::vector<int> GlobalRanks,
+        std::vector<int> ParentRanks);
+
+  int size() const { return static_cast<int>(GlobalRanks.size()); }
+  int globalRankOf(int Rank) const { return GlobalRanks[Rank]; }
+  const CostModel &costModel() const { return *Cost; }
+
+  /// Channel from \p Src to \p Dst (group-local ranks).
+  Mailbox &mailbox(int Src, int Dst);
+
+  /// Rendezvous for Comm::barrier(): blocks until all ranks arrive and
+  /// returns the common release time (max entry time + barrier cost).
+  double enterBarrier(double LocalTime);
+
+  /// One rank's contribution to a communicator split.
+  struct SplitEntry {
+    int Color = 0;
+    int Key = 0;
+    int ParentRank = 0;
+  };
+
+  /// Rendezvous for Comm::split(): blocks until all ranks of this group
+  /// contribute, then returns the subgroup for the caller's color.
+  std::shared_ptr<Group> split(const SplitEntry &Entry);
+
+  /// Group-local rank whose parent-group rank is \p ParentRank; asserts if
+  /// absent (callers only query their own subgroup).
+  int rankOfParent(int ParentRank) const;
+
+private:
+  std::shared_ptr<const CostModel> Cost;
+  std::vector<int> GlobalRanks;
+  /// ParentRanks[i] = rank in the parent group of group rank i (identity
+  /// for the world group).
+  std::vector<int> ParentRanks;
+  std::vector<std::unique_ptr<Mailbox>> Mailboxes;
+
+  // Barrier state (generation-counted).
+  std::mutex BarrierMutex;
+  std::condition_variable BarrierCv;
+  int BarrierCount = 0;
+  std::uint64_t BarrierGeneration = 0;
+  double BarrierMaxTime = 0.0;
+  double BarrierRelease = 0.0;
+
+  // Split rendezvous state.
+  std::mutex SplitMutex;
+  std::condition_variable SplitCv;
+  std::vector<SplitEntry> SplitEntries;
+  std::map<int, std::shared_ptr<Group>> SplitResult;
+  std::uint64_t SplitGeneration = 0;
+  int SplitRemaining = 0;
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_MPP_GROUP_H

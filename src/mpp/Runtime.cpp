@@ -1,0 +1,49 @@
+//===-- mpp/Runtime.cpp - SPMD runtime ------------------------------------===//
+
+#include "mpp/Runtime.h"
+
+#include "mpp/Group.h"
+
+#include <cassert>
+#include <numeric>
+#include <thread>
+
+using namespace fupermod;
+
+double SpmdResult::makespan() const {
+  double Max = 0.0;
+  for (double T : FinalTimes)
+    Max = std::max(Max, T);
+  return Max;
+}
+
+SpmdResult fupermod::runSpmd(int NumRanks,
+                             const std::function<void(Comm &)> &Body,
+                             std::shared_ptr<const CostModel> Cost) {
+  assert(NumRanks > 0 && "need at least one rank");
+  if (!Cost)
+    Cost = std::make_shared<FreeCostModel>();
+
+  std::vector<int> Identity(static_cast<std::size_t>(NumRanks));
+  std::iota(Identity.begin(), Identity.end(), 0);
+  auto World =
+      std::make_shared<Group>(std::move(Cost), Identity, Identity);
+
+  std::vector<VirtualClock> Clocks(static_cast<std::size_t>(NumRanks));
+  std::vector<std::thread> Threads;
+  Threads.reserve(static_cast<std::size_t>(NumRanks));
+  for (int R = 0; R < NumRanks; ++R) {
+    Threads.emplace_back([&, R] {
+      Comm C(World, R, &Clocks[static_cast<std::size_t>(R)]);
+      Body(C);
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+
+  SpmdResult Result;
+  Result.FinalTimes.reserve(Clocks.size());
+  for (const auto &C : Clocks)
+    Result.FinalTimes.push_back(C.now());
+  return Result;
+}

@@ -1,0 +1,42 @@
+//===-- mpp/Runtime.h - SPMD runtime ----------------------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Launches an SPMD body on N ranks (threads) sharing a world
+/// communicator — the stand-in for `mpirun`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_MPP_RUNTIME_H
+#define FUPERMOD_MPP_RUNTIME_H
+
+#include "mpp/Comm.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fupermod {
+
+/// Outcome of one SPMD run.
+struct SpmdResult {
+  /// Final virtual time of each rank (completion times).
+  std::vector<double> FinalTimes;
+
+  /// Largest final time — the makespan of the run.
+  double makespan() const;
+};
+
+/// Runs \p Body on \p NumRanks ranks, each on its own thread with its own
+/// virtual clock starting at zero. Blocks until every rank returns.
+///
+/// \p Cost models communication; when null, communication is free.
+SpmdResult runSpmd(int NumRanks, const std::function<void(Comm &)> &Body,
+                   std::shared_ptr<const CostModel> Cost = nullptr);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_MPP_RUNTIME_H

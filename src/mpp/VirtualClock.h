@@ -1,0 +1,45 @@
+//===-- mpp/VirtualClock.h - Per-rank virtual time --------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Virtual time for the message-passing runtime. Each rank owns a clock;
+/// computation and communication advance it deterministically, so the
+/// simulated heterogeneous platform produces bit-reproducible timings
+/// (the substitution for wall-clock measurement on real Grid'5000 nodes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_MPP_VIRTUALCLOCK_H
+#define FUPERMOD_MPP_VIRTUALCLOCK_H
+
+#include <algorithm>
+#include <cassert>
+
+namespace fupermod {
+
+/// Monotone virtual clock measured in seconds.
+class VirtualClock {
+public:
+  /// Current virtual time.
+  double now() const { return Now; }
+
+  /// Advances the clock by \p Seconds (must be non-negative).
+  void advance(double Seconds) {
+    assert(Seconds >= 0.0 && "cannot advance time backwards");
+    Now += Seconds;
+  }
+
+  /// Moves the clock forward to \p Time if it is in the future; waiting on
+  /// a message or a barrier never moves time backwards.
+  void advanceTo(double Time) { Now = std::max(Now, Time); }
+
+private:
+  double Now = 0.0;
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_MPP_VIRTUALCLOCK_H

@@ -1,0 +1,85 @@
+//===-- sim/Cluster.cpp - Simulated heterogeneous clusters ----------------===//
+
+#include "sim/Cluster.h"
+
+#include <cassert>
+
+using namespace fupermod;
+
+std::shared_ptr<const CostModel> Cluster::makeCostModel() const {
+  assert(NodeOfRank.size() == Devices.size() &&
+         "every rank needs a node placement");
+  return std::make_shared<TwoLevelCostModel>(NodeOfRank, Intra, Inter);
+}
+
+std::vector<SimDevice> Cluster::makeDevices() const {
+  std::vector<SimDevice> Out;
+  Out.reserve(Devices.size());
+  for (int R = 0; R < size(); ++R)
+    Out.push_back(makeDevice(R));
+  return Out;
+}
+
+SimDevice Cluster::makeDevice(int Rank) const {
+  assert(Rank >= 0 && Rank < size() && "rank out of range");
+  return SimDevice(Devices[static_cast<std::size_t>(Rank)], NoiseSigma,
+                   Seed + static_cast<std::uint64_t>(Rank));
+}
+
+Cluster fupermod::makeTwoDeviceCluster() {
+  Cluster C;
+  // A fast core with an early cache cliff against a slower core that keeps
+  // its speed longer: their optimal split moves with problem size, which
+  // is exactly what partial FPM construction (Fig. 3) has to discover.
+  C.Devices.push_back(makeCpuProfile("fast-cpu", /*Peak=*/900.0,
+                                     /*Ramp=*/30.0, /*Cliff=*/1500.0,
+                                     /*Width=*/200.0, /*Drop=*/0.65));
+  C.Devices.push_back(makeCpuProfile("slow-cpu", /*Peak=*/350.0,
+                                     /*Ramp=*/20.0, /*Cliff=*/4000.0,
+                                     /*Width=*/500.0, /*Drop=*/0.30));
+  C.NodeOfRank = {0, 1};
+  return C;
+}
+
+Cluster fupermod::makeHclLikeCluster(bool WithGpu) {
+  Cluster C;
+  // Node 0: quad-core with two fast cores and two contended siblings.
+  DeviceProfile FastCore = makeCpuProfile("node0-core-fast", 800.0, 25.0,
+                                          2000.0, 300.0, 0.55);
+  C.Devices.push_back(FastCore);
+  C.Devices.push_back(FastCore);
+  C.Devices.push_back(withContention(FastCore, /*ActivePeers=*/3, 0.15));
+  C.Devices.push_back(withContention(FastCore, /*ActivePeers=*/3, 0.15));
+  C.NodeOfRank = {0, 0, 0, 0};
+
+  // Node 1: older, slower dual-core with a late, gentle cliff.
+  DeviceProfile SlowCore = makeCpuProfile("node1-core-slow", 300.0, 15.0,
+                                          5000.0, 800.0, 0.35);
+  C.Devices.push_back(SlowCore);
+  C.Devices.push_back(SlowCore);
+  C.NodeOfRank.push_back(1);
+  C.NodeOfRank.push_back(1);
+
+  if (WithGpu) {
+    // Node 2: GPU plus dedicated host core; very fast at large sizes but
+    // pays staging overhead and has a device-memory limit with a slower
+    // out-of-core mode.
+    C.Devices.push_back(makeGpuProfile("node2-gpu", /*Peak=*/4000.0,
+                                       /*Staging=*/0.05,
+                                       /*MemLimit=*/12000.0,
+                                       /*OutOfCore=*/0.5));
+    C.NodeOfRank.push_back(2);
+  }
+  return C;
+}
+
+Cluster fupermod::makeUniformCluster(int P, double UnitsPerSec) {
+  assert(P > 0 && "cluster must have at least one device");
+  Cluster C;
+  for (int I = 0; I < P; ++I) {
+    C.Devices.push_back(
+        makeConstantProfile("uniform-" + std::to_string(I), UnitsPerSec));
+    C.NodeOfRank.push_back(I / 4);
+  }
+  return C;
+}

@@ -1,0 +1,70 @@
+//===-- sim/Cluster.h - Simulated heterogeneous clusters --------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cluster descriptions: a set of simulated devices (one per rank), their
+/// node placement, and link costs. Presets model the kind of dedicated
+/// heterogeneous platforms the paper targets (hierarchies of uniprocessors,
+/// multicores and GPU-accelerated nodes on Grid'5000 / the UCD HCL
+/// cluster).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SIM_CLUSTER_H
+#define FUPERMOD_SIM_CLUSTER_H
+
+#include "mpp/CostModel.h"
+#include "sim/SimDevice.h"
+
+#include <memory>
+#include <vector>
+
+namespace fupermod {
+
+/// A simulated platform: one device per rank plus communication topology.
+struct Cluster {
+  /// Ground-truth device profile of each rank.
+  std::vector<DeviceProfile> Devices;
+  /// Node id of each rank (ranks on a node share the fast link).
+  std::vector<int> NodeOfRank;
+  /// Shared-memory link between ranks on the same node.
+  LinkCost Intra{/*Latency=*/1e-6, /*BytePeriod=*/1.0 / 8e9};
+  /// Network link between nodes.
+  LinkCost Inter{/*Latency=*/5e-5, /*BytePeriod=*/1.0 / 1e9};
+  /// Relative measurement noise of every device.
+  double NoiseSigma = 0.02;
+  /// Base RNG seed; rank r's device uses Seed + r.
+  std::uint64_t Seed = 42;
+
+  /// Number of ranks.
+  int size() const { return static_cast<int>(Devices.size()); }
+
+  /// Cost model for the mpp runtime.
+  std::shared_ptr<const CostModel> makeCostModel() const;
+
+  /// Instantiates a noisy SimDevice per rank (deterministic per seed).
+  std::vector<SimDevice> makeDevices() const;
+
+  /// The device for one rank.
+  SimDevice makeDevice(int Rank) const;
+};
+
+/// Two devices with very different speed functions; used for the Fig. 3
+/// partial-FPM construction experiment.
+Cluster makeTwoDeviceCluster();
+
+/// A heterogeneous node mix reminiscent of the UCD HCL cluster: fast and
+/// slow CPU cores (with different cache cliffs), a contended multicore
+/// pair, and a GPU with limited device memory. \p WithGpu controls the
+/// accelerator's presence.
+Cluster makeHclLikeCluster(bool WithGpu = true);
+
+/// \p P identical constant-speed devices (homogeneous control case).
+Cluster makeUniformCluster(int P, double UnitsPerSec);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SIM_CLUSTER_H

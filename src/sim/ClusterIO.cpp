@@ -1,0 +1,134 @@
+//===-- sim/ClusterIO.cpp - Cluster description files ---------------------===//
+
+#include "sim/ClusterIO.h"
+
+#include <fstream>
+#include <cstdlib>
+#include <sstream>
+
+using namespace fupermod;
+
+namespace {
+
+bool fail(std::string *Error, const std::string &Reason) {
+  if (Error)
+    *Error = Reason;
+  return false;
+}
+
+/// Parses one `device <node> <form> <name> ...` line; appends to \p Out.
+bool parseDevice(std::istringstream &LS, Cluster &Out, std::string *Error) {
+  int Node = -1;
+  std::string Form, Name;
+  if (!(LS >> Node >> Form >> Name) || Node < 0)
+    return fail(Error, "malformed device line");
+
+  if (Form == "constant") {
+    double Speed = 0.0;
+    if (!(LS >> Speed) || Speed <= 0.0)
+      return fail(Error, "constant device needs a positive speed");
+    Out.Devices.push_back(makeConstantProfile(Name, Speed));
+  } else if (Form == "cpu" || Form == "contended") {
+    double Peak, Ramp, Cliff, Width, Drop;
+    if (!(LS >> Peak >> Ramp >> Cliff >> Width >> Drop) || Peak <= 0.0 ||
+        Cliff <= 0.0 || Width <= 0.0 || Drop < 0.0 || Drop >= 1.0)
+      return fail(Error, "malformed cpu device parameters");
+    DeviceProfile P = makeCpuProfile(Name, Peak, Ramp, Cliff, Width, Drop);
+    if (Form == "contended") {
+      int Peers = 0;
+      double Alpha = 0.0;
+      if (!(LS >> Peers >> Alpha) || Peers < 0 || Alpha < 0.0)
+        return fail(Error, "malformed contention parameters");
+      P = withContention(P, Peers, Alpha);
+    }
+    Out.Devices.push_back(std::move(P));
+  } else if (Form == "gpu") {
+    double Peak, Staging, MemLimit, Ooc;
+    if (!(LS >> Peak >> Staging >> MemLimit >> Ooc) || Peak <= 0.0 ||
+        Staging < 0.0 || MemLimit <= 0.0 || Ooc < 0.0 || Ooc > 1.0)
+      return fail(Error, "malformed gpu device parameters");
+    Out.Devices.push_back(makeGpuProfile(Name, Peak, Staging, MemLimit,
+                                         Ooc));
+  } else {
+    return fail(Error, "unknown device form '" + Form + "'");
+  }
+  Out.NodeOfRank.push_back(Node);
+  return true;
+}
+
+} // namespace
+
+std::optional<Cluster> fupermod::parseCluster(std::istream &IS,
+                                              std::string *Error) {
+  Cluster Out;
+  Out.Devices.clear();
+  Out.NodeOfRank.clear();
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    std::size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    std::istringstream LS(Line);
+    std::string Key;
+    if (!(LS >> Key))
+      continue; // Blank or comment-only line.
+    if (Key == "noise") {
+      if (!(LS >> Out.NoiseSigma) || Out.NoiseSigma < 0.0) {
+        fail(Error, "malformed noise line");
+        return std::nullopt;
+      }
+    } else if (Key == "seed") {
+      if (!(LS >> Out.Seed)) {
+        fail(Error, "malformed seed line");
+        return std::nullopt;
+      }
+    } else if (Key == "intra" || Key == "inter") {
+      double Latency = 0.0, Bandwidth = 0.0;
+      if (!(LS >> Latency >> Bandwidth) || Latency < 0.0 ||
+          Bandwidth <= 0.0) {
+        fail(Error, "malformed link line");
+        return std::nullopt;
+      }
+      LinkCost &Link = Key == "intra" ? Out.Intra : Out.Inter;
+      Link.Latency = Latency;
+      Link.BytePeriod = 1.0 / Bandwidth;
+    } else if (Key == "device") {
+      if (!parseDevice(LS, Out, Error))
+        return std::nullopt;
+    } else {
+      fail(Error, "unknown key '" + Key + "'");
+      return std::nullopt;
+    }
+  }
+  if (Out.Devices.empty()) {
+    fail(Error, "cluster has no devices");
+    return std::nullopt;
+  }
+  return Out;
+}
+
+std::optional<Cluster> fupermod::loadCluster(const std::string &Path,
+                                             std::string *Error) {
+  std::ifstream IS(Path);
+  if (!IS) {
+    fail(Error, "cannot open '" + Path + "'");
+    return std::nullopt;
+  }
+  return parseCluster(IS, Error);
+}
+
+std::optional<Cluster> fupermod::resolveCluster(const std::string &Spec,
+                                                std::string *Error) {
+  if (Spec == "two-device")
+    return makeTwoDeviceCluster();
+  if (Spec == "hcl")
+    return makeHclLikeCluster(true);
+  if (Spec == "hcl-nogpu")
+    return makeHclLikeCluster(false);
+  if (Spec.rfind("uniform", 0) == 0 && Spec.size() > 7) {
+    int P = std::atoi(Spec.c_str() + 7);
+    if (P > 0)
+      return makeUniformCluster(P, 100.0);
+  }
+  return loadCluster(Spec, Error);
+}

@@ -1,0 +1,56 @@
+//===-- sim/ClusterIO.h - Cluster description files -------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text-format descriptions of simulated platforms, so the command-line
+/// tools and experiments can run against user-defined clusters instead of
+/// only the built-in presets. Line-oriented format; '#' starts a comment:
+///
+///   noise 0.02
+///   seed 42
+///   intra 1e-6 8e9            # latency(s) bandwidth(bytes/s)
+///   inter 5e-5 1e9
+///   device 0 constant fast 800
+///   device 0 cpu core 800 25 2000 300 0.55
+///   device 1 gpu accel 4000 0.05 12000 0.5
+///   device 0 contended sibling 800 25 2000 300 0.55 3 0.15
+///
+/// Device forms:
+///   constant  <name> <units_per_sec>
+///   cpu       <name> <peak> <ramp> <cliff> <width> <drop>
+///   gpu       <name> <peak> <staging_s> <mem_limit> <out_of_core>
+///   contended <name> <peak> <ramp> <cliff> <width> <drop> <peers> <alpha>
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SIM_CLUSTERIO_H
+#define FUPERMOD_SIM_CLUSTERIO_H
+
+#include "sim/Cluster.h"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace fupermod {
+
+/// Parses a cluster description. Returns std::nullopt on malformed input
+/// and writes a one-line reason to \p Error when provided.
+std::optional<Cluster> parseCluster(std::istream &IS,
+                                    std::string *Error = nullptr);
+
+/// Reads a cluster description from \p Path.
+std::optional<Cluster> loadCluster(const std::string &Path,
+                                   std::string *Error = nullptr);
+
+/// Resolves a cluster source for tools: a preset name ("two-device",
+/// "hcl", "hcl-nogpu", "uniformN") or a path to a description file.
+std::optional<Cluster> resolveCluster(const std::string &Spec,
+                                      std::string *Error = nullptr);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SIM_CLUSTERIO_H

@@ -1,0 +1,114 @@
+//===-- sim/DeviceProfile.cpp - Ground-truth device speed -----------------===//
+
+#include "sim/DeviceProfile.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace fupermod;
+
+DeviceProfile::DeviceProfile(std::string Name,
+                             std::function<double(double)> UnitsPerSec,
+                             double MemoryLimitUnits, double OutOfCoreFactor)
+    : Name(std::move(Name)), UnitsPerSec(std::move(UnitsPerSec)),
+      MemoryLimitUnits(MemoryLimitUnits), OutOfCoreFactor(OutOfCoreFactor) {
+  assert(this->UnitsPerSec && "null speed function");
+  assert(MemoryLimitUnits > 0.0 && "memory limit must be positive");
+  assert(OutOfCoreFactor >= 0.0 && OutOfCoreFactor <= 1.0 &&
+         "out-of-core factor must be in [0, 1]");
+}
+
+double DeviceProfile::speed(double Units) const {
+  assert(UnitsPerSec && "profile not initialised");
+  assert(Units > 0.0 && "speed is defined for positive sizes");
+  double S = UnitsPerSec(Units);
+  assert(S > 0.0 && "speed function must be positive");
+  if (Units > MemoryLimitUnits)
+    S *= OutOfCoreFactor;
+  return S;
+}
+
+double DeviceProfile::time(double Units) const {
+  if (Units <= 0.0)
+    return 0.0;
+  return Units / speed(Units);
+}
+
+bool DeviceProfile::canExecute(double Units) const {
+  return Units <= MemoryLimitUnits || OutOfCoreFactor > 0.0;
+}
+
+namespace {
+
+double sigmoid(double X) { return 1.0 / (1.0 + std::exp(-X)); }
+
+} // namespace
+
+DeviceProfile fupermod::makeConstantProfile(std::string Name,
+                                            double UnitsPerSec) {
+  assert(UnitsPerSec > 0.0 && "speed must be positive");
+  return DeviceProfile(std::move(Name),
+                       [UnitsPerSec](double) { return UnitsPerSec; });
+}
+
+DeviceProfile fupermod::makeCpuProfile(std::string Name,
+                                       double PeakUnitsPerSec,
+                                       double RampUnits, double CliffUnits,
+                                       double CliffWidth, double DropFactor) {
+  assert(PeakUnitsPerSec > 0.0 && RampUnits >= 0.0 && CliffUnits > 0.0 &&
+         CliffWidth > 0.0 && "invalid CPU profile parameters");
+  assert(DropFactor >= 0.0 && DropFactor < 1.0 && "drop factor in [0, 1)");
+  return DeviceProfile(
+      std::move(Name),
+      [=](double D) {
+        double Ramp = RampUnits > 0.0 ? D / (D + RampUnits) : 1.0;
+        double Drop = 1.0 - DropFactor * sigmoid((D - CliffUnits) /
+                                                 CliffWidth);
+        return PeakUnitsPerSec * Ramp * Drop;
+      });
+}
+
+DeviceProfile fupermod::makeGpuProfile(std::string Name,
+                                       double PeakUnitsPerSec,
+                                       double StagingSeconds,
+                                       double MemLimitUnits,
+                                       double OutOfCoreFactor) {
+  assert(PeakUnitsPerSec > 0.0 && StagingSeconds >= 0.0 &&
+         MemLimitUnits > 0.0 && "invalid GPU profile parameters");
+  return DeviceProfile(
+      std::move(Name),
+      [=](double D) {
+        // Combined device+host speed: the PCIe staging overhead is paid
+        // once per kernel invocation, so speed grows with problem size.
+        double Time = StagingSeconds + D / PeakUnitsPerSec;
+        return D / Time;
+      },
+      MemLimitUnits, OutOfCoreFactor);
+}
+
+DeviceProfile fupermod::makeNetlibBlasProfile(double UnitFlops) {
+  assert(UnitFlops > 0.0 && "unit complexity must be positive");
+  // Shape of Fig. 2: plateau near 5 GFLOPS, gentle ripple, and a decline
+  // past ~3000 units as the working set exceeds cache.
+  return DeviceProfile("netlib-blas", [UnitFlops](double D) {
+    double PeakFlops = 5.0e9;
+    double Ramp = D / (D + 40.0);
+    double Drop = 1.0 - 0.55 * sigmoid((D - 3200.0) / 450.0);
+    double Ripple = 1.0 + 0.03 * std::sin(D / 180.0);
+    double Flops = PeakFlops * Ramp * Drop * Ripple;
+    return Flops / UnitFlops;
+  });
+}
+
+DeviceProfile fupermod::withContention(const DeviceProfile &Base,
+                                       int ActivePeers, double Alpha) {
+  assert(ActivePeers >= 0 && Alpha >= 0.0 && "invalid contention");
+  double Scale = 1.0 / (1.0 + Alpha * static_cast<double>(ActivePeers));
+  std::string Name = Base.name() + "+contended";
+  // Capture the base profile by value; its speed() already handles the
+  // memory limit, so the derived profile keeps an unlimited window and
+  // delegates.
+  return DeviceProfile(std::move(Name), [Base, Scale](double D) {
+    return Base.speed(D) * Scale;
+  });
+}

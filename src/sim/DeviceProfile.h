@@ -1,0 +1,99 @@
+//===-- sim/DeviceProfile.h - Ground-truth device speed ---------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ground-truth speed functions for simulated heterogeneous devices — the
+/// substitution for real Grid'5000 CPUs/GPUs (see DESIGN.md). A profile
+/// maps problem size (in computation units) to speed (units/second) and
+/// captures the phenomena that motivate functional performance models:
+///
+///  - ramp-up at small sizes (per-call overhead amortisation),
+///  - a plateau at peak speed,
+///  - a drop ("cliff") when the working set leaves a cache level,
+///  - for GPUs: host-device staging overhead and a device-memory limit,
+///    optionally with a slower out-of-core mode beyond it,
+///  - multicore resource contention as a speed-scaling factor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SIM_DEVICEPROFILE_H
+#define FUPERMOD_SIM_DEVICEPROFILE_H
+
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace fupermod {
+
+/// Immutable description of one simulated device's true performance.
+class DeviceProfile {
+public:
+  DeviceProfile() = default;
+
+  /// \p UnitsPerSec maps problem size (units) to speed; must be positive
+  /// for every positive size up to the memory limit.
+  DeviceProfile(std::string Name, std::function<double(double)> UnitsPerSec,
+                double MemoryLimitUnits =
+                    std::numeric_limits<double>::infinity(),
+                double OutOfCoreFactor = 1.0);
+
+  /// Human-readable device name.
+  const std::string &name() const { return Name; }
+
+  /// True speed (units/second) at problem size \p Units. Beyond the memory
+  /// limit the speed is scaled by the out-of-core factor.
+  double speed(double Units) const;
+
+  /// True execution time of \p Units computation units.
+  double time(double Units) const;
+
+  /// Largest problem size that fits device memory.
+  double memoryLimitUnits() const { return MemoryLimitUnits; }
+
+  /// False when the size exceeds the memory limit and the device has no
+  /// out-of-core mode.
+  bool canExecute(double Units) const;
+
+private:
+  std::string Name = "unnamed";
+  std::function<double(double)> UnitsPerSec;
+  double MemoryLimitUnits = std::numeric_limits<double>::infinity();
+  double OutOfCoreFactor = 1.0;
+};
+
+/// Constant-speed device (the CPM assumption holds exactly).
+DeviceProfile makeConstantProfile(std::string Name, double UnitsPerSec);
+
+/// CPU-like profile: ramp-up over roughly \p RampUnits, peak of
+/// \p PeakUnitsPerSec, and a smooth drop by \p DropFactor (e.g. 0.6 keeps
+/// 40% of peak) centred at \p CliffUnits with width \p CliffWidth.
+DeviceProfile makeCpuProfile(std::string Name, double PeakUnitsPerSec,
+                             double RampUnits, double CliffUnits,
+                             double CliffWidth, double DropFactor);
+
+/// GPU-like combined profile (GPU plus its dedicated host core, paper
+/// Section 4.1): time = staging overhead + units/peak, so speed grows with
+/// size; beyond \p MemLimitUnits the device either fails
+/// (\p OutOfCoreFactor = 0) or runs slower by that factor.
+DeviceProfile makeGpuProfile(std::string Name, double PeakUnitsPerSec,
+                             double StagingSeconds, double MemLimitUnits,
+                             double OutOfCoreFactor);
+
+/// Reproduces the shape of the paper's Fig. 2 "Netlib BLAS speed
+/// function": rises to a plateau of about 5 G-ops/s (scaled to
+/// units/second via \p UnitFlops) and falls off past ~3000 units.
+DeviceProfile makeNetlibBlasProfile(double UnitFlops = 1e6);
+
+/// Derives the speed function of one process when \p ActivePeers other
+/// processes share the node: speed scaled by 1 / (1 + Alpha * ActivePeers).
+/// This matches the paper's measurement methodology, where contended speed
+/// is measured with all co-located cores loaded simultaneously.
+DeviceProfile withContention(const DeviceProfile &Base, int ActivePeers,
+                             double Alpha);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SIM_DEVICEPROFILE_H

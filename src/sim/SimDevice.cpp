@@ -1,0 +1,25 @@
+//===-- sim/SimDevice.cpp - Simulated device with noise -------------------===//
+
+#include "sim/SimDevice.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fupermod;
+
+SimDevice::SimDevice(DeviceProfile Profile, double NoiseSigma,
+                     std::uint64_t Seed)
+    : Profile(std::move(Profile)), NoiseSigma(NoiseSigma), Rng(Seed) {
+  assert(NoiseSigma >= 0.0 && "noise sigma must be non-negative");
+}
+
+double SimDevice::measureTime(double Units) {
+  double True = trueTime(Units);
+  if (NoiseSigma == 0.0)
+    return True;
+  double Factor = Rng.normal(1.0, NoiseSigma);
+  // Clamp to avoid absurd or negative samples from the normal tail.
+  Factor = std::clamp(Factor, 1.0 - 4.0 * NoiseSigma, 1.0 + 4.0 * NoiseSigma);
+  Factor = std::max(Factor, 0.05);
+  return True * Factor;
+}

@@ -1,0 +1,52 @@
+//===-- sim/SimDevice.h - Simulated device with noise -----------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulated device: a ground-truth profile plus reproducible
+/// measurement noise. Repeated measurements of the same size scatter
+/// around the true time, which is what forces the benchmark machinery to
+/// repeat measurements until the confidence interval is tight (paper
+/// Section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SIM_SIMDEVICE_H
+#define FUPERMOD_SIM_SIMDEVICE_H
+
+#include "sim/DeviceProfile.h"
+#include "support/Random.h"
+
+#include <cstdint>
+
+namespace fupermod {
+
+/// One device instance with private RNG state for measurement noise.
+class SimDevice {
+public:
+  /// \p NoiseSigma is the relative standard deviation of measured times.
+  explicit SimDevice(DeviceProfile Profile, double NoiseSigma = 0.0,
+                     std::uint64_t Seed = 1);
+
+  /// The device's ground-truth profile.
+  const DeviceProfile &profile() const { return Profile; }
+
+  /// Noise-free execution time for \p Units.
+  double trueTime(double Units) const { return Profile.time(Units); }
+
+  /// One noisy measurement of the execution time for \p Units; advances
+  /// the RNG, so successive calls scatter independently. Never returns a
+  /// non-positive time.
+  double measureTime(double Units);
+
+private:
+  DeviceProfile Profile;
+  double NoiseSigma;
+  SplitMix64 Rng;
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SIM_SIMDEVICE_H

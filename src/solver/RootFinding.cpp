@@ -1,0 +1,108 @@
+//===-- solver/RootFinding.cpp - Scalar root finding ----------------------===//
+
+#include "solver/RootFinding.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace fupermod;
+
+std::optional<double> fupermod::bisect(const std::function<double(double)> &F,
+                                       double Lo, double Hi,
+                                       const RootOptions &Options) {
+  assert(Lo <= Hi && "invalid interval");
+  double FLo = F(Lo);
+  if (FLo == 0.0)
+    return Lo;
+  double FHi = F(Hi);
+  if (FHi == 0.0)
+    return Hi;
+  if ((FLo > 0.0) == (FHi > 0.0))
+    return std::nullopt;
+
+  for (int It = 0; It < Options.MaxIterations; ++It) {
+    double Mid = 0.5 * (Lo + Hi);
+    double FMid = F(Mid);
+    if (FMid == 0.0 || std::fabs(FMid) <= Options.FTolerance ||
+        (Hi - Lo) <= Options.XTolerance)
+      return Mid;
+    if ((FMid > 0.0) == (FLo > 0.0)) {
+      Lo = Mid;
+      FLo = FMid;
+    } else {
+      Hi = Mid;
+    }
+  }
+  return 0.5 * (Lo + Hi);
+}
+
+std::optional<double> fupermod::brent(const std::function<double(double)> &F,
+                                      double Lo, double Hi,
+                                      const RootOptions &Options) {
+  assert(Lo <= Hi && "invalid interval");
+  double A = Lo, B = Hi;
+  double FA = F(A), FB = F(B);
+  if (FA == 0.0)
+    return A;
+  if (FB == 0.0)
+    return B;
+  if ((FA > 0.0) == (FB > 0.0))
+    return std::nullopt;
+
+  // Keep |F(B)| <= |F(A)|: B is the best iterate.
+  if (std::fabs(FA) < std::fabs(FB)) {
+    std::swap(A, B);
+    std::swap(FA, FB);
+  }
+  double C = A, FC = FA;
+  bool Bisected = true;
+  double D = 0.0;
+
+  for (int It = 0; It < Options.MaxIterations; ++It) {
+    if (std::fabs(FB) <= Options.FTolerance ||
+        std::fabs(B - A) <= Options.XTolerance)
+      return B;
+
+    double S;
+    if (FA != FC && FB != FC) {
+      // Inverse quadratic interpolation.
+      S = A * FB * FC / ((FA - FB) * (FA - FC)) +
+          B * FA * FC / ((FB - FA) * (FB - FC)) +
+          C * FA * FB / ((FC - FA) * (FC - FB));
+    } else {
+      // Secant step.
+      S = B - FB * (B - A) / (FB - FA);
+    }
+
+    double Mid = 0.5 * (A + B);
+    bool UseBisection =
+        !((S > std::min(Mid, B) && S < std::max(Mid, B))) ||
+        (Bisected && std::fabs(S - B) >= 0.5 * std::fabs(B - C)) ||
+        (!Bisected && std::fabs(S - B) >= 0.5 * std::fabs(C - D)) ||
+        (Bisected && std::fabs(B - C) < Options.XTolerance) ||
+        (!Bisected && std::fabs(C - D) < Options.XTolerance);
+    if (UseBisection) {
+      S = Mid;
+      Bisected = true;
+    } else {
+      Bisected = false;
+    }
+
+    double FS = F(S);
+    D = C;
+    C = B;
+    FC = FB;
+    if ((FA > 0.0) == (FS > 0.0)) {
+      A = S;
+      FA = FS;
+    } else {
+      B = S;
+      FB = FS;
+    }
+    if (std::fabs(FA) < std::fabs(FB)) {
+      std::swap(A, B);
+      std::swap(FA, FB);
+    }
+  }
+  return B;
+}

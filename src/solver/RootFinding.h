@@ -1,0 +1,48 @@
+//===-- solver/RootFinding.h - Scalar root finding --------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar root finding (bisection and Brent). The geometric partitioner's
+/// slope search and the per-process intersection searches use these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SOLVER_ROOTFINDING_H
+#define FUPERMOD_SOLVER_ROOTFINDING_H
+
+#include <functional>
+#include <optional>
+
+namespace fupermod {
+
+/// Options controlling scalar root searches.
+struct RootOptions {
+  /// Absolute tolerance on the bracket width.
+  double XTolerance = 1e-12;
+  /// Absolute tolerance on |f(x)|.
+  double FTolerance = 0.0;
+  /// Iteration cap.
+  int MaxIterations = 200;
+};
+
+/// Finds a root of \p F in [\p Lo, \p Hi] by bisection.
+///
+/// Requires F(Lo) and F(Hi) to have opposite signs (a zero at either end is
+/// returned immediately). Returns std::nullopt if the bracket is invalid.
+std::optional<double> bisect(const std::function<double(double)> &F,
+                             double Lo, double Hi,
+                             const RootOptions &Options = RootOptions());
+
+/// Finds a root of \p F in [\p Lo, \p Hi] with Brent's method (inverse
+/// quadratic interpolation guarded by bisection). Same bracket contract as
+/// bisect(), typically far fewer function evaluations.
+std::optional<double> brent(const std::function<double(double)> &F, double Lo,
+                            double Hi,
+                            const RootOptions &Options = RootOptions());
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SOLVER_ROOTFINDING_H

@@ -1,0 +1,60 @@
+//===-- support/Options.cpp - Tiny command-line parser --------------------===//
+
+#include "support/Options.h"
+
+#include <cstdlib>
+
+using namespace fupermod;
+
+Options::Options(int Argc, const char *const *Argv) {
+  if (Argc > 0)
+    Program = Argv[0];
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Key = Arg.substr(2);
+    std::string Value;
+    // `--key=value` or `--key value` (next token not starting with --).
+    std::size_t Eq = Key.find('=');
+    if (Eq != std::string::npos) {
+      Value = Key.substr(Eq + 1);
+      Key = Key.substr(0, Eq);
+    } else if (I + 1 < Argc &&
+               std::string(Argv[I + 1]).rfind("--", 0) != 0) {
+      Value = Argv[++I];
+    }
+    Values[Key] = Value;
+  }
+}
+
+bool Options::has(const std::string &Key) const {
+  return Values.count(Key) > 0;
+}
+
+std::string Options::get(const std::string &Key,
+                         const std::string &Default) const {
+  auto It = Values.find(Key);
+  return It == Values.end() ? Default : It->second;
+}
+
+double Options::getDouble(const std::string &Key, double Default) const {
+  auto It = Values.find(Key);
+  if (It == Values.end() || It->second.empty())
+    return Default;
+  char *End = nullptr;
+  double V = std::strtod(It->second.c_str(), &End);
+  return End && *End == '\0' ? V : Default;
+}
+
+std::int64_t Options::getInt(const std::string &Key,
+                             std::int64_t Default) const {
+  auto It = Values.find(Key);
+  if (It == Values.end() || It->second.empty())
+    return Default;
+  char *End = nullptr;
+  long long V = std::strtoll(It->second.c_str(), &End, 10);
+  return End && *End == '\0' ? static_cast<std::int64_t>(V) : Default;
+}

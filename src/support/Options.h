@@ -1,0 +1,56 @@
+//===-- support/Options.h - Tiny command-line parser ------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal `--key value` / `--flag` command-line parsing for the tools
+/// (builder, partitioner). Unknown arguments are collected so tools can
+/// report them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SUPPORT_OPTIONS_H
+#define FUPERMOD_SUPPORT_OPTIONS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fupermod {
+
+/// Parsed command line: `--key value` pairs, bare `--flag`s (value ""),
+/// and positional arguments.
+class Options {
+public:
+  Options(int Argc, const char *const *Argv);
+
+  /// True when `--key` appeared (with or without a value).
+  bool has(const std::string &Key) const;
+
+  /// Value of `--key`, or \p Default when absent.
+  std::string get(const std::string &Key,
+                  const std::string &Default = "") const;
+
+  /// Numeric accessors; fall back to \p Default when absent or
+  /// unparseable.
+  double getDouble(const std::string &Key, double Default) const;
+  std::int64_t getInt(const std::string &Key, std::int64_t Default) const;
+
+  /// Arguments that did not start with `--`.
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  /// Program name (argv[0]).
+  const std::string &program() const { return Program; }
+
+private:
+  std::string Program;
+  std::map<std::string, std::string> Values;
+  std::vector<std::string> Positional;
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SUPPORT_OPTIONS_H

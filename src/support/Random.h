@@ -1,0 +1,66 @@
+//===-- support/Random.h - Deterministic random numbers ---------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic PRNG (SplitMix64) used for measurement noise in
+/// the simulated platform. std::mt19937 is avoided so that experiments are
+/// bit-reproducible across standard library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SUPPORT_RANDOM_H
+#define FUPERMOD_SUPPORT_RANDOM_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace fupermod {
+
+/// SplitMix64 generator: tiny state, excellent statistical quality for the
+/// simulation purposes here, and identical output on every platform.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t Seed = 0x9e3779b97f4a7c15ull)
+      : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi) { return Lo + (Hi - Lo) * uniform(); }
+
+  /// Standard normal deviate via Box-Muller (no caching, deterministic).
+  double normal() {
+    double U1 = uniform();
+    double U2 = uniform();
+    // Guard against log(0).
+    if (U1 <= 0.0)
+      U1 = 5e-324;
+    return std::sqrt(-2.0 * std::log(U1)) *
+           std::cos(6.283185307179586476925286766559 * U2);
+  }
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double Mean, double Sigma) { return Mean + Sigma * normal(); }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SUPPORT_RANDOM_H

@@ -1,0 +1,136 @@
+//===-- support/Statistics.cpp - Statistical utilities --------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace fupermod;
+
+void RunningStat::push(double X) {
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double RunningStat::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::clear() {
+  N = 0;
+  Mean = 0.0;
+  M2 = 0.0;
+}
+
+namespace {
+
+// Two-sided Student-t critical values for df = 1..30.
+const double T90[30] = {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895,
+                        1.860, 1.833, 1.812, 1.796, 1.782, 1.771, 1.761,
+                        1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721,
+                        1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701,
+                        1.699, 1.697};
+const double T95[30] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+                        2.306,  2.262, 2.228, 2.201, 2.179, 2.160, 2.145,
+                        2.131,  2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+                        2.074,  2.069, 2.064, 2.060, 2.056, 2.052, 2.048,
+                        2.045,  2.042};
+const double T99[30] = {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499,
+                        3.355,  3.250, 3.169, 3.106, 3.055, 3.012, 2.977,
+                        2.947,  2.921, 2.898, 2.878, 2.861, 2.845, 2.831,
+                        2.819,  2.807, 2.797, 2.787, 2.779, 2.771, 2.763,
+                        2.756,  2.750};
+
+double asymptotic(ConfidenceLevel Level) {
+  switch (Level) {
+  case ConfidenceLevel::CL90:
+    return 1.645;
+  case ConfidenceLevel::CL95:
+    return 1.960;
+  case ConfidenceLevel::CL99:
+    return 2.576;
+  }
+  assert(false && "unknown confidence level");
+  return 1.960;
+}
+
+} // namespace
+
+double fupermod::studentTCritical(std::size_t DegreesOfFreedom,
+                                  ConfidenceLevel Level) {
+  assert(DegreesOfFreedom >= 1 && "need at least one degree of freedom");
+  if (DegreesOfFreedom > 30)
+    return asymptotic(Level);
+  std::size_t Idx = DegreesOfFreedom - 1;
+  switch (Level) {
+  case ConfidenceLevel::CL90:
+    return T90[Idx];
+  case ConfidenceLevel::CL95:
+    return T95[Idx];
+  case ConfidenceLevel::CL99:
+    return T99[Idx];
+  }
+  assert(false && "unknown confidence level");
+  return T95[Idx];
+}
+
+double fupermod::confidenceHalfWidth(const RunningStat &Stat,
+                                     ConfidenceLevel Level) {
+  if (Stat.count() < 2)
+    return std::numeric_limits<double>::infinity();
+  double T = studentTCritical(Stat.count() - 1, Level);
+  return T * Stat.stddev() / std::sqrt(static_cast<double>(Stat.count()));
+}
+
+double fupermod::relativeError(const RunningStat &Stat,
+                               ConfidenceLevel Level) {
+  double Half = confidenceHalfWidth(Stat, Level);
+  if (!std::isfinite(Half) || Stat.mean() == 0.0)
+    return std::numeric_limits<double>::infinity();
+  return Half / std::fabs(Stat.mean());
+}
+
+double fupermod::median(std::span<const double> Sample) {
+  if (Sample.empty())
+    return 0.0;
+  std::vector<double> Sorted(Sample.begin(), Sample.end());
+  std::sort(Sorted.begin(), Sorted.end());
+  std::size_t N = Sorted.size();
+  if (N % 2 == 1)
+    return Sorted[N / 2];
+  return 0.5 * (Sorted[N / 2 - 1] + Sorted[N / 2]);
+}
+
+double fupermod::medianAbsoluteDeviation(std::span<const double> Sample) {
+  if (Sample.empty())
+    return 0.0;
+  double Med = median(Sample);
+  std::vector<double> Deviations;
+  Deviations.reserve(Sample.size());
+  for (double X : Sample)
+    Deviations.push_back(std::fabs(X - Med));
+  return 1.4826 * median(Deviations);
+}
+
+std::vector<double> fupermod::rejectOutliers(std::span<const double> Sample,
+                                             double Cutoff) {
+  assert(Cutoff > 0.0 && "cutoff must be positive");
+  double Mad = medianAbsoluteDeviation(Sample);
+  if (Mad == 0.0)
+    return std::vector<double>(Sample.begin(), Sample.end());
+  double Med = median(Sample);
+  std::vector<double> Kept;
+  Kept.reserve(Sample.size());
+  for (double X : Sample)
+    if (std::fabs(X - Med) <= Cutoff * Mad)
+      Kept.push_back(X);
+  return Kept;
+}

@@ -1,0 +1,87 @@
+//===-- support/Statistics.h - Statistical utilities ------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Running statistics (Welford) and Student-t confidence intervals used by
+/// the benchmark machinery to decide when a measurement is statistically
+/// reliable (paper Section 4.1: "experiments are repeated multiple times
+/// until the results are statistically correct").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SUPPORT_STATISTICS_H
+#define FUPERMOD_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fupermod {
+
+/// Accumulates a sample one observation at a time using Welford's
+/// numerically stable online algorithm.
+class RunningStat {
+public:
+  /// Adds one observation to the sample.
+  void push(double X);
+
+  /// Number of observations accumulated so far.
+  std::size_t count() const { return N; }
+
+  /// Sample mean; 0 for an empty sample.
+  double mean() const { return N > 0 ? Mean : 0.0; }
+
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const;
+
+  /// Square root of variance().
+  double stddev() const;
+
+  /// Removes all observations.
+  void clear();
+
+private:
+  std::size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+};
+
+/// Supported two-sided confidence levels for Student-t intervals.
+enum class ConfidenceLevel { CL90, CL95, CL99 };
+
+/// Returns the two-sided Student-t critical value for \p DegreesOfFreedom
+/// at the given confidence level. Values for df in [1, 30] come from
+/// standard tables; larger df fall back to the normal-approximation tail.
+double studentTCritical(std::size_t DegreesOfFreedom, ConfidenceLevel Level);
+
+/// Half-width of the two-sided Student-t confidence interval around the
+/// sample mean of \p Stat. Returns +inf for samples with fewer than two
+/// observations (no interval can be formed yet).
+double confidenceHalfWidth(const RunningStat &Stat, ConfidenceLevel Level);
+
+/// Relative confidence-interval half width (half width / mean). Returns
+/// +inf when the mean is zero or the sample is too small.
+double relativeError(const RunningStat &Stat, ConfidenceLevel Level);
+
+/// Median of \p Sample (averaged middle pair for even sizes). The input
+/// is copied; an empty sample returns 0.
+double median(std::span<const double> Sample);
+
+/// Median absolute deviation of \p Sample, scaled by 1.4826 so it
+/// estimates the standard deviation for normal data.
+double medianAbsoluteDeviation(std::span<const double> Sample);
+
+/// Returns the elements of \p Sample within \p Cutoff scaled MADs of the
+/// median — robust outlier rejection for timing data, where scheduler
+/// hiccups inject occasional large spikes that would otherwise corrupt
+/// the mean. A zero MAD (at least half the sample identical) keeps the
+/// sample unchanged.
+std::vector<double> rejectOutliers(std::span<const double> Sample,
+                                   double Cutoff = 3.5);
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SUPPORT_STATISTICS_H

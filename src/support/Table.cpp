@@ -1,0 +1,59 @@
+//===-- support/Table.cpp - Plain-text table printing ---------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace fupermod;
+
+Table::Table(std::vector<std::string> Headers) : Headers(std::move(Headers)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row width must match header");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::num(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string Table::formatInteger(long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", Value);
+  return Buf;
+}
+
+void Table::print(std::ostream &OS) const {
+  std::vector<std::size_t> Widths(Headers.size(), 0);
+  for (std::size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (std::size_t C = 0; C < Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (std::size_t C = 0; C < Row.size(); ++C) {
+      OS << Row[C];
+      if (C + 1 == Row.size())
+        break;
+      for (std::size_t Pad = Row[C].size(); Pad < Widths[C] + 2; ++Pad)
+        OS << ' ';
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Headers);
+  std::string Sep;
+  for (std::size_t C = 0; C < Headers.size(); ++C) {
+    Sep.append(Widths[C], '-');
+    if (C + 1 != Headers.size())
+      Sep.append("  ");
+  }
+  OS << Sep << '\n';
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

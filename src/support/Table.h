@@ -1,0 +1,55 @@
+//===-- support/Table.h - Plain-text table printing -------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned table printing for the benchmark harnesses. Every bench
+/// binary prints the rows/series of the figure it reproduces; this keeps
+/// that output uniform and diffable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SUPPORT_TABLE_H
+#define FUPERMOD_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace fupermod {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class Table {
+public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> Headers);
+
+  /// Appends a row; the number of cells must match the number of headers.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Formats a double with \p Precision digits after the decimal point.
+  static std::string num(double Value, int Precision = 3);
+
+  /// Formats an integer cell (any integral type).
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string num(T Value) {
+    return formatInteger(static_cast<long long>(Value));
+  }
+
+  /// Writes the table, header first, followed by a separator row.
+  void print(std::ostream &OS) const;
+
+private:
+  static std::string formatInteger(long long Value);
+
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SUPPORT_TABLE_H

@@ -1,0 +1,226 @@
+//===-- tests/BenchmarkTest.cpp - measurement machinery tests -------------===//
+
+#include "core/Benchmark.h"
+
+#include "core/GemmKernel.h"
+#include "mpp/Runtime.h"
+#include "sim/Cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace fupermod;
+
+namespace {
+
+/// Deterministic fake kernel for testing the measurement loop.
+class FakeBackend : public BenchmarkBackend {
+public:
+  explicit FakeBackend(std::vector<double> Times, bool CanPrepare = true)
+      : Times(std::move(Times)), CanPrepare(CanPrepare) {}
+
+  bool prepare(double Units) override {
+    LastUnits = Units;
+    ++Prepared;
+    return CanPrepare;
+  }
+  double runOnce() override {
+    double T = Times[static_cast<std::size_t>(Runs) % Times.size()];
+    ++Runs;
+    return T;
+  }
+  void teardown() override { ++Teardowns; }
+
+  std::vector<double> Times;
+  bool CanPrepare;
+  double LastUnits = 0.0;
+  int Prepared = 0;
+  int Runs = 0;
+  int Teardowns = 0;
+};
+
+} // namespace
+
+TEST(RunBenchmark, StopsEarlyWhenTight) {
+  FakeBackend B({1.0}); // Identical samples: CI hits zero immediately.
+  Precision Prec;
+  Prec.MinReps = 3;
+  Prec.MaxReps = 100;
+  Point P = runBenchmark(B, 10.0, Prec);
+  EXPECT_EQ(P.Reps, 3);
+  EXPECT_DOUBLE_EQ(P.Time, 1.0);
+  EXPECT_DOUBLE_EQ(P.ConfidenceInterval, 0.0);
+  EXPECT_EQ(B.Teardowns, 1);
+  EXPECT_DOUBLE_EQ(P.Units, 10.0);
+}
+
+TEST(RunBenchmark, RunsToMaxRepsOnNoisyData) {
+  FakeBackend B({1.0, 2.0, 0.5, 1.5}); // Wild scatter: never tight.
+  Precision Prec;
+  Prec.MinReps = 2;
+  Prec.MaxReps = 12;
+  Prec.TargetRelativeError = 1e-6;
+  Point P = runBenchmark(B, 5.0, Prec);
+  EXPECT_EQ(P.Reps, 12);
+  EXPECT_GT(P.ConfidenceInterval, 0.0);
+}
+
+TEST(RunBenchmark, TimeLimitCapsRepetitions) {
+  FakeBackend B({10.0, 20.0, 5.0});
+  Precision Prec;
+  Prec.MinReps = 2;
+  Prec.MaxReps = 100;
+  Prec.TargetRelativeError = 1e-9;
+  Prec.TimeLimit = 25.0; // Two samples (10 + 20) cross the limit.
+  Point P = runBenchmark(B, 5.0, Prec);
+  EXPECT_EQ(P.Reps, 2);
+}
+
+TEST(RunBenchmark, FailedPrepareReportsRepsZero) {
+  FakeBackend B({1.0}, /*CanPrepare=*/false);
+  Point P = runBenchmark(B, 5.0, Precision());
+  EXPECT_EQ(P.Reps, 0);
+  EXPECT_TRUE(std::isinf(P.Time));
+  EXPECT_EQ(B.Runs, 0);
+}
+
+TEST(RunBenchmark, SingleRepHasNoInterval) {
+  FakeBackend B({2.0});
+  Precision Prec;
+  Prec.MinReps = 1;
+  Prec.MaxReps = 1;
+  Point P = runBenchmark(B, 5.0, Prec);
+  EXPECT_EQ(P.Reps, 1);
+  EXPECT_DOUBLE_EQ(P.Time, 2.0);
+  EXPECT_DOUBLE_EQ(P.ConfidenceInterval, 0.0);
+}
+
+TEST(SimBackend, MeanApproachesTrueTime) {
+  SimDevice Dev(makeConstantProfile("c", 100.0), 0.03, 5);
+  SimDeviceBackend B(Dev);
+  Precision Prec;
+  Prec.MinReps = 20;
+  Prec.MaxReps = 50;
+  Prec.TargetRelativeError = 0.01;
+  Point P = runBenchmark(B, 1000.0, Prec);
+  EXPECT_NEAR(P.Time, 10.0, 0.3);
+  EXPECT_GE(P.Reps, 20);
+}
+
+TEST(SimBackend, RefusesOversizedProblems) {
+  SimDevice Dev(makeGpuProfile("gpu", 100.0, 0.0, 500.0, /*OutOfCore=*/0.0));
+  SimDeviceBackend B(Dev);
+  Point P = runBenchmark(B, 1000.0, Precision());
+  EXPECT_EQ(P.Reps, 0);
+}
+
+TEST(SimBackend, AdvancesVirtualClockWhenAttached) {
+  SimDevice Dev(makeConstantProfile("c", 10.0), 0.0, 1);
+  runSpmd(1, [&](Comm &C) {
+    SimDeviceBackend B(Dev, &C);
+    Precision Prec;
+    Prec.MinReps = 3;
+    Prec.MaxReps = 3;
+    runBenchmark(B, 100.0, Prec, &C);
+    // Three repetitions of 10 s each were charged to the clock.
+    EXPECT_DOUBLE_EQ(C.time(), 30.0);
+  });
+}
+
+TEST(SimBackend, SynchronisedMeasurementAlignsRanks) {
+  Cluster Cl;
+  // Built inline to control speeds precisely: rank 0 is 4x faster.
+  Cl.Devices = {makeConstantProfile("fast", 40.0),
+                makeConstantProfile("slow", 10.0)};
+  Cl.NodeOfRank = {0, 0};
+  Cl.NoiseSigma = 0.0;
+  runSpmd(2,
+          [&](Comm &C) {
+            SimDevice Dev = Cl.makeDevice(C.rank());
+            SimDeviceBackend B(Dev, &C);
+            Precision Prec;
+            Prec.MinReps = 2;
+            Prec.MaxReps = 2;
+            runBenchmark(B, 100.0, Prec, &C);
+            // Each rep starts at the barrier (slowest rank's time): after
+            // two reps both ranks sit at 2 * 10 s, plus microseconds of
+            // collective-stop communication.
+            C.barrier();
+            EXPECT_NEAR(C.time(), 20.0, 1e-3);
+          },
+          Cl.makeCostModel());
+}
+
+TEST(NativeBackend, MeasuresRealGemmKernel) {
+  GemmKernel K(/*BlockSize=*/8, /*UseBlockedGemm=*/true);
+  NativeKernelBackend B(K);
+  Precision Prec;
+  Prec.MinReps = 2;
+  Prec.MaxReps = 4;
+  Prec.TargetRelativeError = 0.5; // Loose: this is a smoke test.
+  Point P = runBenchmark(B, 64.0, Prec);
+  EXPECT_GE(P.Reps, 2);
+  EXPECT_GT(P.Time, 0.0);
+  EXPECT_GT(P.speed(), 0.0);
+}
+
+TEST(NativeBackend, LargerProblemsTakeLonger) {
+  GemmKernel K(8, true);
+  NativeKernelBackend B(K);
+  Precision Prec;
+  Prec.MinReps = 3;
+  Prec.MaxReps = 6;
+  Prec.TargetRelativeError = 0.2;
+  Point Small = runBenchmark(B, 16.0, Prec);
+  Point Large = runBenchmark(B, 1024.0, Prec);
+  EXPECT_GT(Large.Time, Small.Time);
+}
+
+TEST(GemmKernelShape, NearlySquareGrid) {
+  GemmKernel K(4);
+  ASSERT_TRUE(K.initialize(12));
+  EXPECT_EQ(K.rows(), 3u);
+  EXPECT_EQ(K.cols(), 4u);
+  K.finalize();
+  ASSERT_TRUE(K.initialize(16));
+  EXPECT_EQ(K.rows(), 4u);
+  EXPECT_EQ(K.cols(), 4u);
+  K.finalize();
+}
+
+TEST(GemmKernelShape, ComplexityCountsBlockUpdates) {
+  GemmKernel K(10);
+  // 2 * d * b^3 flops.
+  EXPECT_DOUBLE_EQ(K.complexity(5.0), 2.0 * 5.0 * 1000.0);
+}
+
+TEST(RunBenchmark, OutlierRejectionRemovesSpikes) {
+  // One in six repetitions is a 20x scheduler spike.
+  FakeBackend B({1.0, 1.01, 0.99, 1.02, 0.98, 20.0});
+  Precision Prec;
+  Prec.MinReps = 12;
+  Prec.MaxReps = 12;
+  Prec.TargetRelativeError = 1e-9;
+
+  Point Plain = runBenchmark(B, 5.0, Prec);
+  FakeBackend B2({1.0, 1.01, 0.99, 1.02, 0.98, 20.0});
+  Prec.RejectOutliers = true;
+  Point Robust = runBenchmark(B2, 5.0, Prec);
+
+  // The plain mean is dragged up by the spikes; the robust mean is not.
+  EXPECT_GT(Plain.Time, 4.0);
+  EXPECT_NEAR(Robust.Time, 1.0, 0.05);
+  EXPECT_EQ(Robust.Reps, 10); // Two spikes rejected.
+}
+
+TEST(RunBenchmark, OutlierRejectionHarmlessOnCleanData) {
+  FakeBackend B({1.0, 1.01, 0.99});
+  Precision Prec;
+  Prec.MinReps = 6;
+  Prec.MaxReps = 6;
+  Prec.RejectOutliers = true;
+  Point P = runBenchmark(B, 5.0, Prec);
+  EXPECT_EQ(P.Reps, 6);
+  EXPECT_NEAR(P.Time, 1.0, 0.02);
+}

@@ -1,0 +1,94 @@
+//===-- tests/ClusterIOTest.cpp - cluster description parsing -------------===//
+
+#include "sim/ClusterIO.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace fupermod;
+
+namespace {
+
+const char *SampleText = R"(# sample platform
+noise 0.05
+seed 99
+intra 2e-6 4e9
+inter 1e-4 5e8
+device 0 constant fast 800
+device 0 cpu core 700 20 1500 200 0.5
+device 0 contended sib 700 20 1500 200 0.5 3 0.25
+device 1 gpu accel 4000 0.05 12000 0.5
+)";
+
+} // namespace
+
+TEST(ClusterIO, ParsesSampleDescription) {
+  std::istringstream IS(SampleText);
+  std::string Error;
+  auto Cl = parseCluster(IS, &Error);
+  ASSERT_TRUE(Cl.has_value()) << Error;
+  EXPECT_EQ(Cl->size(), 4);
+  EXPECT_DOUBLE_EQ(Cl->NoiseSigma, 0.05);
+  EXPECT_EQ(Cl->Seed, 99u);
+  EXPECT_EQ(Cl->NodeOfRank, (std::vector<int>{0, 0, 0, 1}));
+  EXPECT_DOUBLE_EQ(Cl->Intra.Latency, 2e-6);
+  EXPECT_DOUBLE_EQ(1.0 / Cl->Inter.BytePeriod, 5e8);
+
+  // Device semantics survive parsing.
+  EXPECT_DOUBLE_EQ(Cl->Devices[0].speed(123.0), 800.0);
+  // Contended sibling is slower than the plain core at the same size.
+  EXPECT_LT(Cl->Devices[2].speed(500.0), Cl->Devices[1].speed(500.0));
+  // GPU memory limit and out-of-core factor present.
+  EXPECT_DOUBLE_EQ(Cl->Devices[3].memoryLimitUnits(), 12000.0);
+  EXPECT_TRUE(Cl->Devices[3].canExecute(20000.0));
+}
+
+TEST(ClusterIO, CommentsAndBlankLinesIgnored) {
+  std::istringstream IS("\n# hi\ndevice 0 constant a 10 # trailing\n\n");
+  auto Cl = parseCluster(IS);
+  ASSERT_TRUE(Cl.has_value());
+  EXPECT_EQ(Cl->size(), 1);
+}
+
+TEST(ClusterIO, RejectsMalformedInput) {
+  const char *Bad[] = {
+      "frobnicate 3\n",                       // Unknown key.
+      "device 0 constant a -5\n",             // Negative speed.
+      "device 0 warp a 1 2 3\n",              // Unknown device form.
+      "device 0 cpu a 700 20 1500 200\n",     // Missing drop factor.
+      "noise -1\n device 0 constant a 1\n",   // Negative noise.
+      "intra 1e-6 0\n device 0 constant a 1\n", // Zero bandwidth.
+      "",                                     // No devices at all.
+  };
+  for (const char *Text : Bad) {
+    std::istringstream IS(Text);
+    std::string Error;
+    EXPECT_FALSE(parseCluster(IS, &Error).has_value()) << Text;
+    EXPECT_FALSE(Error.empty()) << Text;
+  }
+}
+
+TEST(ClusterIO, ResolvePresets) {
+  EXPECT_EQ(resolveCluster("two-device")->size(), 2);
+  EXPECT_EQ(resolveCluster("hcl")->size(), 7);
+  EXPECT_EQ(resolveCluster("hcl-nogpu")->size(), 6);
+  EXPECT_EQ(resolveCluster("uniform5")->size(), 5);
+}
+
+TEST(ClusterIO, ResolveMissingFileFails) {
+  std::string Error;
+  EXPECT_FALSE(resolveCluster("/no/such/file.cluster", &Error).has_value());
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(ClusterIO, ShippedSampleFileParses) {
+  // The sample description shipped in examples/ must stay valid.
+  std::string Error;
+  auto Cl = loadCluster(std::string(FUPERMOD_SOURCE_DIR) +
+                            "/examples/sample.cluster",
+                        &Error);
+  ASSERT_TRUE(Cl.has_value()) << Error;
+  EXPECT_EQ(Cl->size(), 5);
+  EXPECT_EQ(Cl->NodeOfRank.back(), 1);
+}

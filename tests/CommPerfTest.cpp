@@ -1,0 +1,174 @@
+//===-- tests/CommPerfTest.cpp - communication model tests ----------------===//
+//
+// The commperf library measures links and fits Hockney parameters; on the
+// simulated runtime the fitted parameters must recover the *configured*
+// cost model exactly, and the analytic collective predictions must match
+// the virtual times the runtime actually produces. These tests therefore
+// double as an end-to-end audit of the communication cost machinery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commperf/HockneyFit.h"
+
+#include "mpp/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace fupermod;
+
+namespace {
+
+CommSample sample(std::size_t Bytes, double Time) {
+  CommSample S;
+  S.Bytes = Bytes;
+  S.Time = Time;
+  return S;
+}
+
+} // namespace
+
+TEST(FitHockney, RecoversExactLine) {
+  // time = 1e-4 + bytes * 1e-9.
+  std::vector<CommSample> Samples;
+  for (std::size_t B : {100u, 1000u, 10000u, 100000u})
+    Samples.push_back(sample(B, 1e-4 + static_cast<double>(B) * 1e-9));
+  auto Link = fitHockney(Samples);
+  ASSERT_TRUE(Link.has_value());
+  EXPECT_NEAR(Link->Latency, 1e-4, 1e-12);
+  EXPECT_NEAR(Link->BytePeriod, 1e-9, 1e-18);
+}
+
+TEST(FitHockney, RejectsDegenerateInputs) {
+  EXPECT_FALSE(fitHockney({}).has_value());
+  std::vector<CommSample> One = {sample(100, 1.0)};
+  EXPECT_FALSE(fitHockney(One).has_value());
+  // Same size twice: slope undetermined.
+  std::vector<CommSample> Same = {sample(100, 1.0), sample(100, 2.0)};
+  EXPECT_FALSE(fitHockney(Same).has_value());
+  // Decreasing time with size: negative bandwidth rejected.
+  std::vector<CommSample> Neg = {sample(100, 2.0), sample(1000, 1.0)};
+  EXPECT_FALSE(fitHockney(Neg).has_value());
+}
+
+TEST(FitHockney, ClampsTinyNegativeLatency) {
+  std::vector<CommSample> Samples = {sample(1000, 1e-6),
+                                     sample(2000, 2.001e-6),
+                                     sample(3000, 2.999e-6)};
+  auto Link = fitHockney(Samples);
+  ASSERT_TRUE(Link.has_value());
+  EXPECT_GE(Link->Latency, 0.0);
+}
+
+TEST(PingPong, RecoversConfiguredLinkExactly) {
+  const double Latency = 2.5e-5;
+  const double Bandwidth = 4e8;
+  auto Cost = std::make_shared<UniformCostModel>(Latency, Bandwidth);
+  std::optional<LinkCost> Fitted;
+  runSpmd(4,
+          [&](Comm &C) {
+            std::vector<std::size_t> Sizes = {64, 4096, 65536, 1 << 20};
+            auto Samples = pingPong(C, 1, 3, Sizes);
+            if (C.rank() == 0)
+              Fitted = fitHockney(Samples);
+          },
+          Cost);
+  ASSERT_TRUE(Fitted.has_value());
+  EXPECT_NEAR(Fitted->Latency, Latency, 1e-9);
+  EXPECT_NEAR(Fitted->BytePeriod, 1.0 / Bandwidth, 1e-15);
+}
+
+TEST(PingPong, DistinguishesIntraAndInterNodeLinks) {
+  std::vector<int> NodeOf = {0, 0, 1, 1};
+  LinkCost Intra{1e-6, 1.0 / 8e9};
+  LinkCost Inter{5e-5, 1.0 / 1e9};
+  auto Cost = std::make_shared<TwoLevelCostModel>(NodeOf, Intra, Inter);
+  std::optional<LinkCost> FitIntra, FitInter;
+  runSpmd(4,
+          [&](Comm &C) {
+            std::vector<std::size_t> Sizes = {256, 16384, 1 << 20};
+            auto Near = pingPong(C, 0, 1, Sizes);
+            auto Far = pingPong(C, 0, 2, Sizes);
+            if (C.rank() == 0) {
+              FitIntra = fitHockney(Near);
+              FitInter = fitHockney(Far);
+            }
+          },
+          Cost);
+  ASSERT_TRUE(FitIntra.has_value());
+  ASSERT_TRUE(FitInter.has_value());
+  EXPECT_NEAR(FitIntra->Latency, 1e-6, 1e-10);
+  EXPECT_NEAR(FitInter->Latency, 5e-5, 1e-10);
+  EXPECT_GT(FitInter->BytePeriod, 5.0 * FitIntra->BytePeriod);
+}
+
+// Predicted collective completion times must match the runtime's actual
+// virtual times for every communicator size.
+class CollectivePredictionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivePredictionTest, BcastMatchesRuntime) {
+  int P = GetParam();
+  LinkCost Link{1e-5, 1.0 / 1e9};
+  auto Cost = std::make_shared<UniformCostModel>(1e-5, 1e9);
+  const std::size_t Bytes = 1 << 18;
+
+  double Measured = 0.0;
+  runSpmd(P,
+          [&](Comm &C) {
+            std::vector<std::byte> Data;
+            if (C.rank() == 0)
+              Data.resize(Bytes);
+            C.bcastBytes(Data, 0);
+            double End = C.allreduceValue(C.time(), ReduceOp::Max);
+            if (C.rank() == 0)
+              Measured = End;
+          },
+          Cost);
+  EXPECT_NEAR(Measured, predictBcast(Link, P, Bytes), 1e-12)
+      << "P=" << P;
+}
+
+TEST_P(CollectivePredictionTest, RingAllgatherMatchesRuntime) {
+  int P = GetParam();
+  LinkCost Link{1e-5, 1.0 / 1e9};
+  auto Cost = std::make_shared<UniformCostModel>(1e-5, 1e9);
+  const std::size_t ChunkDoubles = 4096;
+
+  double Measured = 0.0;
+  runSpmd(P,
+          [&](Comm &C) {
+            std::vector<double> Mine(ChunkDoubles, 1.0);
+            C.allgathervRing(std::span<const double>(Mine));
+            double End = C.allreduceValue(C.time(), ReduceOp::Max);
+            if (C.rank() == 0)
+              Measured = End;
+          },
+          Cost);
+  EXPECT_NEAR(Measured,
+              predictRingAllgather(Link, P, ChunkDoubles * sizeof(double)),
+              1e-12)
+      << "P=" << P;
+}
+
+TEST_P(CollectivePredictionTest, GatherMatchesRuntime) {
+  int P = GetParam();
+  LinkCost Link{1e-5, 1.0 / 1e9};
+  auto Cost = std::make_shared<UniformCostModel>(1e-5, 1e9);
+  const std::size_t Doubles = 8192;
+
+  double Measured = 0.0;
+  runSpmd(P,
+          [&](Comm &C) {
+            std::vector<double> Mine(Doubles, 1.0);
+            C.gatherv(std::span<const double>(Mine), 0);
+            if (C.rank() == 0)
+              Measured = C.time();
+          },
+          Cost);
+  EXPECT_NEAR(Measured,
+              predictGatherLinear(Link, P, Doubles * sizeof(double)),
+              1e-12)
+      << "P=" << P;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivePredictionTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16));

@@ -1,0 +1,211 @@
+//===-- tests/EndToEndTest.cpp - integration across the stack -------------===//
+//
+// Full-pipeline tests mirroring the paper's workflow: benchmark kernels on
+// a heterogeneous (simulated) platform, build functional performance
+// models, partition, and run the data-parallel applications.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/MatMul.h"
+#include "core/Dynamic.h"
+#include "core/Metrics.h"
+#include "core/Partitioners.h"
+#include "mpp/Runtime.h"
+#include "sim/Cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace fupermod;
+
+namespace {
+
+/// Builds full FPMs for every device by synchronised benchmarking on the
+/// SPMD runtime — the paper's model-construction phase.
+std::vector<std::unique_ptr<Model>>
+buildModelsOnCluster(const Cluster &Cl, const char *Kind, double MaxSize,
+                     int NumPoints) {
+  std::vector<std::unique_ptr<Model>> Models(
+      static_cast<std::size_t>(Cl.size()));
+  for (int R = 0; R < Cl.size(); ++R)
+    Models[static_cast<std::size_t>(R)] = makeModel(Kind);
+
+  runSpmd(Cl.size(),
+          [&](Comm &C) {
+            SimDevice Dev = Cl.makeDevice(C.rank());
+            SimDeviceBackend Backend(Dev, &C);
+            Precision Prec;
+            Prec.MinReps = 3;
+            Prec.MaxReps = 8;
+            Prec.TargetRelativeError = 0.03;
+            for (int I = 1; I <= NumPoints; ++I) {
+              double D = MaxSize * I / NumPoints;
+              Point P = runBenchmark(Backend, D, Prec, &C);
+              std::vector<Point> All =
+                  C.allgatherv(std::span<const Point>(&P, 1));
+              if (C.rank() == 0)
+                for (int Q = 0; Q < C.size(); ++Q)
+                  Models[static_cast<std::size_t>(Q)]->update(
+                      All[static_cast<std::size_t>(Q)]);
+            }
+          },
+          Cl.makeCostModel());
+  return Models;
+}
+
+} // namespace
+
+TEST(EndToEnd, ModelsBuiltOverRuntimeMatchProfiles) {
+  Cluster Cl = makeTwoDeviceCluster();
+  Cl.NoiseSigma = 0.02;
+  auto Models = buildModelsOnCluster(Cl, "akima", 4000.0, 16);
+  for (int R = 0; R < Cl.size(); ++R) {
+    for (double X : {500.0, 1500.0, 3500.0}) {
+      double True = Cl.Devices[static_cast<std::size_t>(R)].time(X);
+      EXPECT_NEAR(Models[static_cast<std::size_t>(R)]->timeAt(X), True,
+                  0.10 * True)
+          << "device " << R << " size " << X;
+    }
+  }
+}
+
+TEST(EndToEnd, StaticFpmPartitioningNearOptimal) {
+  Cluster Cl = makeHclLikeCluster(true);
+  Cl.NoiseSigma = 0.02;
+  const std::int64_t D = 20000;
+  auto Models = buildModelsOnCluster(Cl, "piecewise", 1.2 * D, 24);
+  std::vector<Model *> Ptrs;
+  for (auto &M : Models)
+    Ptrs.push_back(M.get());
+
+  Dist Out;
+  ASSERT_TRUE(partitionGeometric(D, Ptrs, Out));
+  auto Times = trueTimes(Out, Cl.Devices);
+  double Opt = optimalMakespan(D, Cl.Devices);
+  EXPECT_LT(makespan(Times), 1.15 * Opt);
+}
+
+TEST(EndToEnd, FpmBeatsCpmAcrossTheCliff) {
+  // The headline claim: on sizes where per-device allocations straddle
+  // speed cliffs, CPM-based partitioning (speeds probed at one size) is
+  // visibly worse than FPM-based partitioning.
+  Cluster Cl = makeTwoDeviceCluster();
+  Cl.NoiseSigma = 0.0;
+  const std::int64_t D = 6000;
+
+  auto Fpm = buildModelsOnCluster(Cl, "piecewise", 1.2 * D, 24);
+  std::vector<Model *> FpmPtrs;
+  for (auto &M : Fpm)
+    FpmPtrs.push_back(M.get());
+
+  // CPM built the traditional way: one small serial benchmark per device.
+  std::vector<std::unique_ptr<Model>> Cpm;
+  std::vector<Model *> CpmPtrs;
+  for (int R = 0; R < Cl.size(); ++R) {
+    auto M = makeModel("cpm");
+    Point P;
+    P.Units = 200.0;
+    P.Time = Cl.Devices[static_cast<std::size_t>(R)].time(200.0);
+    P.Reps = 1;
+    M->update(P);
+    Cpm.push_back(std::move(M));
+    CpmPtrs.push_back(Cpm.back().get());
+  }
+
+  Dist FpmDist, CpmDist;
+  ASSERT_TRUE(partitionGeometric(D, FpmPtrs, FpmDist));
+  ASSERT_TRUE(partitionConstant(D, CpmPtrs, CpmDist));
+  double FpmSpan = makespan(trueTimes(FpmDist, Cl.Devices));
+  double CpmSpan = makespan(trueTimes(CpmDist, Cl.Devices));
+  EXPECT_LT(FpmSpan, 0.9 * CpmSpan);
+}
+
+TEST(EndToEnd, FpmPartitionedMatMulFasterThanEven) {
+  Cluster Cl = makeHclLikeCluster(false);
+  Cl.NoiseSigma = 0.01;
+  const int N = 12; // 12x12 blocks.
+  const std::int64_t D = static_cast<std::int64_t>(N) * N;
+
+  auto Models = buildModelsOnCluster(Cl, "piecewise", 1.5 * D, 12);
+  std::vector<Model *> Ptrs;
+  for (auto &M : Models)
+    Ptrs.push_back(M.get());
+  Dist Out;
+  ASSERT_TRUE(partitionGeometric(D, Ptrs, Out));
+
+  std::vector<double> Areas;
+  for (const Part &P : Out.Parts)
+    Areas.push_back(static_cast<double>(P.Units));
+  auto Balanced = scaleToGrid(partitionColumnBased(Areas), N);
+  std::vector<double> EvenAreas(static_cast<std::size_t>(Cl.size()), 1.0);
+  auto Even = scaleToGrid(partitionColumnBased(EvenAreas), N);
+
+  MatMulOptions O;
+  O.NBlocks = N;
+  O.BlockSize = 4;
+  O.Verify = true;
+  MatMulReport RBal = runParallelMatMul(Cl, Balanced, O);
+  MatMulReport REven = runParallelMatMul(Cl, Even, O);
+  EXPECT_LT(RBal.MaxError, 1e-9);
+  EXPECT_LT(REven.MaxError, 1e-9);
+  EXPECT_LT(RBal.Makespan, REven.Makespan);
+}
+
+TEST(EndToEnd, DynamicPartitioningCheaperThanFullModels) {
+  // Dynamic partial estimation must reach a competitive balance while
+  // spending far less virtual time on benchmarking than full model
+  // construction.
+  Cluster Cl = makeTwoDeviceCluster();
+  Cl.NoiseSigma = 0.01;
+  const std::int64_t D = 4000;
+
+  double DynamicCost = 0.0;
+  std::vector<std::int64_t> DynUnits(2, 0);
+  runSpmd(2,
+          [&](Comm &C) {
+            SimDevice Dev = Cl.makeDevice(C.rank());
+            SimDeviceBackend Backend(Dev, &C);
+            DynamicContext Ctx(partitionGeometric, "piecewise", D, 2);
+            Precision Prec;
+            Prec.MinReps = 1;
+            Prec.MaxReps = 3;
+            Prec.TargetRelativeError = 0.05;
+            runDynamicPartitioning(Ctx, C, Backend, Prec, 0.02, 20);
+            C.barrier();
+            if (C.rank() == 0) {
+              DynamicCost = C.time();
+              DynUnits[0] = Ctx.dist().Parts[0].Units;
+              DynUnits[1] = Ctx.dist().Parts[1].Units;
+            }
+          },
+          Cl.makeCostModel());
+
+  // Full-model construction cost on the same platform.
+  double FullCost = 0.0;
+  runSpmd(2,
+          [&](Comm &C) {
+            SimDevice Dev = Cl.makeDevice(C.rank());
+            SimDeviceBackend Backend(Dev, &C);
+            Precision Prec;
+            Prec.MinReps = 1;
+            Prec.MaxReps = 3;
+            Prec.TargetRelativeError = 0.05;
+            for (int I = 1; I <= 24; ++I)
+              runBenchmark(Backend, 1.2 * D * I / 24.0, Prec, &C);
+            C.barrier();
+            if (C.rank() == 0)
+              FullCost = C.time();
+          },
+          Cl.makeCostModel());
+
+  EXPECT_LT(DynamicCost, FullCost);
+
+  Dist Final;
+  Final.Total = D;
+  Final.Parts.resize(2);
+  Final.Parts[0].Units = DynUnits[0];
+  Final.Parts[1].Units = DynUnits[1];
+  double Opt = optimalMakespan(D, Cl.Devices);
+  EXPECT_LT(makespan(trueTimes(Final, Cl.Devices)), 1.2 * Opt);
+}

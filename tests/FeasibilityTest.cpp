@@ -1,0 +1,171 @@
+//===-- tests/FeasibilityTest.cpp - device memory-limit handling ----------===//
+//
+// The paper (Section 4.1) notes that GPU kernels can only be measured
+// within the range of problem sizes that fit device memory. These tests
+// cover the framework's handling of that: failed measurements record a
+// feasibility limit on the model, and every partitioning algorithm keeps
+// allocations strictly below it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dynamic.h"
+#include "core/Partitioners.h"
+#include "mpp/Runtime.h"
+#include "sim/Cluster.h"
+
+#include <gtest/gtest.h>
+
+using namespace fupermod;
+
+namespace {
+
+Point makePoint(double Units, double Time) {
+  Point P;
+  P.Units = Units;
+  P.Time = Time;
+  P.Reps = 1;
+  return P;
+}
+
+Point failPoint(double Units) {
+  Point P;
+  P.Units = Units;
+  P.Time = std::numeric_limits<double>::infinity();
+  P.Reps = 0;
+  return P;
+}
+
+} // namespace
+
+TEST(FeasibleLimit, UnlimitedByDefault) {
+  ConstantModel M;
+  M.update(makePoint(10.0, 1.0));
+  EXPECT_TRUE(std::isinf(M.feasibleLimit()));
+}
+
+TEST(FeasibleLimit, RecordsSmallestFailure) {
+  ConstantModel M;
+  M.update(failPoint(800.0));
+  M.update(failPoint(500.0));
+  M.update(failPoint(900.0));
+  EXPECT_DOUBLE_EQ(M.feasibleLimit(), 500.0);
+}
+
+TEST(FeasibleLimit, SuccessRaisesAStaleLimit) {
+  ConstantModel M;
+  M.update(failPoint(500.0));
+  M.update(makePoint(600.0, 1.0)); // Succeeded beyond the old limit.
+  EXPECT_GT(M.feasibleLimit(), 600.0);
+}
+
+TEST(MaxUnitsUnderCap, StrictlyBelowTheCap) {
+  EXPECT_EQ(maxUnitsUnderCap(10.0), 9);
+  EXPECT_EQ(maxUnitsUnderCap(10.5), 10);
+  EXPECT_EQ(maxUnitsUnderCap(0.5), 0);
+  EXPECT_EQ(maxUnitsUnderCap(std::numeric_limits<double>::infinity()),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(RoundSharesCapped, MovesExcessToHeadroom) {
+  std::vector<double> Shares = {90.0, 10.0};
+  std::vector<double> Caps = {50.0,
+                              std::numeric_limits<double>::infinity()};
+  auto Units = roundSharesCapped(Shares, 100, Caps);
+  EXPECT_EQ(Units[0], 49); // Strictly below the infeasible size 50.
+  EXPECT_EQ(Units[1], 51);
+}
+
+TEST(RoundSharesCapped, SaturatesGracefully) {
+  std::vector<double> Shares = {10.0, 10.0};
+  std::vector<double> Caps = {6.0, 6.0}; // Max 5 + 5 = 10 < 20.
+  auto Units = roundSharesCapped(Shares, 20, Caps);
+  EXPECT_EQ(Units[0] + Units[1], 10);
+  EXPECT_LE(Units[0], 5);
+  EXPECT_LE(Units[1], 5);
+}
+
+namespace {
+
+/// Two constant-speed devices; device 1 fails above 300 units.
+std::vector<std::unique_ptr<Model>> limitedPair() {
+  std::vector<std::unique_ptr<Model>> Models;
+  for (int I = 0; I < 2; ++I) {
+    auto M = makeModel("piecewise");
+    M->update(makePoint(100.0, 1.0));
+    M->update(makePoint(200.0, 2.0));
+    Models.push_back(std::move(M));
+  }
+  Models[1]->update(failPoint(300.0));
+  return Models;
+}
+
+std::vector<Model *> ptrs(std::vector<std::unique_ptr<Model>> &Models) {
+  std::vector<Model *> Out;
+  for (auto &M : Models)
+    Out.push_back(M.get());
+  return Out;
+}
+
+} // namespace
+
+class CappedPartitionerTest
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(CappedPartitionerTest, NeverExceedsTheLimit) {
+  auto Models = limitedPair();
+  auto P = ptrs(Models);
+  Dist Out;
+  // Equal speeds would split 500/500; device 1 is capped below 300.
+  ASSERT_TRUE(getPartitioner(GetParam())(1000, P, Out));
+  EXPECT_EQ(Out.sum(), 1000);
+  EXPECT_LT(Out.Parts[1].Units, 300);
+  EXPECT_EQ(Out.Parts[0].Units, 1000 - Out.Parts[1].Units);
+}
+
+TEST_P(CappedPartitionerTest, FailsWhenCapacityInsufficient) {
+  auto Models = limitedPair();
+  Models[0]->update(failPoint(400.0)); // Both limited: 399 + 299 < 1000.
+  auto P = ptrs(Models);
+  Dist Out;
+  EXPECT_FALSE(getPartitioner(GetParam())(1000, P, Out));
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, CappedPartitionerTest,
+                         ::testing::Values("constant", "geometric",
+                                           "numerical"));
+
+TEST(Feasibility, DynamicPartitioningRespectsGpuMemory) {
+  // A GPU without out-of-core support: sizes above its memory fail to
+  // benchmark; dynamic partitioning must discover the limit and keep the
+  // GPU's share below it while still balancing the rest.
+  Cluster Cl;
+  Cl.Devices = {makeGpuProfile("gpu", 2000.0, 0.01, /*MemLimit=*/900.0,
+                               /*OutOfCore=*/0.0),
+                makeConstantProfile("cpu", 300.0)};
+  Cl.NodeOfRank = {0, 0};
+  Cl.NoiseSigma = 0.0;
+  const std::int64_t D = 2400;
+
+  std::vector<std::int64_t> Final(2, 0);
+  runSpmd(2,
+          [&](Comm &C) {
+            SimDevice Dev = Cl.makeDevice(C.rank());
+            SimDeviceBackend Backend(Dev, &C);
+            DynamicContext Ctx(partitionGeometric, "piecewise", D, 2);
+            Precision Prec;
+            Prec.MinReps = 1;
+            Prec.MaxReps = 1;
+            runDynamicPartitioning(Ctx, C, Backend, Prec, 0.01, 40);
+            if (C.rank() == 0) {
+              Final[0] = Ctx.dist().Parts[0].Units;
+              Final[1] = Ctx.dist().Parts[1].Units;
+            }
+          },
+          Cl.makeCostModel());
+
+  EXPECT_EQ(Final[0] + Final[1], D);
+  // The naive speed split (GPU is much faster) would give the GPU far
+  // more than its memory holds; the discovered limit caps it.
+  EXPECT_LE(Final[0], 900);
+  EXPECT_GE(Final[0], 600);
+}

@@ -1,0 +1,172 @@
+//===-- tests/MatMulTest.cpp - parallel matmul tests ----------------------===//
+
+#include "apps/AdaptiveMatMul.h"
+
+#include "blas/Gemm.h"
+
+#include <gtest/gtest.h>
+
+using namespace fupermod;
+
+namespace {
+
+MatMulOptions smallOptions() {
+  MatMulOptions O;
+  O.NBlocks = 6;
+  O.BlockSize = 4;
+  O.Verify = true;
+  return O;
+}
+
+} // namespace
+
+TEST(Gemm, NaiveMatchesBlocked) {
+  const std::size_t M = 17, N = 23, K = 9;
+  std::vector<double> A(M * K), B(K * N), C1(M * N, 0.0), C2(M * N, 0.0);
+  fillDeterministic(A, 1);
+  fillDeterministic(B, 2);
+  gemmNaive(M, N, K, A, B, C1);
+  gemmBlocked(M, N, K, A, B, C2, 8);
+  EXPECT_LT(maxAbsDiff(C1, C2), 1e-12);
+}
+
+TEST(Gemm, AccumulatesIntoC) {
+  std::vector<double> A = {1.0}, B = {2.0}, C = {10.0};
+  gemmNaive(1, 1, 1, A, B, C);
+  EXPECT_DOUBLE_EQ(C[0], 12.0);
+}
+
+TEST(ParallelMatMul, SingleRankMatchesSerial) {
+  Cluster Cl = makeUniformCluster(1, 100.0);
+  Cl.NoiseSigma = 0.0;
+  std::vector<GridRect> Rects = {{0, 0, 6, 6, 0}};
+  MatMulReport R = runParallelMatMul(Cl, Rects, smallOptions());
+  EXPECT_LT(R.MaxError, 1e-10);
+  EXPECT_EQ(R.BlocksCommunicated, 0);
+  EXPECT_GT(R.Makespan, 0.0);
+}
+
+TEST(ParallelMatMul, TwoRankRowSplitCorrect) {
+  Cluster Cl = makeUniformCluster(2, 100.0);
+  Cl.NoiseSigma = 0.0;
+  std::vector<GridRect> Rects = {{0, 0, 6, 3, 0}, {0, 3, 6, 3, 1}};
+  MatMulReport R = runParallelMatMul(Cl, Rects, smallOptions());
+  EXPECT_LT(R.MaxError, 1e-10);
+  EXPECT_GT(R.BlocksCommunicated, 0);
+}
+
+TEST(ParallelMatMul, FourRankGridCorrect) {
+  Cluster Cl = makeUniformCluster(4, 100.0);
+  Cl.NoiseSigma = 0.0;
+  std::vector<GridRect> Rects = {{0, 0, 3, 3, 0},
+                                 {3, 0, 3, 3, 1},
+                                 {0, 3, 3, 3, 2},
+                                 {3, 3, 3, 3, 3}};
+  MatMulReport R = runParallelMatMul(Cl, Rects, smallOptions());
+  EXPECT_LT(R.MaxError, 1e-10);
+}
+
+TEST(ParallelMatMul, HeterogeneousRectsFromLayoutCorrect) {
+  Cluster Cl = makeUniformCluster(3, 100.0);
+  Cl.Devices[1] = makeConstantProfile("slow", 25.0);
+  Cl.Devices[2] = makeConstantProfile("mid", 50.0);
+  Cl.NoiseSigma = 0.0;
+  std::vector<double> Areas = {100.0, 25.0, 50.0};
+  auto Rects = scaleToGrid(partitionColumnBased(Areas), 6);
+  MatMulReport R = runParallelMatMul(Cl, Rects, smallOptions());
+  EXPECT_LT(R.MaxError, 1e-10);
+}
+
+TEST(ParallelMatMul, BalancedBeatsEvenOnHeterogeneousCluster) {
+  Cluster Cl = makeUniformCluster(2, 200.0);
+  Cl.Devices[1] = makeConstantProfile("slow", 40.0); // 5x slower.
+  Cl.NoiseSigma = 0.0;
+
+  MatMulOptions O;
+  O.NBlocks = 10;
+  O.BlockSize = 4;
+  O.Verify = false;
+
+  std::vector<GridRect> Even = {{0, 0, 10, 5, 0}, {0, 5, 10, 5, 1}};
+  // Speed-proportional areas: 200:40 -> rows 8.33 vs 1.67 -> 8/2.
+  std::vector<GridRect> Balanced = {{0, 0, 10, 8, 0}, {0, 8, 10, 2, 1}};
+
+  MatMulReport REven = runParallelMatMul(Cl, Even, O);
+  MatMulReport RBal = runParallelMatMul(Cl, Balanced, O);
+  EXPECT_LT(RBal.Makespan, 0.6 * REven.Makespan);
+}
+
+TEST(ParallelMatMul, CommunicationCountedPerBlockTransfer) {
+  Cluster Cl = makeUniformCluster(2, 100.0);
+  Cl.NoiseSigma = 0.0;
+  MatMulOptions O;
+  O.NBlocks = 4;
+  O.BlockSize = 2;
+  O.Verify = false;
+  // Column split: each rank owns a 2x4 slab; every iteration k, the A
+  // pivot column owner sends 4 blocks, the B pivot row owner sends 2.
+  std::vector<GridRect> Rects = {{0, 0, 2, 4, 0}, {2, 0, 2, 4, 1}};
+  MatMulReport R = runParallelMatMul(Cl, Rects, O);
+  // A: for each of the 4 iterations, the 4 blocks of pivot column k go to
+  // the non-owner (both rectangles span all rows): 4 * 4 transfers.
+  // B: pivot-row block (k, col) is owned by the rank owning column col,
+  // which is also the only rank that needs it: 0 transfers.
+  EXPECT_EQ(R.BlocksCommunicated, 16);
+}
+
+TEST(ParallelMatMul, DeterministicAcrossRuns) {
+  Cluster Cl = makeHclLikeCluster(false);
+  MatMulOptions O;
+  O.NBlocks = 6;
+  O.BlockSize = 4;
+  O.Verify = false;
+  std::vector<double> Areas;
+  for (const DeviceProfile &P : Cl.Devices)
+    Areas.push_back(P.speed(100.0));
+  auto Rects = scaleToGrid(partitionColumnBased(Areas), 6);
+  MatMulReport A = runParallelMatMul(Cl, Rects, O);
+  MatMulReport B = runParallelMatMul(Cl, Rects, O);
+  EXPECT_DOUBLE_EQ(A.Makespan, B.Makespan);
+  EXPECT_EQ(A.BlocksCommunicated, B.BlocksCommunicated);
+}
+
+TEST(AdaptiveMatMul, MakespanDropsAcrossRounds) {
+  Cluster Cl = makeHclLikeCluster(false);
+  Cl.NoiseSigma = 0.01;
+  AdaptiveMatMulOptions O;
+  O.NBlocks = 12;
+  O.BlockSize = 4;
+  O.Rounds = 5;
+  AdaptiveMatMulReport R = runAdaptiveMatMul(Cl, O);
+  ASSERT_EQ(R.RoundMakespans.size(), 5u);
+  // The even first round is dominated by the slow devices; adaptation
+  // recovers a visibly faster layout.
+  EXPECT_LT(R.RoundMakespans.back(), 0.75 * R.RoundMakespans.front());
+  EXPECT_LT(R.MaxError, 1e-9);
+}
+
+TEST(AdaptiveMatMul, AreasMigrateToFastDevices) {
+  Cluster Cl = makeUniformCluster(2, 200.0);
+  Cl.Devices[1] = makeConstantProfile("slow", 50.0); // 4x slower.
+  Cl.NoiseSigma = 0.0;
+  AdaptiveMatMulOptions O;
+  O.NBlocks = 10;
+  O.BlockSize = 4;
+  O.Rounds = 4;
+  AdaptiveMatMulReport R = runAdaptiveMatMul(Cl, O);
+  // Round 1 is even; by the last round the fast device owns ~4x.
+  EXPECT_EQ(R.RoundAreas.front()[0], 50);
+  EXPECT_NEAR(static_cast<double>(R.RoundAreas.back()[0]), 80.0, 8.0);
+}
+
+TEST(AdaptiveMatMul, SingleRoundIsJustEvenMatMul) {
+  Cluster Cl = makeUniformCluster(3, 100.0);
+  Cl.NoiseSigma = 0.0;
+  AdaptiveMatMulOptions O;
+  O.NBlocks = 6;
+  O.BlockSize = 4;
+  O.Rounds = 1;
+  AdaptiveMatMulReport R = runAdaptiveMatMul(Cl, O);
+  ASSERT_EQ(R.RoundMakespans.size(), 1u);
+  EXPECT_LT(R.MaxError, 1e-10);
+}

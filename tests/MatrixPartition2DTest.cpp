@@ -1,0 +1,151 @@
+//===-- tests/MatrixPartition2DTest.cpp - Beaumont partition tests --------===//
+
+#include "apps/MatrixPartition2D.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+using namespace fupermod;
+
+namespace {
+
+double areaOf(const Rect &R) { return R.W * R.H; }
+
+} // namespace
+
+TEST(ColumnBased, SingleProcessTakesUnitSquare) {
+  std::vector<double> Areas = {1.0};
+  ColumnLayout L = partitionColumnBased(Areas);
+  ASSERT_EQ(L.Rects.size(), 1u);
+  EXPECT_DOUBLE_EQ(L.Rects[0].W, 1.0);
+  EXPECT_DOUBLE_EQ(L.Rects[0].H, 1.0);
+  EXPECT_DOUBLE_EQ(L.totalHalfPerimeter(), 2.0);
+}
+
+TEST(ColumnBased, AreasAreProportionalToSpeeds) {
+  std::vector<double> Areas = {3.0, 1.0, 2.0, 2.0};
+  ColumnLayout L = partitionColumnBased(Areas);
+  double Sum = 3.0 + 1.0 + 2.0 + 2.0;
+  for (std::size_t I = 0; I < Areas.size(); ++I)
+    EXPECT_NEAR(areaOf(L.Rects[I]), Areas[I] / Sum, 1e-12) << "proc " << I;
+}
+
+TEST(ColumnBased, FourEqualProcessesFormTwoByTwo) {
+  std::vector<double> Areas = {1.0, 1.0, 1.0, 1.0};
+  ColumnLayout L = partitionColumnBased(Areas);
+  ASSERT_EQ(L.Columns.size(), 2u);
+  EXPECT_EQ(L.Columns[0].size(), 2u);
+  EXPECT_EQ(L.Columns[1].size(), 2u);
+  // 2x2 of half-squares: every rect is 0.5 x 0.5.
+  for (const Rect &R : L.Rects) {
+    EXPECT_DOUBLE_EQ(R.W, 0.5);
+    EXPECT_DOUBLE_EQ(R.H, 0.5);
+  }
+  EXPECT_DOUBLE_EQ(L.totalHalfPerimeter(), 4.0);
+}
+
+TEST(ColumnBased, BeatsOrMatchesRowStrips) {
+  SplitMix64 Rng(21);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    std::size_t P = 2 + Trial % 9;
+    std::vector<double> Areas(P);
+    for (double &A : Areas)
+      A = Rng.uniform(0.2, 2.0);
+    double DP = partitionColumnBased(Areas).totalHalfPerimeter();
+    double Strips = partitionRowStrips(Areas).totalHalfPerimeter();
+    EXPECT_LE(DP, Strips + 1e-12) << "trial " << Trial;
+  }
+}
+
+TEST(ColumnBased, LowerBoundRespected) {
+  // Total half-perimeter is at least 2 * sum of sqrt(area) (perfectly
+  // square rectangles), a classical lower bound.
+  SplitMix64 Rng(33);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    std::size_t P = 2 + Trial;
+    std::vector<double> Areas(P);
+    for (double &A : Areas)
+      A = Rng.uniform(0.1, 1.0);
+    double Sum = std::accumulate(Areas.begin(), Areas.end(), 0.0);
+    double Bound = 0.0;
+    for (double A : Areas)
+      Bound += 2.0 * std::sqrt(A / Sum);
+    EXPECT_GE(partitionColumnBased(Areas).totalHalfPerimeter(),
+              Bound - 1e-9);
+  }
+}
+
+TEST(ColumnBased, ZeroAreaProcessAllowed) {
+  std::vector<double> Areas = {1.0, 0.0, 1.0};
+  ColumnLayout L = partitionColumnBased(Areas);
+  EXPECT_NEAR(areaOf(L.Rects[1]), 0.0, 1e-12);
+  EXPECT_NEAR(areaOf(L.Rects[0]), 0.5, 1e-12);
+}
+
+TEST(RowStrips, HeightsProportional) {
+  std::vector<double> Areas = {1.0, 3.0};
+  ColumnLayout L = partitionRowStrips(Areas);
+  ASSERT_EQ(L.Columns.size(), 1u);
+  EXPECT_DOUBLE_EQ(L.Rects[0].W, 1.0);
+  EXPECT_DOUBLE_EQ(L.Rects[0].H, 0.25);
+  EXPECT_DOUBLE_EQ(L.Rects[1].H, 0.75);
+}
+
+TEST(ScaleToGrid, ExactTiling) {
+  std::vector<double> Areas = {3.0, 1.0, 2.0, 2.0, 4.0};
+  ColumnLayout L = partitionColumnBased(Areas);
+  for (int N : {4, 8, 10, 17, 32}) {
+    auto Rects = scaleToGrid(L, N);
+    EXPECT_TRUE(tilesGrid(Rects, N)) << "N=" << N;
+    long long Total = 0;
+    for (const GridRect &R : Rects)
+      Total += R.area();
+    EXPECT_EQ(Total, static_cast<long long>(N) * N);
+  }
+}
+
+TEST(ScaleToGrid, BlockAreasTrackRelativeAreas) {
+  std::vector<double> Areas = {1.0, 2.0, 5.0};
+  ColumnLayout L = partitionColumnBased(Areas);
+  int N = 40;
+  auto Rects = scaleToGrid(L, N);
+  double Total = static_cast<double>(N) * N;
+  EXPECT_NEAR(static_cast<double>(Rects[2].area()) / Total, 5.0 / 8.0,
+              0.08);
+  EXPECT_NEAR(static_cast<double>(Rects[0].area()) / Total, 1.0 / 8.0,
+              0.08);
+}
+
+TEST(TilesGrid, DetectsGapsAndOverlaps) {
+  std::vector<GridRect> Gap = {{0, 0, 1, 2, 0}, {1, 0, 1, 1, 1}};
+  EXPECT_FALSE(tilesGrid(Gap, 2));
+  std::vector<GridRect> Overlap = {{0, 0, 2, 2, 0}, {1, 1, 1, 1, 1}};
+  EXPECT_FALSE(tilesGrid(Overlap, 2));
+  std::vector<GridRect> Good = {{0, 0, 1, 2, 0}, {1, 0, 1, 2, 1}};
+  EXPECT_TRUE(tilesGrid(Good, 2));
+  std::vector<GridRect> OutOfBounds = {{0, 0, 3, 2, 0}};
+  EXPECT_FALSE(tilesGrid(OutOfBounds, 2));
+}
+
+// Property sweep: random areas, several process counts and grid sizes.
+class ScaleSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ScaleSweep, AlwaysTiles) {
+  auto [P, N] = GetParam();
+  SplitMix64 Rng(static_cast<std::uint64_t>(P * 1000 + N));
+  std::vector<double> Areas(static_cast<std::size_t>(P));
+  for (double &A : Areas)
+    A = Rng.uniform(0.05, 1.0);
+  ColumnLayout L = partitionColumnBased(Areas);
+  auto Rects = scaleToGrid(L, N);
+  EXPECT_TRUE(tilesGrid(Rects, N));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ScaleSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 7,
+                                                              10),
+                                            ::testing::Values(6, 16, 25)));

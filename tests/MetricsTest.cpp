@@ -1,0 +1,69 @@
+//===-- tests/MetricsTest.cpp - partition metric tests --------------------===//
+
+#include "core/Metrics.h"
+
+#include <gtest/gtest.h>
+
+using namespace fupermod;
+
+TEST(TrueTimes, EvaluatesProfiles) {
+  std::vector<DeviceProfile> Profiles = {makeConstantProfile("a", 10.0),
+                                         makeConstantProfile("b", 20.0)};
+  Dist D = Dist::even(60, 2); // 30 each.
+  auto Times = trueTimes(D, Profiles);
+  ASSERT_EQ(Times.size(), 2u);
+  EXPECT_DOUBLE_EQ(Times[0], 3.0);
+  EXPECT_DOUBLE_EQ(Times[1], 1.5);
+}
+
+TEST(TrueTimes, ZeroUnitsTakeZeroTime) {
+  std::vector<DeviceProfile> Profiles = {makeConstantProfile("a", 10.0)};
+  Dist D;
+  D.Total = 0;
+  D.Parts.resize(1);
+  auto Times = trueTimes(D, Profiles);
+  EXPECT_DOUBLE_EQ(Times[0], 0.0);
+}
+
+TEST(Makespan, PicksMaximum) {
+  std::vector<double> T = {1.0, 5.0, 2.0};
+  EXPECT_DOUBLE_EQ(makespan(T), 5.0);
+}
+
+TEST(Imbalance, ZeroForEqualTimes) {
+  std::vector<double> T = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(imbalance(T), 0.0);
+}
+
+TEST(Imbalance, KnownValue) {
+  std::vector<double> T = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(imbalance(T), 0.75);
+}
+
+TEST(Imbalance, AllZeroTimes) {
+  std::vector<double> T = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(imbalance(T), 0.0);
+}
+
+TEST(OptimalMakespan, AnalyticForConstantSpeeds) {
+  // Speeds 10 and 30: optimum gives everything time D / 40.
+  std::vector<DeviceProfile> Profiles = {makeConstantProfile("a", 10.0),
+                                         makeConstantProfile("b", 30.0)};
+  EXPECT_NEAR(optimalMakespan(400, Profiles), 10.0, 1e-6);
+}
+
+TEST(OptimalMakespan, SingleDevice) {
+  std::vector<DeviceProfile> Profiles = {makeConstantProfile("a", 25.0)};
+  EXPECT_NEAR(optimalMakespan(100, Profiles), 4.0, 1e-6);
+}
+
+TEST(OptimalMakespan, NeverAboveAnyAlgorithmicDistribution) {
+  std::vector<DeviceProfile> Profiles = {
+      makeCpuProfile("a", 500.0, 20.0, 1000.0, 100.0, 0.5),
+      makeCpuProfile("b", 200.0, 10.0, 3000.0, 400.0, 0.3)};
+  double Opt = optimalMakespan(5000, Profiles);
+  // An arbitrary (even) distribution cannot beat the optimum.
+  Dist Even = Dist::even(5000, 2);
+  auto Times = trueTimes(Even, Profiles);
+  EXPECT_LE(Opt, makespan(Times) + 1e-9);
+}

@@ -1,0 +1,123 @@
+//===-- tests/ModelIOTest.cpp - model persistence tests -------------------===//
+
+#include "core/ModelIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using namespace fupermod;
+
+namespace {
+
+Point makePoint(double Units, double Time, int Reps = 3, double Ci = 0.01) {
+  Point P;
+  P.Units = Units;
+  P.Time = Time;
+  P.Reps = Reps;
+  P.ConfidenceInterval = Ci;
+  return P;
+}
+
+} // namespace
+
+TEST(ModelIO, RoundTripsEveryKind) {
+  for (const char *Kind : {"cpm", "piecewise", "akima", "linear"}) {
+    auto M = makeModel(Kind);
+    M->update(makePoint(10.0, 1.5));
+    M->update(makePoint(20.0, 3.25, 5, 0.02));
+    M->update(makePoint(40.0, 7.125));
+
+    std::stringstream SS;
+    ASSERT_TRUE(writeModel(SS, *M)) << Kind;
+    std::unique_ptr<Model> Back = readModel(SS);
+    ASSERT_NE(Back, nullptr) << Kind;
+    EXPECT_STREQ(Back->kind(), Kind);
+    ASSERT_EQ(Back->points().size(), 3u);
+    EXPECT_DOUBLE_EQ(Back->points()[1].Units, 20.0);
+    EXPECT_DOUBLE_EQ(Back->points()[1].Time, 3.25);
+    EXPECT_EQ(Back->points()[1].Reps, 5);
+    // Identical predictions after the round trip.
+    for (double X : {5.0, 15.0, 30.0, 60.0})
+      EXPECT_DOUBLE_EQ(Back->timeAt(X), M->timeAt(X)) << Kind << " " << X;
+  }
+}
+
+TEST(ModelIO, PreservesFeasibilityLimit) {
+  auto M = makeModel("piecewise");
+  M->update(makePoint(100.0, 2.0));
+  Point Fail;
+  Fail.Units = 500.0;
+  Fail.Reps = 0;
+  Fail.Time = std::numeric_limits<double>::infinity();
+  M->update(Fail);
+  ASSERT_DOUBLE_EQ(M->feasibleLimit(), 500.0);
+
+  std::stringstream SS;
+  ASSERT_TRUE(writeModel(SS, *M));
+  std::unique_ptr<Model> Back = readModel(SS);
+  ASSERT_NE(Back, nullptr);
+  EXPECT_DOUBLE_EQ(Back->feasibleLimit(), 500.0);
+}
+
+TEST(ModelIO, RejectsMalformedInput) {
+  {
+    std::stringstream SS("garbage\n");
+    EXPECT_EQ(readModel(SS), nullptr);
+  }
+  {
+    std::stringstream SS("kind nosuch\npoints 0\n");
+    EXPECT_EQ(readModel(SS), nullptr);
+  }
+  {
+    // Fewer points than declared.
+    std::stringstream SS("kind cpm\npoints 2\n10 1 3 0\n");
+    EXPECT_EQ(readModel(SS), nullptr);
+  }
+  {
+    // Non-positive time.
+    std::stringstream SS("kind cpm\npoints 1\n10 0 3 0\n");
+    EXPECT_EQ(readModel(SS), nullptr);
+  }
+}
+
+TEST(ModelIO, IgnoresCommentsAndBlankLines) {
+  std::stringstream SS(
+      "# header\n\nkind cpm\n# noise\npoints 1\n10 2 3 0.1\n");
+  std::unique_ptr<Model> M = readModel(SS);
+  ASSERT_NE(M, nullptr);
+  EXPECT_DOUBLE_EQ(M->speedAt(1.0), 5.0);
+}
+
+TEST(ModelIO, FileRoundTrip) {
+  auto M = makeModel("akima");
+  M->update(makePoint(8.0, 0.5));
+  M->update(makePoint(16.0, 1.25));
+  std::string Path = ::testing::TempDir() + "/fupermod_model_io_test.model";
+  ASSERT_TRUE(saveModel(Path, *M));
+  std::unique_ptr<Model> Back = loadModel(Path);
+  ASSERT_NE(Back, nullptr);
+  EXPECT_EQ(Back->points().size(), 2u);
+  EXPECT_EQ(loadModel(Path + ".missing"), nullptr);
+}
+
+TEST(DistIO, RoundTrip) {
+  Dist D = Dist::even(100, 3);
+  D.Parts[0].PredictedTime = 1.5;
+  D.Parts[2].PredictedTime = 2.25;
+  std::stringstream SS;
+  ASSERT_TRUE(writeDist(SS, D));
+  Dist Back;
+  ASSERT_TRUE(readDist(SS, Back));
+  EXPECT_EQ(Back.Total, 100);
+  ASSERT_EQ(Back.Parts.size(), 3u);
+  EXPECT_EQ(Back.Parts[0].Units, 34);
+  EXPECT_DOUBLE_EQ(Back.Parts[2].PredictedTime, 2.25);
+}
+
+TEST(DistIO, RejectsRankMismatch) {
+  std::stringstream SS("total 10\nparts 2\n0 5 0\n5 5 0\n");
+  Dist Back;
+  EXPECT_FALSE(readDist(SS, Back));
+}

@@ -1,0 +1,65 @@
+//===-- tests/OptionsTest.cpp - CLI parser tests --------------------------===//
+
+#include "support/Options.h"
+
+#include <gtest/gtest.h>
+
+using namespace fupermod;
+
+namespace {
+
+Options parse(std::initializer_list<const char *> Args) {
+  std::vector<const char *> Argv(Args.begin(), Args.end());
+  return Options(static_cast<int>(Argv.size()), Argv.data());
+}
+
+} // namespace
+
+TEST(Options, KeyValuePairs) {
+  Options O = parse({"prog", "--kind", "akima", "--total", "500"});
+  EXPECT_EQ(O.program(), "prog");
+  EXPECT_TRUE(O.has("kind"));
+  EXPECT_EQ(O.get("kind"), "akima");
+  EXPECT_EQ(O.getInt("total", 0), 500);
+}
+
+TEST(Options, EqualsSyntax) {
+  Options O = parse({"prog", "--min=1.5", "--name=foo"});
+  EXPECT_DOUBLE_EQ(O.getDouble("min", 0.0), 1.5);
+  EXPECT_EQ(O.get("name"), "foo");
+}
+
+TEST(Options, BareFlags) {
+  Options O = parse({"prog", "--verbose", "--out", "--x", "1"});
+  EXPECT_TRUE(O.has("verbose"));
+  EXPECT_EQ(O.get("verbose", "def"), "");
+  // A flag followed by another flag captures no value.
+  EXPECT_EQ(O.get("out"), "");
+  EXPECT_EQ(O.getInt("x", 0), 1);
+}
+
+TEST(Options, PositionalArguments) {
+  Options O = parse({"prog", "a.fpm", "--total", "10", "b.fpm"});
+  ASSERT_EQ(O.positional().size(), 2u);
+  EXPECT_EQ(O.positional()[0], "a.fpm");
+  EXPECT_EQ(O.positional()[1], "b.fpm");
+}
+
+TEST(Options, DefaultsWhenAbsent) {
+  Options O = parse({"prog"});
+  EXPECT_FALSE(O.has("kind"));
+  EXPECT_EQ(O.get("kind", "piecewise"), "piecewise");
+  EXPECT_DOUBLE_EQ(O.getDouble("eps", 0.05), 0.05);
+  EXPECT_EQ(O.getInt("n", 7), 7);
+}
+
+TEST(Options, MalformedNumbersFallBack) {
+  Options O = parse({"prog", "--n", "12x", "--d", "abc"});
+  EXPECT_EQ(O.getInt("n", -1), -1);
+  EXPECT_DOUBLE_EQ(O.getDouble("d", 2.5), 2.5);
+}
+
+TEST(Options, LastOccurrenceWins) {
+  Options O = parse({"prog", "--k", "1", "--k", "2"});
+  EXPECT_EQ(O.getInt("k", 0), 2);
+}

@@ -1,0 +1,121 @@
+//===-- tests/PartitionTest.cpp - distribution type tests -----------------===//
+
+#include "core/Partition.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace fupermod;
+
+TEST(DistEven, SpreadsRemainder) {
+  Dist D = Dist::even(10, 3);
+  EXPECT_EQ(D.Total, 10);
+  ASSERT_EQ(D.Parts.size(), 3u);
+  EXPECT_EQ(D.Parts[0].Units, 4);
+  EXPECT_EQ(D.Parts[1].Units, 3);
+  EXPECT_EQ(D.Parts[2].Units, 3);
+  EXPECT_EQ(D.sum(), 10);
+}
+
+TEST(DistEven, ExactDivision) {
+  Dist D = Dist::even(12, 4);
+  for (const Part &P : D.Parts)
+    EXPECT_EQ(P.Units, 3);
+}
+
+TEST(DistEven, MoreProcsThanUnits) {
+  Dist D = Dist::even(2, 5);
+  EXPECT_EQ(D.sum(), 2);
+  EXPECT_EQ(D.Parts[0].Units, 1);
+  EXPECT_EQ(D.Parts[1].Units, 1);
+  EXPECT_EQ(D.Parts[4].Units, 0);
+}
+
+TEST(Dist, MaxPredictedTime) {
+  Dist D = Dist::even(4, 2);
+  D.Parts[0].PredictedTime = 1.5;
+  D.Parts[1].PredictedTime = 2.5;
+  EXPECT_DOUBLE_EQ(D.maxPredictedTime(), 2.5);
+}
+
+TEST(Dist, RelativeChange) {
+  Dist A = Dist::even(100, 2); // 50 / 50.
+  Dist B = A;
+  B.Parts[0].Units = 60;
+  B.Parts[1].Units = 40;
+  EXPECT_DOUBLE_EQ(A.relativeChange(B), 0.1);
+  EXPECT_DOUBLE_EQ(A.relativeChange(A), 0.0);
+}
+
+TEST(RoundShares, ExactIntegersPassThrough) {
+  std::vector<double> S = {3.0, 5.0, 2.0};
+  auto U = roundShares(S, 10);
+  EXPECT_EQ(U[0], 3);
+  EXPECT_EQ(U[1], 5);
+  EXPECT_EQ(U[2], 2);
+}
+
+TEST(RoundShares, LargestRemainderWins) {
+  std::vector<double> S = {1.6, 1.6, 1.8}; // Sums to 5.
+  auto U = roundShares(S, 5);
+  EXPECT_EQ(U[0] + U[1] + U[2], 5);
+  EXPECT_EQ(U[2], 2); // 0.8 is the largest remainder.
+}
+
+TEST(RoundShares, NegativeSharesClampToZero) {
+  std::vector<double> S = {-1.0, 4.0};
+  auto U = roundShares(S, 4);
+  EXPECT_EQ(U[0] + U[1], 4);
+  EXPECT_GE(U[0], 0);
+}
+
+TEST(RoundShares, TrimsOvershoot) {
+  std::vector<double> S = {3.9, 3.9}; // Floors to 3+3, frac pushes to 8.
+  auto U = roundShares(S, 6);
+  EXPECT_EQ(U[0] + U[1], 6);
+}
+
+TEST(RoundShares, ZeroTotal) {
+  std::vector<double> S = {0.4, 0.6};
+  auto U = roundShares(S, 0);
+  EXPECT_EQ(U[0] + U[1], 0);
+}
+
+// Property: rounding always preserves the total and deviates from the
+// real share by less than one unit per process (largest remainder bound
+// within the same scale).
+struct RoundCase {
+  std::vector<double> Shares;
+  std::int64_t Total;
+};
+
+class RoundSharesProperty : public ::testing::TestWithParam<RoundCase> {};
+
+TEST_P(RoundSharesProperty, TotalPreservedAndClose) {
+  const RoundCase &C = GetParam();
+  auto U = roundShares(C.Shares, C.Total);
+  std::int64_t Sum = std::accumulate(U.begin(), U.end(), std::int64_t(0));
+  EXPECT_EQ(Sum, C.Total);
+  double ShareSum = 0.0;
+  for (double S : C.Shares)
+    ShareSum += std::max(S, 0.0);
+  for (std::size_t I = 0; I < U.size(); ++I) {
+    double Scaled = ShareSum > 0.0
+                        ? std::max(C.Shares[I], 0.0) *
+                              static_cast<double>(C.Total) / ShareSum
+                        : 0.0;
+    EXPECT_NEAR(static_cast<double>(U[I]), Scaled, 2.0)
+        << "share " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RoundSharesProperty,
+    ::testing::Values(
+        RoundCase{{0.5, 0.5}, 101},
+        RoundCase{{10.2, 20.4, 30.4}, 61},
+        RoundCase{{1e-3, 1e-3, 1000.0}, 1000},
+        RoundCase{{7.0}, 7},
+        RoundCase{{0.3, 0.3, 0.4}, 1},
+        RoundCase{{123.4, 234.5, 345.6, 456.7}, 1160}));

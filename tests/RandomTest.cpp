@@ -1,0 +1,67 @@
+//===-- tests/RandomTest.cpp - support/Random tests -----------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace fupermod;
+
+TEST(SplitMix64, DeterministicPerSeed) {
+  SplitMix64 A(123), B(123), C(124);
+  for (int I = 0; I < 100; ++I) {
+    auto VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    EXPECT_NE(VA, C.next());
+  }
+}
+
+TEST(SplitMix64, UniformInRange) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I < 10000; ++I) {
+    double U = Rng.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(SplitMix64, UniformIntervalRespected) {
+  SplitMix64 Rng(9);
+  for (int I = 0; I < 1000; ++I) {
+    double U = Rng.uniform(-3.0, 5.0);
+    EXPECT_GE(U, -3.0);
+    EXPECT_LT(U, 5.0);
+  }
+}
+
+TEST(SplitMix64, UniformMeanIsCentered) {
+  SplitMix64 Rng(11);
+  double Sum = 0.0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Sum += Rng.uniform();
+  EXPECT_NEAR(Sum / N, 0.5, 0.01);
+}
+
+TEST(SplitMix64, NormalMomentsApproximate) {
+  SplitMix64 Rng(13);
+  double Sum = 0.0, SumSq = 0.0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I) {
+    double Z = Rng.normal();
+    Sum += Z;
+    SumSq += Z * Z;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.0, 0.02);
+  EXPECT_NEAR(Var, 1.0, 0.03);
+}
+
+TEST(SplitMix64, ScaledNormal) {
+  SplitMix64 Rng(17);
+  double Sum = 0.0;
+  const int N = 50000;
+  for (int I = 0; I < N; ++I)
+    Sum += Rng.normal(10.0, 2.0);
+  EXPECT_NEAR(Sum / N, 10.0, 0.1);
+}

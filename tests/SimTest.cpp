@@ -1,0 +1,180 @@
+//===-- tests/SimTest.cpp - simulated platform tests ----------------------===//
+
+#include "sim/Cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace fupermod;
+
+TEST(ConstantProfile, SpeedIndependentOfSize) {
+  DeviceProfile P = makeConstantProfile("c", 100.0);
+  EXPECT_DOUBLE_EQ(P.speed(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(P.speed(1e6), 100.0);
+  EXPECT_DOUBLE_EQ(P.time(200.0), 2.0);
+}
+
+TEST(CpuProfile, RampsUpToPeak) {
+  DeviceProfile P = makeCpuProfile("cpu", 1000.0, 50.0, 1e7, 100.0, 0.5);
+  // Tiny problems run below peak; large (pre-cliff) problems approach it.
+  EXPECT_LT(P.speed(10.0), 0.2 * 1000.0);
+  EXPECT_GT(P.speed(5000.0), 0.95 * 1000.0);
+}
+
+TEST(CpuProfile, CliffDropsSpeed) {
+  DeviceProfile P = makeCpuProfile("cpu", 1000.0, 1.0, 1000.0, 50.0, 0.6);
+  double Before = P.speed(500.0);
+  double After = P.speed(2000.0);
+  EXPECT_GT(Before, After);
+  // The drop factor keeps roughly 40% of peak past the cliff.
+  EXPECT_NEAR(After / Before, 0.4, 0.05);
+}
+
+TEST(CpuProfile, TimeIsMonotoneInSize) {
+  DeviceProfile P = makeCpuProfile("cpu", 800.0, 25.0, 2000.0, 300.0, 0.55);
+  double Prev = 0.0;
+  for (double D = 10.0; D < 10000.0; D *= 1.3) {
+    double T = P.time(D);
+    EXPECT_GT(T, Prev) << "at size " << D;
+    Prev = T;
+  }
+}
+
+TEST(GpuProfile, SpeedGrowsWithSize) {
+  DeviceProfile P = makeGpuProfile("gpu", 4000.0, 0.05, 1e9, 1.0);
+  EXPECT_LT(P.speed(10.0), P.speed(1000.0));
+  EXPECT_LT(P.speed(1000.0), P.speed(100000.0));
+  // Asymptotically approaches the peak.
+  EXPECT_NEAR(P.speed(1e8), 4000.0, 40.0);
+}
+
+TEST(GpuProfile, StagingDominatesSmallSizes) {
+  DeviceProfile P = makeGpuProfile("gpu", 4000.0, 0.05, 1e9, 1.0);
+  // At 1 unit the time is essentially the staging overhead.
+  EXPECT_NEAR(P.time(1.0), 0.05, 0.001);
+}
+
+TEST(GpuProfile, MemoryLimitSlowsOutOfCore) {
+  DeviceProfile P = makeGpuProfile("gpu", 1000.0, 0.0, 500.0, 0.25);
+  EXPECT_DOUBLE_EQ(P.speed(400.0), 1000.0);
+  EXPECT_DOUBLE_EQ(P.speed(600.0), 250.0);
+  EXPECT_TRUE(P.canExecute(600.0));
+}
+
+TEST(GpuProfile, NoOutOfCoreMeansCannotExecute) {
+  DeviceProfile P = makeGpuProfile("gpu", 1000.0, 0.0, 500.0, 0.0);
+  EXPECT_TRUE(P.canExecute(500.0));
+  EXPECT_FALSE(P.canExecute(501.0));
+}
+
+TEST(NetlibProfile, PlateauNearFiveGflops) {
+  DeviceProfile P = makeNetlibBlasProfile(/*UnitFlops=*/1e6);
+  // In units of 1e6 flops, 5 GFLOPS is 5000 units/s; the plateau should
+  // be within ripple distance of that.
+  double S = P.speed(1500.0);
+  EXPECT_GT(S, 4200.0);
+  EXPECT_LT(S, 5500.0);
+}
+
+TEST(NetlibProfile, FallsOffPastCliff) {
+  DeviceProfile P = makeNetlibBlasProfile(1e6);
+  EXPECT_LT(P.speed(5000.0), 0.75 * P.speed(1500.0));
+}
+
+TEST(Contention, ScalesSpeedDown) {
+  DeviceProfile Base = makeConstantProfile("c", 100.0);
+  DeviceProfile Shared = withContention(Base, /*ActivePeers=*/3, 0.5);
+  EXPECT_DOUBLE_EQ(Shared.speed(10.0), 100.0 / 2.5);
+  DeviceProfile Alone = withContention(Base, 0, 0.5);
+  EXPECT_DOUBLE_EQ(Alone.speed(10.0), 100.0);
+}
+
+TEST(SimDevice, NoNoiseIsExact) {
+  SimDevice Dev(makeConstantProfile("c", 10.0), 0.0, 1);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_DOUBLE_EQ(Dev.measureTime(100.0), 10.0);
+}
+
+TEST(SimDevice, NoiseIsDeterministicPerSeed) {
+  SimDevice A(makeConstantProfile("c", 10.0), 0.05, 99);
+  SimDevice B(makeConstantProfile("c", 10.0), 0.05, 99);
+  for (int I = 0; I < 20; ++I)
+    EXPECT_DOUBLE_EQ(A.measureTime(50.0), B.measureTime(50.0));
+}
+
+TEST(SimDevice, NoiseScattersAroundTruth) {
+  SimDevice Dev(makeConstantProfile("c", 10.0), 0.05, 7);
+  double Sum = 0.0;
+  const int N = 2000;
+  bool SawDifferent = false;
+  double First = Dev.measureTime(100.0);
+  Sum += First;
+  for (int I = 1; I < N; ++I) {
+    double T = Dev.measureTime(100.0);
+    Sum += T;
+    SawDifferent = SawDifferent || T != First;
+    EXPECT_GT(T, 0.0);
+  }
+  EXPECT_TRUE(SawDifferent);
+  EXPECT_NEAR(Sum / N, 10.0, 0.1);
+}
+
+TEST(SimDevice, NoiseClampedToSaneRange) {
+  SimDevice Dev(makeConstantProfile("c", 1.0), 0.1, 3);
+  for (int I = 0; I < 5000; ++I) {
+    double T = Dev.measureTime(10.0);
+    EXPECT_GE(T, 10.0 * (1.0 - 0.4));
+    EXPECT_LE(T, 10.0 * (1.0 + 0.4));
+  }
+}
+
+TEST(Cluster, TwoDevicePresetShape) {
+  Cluster C = makeTwoDeviceCluster();
+  EXPECT_EQ(C.size(), 2);
+  // Device 0 is distinctly faster at moderate sizes.
+  EXPECT_GT(C.Devices[0].speed(500.0), 1.5 * C.Devices[1].speed(500.0));
+}
+
+TEST(Cluster, HclPresetIsHeterogeneous) {
+  Cluster C = makeHclLikeCluster(true);
+  EXPECT_EQ(C.size(), 7);
+  EXPECT_EQ(C.NodeOfRank.size(), 7u);
+  // Three distinct node ids.
+  EXPECT_EQ(C.NodeOfRank.front(), 0);
+  EXPECT_EQ(C.NodeOfRank.back(), 2);
+  // Speeds differ across devices at a common size.
+  double S0 = C.Devices[0].speed(1000.0);
+  double S4 = C.Devices[4].speed(1000.0);
+  EXPECT_GT(S0, 1.5 * S4);
+}
+
+TEST(Cluster, HclPresetWithoutGpu) {
+  Cluster C = makeHclLikeCluster(false);
+  EXPECT_EQ(C.size(), 6);
+}
+
+TEST(Cluster, UniformPresetIsHomogeneous) {
+  Cluster C = makeUniformCluster(5, 42.0);
+  EXPECT_EQ(C.size(), 5);
+  for (const DeviceProfile &P : C.Devices)
+    EXPECT_DOUBLE_EQ(P.speed(123.0), 42.0);
+}
+
+TEST(Cluster, MakeDevicesSeedsDiffer) {
+  Cluster C = makeUniformCluster(2, 10.0);
+  C.NoiseSigma = 0.05;
+  auto Devs = C.makeDevices();
+  ASSERT_EQ(Devs.size(), 2u);
+  // Different seeds give different noise sequences.
+  EXPECT_NE(Devs[0].measureTime(100.0), Devs[1].measureTime(100.0));
+}
+
+TEST(Cluster, CostModelDistinguishesNodes) {
+  Cluster C = makeHclLikeCluster(true);
+  auto Cost = C.makeCostModel();
+  LinkCost Intra = Cost->link(0, 1);
+  LinkCost Inter = Cost->link(0, 4);
+  EXPECT_LT(Intra.BytePeriod, Inter.BytePeriod);
+  EXPECT_LT(Intra.Latency, Inter.Latency);
+}

@@ -1,0 +1,172 @@
+//===-- tests/StatisticsTest.cpp - support/Statistics tests ---------------===//
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+using namespace fupermod;
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(RunningStat, SingleObservation) {
+  RunningStat S;
+  S.push(3.5);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMeanAndVariance) {
+  RunningStat S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.push(X);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  // Sample variance of the classic data set: 32 / 7.
+  EXPECT_NEAR(S.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(S.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStat, MatchesNaiveTwoPass) {
+  std::vector<double> Data;
+  for (int I = 0; I < 1000; ++I)
+    Data.push_back(std::sin(I * 0.1) * 100.0 + 1e6);
+  RunningStat S;
+  for (double X : Data)
+    S.push(X);
+  double Mean = 0.0;
+  for (double X : Data)
+    Mean += X;
+  Mean /= static_cast<double>(Data.size());
+  double Var = 0.0;
+  for (double X : Data)
+    Var += (X - Mean) * (X - Mean);
+  Var /= static_cast<double>(Data.size() - 1);
+  EXPECT_NEAR(S.mean(), Mean, 1e-6);
+  EXPECT_NEAR(S.variance(), Var, 1e-4);
+}
+
+TEST(RunningStat, ClearResets) {
+  RunningStat S;
+  S.push(1.0);
+  S.push(2.0);
+  S.clear();
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+}
+
+TEST(StudentT, TableSpotChecks) {
+  EXPECT_NEAR(studentTCritical(1, ConfidenceLevel::CL95), 12.706, 1e-3);
+  EXPECT_NEAR(studentTCritical(4, ConfidenceLevel::CL95), 2.776, 1e-3);
+  EXPECT_NEAR(studentTCritical(10, ConfidenceLevel::CL90), 1.812, 1e-3);
+  EXPECT_NEAR(studentTCritical(30, ConfidenceLevel::CL99), 2.750, 1e-3);
+}
+
+TEST(StudentT, LargeDfFallsBackToNormal) {
+  EXPECT_NEAR(studentTCritical(1000, ConfidenceLevel::CL95), 1.960, 1e-3);
+  EXPECT_NEAR(studentTCritical(1000, ConfidenceLevel::CL90), 1.645, 1e-3);
+  EXPECT_NEAR(studentTCritical(1000, ConfidenceLevel::CL99), 2.576, 1e-3);
+}
+
+TEST(StudentT, CriticalValueDecreasesWithDf) {
+  for (std::size_t Df = 1; Df < 30; ++Df)
+    EXPECT_GT(studentTCritical(Df, ConfidenceLevel::CL95),
+              studentTCritical(Df + 1, ConfidenceLevel::CL95));
+}
+
+TEST(ConfidenceInterval, UndefinedForSmallSamples) {
+  RunningStat S;
+  EXPECT_TRUE(std::isinf(confidenceHalfWidth(S, ConfidenceLevel::CL95)));
+  S.push(1.0);
+  EXPECT_TRUE(std::isinf(confidenceHalfWidth(S, ConfidenceLevel::CL95)));
+}
+
+TEST(ConfidenceInterval, KnownValue) {
+  RunningStat S;
+  for (double X : {10.0, 12.0, 14.0})
+    S.push(X);
+  // sd = 2, n = 3, t(2, 95%) = 4.303 -> half width = 4.303 * 2 / sqrt(3).
+  EXPECT_NEAR(confidenceHalfWidth(S, ConfidenceLevel::CL95),
+              4.303 * 2.0 / std::sqrt(3.0), 1e-3);
+}
+
+TEST(ConfidenceInterval, ZeroForIdenticalSamples) {
+  RunningStat S;
+  for (int I = 0; I < 5; ++I)
+    S.push(7.0);
+  EXPECT_DOUBLE_EQ(confidenceHalfWidth(S, ConfidenceLevel::CL95), 0.0);
+  EXPECT_DOUBLE_EQ(relativeError(S, ConfidenceLevel::CL95), 0.0);
+}
+
+TEST(ConfidenceInterval, RelativeErrorInfiniteForZeroMean) {
+  RunningStat S;
+  S.push(-1.0);
+  S.push(1.0);
+  EXPECT_TRUE(std::isinf(relativeError(S, ConfidenceLevel::CL95)));
+}
+
+// The interval half-width must shrink roughly like 1/sqrt(n) as more
+// observations with the same spread arrive.
+class IntervalShrinkTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalShrinkTest, HalfWidthShrinks) {
+  int N = GetParam();
+  RunningStat Small, Large;
+  for (int I = 0; I < N; ++I)
+    Small.push(I % 2 == 0 ? 9.0 : 11.0);
+  for (int I = 0; I < 4 * N; ++I)
+    Large.push(I % 2 == 0 ? 9.0 : 11.0);
+  EXPECT_LT(confidenceHalfWidth(Large, ConfidenceLevel::CL95),
+            confidenceHalfWidth(Small, ConfidenceLevel::CL95));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IntervalShrinkTest,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST(Median, OddAndEvenSizes) {
+  std::vector<double> Odd = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(Odd), 2.0);
+  std::vector<double> Even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(Even), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Mad, KnownValue) {
+  // Median 3, absolute deviations {2,1,0,1,2} -> median 1 -> 1.4826.
+  std::vector<double> S = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_NEAR(medianAbsoluteDeviation(S), 1.4826, 1e-12);
+}
+
+TEST(Mad, ZeroForConstantData) {
+  std::vector<double> S = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(medianAbsoluteDeviation(S), 0.0);
+}
+
+TEST(RejectOutliers, DropsSpikeKeepsBody) {
+  std::vector<double> S = {1.0, 1.02, 0.98, 1.01, 0.99, 10.0};
+  auto Kept = rejectOutliers(S);
+  EXPECT_EQ(Kept.size(), 5u);
+  for (double X : Kept)
+    EXPECT_LT(X, 2.0);
+}
+
+TEST(RejectOutliers, CleanDataUntouched) {
+  std::vector<double> S = {1.0, 1.1, 0.9, 1.05, 0.95};
+  auto Kept = rejectOutliers(S);
+  EXPECT_EQ(Kept.size(), S.size());
+}
+
+TEST(RejectOutliers, ZeroMadKeepsEverything) {
+  std::vector<double> S = {5.0, 5.0, 5.0, 7.0};
+  auto Kept = rejectOutliers(S);
+  EXPECT_EQ(Kept.size(), 4u);
+}

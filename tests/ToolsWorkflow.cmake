@@ -1,0 +1,67 @@
+# CTest script driving the builder/partitioner workflow end to end.
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(run_checked)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE Rc
+                  OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+  if(NOT Rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${Rc}): ${ARGV}\n${Out}\n${Err}")
+  endif()
+  set(LAST_OUTPUT "${Out}" PARENT_SCOPE)
+endfunction()
+
+# Build one model per device of the two-device preset.
+run_checked(${BUILDER} --source two-device --rank 0 --kind piecewise
+            --min 100 --max 4000 --points 12
+            --output ${WORKDIR}/dev0.fpm)
+run_checked(${BUILDER} --source two-device --rank 1 --kind akima
+            --min 100 --max 4000 --points 12
+            --output ${WORKDIR}/dev1.fpm)
+foreach(F dev0.fpm dev1.fpm)
+  if(NOT EXISTS ${WORKDIR}/${F})
+    message(FATAL_ERROR "builder did not write ${F}")
+  endif()
+endforeach()
+
+# Partition with every algorithm; units must sum to the total.
+foreach(Alg constant geometric numerical)
+  run_checked(${PARTITIONER} --total 3000 --algorithm ${Alg}
+              --output ${WORKDIR}/dist_${Alg}.txt
+              ${WORKDIR}/dev0.fpm ${WORKDIR}/dev1.fpm)
+  string(REGEX MATCHALL "units +([0-9]+)" Matches "${LAST_OUTPUT}")
+  set(Sum 0)
+  foreach(M ${Matches})
+    string(REGEX REPLACE "units +" "" U "${M}")
+    math(EXPR Sum "${Sum} + ${U}")
+  endforeach()
+  if(NOT Sum EQUAL 3000)
+    message(FATAL_ERROR "${Alg}: units sum to ${Sum}, expected 3000:\n"
+                        "${LAST_OUTPUT}")
+  endif()
+  if(NOT EXISTS ${WORKDIR}/dist_${Alg}.txt)
+    message(FATAL_ERROR "${Alg}: distribution file not written")
+  endif()
+endforeach()
+
+# Models from a cluster description file work too.
+run_checked(${BUILDER} --source ${SAMPLE_CLUSTER} --rank 4 --min 500
+            --max 10000 --points 6 --output ${WORKDIR}/gpu.fpm)
+if(NOT EXISTS ${WORKDIR}/gpu.fpm)
+  message(FATAL_ERROR "builder did not write gpu.fpm from cluster file")
+endif()
+
+# Malformed invocations must fail loudly.
+execute_process(COMMAND ${PARTITIONER} --total 100 --algorithm bogus
+                ${WORKDIR}/dev0.fpm RESULT_VARIABLE Rc
+                OUTPUT_QUIET ERROR_QUIET)
+if(Rc EQUAL 0)
+  message(FATAL_ERROR "partitioner accepted a bogus algorithm")
+endif()
+execute_process(COMMAND ${PARTITIONER} --total 100
+                ${WORKDIR}/missing.fpm RESULT_VARIABLE Rc
+                OUTPUT_QUIET ERROR_QUIET)
+if(Rc EQUAL 0)
+  message(FATAL_ERROR "partitioner accepted a missing model file")
+endif()
+message(STATUS "tools workflow OK")

@@ -1,0 +1,118 @@
+//===-- tools/builder.cpp - model construction tool -----------------------===//
+//
+// Counterpart of the original FuPerMod `builder` utility: benchmarks a
+// computation kernel over a range of problem sizes and writes the
+// resulting performance model to a file, to be consumed later by the
+// `partitioner` tool (paper Section 4.3: build the models once, reuse
+// them across many runs).
+//
+// Usage:
+//   builder [--source native|<preset>] [--rank R] [--kind K]
+//           [--min A] [--max B] [--points N] [--output FILE]
+//           [--reps-min M] [--reps-max M2] [--rel-err E]
+//
+//   --source native        benchmark this machine's GEMM kernel
+//   --source two-device|hcl|hcl-nogpu
+//                          sample the simulated device --rank R
+//   --kind cpm|piecewise|akima   model kind (default piecewise)
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Benchmark.h"
+#include "core/GemmKernel.h"
+#include "core/ModelIO.h"
+#include "sim/ClusterIO.h"
+#include "support/Options.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace fupermod;
+
+namespace {
+
+int usage(const char *Program) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--source native|two-device|hcl|hcl-nogpu|uniformN|\n"
+      "           <cluster-file>] [--rank R]\n"
+      "          [--kind cpm|piecewise|akima] [--min A] [--max B]\n"
+      "          [--points N] [--output FILE] [--reps-min M]\n"
+      "          [--reps-max M] [--rel-err E]\n",
+      Program);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts(Argc, Argv);
+  std::string Source = Opts.get("source", "native");
+  std::string Kind = Opts.get("kind", "piecewise");
+  double Min = Opts.getDouble("min", 32.0);
+  double Max = Opts.getDouble("max", 1024.0);
+  std::int64_t NumPoints = Opts.getInt("points", 10);
+  std::string Output = Opts.get("output", "model.fpm");
+
+  if (Kind != "cpm" && Kind != "piecewise" && Kind != "akima")
+    return usage(Argv[0]);
+  if (Min <= 0.0 || Max < Min || NumPoints < 1)
+    return usage(Argv[0]);
+
+  Precision Prec;
+  Prec.MinReps = static_cast<int>(Opts.getInt("reps-min", 3));
+  Prec.MaxReps = static_cast<int>(Opts.getInt("reps-max", 10));
+  Prec.TargetRelativeError = Opts.getDouble("rel-err", 0.05);
+  Prec.TimeLimit = Opts.getDouble("time-limit", 2.0);
+
+  // Pick the measurement backend.
+  std::unique_ptr<GemmKernel> Kernel;
+  std::unique_ptr<SimDevice> Device;
+  std::unique_ptr<BenchmarkBackend> Backend;
+  if (Source == "native") {
+    Kernel = std::make_unique<GemmKernel>(16, true);
+    Backend = std::make_unique<NativeKernelBackend>(*Kernel);
+  } else {
+    std::string Error;
+    std::optional<Cluster> Parsed = resolveCluster(Source, &Error);
+    if (!Parsed) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+    Cluster Cl = std::move(*Parsed);
+    int Rank = static_cast<int>(Opts.getInt("rank", 0));
+    if (Rank < 0 || Rank >= Cl.size()) {
+      std::fprintf(stderr, "error: rank %d out of range for preset %s\n",
+                   Rank, Source.c_str());
+      return 2;
+    }
+    Cl.NoiseSigma = Opts.getDouble("noise", 0.02);
+    Device = std::make_unique<SimDevice>(Cl.makeDevice(Rank));
+    Backend = std::make_unique<SimDeviceBackend>(*Device);
+  }
+
+  std::unique_ptr<Model> M = makeModel(Kind);
+  std::printf("# benchmarking %s, %lld sizes in [%g, %g]\n", Source.c_str(),
+              static_cast<long long>(NumPoints), Min, Max);
+  for (std::int64_t I = 0; I < NumPoints; ++I) {
+    double D = NumPoints == 1
+                   ? Min
+                   : Min + (Max - Min) * static_cast<double>(I) /
+                         static_cast<double>(NumPoints - 1);
+    Point P = runBenchmark(*Backend, D, Prec);
+    M->update(P);
+    if (P.Reps == 0)
+      std::printf("size %-10.0f infeasible\n", D);
+    else
+      std::printf("size %-10.0f time %-12.6f reps %-3d speed %.1f\n", D,
+                  P.Time, P.Reps, P.speed());
+  }
+
+  if (!saveModel(Output, *M)) {
+    std::fprintf(stderr, "error: cannot write %s\n", Output.c_str());
+    return 1;
+  }
+  std::printf("# wrote %s (%zu points, kind %s)\n", Output.c_str(),
+              M->points().size(), M->kind());
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===-- tools/partitioner.cpp - data partitioning tool --------------------===//
+//
+// Counterpart of the original FuPerMod `partitioner` utility: reads the
+// performance model files produced by `builder` (one per process) and
+// computes the optimal distribution of a problem with the selected
+// algorithm.
+//
+// Usage:
+//   partitioner --total D [--algorithm constant|geometric|numerical]
+//               [--output FILE] model0.fpm model1.fpm ...
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ModelIO.h"
+#include "core/Partitioners.h"
+#include "support/Options.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+using namespace fupermod;
+
+int main(int Argc, char **Argv) {
+  Options Opts(Argc, Argv);
+  std::int64_t Total = Opts.getInt("total", 0);
+  std::string Algorithm = Opts.get("algorithm", "geometric");
+  const auto &Files = Opts.positional();
+
+  if (Total <= 0 || Files.empty() ||
+      (Algorithm != "constant" && Algorithm != "geometric" &&
+       Algorithm != "numerical")) {
+    std::fprintf(stderr,
+                 "usage: %s --total D [--algorithm "
+                 "constant|geometric|numerical] [--output FILE] "
+                 "model0.fpm model1.fpm ...\n",
+                 Argv[0]);
+    return 2;
+  }
+
+  std::vector<std::unique_ptr<Model>> Models;
+  std::vector<Model *> Ptrs;
+  for (const std::string &File : Files) {
+    std::unique_ptr<Model> M = loadModel(File);
+    if (!M) {
+      std::fprintf(stderr, "error: cannot read model file %s\n",
+                   File.c_str());
+      return 1;
+    }
+    Models.push_back(std::move(M));
+    Ptrs.push_back(Models.back().get());
+  }
+
+  Dist Out;
+  if (!getPartitioner(Algorithm)(Total, Ptrs, Out)) {
+    std::fprintf(stderr,
+                 "error: partitioning failed (unfitted model or "
+                 "insufficient device capacity for %lld units)\n",
+                 static_cast<long long>(Total));
+    return 1;
+  }
+
+  std::printf("# %s partitioning of %lld units over %zu processes\n",
+              Algorithm.c_str(), static_cast<long long>(Total),
+              Files.size());
+  for (std::size_t I = 0; I < Out.Parts.size(); ++I)
+    std::printf("rank %-3zu units %-10lld predicted_time %.6f  (%s)\n", I,
+                static_cast<long long>(Out.Parts[I].Units),
+                Out.Parts[I].PredictedTime, Files[I].c_str());
+  std::printf("# max predicted time: %.6f\n", Out.maxPredictedTime());
+
+  std::string Output = Opts.get("output");
+  if (!Output.empty()) {
+    std::ofstream OS(Output);
+    if (!OS || !writeDist(OS, Out)) {
+      std::fprintf(stderr, "error: cannot write %s\n", Output.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", Output.c_str());
+  }
+  return 0;
+}
