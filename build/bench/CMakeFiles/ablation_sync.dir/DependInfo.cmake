@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sync.cpp" "bench/CMakeFiles/ablation_sync.dir/ablation_sync.cpp.o" "gcc" "bench/CMakeFiles/ablation_sync.dir/ablation_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fupermod_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/fupermod_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fupermod_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/commperf/CMakeFiles/fupermod_commperf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpp/CMakeFiles/fupermod_mpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/fupermod_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/fupermod_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/fupermod_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fupermod_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

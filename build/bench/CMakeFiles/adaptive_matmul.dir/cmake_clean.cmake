@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_matmul.dir/adaptive_matmul.cpp.o"
+  "CMakeFiles/adaptive_matmul.dir/adaptive_matmul.cpp.o.d"
+  "adaptive_matmul"
+  "adaptive_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_models.dir/comm_models.cpp.o"
+  "CMakeFiles/comm_models.dir/comm_models.cpp.o.d"
+  "comm_models"
+  "comm_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

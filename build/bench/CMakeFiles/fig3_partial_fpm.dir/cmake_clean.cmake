@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_partial_fpm.dir/fig3_partial_fpm.cpp.o"
+  "CMakeFiles/fig3_partial_fpm.dir/fig3_partial_fpm.cpp.o.d"
+  "fig3_partial_fpm"
+  "fig3_partial_fpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_partial_fpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

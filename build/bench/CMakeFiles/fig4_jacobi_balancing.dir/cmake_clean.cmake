@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_jacobi_balancing.dir/fig4_jacobi_balancing.cpp.o"
+  "CMakeFiles/fig4_jacobi_balancing.dir/fig4_jacobi_balancing.cpp.o.d"
+  "fig4_jacobi_balancing"
+  "fig4_jacobi_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_jacobi_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

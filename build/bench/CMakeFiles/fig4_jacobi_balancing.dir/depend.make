@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_jacobi_balancing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_partition.dir/matmul_partition.cpp.o"
+  "CMakeFiles/matmul_partition.dir/matmul_partition.cpp.o.d"
+  "matmul_partition"
+  "matmul_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_cost.dir/model_cost.cpp.o"
+  "CMakeFiles/model_cost.dir/model_cost.cpp.o.d"
+  "model_cost"
+  "model_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

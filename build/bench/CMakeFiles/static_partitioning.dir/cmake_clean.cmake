@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_partitioning.dir/static_partitioning.cpp.o"
+  "CMakeFiles/static_partitioning.dir/static_partitioning.cpp.o.d"
+  "static_partitioning"
+  "static_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat.dir/heat.cpp.o"
+  "CMakeFiles/heat.dir/heat.cpp.o.d"
+  "heat"
+  "heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

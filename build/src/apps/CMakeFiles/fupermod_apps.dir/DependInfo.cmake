@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/AdaptiveMatMul.cpp" "src/apps/CMakeFiles/fupermod_apps.dir/AdaptiveMatMul.cpp.o" "gcc" "src/apps/CMakeFiles/fupermod_apps.dir/AdaptiveMatMul.cpp.o.d"
+  "/root/repo/src/apps/Jacobi.cpp" "src/apps/CMakeFiles/fupermod_apps.dir/Jacobi.cpp.o" "gcc" "src/apps/CMakeFiles/fupermod_apps.dir/Jacobi.cpp.o.d"
+  "/root/repo/src/apps/MatMul.cpp" "src/apps/CMakeFiles/fupermod_apps.dir/MatMul.cpp.o" "gcc" "src/apps/CMakeFiles/fupermod_apps.dir/MatMul.cpp.o.d"
+  "/root/repo/src/apps/MatrixPartition2D.cpp" "src/apps/CMakeFiles/fupermod_apps.dir/MatrixPartition2D.cpp.o" "gcc" "src/apps/CMakeFiles/fupermod_apps.dir/MatrixPartition2D.cpp.o.d"
+  "/root/repo/src/apps/Stencil.cpp" "src/apps/CMakeFiles/fupermod_apps.dir/Stencil.cpp.o" "gcc" "src/apps/CMakeFiles/fupermod_apps.dir/Stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fupermod_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fupermod_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpp/CMakeFiles/fupermod_mpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/fupermod_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/fupermod_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/fupermod_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fupermod_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fupermod_apps.dir/AdaptiveMatMul.cpp.o"
+  "CMakeFiles/fupermod_apps.dir/AdaptiveMatMul.cpp.o.d"
+  "CMakeFiles/fupermod_apps.dir/Jacobi.cpp.o"
+  "CMakeFiles/fupermod_apps.dir/Jacobi.cpp.o.d"
+  "CMakeFiles/fupermod_apps.dir/MatMul.cpp.o"
+  "CMakeFiles/fupermod_apps.dir/MatMul.cpp.o.d"
+  "CMakeFiles/fupermod_apps.dir/MatrixPartition2D.cpp.o"
+  "CMakeFiles/fupermod_apps.dir/MatrixPartition2D.cpp.o.d"
+  "CMakeFiles/fupermod_apps.dir/Stencil.cpp.o"
+  "CMakeFiles/fupermod_apps.dir/Stencil.cpp.o.d"
+  "libfupermod_apps.a"
+  "libfupermod_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fupermod_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfupermod_apps.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fupermod_blas.dir/Gemm.cpp.o"
+  "CMakeFiles/fupermod_blas.dir/Gemm.cpp.o.d"
+  "libfupermod_blas.a"
+  "libfupermod_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fupermod_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/commperf/HockneyFit.cpp" "src/commperf/CMakeFiles/fupermod_commperf.dir/HockneyFit.cpp.o" "gcc" "src/commperf/CMakeFiles/fupermod_commperf.dir/HockneyFit.cpp.o.d"
+  "/root/repo/src/commperf/PingPong.cpp" "src/commperf/CMakeFiles/fupermod_commperf.dir/PingPong.cpp.o" "gcc" "src/commperf/CMakeFiles/fupermod_commperf.dir/PingPong.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpp/CMakeFiles/fupermod_mpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fupermod_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fupermod_commperf.dir/HockneyFit.cpp.o"
+  "CMakeFiles/fupermod_commperf.dir/HockneyFit.cpp.o.d"
+  "CMakeFiles/fupermod_commperf.dir/PingPong.cpp.o"
+  "CMakeFiles/fupermod_commperf.dir/PingPong.cpp.o.d"
+  "libfupermod_commperf.a"
+  "libfupermod_commperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fupermod_commperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Benchmark.cpp" "src/core/CMakeFiles/fupermod_core.dir/Benchmark.cpp.o" "gcc" "src/core/CMakeFiles/fupermod_core.dir/Benchmark.cpp.o.d"
+  "/root/repo/src/core/Dynamic.cpp" "src/core/CMakeFiles/fupermod_core.dir/Dynamic.cpp.o" "gcc" "src/core/CMakeFiles/fupermod_core.dir/Dynamic.cpp.o.d"
+  "/root/repo/src/core/GemmKernel.cpp" "src/core/CMakeFiles/fupermod_core.dir/GemmKernel.cpp.o" "gcc" "src/core/CMakeFiles/fupermod_core.dir/GemmKernel.cpp.o.d"
+  "/root/repo/src/core/Metrics.cpp" "src/core/CMakeFiles/fupermod_core.dir/Metrics.cpp.o" "gcc" "src/core/CMakeFiles/fupermod_core.dir/Metrics.cpp.o.d"
+  "/root/repo/src/core/Model.cpp" "src/core/CMakeFiles/fupermod_core.dir/Model.cpp.o" "gcc" "src/core/CMakeFiles/fupermod_core.dir/Model.cpp.o.d"
+  "/root/repo/src/core/ModelIO.cpp" "src/core/CMakeFiles/fupermod_core.dir/ModelIO.cpp.o" "gcc" "src/core/CMakeFiles/fupermod_core.dir/ModelIO.cpp.o.d"
+  "/root/repo/src/core/Partition.cpp" "src/core/CMakeFiles/fupermod_core.dir/Partition.cpp.o" "gcc" "src/core/CMakeFiles/fupermod_core.dir/Partition.cpp.o.d"
+  "/root/repo/src/core/Partitioners.cpp" "src/core/CMakeFiles/fupermod_core.dir/Partitioners.cpp.o" "gcc" "src/core/CMakeFiles/fupermod_core.dir/Partitioners.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fupermod_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/fupermod_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/fupermod_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/fupermod_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpp/CMakeFiles/fupermod_mpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fupermod_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fupermod_core.dir/Benchmark.cpp.o"
+  "CMakeFiles/fupermod_core.dir/Benchmark.cpp.o.d"
+  "CMakeFiles/fupermod_core.dir/Dynamic.cpp.o"
+  "CMakeFiles/fupermod_core.dir/Dynamic.cpp.o.d"
+  "CMakeFiles/fupermod_core.dir/GemmKernel.cpp.o"
+  "CMakeFiles/fupermod_core.dir/GemmKernel.cpp.o.d"
+  "CMakeFiles/fupermod_core.dir/Metrics.cpp.o"
+  "CMakeFiles/fupermod_core.dir/Metrics.cpp.o.d"
+  "CMakeFiles/fupermod_core.dir/Model.cpp.o"
+  "CMakeFiles/fupermod_core.dir/Model.cpp.o.d"
+  "CMakeFiles/fupermod_core.dir/ModelIO.cpp.o"
+  "CMakeFiles/fupermod_core.dir/ModelIO.cpp.o.d"
+  "CMakeFiles/fupermod_core.dir/Partition.cpp.o"
+  "CMakeFiles/fupermod_core.dir/Partition.cpp.o.d"
+  "CMakeFiles/fupermod_core.dir/Partitioners.cpp.o"
+  "CMakeFiles/fupermod_core.dir/Partitioners.cpp.o.d"
+  "libfupermod_core.a"
+  "libfupermod_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fupermod_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

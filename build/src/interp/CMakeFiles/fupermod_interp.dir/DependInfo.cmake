@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/AkimaSpline.cpp" "src/interp/CMakeFiles/fupermod_interp.dir/AkimaSpline.cpp.o" "gcc" "src/interp/CMakeFiles/fupermod_interp.dir/AkimaSpline.cpp.o.d"
+  "/root/repo/src/interp/CubicSpline.cpp" "src/interp/CMakeFiles/fupermod_interp.dir/CubicSpline.cpp.o" "gcc" "src/interp/CMakeFiles/fupermod_interp.dir/CubicSpline.cpp.o.d"
+  "/root/repo/src/interp/PiecewiseLinear.cpp" "src/interp/CMakeFiles/fupermod_interp.dir/PiecewiseLinear.cpp.o" "gcc" "src/interp/CMakeFiles/fupermod_interp.dir/PiecewiseLinear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fupermod_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

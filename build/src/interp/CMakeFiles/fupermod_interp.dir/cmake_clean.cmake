@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fupermod_interp.dir/AkimaSpline.cpp.o"
+  "CMakeFiles/fupermod_interp.dir/AkimaSpline.cpp.o.d"
+  "CMakeFiles/fupermod_interp.dir/CubicSpline.cpp.o"
+  "CMakeFiles/fupermod_interp.dir/CubicSpline.cpp.o.d"
+  "CMakeFiles/fupermod_interp.dir/PiecewiseLinear.cpp.o"
+  "CMakeFiles/fupermod_interp.dir/PiecewiseLinear.cpp.o.d"
+  "libfupermod_interp.a"
+  "libfupermod_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fupermod_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpp/Comm.cpp" "src/mpp/CMakeFiles/fupermod_mpp.dir/Comm.cpp.o" "gcc" "src/mpp/CMakeFiles/fupermod_mpp.dir/Comm.cpp.o.d"
+  "/root/repo/src/mpp/CostModel.cpp" "src/mpp/CMakeFiles/fupermod_mpp.dir/CostModel.cpp.o" "gcc" "src/mpp/CMakeFiles/fupermod_mpp.dir/CostModel.cpp.o.d"
+  "/root/repo/src/mpp/Group.cpp" "src/mpp/CMakeFiles/fupermod_mpp.dir/Group.cpp.o" "gcc" "src/mpp/CMakeFiles/fupermod_mpp.dir/Group.cpp.o.d"
+  "/root/repo/src/mpp/Runtime.cpp" "src/mpp/CMakeFiles/fupermod_mpp.dir/Runtime.cpp.o" "gcc" "src/mpp/CMakeFiles/fupermod_mpp.dir/Runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fupermod_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fupermod_mpp.dir/Comm.cpp.o"
+  "CMakeFiles/fupermod_mpp.dir/Comm.cpp.o.d"
+  "CMakeFiles/fupermod_mpp.dir/CostModel.cpp.o"
+  "CMakeFiles/fupermod_mpp.dir/CostModel.cpp.o.d"
+  "CMakeFiles/fupermod_mpp.dir/Group.cpp.o"
+  "CMakeFiles/fupermod_mpp.dir/Group.cpp.o.d"
+  "CMakeFiles/fupermod_mpp.dir/Runtime.cpp.o"
+  "CMakeFiles/fupermod_mpp.dir/Runtime.cpp.o.d"
+  "libfupermod_mpp.a"
+  "libfupermod_mpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fupermod_mpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

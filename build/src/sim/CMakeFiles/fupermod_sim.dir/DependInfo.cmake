@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/Cluster.cpp" "src/sim/CMakeFiles/fupermod_sim.dir/Cluster.cpp.o" "gcc" "src/sim/CMakeFiles/fupermod_sim.dir/Cluster.cpp.o.d"
+  "/root/repo/src/sim/ClusterIO.cpp" "src/sim/CMakeFiles/fupermod_sim.dir/ClusterIO.cpp.o" "gcc" "src/sim/CMakeFiles/fupermod_sim.dir/ClusterIO.cpp.o.d"
+  "/root/repo/src/sim/DeviceProfile.cpp" "src/sim/CMakeFiles/fupermod_sim.dir/DeviceProfile.cpp.o" "gcc" "src/sim/CMakeFiles/fupermod_sim.dir/DeviceProfile.cpp.o.d"
+  "/root/repo/src/sim/SimDevice.cpp" "src/sim/CMakeFiles/fupermod_sim.dir/SimDevice.cpp.o" "gcc" "src/sim/CMakeFiles/fupermod_sim.dir/SimDevice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fupermod_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpp/CMakeFiles/fupermod_mpp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fupermod_sim.dir/Cluster.cpp.o"
+  "CMakeFiles/fupermod_sim.dir/Cluster.cpp.o.d"
+  "CMakeFiles/fupermod_sim.dir/ClusterIO.cpp.o"
+  "CMakeFiles/fupermod_sim.dir/ClusterIO.cpp.o.d"
+  "CMakeFiles/fupermod_sim.dir/DeviceProfile.cpp.o"
+  "CMakeFiles/fupermod_sim.dir/DeviceProfile.cpp.o.d"
+  "CMakeFiles/fupermod_sim.dir/SimDevice.cpp.o"
+  "CMakeFiles/fupermod_sim.dir/SimDevice.cpp.o.d"
+  "libfupermod_sim.a"
+  "libfupermod_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fupermod_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/LinearAlgebra.cpp" "src/solver/CMakeFiles/fupermod_solver.dir/LinearAlgebra.cpp.o" "gcc" "src/solver/CMakeFiles/fupermod_solver.dir/LinearAlgebra.cpp.o.d"
+  "/root/repo/src/solver/NewtonSolver.cpp" "src/solver/CMakeFiles/fupermod_solver.dir/NewtonSolver.cpp.o" "gcc" "src/solver/CMakeFiles/fupermod_solver.dir/NewtonSolver.cpp.o.d"
+  "/root/repo/src/solver/RootFinding.cpp" "src/solver/CMakeFiles/fupermod_solver.dir/RootFinding.cpp.o" "gcc" "src/solver/CMakeFiles/fupermod_solver.dir/RootFinding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fupermod_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

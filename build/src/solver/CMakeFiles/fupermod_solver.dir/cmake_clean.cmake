@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fupermod_solver.dir/LinearAlgebra.cpp.o"
+  "CMakeFiles/fupermod_solver.dir/LinearAlgebra.cpp.o.d"
+  "CMakeFiles/fupermod_solver.dir/NewtonSolver.cpp.o"
+  "CMakeFiles/fupermod_solver.dir/NewtonSolver.cpp.o.d"
+  "CMakeFiles/fupermod_solver.dir/RootFinding.cpp.o"
+  "CMakeFiles/fupermod_solver.dir/RootFinding.cpp.o.d"
+  "libfupermod_solver.a"
+  "libfupermod_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fupermod_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fupermod_support.dir/Options.cpp.o"
+  "CMakeFiles/fupermod_support.dir/Options.cpp.o.d"
+  "CMakeFiles/fupermod_support.dir/Statistics.cpp.o"
+  "CMakeFiles/fupermod_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/fupermod_support.dir/Table.cpp.o"
+  "CMakeFiles/fupermod_support.dir/Table.cpp.o.d"
+  "libfupermod_support.a"
+  "libfupermod_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fupermod_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ClusterIOTest.dir/ClusterIOTest.cpp.o"
+  "CMakeFiles/ClusterIOTest.dir/ClusterIOTest.cpp.o.d"
+  "ClusterIOTest"
+  "ClusterIOTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ClusterIOTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

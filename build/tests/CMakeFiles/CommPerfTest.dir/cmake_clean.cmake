@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CommPerfTest.dir/CommPerfTest.cpp.o"
+  "CMakeFiles/CommPerfTest.dir/CommPerfTest.cpp.o.d"
+  "CommPerfTest"
+  "CommPerfTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CommPerfTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

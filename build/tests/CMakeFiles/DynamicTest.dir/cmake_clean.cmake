@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DynamicTest.dir/DynamicTest.cpp.o"
+  "CMakeFiles/DynamicTest.dir/DynamicTest.cpp.o.d"
+  "DynamicTest"
+  "DynamicTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DynamicTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for DynamicTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FeasibilityTest.dir/FeasibilityTest.cpp.o"
+  "CMakeFiles/FeasibilityTest.dir/FeasibilityTest.cpp.o.d"
+  "FeasibilityTest"
+  "FeasibilityTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FeasibilityTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/InterpTest.dir/InterpTest.cpp.o"
+  "CMakeFiles/InterpTest.dir/InterpTest.cpp.o.d"
+  "InterpTest"
+  "InterpTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/InterpTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

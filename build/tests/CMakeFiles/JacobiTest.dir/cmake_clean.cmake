@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/JacobiTest.dir/JacobiTest.cpp.o"
+  "CMakeFiles/JacobiTest.dir/JacobiTest.cpp.o.d"
+  "JacobiTest"
+  "JacobiTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/JacobiTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MatMulTest.dir/MatMulTest.cpp.o"
+  "CMakeFiles/MatMulTest.dir/MatMulTest.cpp.o.d"
+  "MatMulTest"
+  "MatMulTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MatMulTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

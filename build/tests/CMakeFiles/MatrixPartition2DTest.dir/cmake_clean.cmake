@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MatrixPartition2DTest.dir/MatrixPartition2DTest.cpp.o"
+  "CMakeFiles/MatrixPartition2DTest.dir/MatrixPartition2DTest.cpp.o.d"
+  "MatrixPartition2DTest"
+  "MatrixPartition2DTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MatrixPartition2DTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

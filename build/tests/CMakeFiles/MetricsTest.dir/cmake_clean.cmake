@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MetricsTest.dir/MetricsTest.cpp.o"
+  "CMakeFiles/MetricsTest.dir/MetricsTest.cpp.o.d"
+  "MetricsTest"
+  "MetricsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MetricsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ModelIOTest.dir/ModelIOTest.cpp.o"
+  "CMakeFiles/ModelIOTest.dir/ModelIOTest.cpp.o.d"
+  "ModelIOTest"
+  "ModelIOTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ModelIOTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MppTest.dir/MppTest.cpp.o"
+  "CMakeFiles/MppTest.dir/MppTest.cpp.o.d"
+  "MppTest"
+  "MppTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MppTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

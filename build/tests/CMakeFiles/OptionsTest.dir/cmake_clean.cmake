@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/OptionsTest.dir/OptionsTest.cpp.o"
+  "CMakeFiles/OptionsTest.dir/OptionsTest.cpp.o.d"
+  "OptionsTest"
+  "OptionsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/OptionsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

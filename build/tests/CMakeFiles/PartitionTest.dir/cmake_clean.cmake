@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PartitionTest.dir/PartitionTest.cpp.o"
+  "CMakeFiles/PartitionTest.dir/PartitionTest.cpp.o.d"
+  "PartitionTest"
+  "PartitionTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PartitionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

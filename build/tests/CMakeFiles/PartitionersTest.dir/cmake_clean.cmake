@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PartitionersTest.dir/PartitionersTest.cpp.o"
+  "CMakeFiles/PartitionersTest.dir/PartitionersTest.cpp.o.d"
+  "PartitionersTest"
+  "PartitionersTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PartitionersTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

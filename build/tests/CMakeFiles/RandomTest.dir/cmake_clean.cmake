@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RandomTest.dir/RandomTest.cpp.o"
+  "CMakeFiles/RandomTest.dir/RandomTest.cpp.o.d"
+  "RandomTest"
+  "RandomTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RandomTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

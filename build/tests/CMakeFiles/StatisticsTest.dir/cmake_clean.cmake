@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StatisticsTest.dir/StatisticsTest.cpp.o"
+  "CMakeFiles/StatisticsTest.dir/StatisticsTest.cpp.o.d"
+  "StatisticsTest"
+  "StatisticsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StatisticsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StencilTest.dir/StencilTest.cpp.o"
+  "CMakeFiles/StencilTest.dir/StencilTest.cpp.o.d"
+  "StencilTest"
+  "StencilTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StencilTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builder.dir/builder.cpp.o"
+  "CMakeFiles/builder.dir/builder.cpp.o.d"
+  "builder"
+  "builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

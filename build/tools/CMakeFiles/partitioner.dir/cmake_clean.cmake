@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioner.dir/partitioner.cpp.o"
+  "CMakeFiles/partitioner.dir/partitioner.cpp.o.d"
+  "partitioner"
+  "partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
