@@ -69,13 +69,16 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
   bool Converged = false;
   std::vector<double> Solution;
   double Residual = 0.0;
+  std::vector<int> FailedRanks;
 
   auto Body = [&](Comm &C) {
     int Me = C.rank();
     SimDevice Dev = Platform.makeDevice(Me);
+    bool DevFailed = false;
 
     DynamicContext Ctx(getPartitioner(Options.Algorithm), Options.ModelKind,
                        N, P);
+    Ctx.setStalenessDecay(Options.StalenessDecay);
     Dist Current = Ctx.dist(); // Even initial distribution.
 
     // Initial data: each rank generates its own contiguous rows of A and
@@ -115,12 +118,18 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
             (BVals[static_cast<std::size_t>(R)] - Sum) / ARow[Row];
       }
 
-      // Virtual computation cost (one unit = one row).
+      // Virtual computation cost (one unit = one row). A hard-failed
+      // device produces no timing; the rank reports the failure to the
+      // balancer below so its rows migrate to the survivors.
       if (MyRows > 0) {
-        double T = Dev.measureTime(static_cast<double>(MyRows));
-        C.compute(T);
-        Stats[static_cast<std::size_t>(It)]
-            .ComputeTimes[static_cast<std::size_t>(Me)] = T;
+        Measurement M = Dev.measure(static_cast<double>(MyRows));
+        if (M.Status == MeasureStatus::Failed) {
+          DevFailed = true;
+        } else {
+          C.compute(M.Seconds);
+          Stats[static_cast<std::size_t>(It)]
+              .ComputeTimes[static_cast<std::size_t>(Me)] = M.Seconds;
+        }
       }
       if (Me == 0)
         for (int Q = 0; Q < P; ++Q)
@@ -140,12 +149,17 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
         if (Options.RebalanceThreshold > 0.0) {
           double MaxT = C.allreduceValue(MyIterTime, ReduceOp::Max);
           double MinT = C.allreduceValue(MyIterTime, ReduceOp::Min);
+          // A hard failure anywhere overrides the threshold: the dead
+          // rank's rows must move regardless of measured imbalance.
+          double AnyFailed =
+              C.allreduceValue(DevFailed ? 1.0 : 0.0, ReduceOp::Max);
           Rebalance =
-              MaxT > 0.0 &&
-              (MaxT - MinT) / MaxT > Options.RebalanceThreshold;
+              AnyFailed > 0.0 ||
+              (MaxT > 0.0 &&
+               (MaxT - MinT) / MaxT > Options.RebalanceThreshold);
         }
         if (Rebalance) {
-          balanceIterate(Ctx, C, C.time() - MyIterTime);
+          balanceIterate(Ctx, C, C.time() - MyIterTime, DevFailed);
           if (Me == 0)
             ++RebalanceCount;
         }
@@ -242,6 +256,9 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
 
     if (Me == 0) {
       IterationsDone = It;
+      for (int Q = 0; Q < P; ++Q)
+        if (Ctx.isExcluded(Q))
+          FailedRanks.push_back(Q);
       Solution = X;
       for (int Row = 0; Row < N; ++Row) {
         double Sum = -jacobiRhsEntry(N, Row);
@@ -263,5 +280,6 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
   Report.Rebalances = RebalanceCount;
   Report.Solution = std::move(Solution);
   Report.Residual = Residual;
+  Report.FailedRanks = std::move(FailedRanks);
   return Report;
 }

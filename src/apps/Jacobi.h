@@ -49,6 +49,11 @@ struct JacobiOptions {
   std::string Algorithm = "geometric";
   /// Partial-model kind used by the balancer.
   std::string ModelKind = "piecewise";
+  /// Per-rebalance exponential down-weighting of old model points
+  /// (1 = keep history forever). Values below 1 let the balancer track
+  /// devices whose speed changes mid-run — e.g. an injected slowdown —
+  /// instead of averaging the old and new regimes forever.
+  double StalenessDecay = 1.0;
 };
 
 /// Per-iteration record of one Jacobi run.
@@ -74,6 +79,9 @@ struct JacobiReport {
   std::vector<double> Solution;
   /// Infinity norm of A x - b for the returned solution.
   double Residual = 0.0;
+  /// Ranks whose devices hard-failed during the run (excluded by the
+  /// balancer; empty on a healthy run).
+  std::vector<int> FailedRanks;
 };
 
 /// Runs the Jacobi method on the given simulated platform.

@@ -13,6 +13,16 @@ using namespace fupermod;
 
 BenchmarkBackend::~BenchmarkBackend() = default;
 
+RunOutcome BenchmarkBackend::runOnceChecked(double Timeout) {
+  RunOutcome O;
+  O.Seconds = runOnce();
+  O.Failed = !std::isfinite(O.Seconds);
+  O.TimedOut = !O.Failed && O.Seconds > Timeout;
+  if (O.TimedOut)
+    O.Seconds = Timeout;
+  return O;
+}
+
 bool NativeKernelBackend::prepare(double Units) {
   assert(Units >= 1.0 && "kernel sizes are whole units");
   return K.initialize(static_cast<std::int64_t>(std::llround(Units)));
@@ -41,6 +51,28 @@ double SimDeviceBackend::runOnce() {
   return T;
 }
 
+RunOutcome SimDeviceBackend::runOnceChecked(double Timeout) {
+  Measurement M = Device.measure(Units);
+  RunOutcome O;
+  if (M.Status == MeasureStatus::Failed) {
+    // The device produced nothing; no virtual time passes.
+    O.Failed = true;
+    return O;
+  }
+  // The simulator can stop waiting: a repetition that would run past the
+  // timeout only costs the caller the timeout itself.
+  O.TimedOut = M.Seconds > Timeout;
+  O.Seconds = O.TimedOut ? Timeout : M.Seconds;
+  if (Clocked)
+    Clocked->compute(O.Seconds);
+  return O;
+}
+
+void SimDeviceBackend::backoffWait(double Seconds) {
+  if (Clocked)
+    Clocked->compute(Seconds);
+}
+
 Point fupermod::runBenchmark(BenchmarkBackend &Backend, double Units,
                              const Precision &Prec, Comm *Sync) {
   assert(Prec.MinReps >= 1 && Prec.MaxReps >= Prec.MinReps &&
@@ -53,29 +85,55 @@ Point fupermod::runBenchmark(BenchmarkBackend &Backend, double Units,
     // out-of-core mode). Reps = 0 flags the failure to the caller.
     Result.Reps = 0;
     Result.Time = std::numeric_limits<double>::infinity();
+    Result.Status = PointStatus::Infeasible;
     return Result;
   }
 
   // With synchronised measurement every rank must execute the *same*
   // number of loop rounds — the continue/stop decision is collective
   // (any rank still needing repetitions keeps everyone going), and a
-  // rank whose device cannot run the size still joins every barrier.
+  // rank whose device cannot run the size — or has stopped responding —
+  // still joins every barrier.
   RunningStat Stat;
   std::vector<double> Samples;
   double Accumulated = 0.0;
+  bool Alive = Prepared; // Still attempting measurements.
+  PointStatus FailStatus =
+      Prepared ? PointStatus::Ok : PointStatus::Infeasible;
   for (int Rep = 0; Rep < Prec.MaxReps; ++Rep) {
     // Synchronise processes sharing resources so that every repetition
     // runs under full contention (paper Section 4.1).
     if (Sync)
       Sync->barrier();
-    if (Prepared) {
-      double T = Backend.runOnce();
-      Stat.push(T);
-      Samples.push_back(T);
-      Accumulated += T;
+    if (Alive) {
+      // One guarded repetition with a bounded retry budget: a hung or
+      // failed attempt is retried after an (exponentially growing)
+      // backoff; exhausting the budget abandons the whole measurement.
+      double Backoff = Prec.RetryBackoff;
+      for (int Attempt = 0;; ++Attempt) {
+        RunOutcome O = Backend.runOnceChecked(Prec.RepTimeout);
+        if (!O.TimedOut && !O.Failed) {
+          Stat.push(O.Seconds);
+          Samples.push_back(O.Seconds);
+          Accumulated += O.Seconds;
+          break;
+        }
+        Accumulated += O.Seconds; // Time lost waiting still counts.
+        if (Attempt >= Prec.MaxRetries) {
+          Alive = false;
+          FailStatus =
+              O.Failed ? PointStatus::DeviceFailed : PointStatus::TimedOut;
+          break;
+        }
+        if (Backoff > 0.0) {
+          Backend.backoffWait(Backoff);
+          Accumulated += Backoff;
+          Backoff *= 2.0;
+        }
+      }
     }
     bool WantMore = false;
-    if (Prepared) {
+    if (Alive) {
       bool EnoughReps =
           Stat.count() >= static_cast<std::size_t>(Prec.MinReps);
       bool Tight =
@@ -92,9 +150,15 @@ Point fupermod::runBenchmark(BenchmarkBackend &Backend, double Units,
   if (Prepared)
     Backend.teardown();
 
-  if (!Prepared) {
+  // A rank that died mid-run may still have gathered enough good samples
+  // to report a usable point; otherwise the whole measurement failed.
+  bool Usable = Alive || (FailStatus != PointStatus::Infeasible &&
+                          Stat.count() >=
+                              static_cast<std::size_t>(Prec.MinReps));
+  if (!Usable) {
     Result.Reps = 0;
     Result.Time = std::numeric_limits<double>::infinity();
+    Result.Status = FailStatus;
     return Result;
   }
   if (Prec.RejectOutliers && Samples.size() >= 3) {

@@ -54,6 +54,27 @@ struct Precision {
   /// before computing the final mean/interval — robust against the
   /// occasional scheduler hiccup on real machines.
   bool RejectOutliers = false;
+  /// A single repetition taking longer than this is treated as hung.
+  /// The default (infinity) preserves the historical wait-forever
+  /// behavior.
+  double RepTimeout = std::numeric_limits<double>::infinity();
+  /// How many times a hung/failed repetition is retried before the whole
+  /// measurement is abandoned as a failed Point.
+  int MaxRetries = 2;
+  /// Seconds to wait before the first retry; doubles on each subsequent
+  /// retry. 0 retries immediately.
+  double RetryBackoff = 0.0;
+};
+
+/// The outcome of one guarded repetition (see runOnceChecked).
+struct RunOutcome {
+  /// Elapsed seconds as far as the caller can observe; for a timed-out
+  /// repetition this is capped at the timeout the caller waited.
+  double Seconds = 0.0;
+  /// The repetition exceeded the per-repetition timeout.
+  bool TimedOut = false;
+  /// The backend reported hard device failure; Seconds is meaningless.
+  bool Failed = false;
 };
 
 /// How a single timed repetition is obtained.
@@ -67,6 +88,17 @@ public:
 
   /// Runs the kernel once and returns the elapsed time in seconds.
   virtual double runOnce() = 0;
+
+  /// Runs the kernel once under a hang guard. The default implementation
+  /// cannot preempt runOnce, so it flags the timeout post-hoc (the
+  /// repetition still blocks, but the sample is discarded and the run
+  /// can be abandoned). Backends with interruptible execution — like the
+  /// simulator — override this to stop waiting at \p Timeout.
+  virtual RunOutcome runOnceChecked(double Timeout);
+
+  /// Waits \p Seconds before a retry. The default sleeps nothing (retry
+  /// immediately); clocked backends advance virtual time instead.
+  virtual void backoffWait(double Seconds) { (void)Seconds; }
 
   /// Releases the execution context.
   virtual void teardown() {}
@@ -95,6 +127,8 @@ public:
 
   bool prepare(double Units) override;
   double runOnce() override;
+  RunOutcome runOnceChecked(double Timeout) override;
+  void backoffWait(double Seconds) override;
 
   /// Re-points the virtual-clock target (e.g. after a split).
   void attachComm(Comm *C) { Clocked = C; }
@@ -109,7 +143,11 @@ private:
 ///
 /// When \p Sync is non-null, all ranks of that communicator barrier before
 /// every repetition (synchronous measurement on shared resources). Returns
-/// a Point with Reps = 0 when the backend cannot execute the size.
+/// a Point with Reps = 0 when the backend cannot execute the size
+/// (Status = Infeasible) or when hangs/failures exhaust the retry budget
+/// before MinReps good samples accumulate (Status = TimedOut /
+/// DeviceFailed). A failing rank still joins every collective, so
+/// synchronous measurement never deadlocks on a sick device.
 Point runBenchmark(BenchmarkBackend &Backend, double Units,
                    const Precision &Prec, Comm *Sync = nullptr);
 

@@ -19,44 +19,97 @@ DynamicContext::DynamicContext(Partitioner Algorithm,
   Models.reserve(static_cast<std::size_t>(NumProcs));
   for (int I = 0; I < NumProcs; ++I)
     Models.push_back(makeModel(ModelKind));
+  Exclusions.assign(static_cast<std::size_t>(NumProcs), std::string());
   Current = Dist::even(Total, NumProcs);
+}
+
+void DynamicContext::setStalenessDecay(double Factor) {
+  assert(Factor > 0.0 && Factor <= 1.0 && "decay factor must be in (0, 1]");
+  DecayFactor = Factor;
+}
+
+void DynamicContext::excludeRank(int Rank, std::string Reason) {
+  assert(Rank >= 0 && Rank < size() && "rank out of range");
+  std::string &Slot = Exclusions[static_cast<std::size_t>(Rank)];
+  if (!Slot.empty())
+    return;
+  Slot = Reason.empty() ? std::string("excluded") : std::move(Reason);
+}
+
+bool DynamicContext::isExcluded(int Rank) const {
+  assert(Rank >= 0 && Rank < size() && "rank out of range");
+  return !Exclusions[static_cast<std::size_t>(Rank)].empty();
+}
+
+const std::string &DynamicContext::exclusionReason(int Rank) const {
+  assert(Rank >= 0 && Rank < size() && "rank out of range");
+  return Exclusions[static_cast<std::size_t>(Rank)];
+}
+
+int DynamicContext::activeCount() const {
+  int N = 0;
+  for (const std::string &Reason : Exclusions)
+    N += Reason.empty() ? 1 : 0;
+  return N;
+}
+
+double DynamicContext::repartition() {
+  std::vector<Model *> Active;
+  std::vector<int> ActiveRanks;
+  Active.reserve(Models.size());
+  for (int R = 0; R < size(); ++R)
+    if (!isExcluded(R)) {
+      Active.push_back(Models[static_cast<std::size_t>(R)].get());
+      ActiveRanks.push_back(R);
+    }
+  if (Active.empty())
+    // Every device is gone; nothing can absorb the workload.
+    return std::numeric_limits<double>::infinity();
+
+  Dist Sub;
+  if (!Algorithm(Current.Total, Active, Sub))
+    // Models not all fitted yet (or capacity unknown): keep the current
+    // distribution and report "not converged".
+    return std::numeric_limits<double>::infinity();
+
+  // Map the sub-distribution over the survivors back to global ranks;
+  // excluded ranks hold zero units so the survivors carry the full total.
+  Dist Next;
+  Next.Total = Current.Total;
+  Next.Parts.assign(Models.size(), Part());
+  for (std::size_t I = 0; I < ActiveRanks.size(); ++I)
+    Next.Parts[static_cast<std::size_t>(ActiveRanks[I])] = Sub.Parts[I];
+  double Change = Next.relativeChange(Current);
+  Current = Next;
+  return Change;
 }
 
 double DynamicContext::updateAndRepartition(int Rank, Point P) {
   assert(Rank >= 0 && Rank < size() && "rank out of range");
-  Models[static_cast<std::size_t>(Rank)]->update(P);
-  std::vector<Model *> Ptrs;
-  Ptrs.reserve(Models.size());
-  for (auto &M : Models)
-    Ptrs.push_back(M.get());
-
-  Dist Next = Current;
-  if (!Algorithm(Current.Total, Ptrs, Next))
-    // Models not all fitted yet (or capacity unknown): keep the current
-    // distribution and report "not converged".
-    return std::numeric_limits<double>::infinity();
-  double Change = Next.relativeChange(Current);
-  Current = Next;
-  return Change;
+  if (P.Status == PointStatus::DeviceFailed)
+    excludeRank(Rank, "device reported hard failure");
+  if (!isExcluded(Rank)) {
+    Model &M = *Models[static_cast<std::size_t>(Rank)];
+    M.decayWeights(DecayFactor);
+    M.update(P);
+  }
+  return repartition();
 }
 
 double
 DynamicContext::updateAllAndRepartition(std::span<const Point> PerRank) {
   assert(static_cast<int>(PerRank.size()) == size() &&
          "one point per process expected");
-  for (int R = 0; R < size(); ++R)
-    Models[static_cast<std::size_t>(R)]->update(PerRank[R]);
-  std::vector<Model *> Ptrs;
-  Ptrs.reserve(Models.size());
-  for (auto &M : Models)
-    Ptrs.push_back(M.get());
-
-  Dist Next = Current;
-  if (!Algorithm(Current.Total, Ptrs, Next))
-    return std::numeric_limits<double>::infinity();
-  double Change = Next.relativeChange(Current);
-  Current = Next;
-  return Change;
+  for (int R = 0; R < size(); ++R) {
+    if (PerRank[R].Status == PointStatus::DeviceFailed)
+      excludeRank(R, "device reported hard failure");
+    if (isExcluded(R))
+      continue;
+    Model &M = *Models[static_cast<std::size_t>(R)];
+    M.decayWeights(DecayFactor);
+    M.update(PerRank[R]);
+  }
+  return repartition();
 }
 
 bool fupermod::partitionIterate(DynamicContext &Ctx, Comm &C,
@@ -124,18 +177,29 @@ int fupermod::runDynamicPartitioning(DynamicContext &Ctx, Comm &C,
 }
 
 double fupermod::balanceIterate(DynamicContext &Ctx, Comm &C,
-                                double IterStartTime) {
+                                double IterStartTime, bool DeviceFailed) {
   assert(Ctx.size() == C.size() && "context/communicator size mismatch");
   // The measurement is the real duration of the application iteration the
   // caller just finished on its current share (paper Fig. 4 usage).
   Point Mine;
   Mine.Units = static_cast<double>(
       std::max<std::int64_t>(Ctx.dist().Parts[C.rank()].Units, 1));
-  Mine.Time = C.time() - IterStartTime;
-  Mine.Reps = 1;
-  assert(Mine.Time >= 0.0 && "iteration start lies in the future");
-  if (Mine.Time <= 0.0)
-    Mine.Reps = 0; // Degenerate timing: contribute nothing.
+  if (DeviceFailed) {
+    Mine.Reps = 0;
+    Mine.Time = std::numeric_limits<double>::infinity();
+    Mine.Status = PointStatus::DeviceFailed;
+  } else {
+    Mine.Time = C.time() - IterStartTime;
+    Mine.Reps = 1;
+    assert(Mine.Time >= 0.0 && "iteration start lies in the future");
+    if (Mine.Time <= 0.0) {
+      // Degenerate timing: contribute nothing. TimedOut (a health
+      // status) keeps Model::update from misreading the share as an
+      // infeasible *size*.
+      Mine.Reps = 0;
+      Mine.Status = PointStatus::TimedOut;
+    }
+  }
 
   std::vector<Point> All = C.allgatherv(std::span<const Point>(&Mine, 1));
   return Ctx.updateAllAndRepartition(All);

@@ -51,16 +51,51 @@ public:
   /// Returns the relative change between the old and new distributions,
   /// or +infinity when repartitioning was not possible yet (some model
   /// still has no successful point) so callers never mistake a skipped
-  /// repartition for convergence.
+  /// repartition for convergence. A point carrying
+  /// PointStatus::DeviceFailed excludes the rank (see excludeRank).
   double updateAndRepartition(int Rank, Point P);
 
   /// Feeds one point per process (index = rank), then repartitions once.
+  /// Before the updates, every active model's stored points are decayed
+  /// by the staleness factor, so fresh measurements dominate after a
+  /// device's behavior changes.
   double updateAllAndRepartition(std::span<const Point> PerRank);
 
+  /// Sets the exponential staleness decay applied to every model's point
+  /// weights per repartitioning round (1 = keep history forever, the
+  /// default; smaller values make the models track regime changes like a
+  /// mid-run slowdown). Must be in (0, 1].
+  void setStalenessDecay(double Factor);
+
+  /// Current staleness-decay factor.
+  double stalenessDecay() const { return DecayFactor; }
+
+  /// Removes \p Rank from partitioning: its share drops to zero and the
+  /// total is redistributed over the surviving ranks from the next
+  /// repartition on. Idempotent; the first reason is kept.
+  void excludeRank(int Rank, std::string Reason);
+
+  /// True when \p Rank has been excluded from partitioning.
+  bool isExcluded(int Rank) const;
+
+  /// Why \p Rank was excluded (empty for active ranks).
+  const std::string &exclusionReason(int Rank) const;
+
+  /// Number of ranks still participating in partitioning.
+  int activeCount() const;
+
 private:
+  /// Repartitions Current over the active ranks; excluded ranks receive
+  /// zero units. Returns the relative change, or +infinity when no valid
+  /// distribution could be produced.
+  double repartition();
+
   Partitioner Algorithm;
   std::vector<std::unique_ptr<Model>> Models;
+  /// Exclusion reason per rank; empty string = active.
+  std::vector<std::string> Exclusions;
   Dist Current;
+  double DecayFactor = 1.0;
 };
 
 /// One step of dynamic data partitioning, executed collectively on \p C.
@@ -86,7 +121,13 @@ int runDynamicPartitioning(DynamicContext &Ctx, Comm &C,
 /// that started at virtual time \p IterStartTime on its current share;
 /// every rank then updates the partial models and repartitions. Returns
 /// the relative change of the distribution.
-double balanceIterate(DynamicContext &Ctx, Comm &C, double IterStartTime);
+///
+/// A rank whose device has hard-failed passes \p DeviceFailed = true; its
+/// contribution then carries PointStatus::DeviceFailed, every rank
+/// excludes it in lockstep, and the repartition shifts its share onto
+/// the survivors.
+double balanceIterate(DynamicContext &Ctx, Comm &C, double IterStartTime,
+                      bool DeviceFailed = false);
 
 } // namespace fupermod
 

@@ -11,6 +11,11 @@ using namespace fupermod;
 Model::~Model() = default;
 
 void Model::update(Point P) {
+  if (P.deviceFault()) {
+    // Timeout / hard failure: says nothing about the size's cost and
+    // must not be mistaken for infeasibility of the size.
+    return;
+  }
   if (P.Reps <= 0 || !std::isfinite(P.Time)) {
     // Failed measurement: the size exceeded what the device can execute
     // (e.g. GPU memory without an out-of-core mode). Remember the
@@ -26,16 +31,20 @@ void Model::update(Point P) {
     MinInfeasible =
         std::nextafter(P.Units, std::numeric_limits<double>::infinity());
 
-  // Merge with an existing point at (numerically) the same size.
-  for (Point &Existing : Points) {
+  // Merge with an existing point at (numerically) the same size. The
+  // existing side's weight has decayed with staleness, so a fresh
+  // measurement after a regime change dominates the stale mean.
+  for (std::size_t I = 0; I < Points.size(); ++I) {
+    Point &Existing = Points[I];
     if (std::fabs(Existing.Units - P.Units) <=
         1e-9 * std::max(1.0, P.Units)) {
-      double W1 = static_cast<double>(Existing.Reps);
+      double W1 = Weights[I];
       double W2 = static_cast<double>(P.Reps);
       Existing.Time = (Existing.Time * W1 + P.Time * W2) / (W1 + W2);
       Existing.Reps += P.Reps;
       Existing.ConfidenceInterval =
           std::max(Existing.ConfidenceInterval, P.ConfidenceInterval);
+      Weights[I] = W1 + W2;
       refit();
       return;
     }
@@ -44,8 +53,35 @@ void Model::update(Point P) {
   auto Pos = std::lower_bound(
       Points.begin(), Points.end(), P.Units,
       [](const Point &A, double Units) { return A.Units < Units; });
+  Weights.insert(Weights.begin() + (Pos - Points.begin()),
+                 static_cast<double>(P.Reps));
   Points.insert(Pos, P);
   refit();
+}
+
+void Model::decayWeights(double Factor) {
+  assert(Factor > 0.0 && Factor <= 1.0 && "decay factor must be in (0, 1]");
+  if (Factor == 1.0 || Points.empty())
+    return;
+  for (double &W : Weights)
+    W *= Factor;
+  // Forget points whose weight has decayed away, keeping the fit anchored
+  // to recent behavior. Never drop the last point: an unfitted model
+  // would stall the partitioners entirely.
+  const double MinKeep = 0.5;
+  double MaxW = *std::max_element(Weights.begin(), Weights.end());
+  if (MaxW < MinKeep)
+    return; // Everything is stale; keep the data until fresh points land.
+  bool Dropped = false;
+  for (std::size_t I = Points.size(); I-- > 0;) {
+    if (Weights[I] < MinKeep && Points.size() > 1) {
+      Points.erase(Points.begin() + static_cast<std::ptrdiff_t>(I));
+      Weights.erase(Weights.begin() + static_cast<std::ptrdiff_t>(I));
+      Dropped = true;
+    }
+  }
+  if (Dropped)
+    refit();
 }
 
 double Model::timeAt(double X) const {

@@ -45,11 +45,27 @@ public:
   virtual const char *kind() const = 0;
 
   /// Adds an experimental point and refits the approximation. Points at
-  /// an already-known size are merged (repetition-weighted mean time).
-  /// Points from failed measurements (Reps == 0) carry no timing but
-  /// record that the size is infeasible on the device (e.g. exceeds GPU
-  /// memory, paper Section 4.1) — see feasibleLimit().
+  /// an already-known size are merged (weight-averaged mean time, where
+  /// a point's weight starts at its repetition count and decays with
+  /// staleness — see decayWeights()). Points from failed measurements
+  /// (Reps == 0) carry no timing but record that the size is infeasible
+  /// on the device (e.g. exceeds GPU memory, paper Section 4.1) — see
+  /// feasibleLimit(). Points whose Status marks a device fault (timeout
+  /// or hard failure) are ignored entirely: they describe the device's
+  /// health, not the size's cost, and must not shrink the feasible
+  /// region.
   void update(Point P);
+
+  /// Exponentially down-weights every stored point by \p Factor in
+  /// (0, 1]: a later measurement at the same size then dominates the
+  /// stale mean, and points whose weight decays below a floor are
+  /// dropped so the fit tracks the device's *current* behavior after a
+  /// regime change (slowdown, recovery). At least one point is always
+  /// retained. No-op with Factor == 1.
+  void decayWeights(double Factor);
+
+  /// Current merge weight of each stored point (parallel to points()).
+  const std::vector<double> &weights() const { return Weights; }
 
   /// Smallest problem size known to be infeasible on this device;
   /// +infinity when every measured size succeeded. Partitioning
@@ -90,6 +106,9 @@ protected:
   std::vector<Point> Points;
 
 private:
+  /// Merge weight per point (parallel to Points); initialized to the
+  /// point's repetition count and reduced by decayWeights().
+  std::vector<double> Weights;
   double MinInfeasible = std::numeric_limits<double>::infinity();
 };
 

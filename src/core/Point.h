@@ -15,6 +15,23 @@
 
 namespace fupermod {
 
+/// Why a measurement did (not) produce a usable timing.
+///
+/// The distinction matters to Model::update: an Infeasible failure is a
+/// property of the *size* (too big for the device) and tightens the
+/// model's feasibility limit, while TimedOut / DeviceFailed are
+/// properties of the *device's health* and must not poison the model.
+enum class PointStatus {
+  /// Normal measurement (or a legacy Reps = 0 infeasibility marker).
+  Ok,
+  /// The backend could not prepare this size (e.g. out of memory).
+  Infeasible,
+  /// Every attempted repetition exceeded the per-repetition timeout.
+  TimedOut,
+  /// The backend reported hard device failure.
+  DeviceFailed,
+};
+
 /// One experimental point of a computation performance model.
 ///
 /// Trivially copyable so points can be exchanged through the
@@ -28,9 +45,21 @@ struct Point {
   int Reps = 0;
   /// Half-width of the confidence interval around Time.
   double ConfidenceInterval = 0.0;
+  /// Health of the measurement that produced this point.
+  PointStatus Status = PointStatus::Ok;
 
   /// Measured speed in units per second.
   double speed() const { return Time > 0.0 ? Units / Time : 0.0; }
+
+  /// True when the point carries a usable timing.
+  bool ok() const { return Reps > 0 && Time > 0.0; }
+
+  /// True when the failure reflects device health rather than size
+  /// infeasibility (and so must not shrink the feasibility limit).
+  bool deviceFault() const {
+    return Status == PointStatus::TimedOut ||
+           Status == PointStatus::DeviceFailed;
+  }
 };
 
 } // namespace fupermod

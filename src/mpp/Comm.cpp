@@ -22,6 +22,7 @@ int Comm::globalRank() const { return G->globalRankOf(Rank); }
 
 void Comm::sendBytes(int Dst, int Tag, std::span<const std::byte> Data) {
   assert(Dst >= 0 && Dst < size() && "destination out of range");
+  G->poison().check();
   LinkCost Cost = G->costModel().link(globalRank(), G->globalRankOf(Dst));
   double Start = Clock->now();
   Message Msg;
@@ -36,10 +37,16 @@ void Comm::sendBytes(int Dst, int Tag, std::span<const std::byte> Data) {
 
 std::vector<std::byte> Comm::recvBytes(int Src, int Tag) {
   assert(Src >= 0 && Src < size() && "source out of range");
-  Message Msg = G->mailbox(Src, Rank).popMatching(Tag);
+  Message Msg = G->mailbox(Src, Rank).popMatching(Tag, G->poison());
   Clock->advanceTo(Msg.ArrivalTime);
   return std::move(Msg.Data);
 }
+
+void Comm::abort(const std::string &Reason) {
+  G->poison().poison(globalRank(), Reason);
+}
+
+bool Comm::poisoned() const { return G->poison().poisoned(); }
 
 void Comm::barrier() {
   double Release = G->enterBarrier(Clock->now());

@@ -21,6 +21,7 @@
 #define FUPERMOD_MPP_COMM_H
 
 #include "mpp/CostModel.h"
+#include "mpp/Poison.h"
 #include "mpp/VirtualClock.h"
 
 #include <cstddef>
@@ -42,6 +43,12 @@ enum class ReduceOp { Sum, Max, Min };
 /// A Comm is cheap to copy; all state lives in the shared Group and in the
 /// rank's VirtualClock. All collective operations must be entered by every
 /// rank of the group in the same order (standard SPMD contract).
+///
+/// Failure model: when any rank of the world dies (uncaught exception in
+/// its SPMD body, or an explicit abort()), the world is poisoned and
+/// every communication operation — including those of subgroups split
+/// from the world — throws CommError instead of blocking on the dead
+/// rank. See mpp/Poison.h.
 class Comm {
 public:
   Comm(std::shared_ptr<Group> G, int Rank, VirtualClock *Clock);
@@ -84,6 +91,15 @@ public:
   /// Splits the communicator: ranks with equal \p Color form a new group,
   /// ordered by (\p Key, parent rank). Must be called by every rank.
   Comm split(int Color, int Key);
+
+  /// Poisons the world: every rank (of this communicator and of every
+  /// other communicator sharing its world) gets a CommError from its
+  /// next — or currently blocking — communication operation. Used by a
+  /// rank that knows it cannot keep up its side of the SPMD contract.
+  void abort(const std::string &Reason);
+
+  /// True once the world has been poisoned.
+  bool poisoned() const;
 
   // --- Typed convenience wrappers (trivially copyable element types) ---
 

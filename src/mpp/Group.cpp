@@ -4,8 +4,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace fupermod;
+
+namespace {
+
+/// Poll interval of every blocking wait. A poisoning rank cannot reach
+/// the condition variables of all mailboxes and subgroups, so waiters
+/// re-check the shared flag at this cadence; it bounds how long a
+/// survivor can stay blocked after a peer dies.
+constexpr std::chrono::milliseconds PoisonPollInterval{10};
+
+} // namespace
 
 void Mailbox::push(Message Msg) {
   {
@@ -15,22 +26,30 @@ void Mailbox::push(Message Msg) {
   Ready.notify_all();
 }
 
-Message Mailbox::popMatching(int Tag) {
+Message Mailbox::popMatching(int Tag, const PoisonState &Poison) {
   std::unique_lock<std::mutex> Lock(Mutex);
   auto Match = Queue.end();
-  Ready.wait(Lock, [&] {
+  auto HaveMatch = [&] {
     Match = std::find_if(Queue.begin(), Queue.end(),
                          [Tag](const Message &M) { return M.Tag == Tag; });
     return Match != Queue.end();
-  });
+  };
+  while (!Ready.wait_for(Lock, PoisonPollInterval, HaveMatch))
+    // A message already in the queue is still delivered on a poisoned
+    // world (HaveMatch is checked first); only an *empty* wait aborts.
+    Poison.check();
   Message Msg = std::move(*Match);
   Queue.erase(Match);
   return Msg;
 }
 
 Group::Group(std::shared_ptr<const CostModel> Cost,
-             std::vector<int> GlobalRanks, std::vector<int> ParentRanks)
-    : Cost(std::move(Cost)), GlobalRanks(std::move(GlobalRanks)),
+             std::vector<int> GlobalRanks, std::vector<int> ParentRanks,
+             std::shared_ptr<PoisonState> Poison)
+    : Cost(std::move(Cost)),
+      Poison(Poison ? std::move(Poison)
+                    : std::make_shared<PoisonState>()),
+      GlobalRanks(std::move(GlobalRanks)),
       ParentRanks(std::move(ParentRanks)) {
   assert(this->Cost && "null cost model");
   assert(!this->GlobalRanks.empty() && "empty group");
@@ -51,6 +70,7 @@ Mailbox &Group::mailbox(int Src, int Dst) {
 
 double Group::enterBarrier(double LocalTime) {
   std::unique_lock<std::mutex> Lock(BarrierMutex);
+  Poison->check(); // A dead rank will never arrive.
   std::uint64_t Gen = BarrierGeneration;
   BarrierMaxTime = std::max(BarrierMaxTime, LocalTime);
   if (++BarrierCount == size()) {
@@ -61,12 +81,19 @@ double Group::enterBarrier(double LocalTime) {
     BarrierCv.notify_all();
     return BarrierRelease;
   }
-  BarrierCv.wait(Lock, [&] { return BarrierGeneration != Gen; });
+  while (!BarrierCv.wait_for(Lock, PoisonPollInterval,
+                             [&] { return BarrierGeneration != Gen; }))
+    // A barrier that did complete is honoured even on a poisoned world
+    // (the generation check runs first); abandoned waits throw. The
+    // half-entered count is left as-is — a poisoned world never runs
+    // another successful barrier.
+    Poison->check();
   return BarrierRelease;
 }
 
 std::shared_ptr<Group> Group::split(const SplitEntry &Entry) {
   std::unique_lock<std::mutex> Lock(SplitMutex);
+  Poison->check(); // A dead rank will never contribute its entry.
   std::uint64_t Gen = SplitGeneration;
   SplitEntries.push_back(Entry);
   if (static_cast<int>(SplitEntries.size()) == size()) {
@@ -95,15 +122,19 @@ std::shared_ptr<Group> Group::split(const SplitEntry &Entry) {
         SubParent.push_back(SplitEntries[J].ParentRank);
         ++J;
       }
+      // Subgroups share the world's poison state, so a failure anywhere
+      // unblocks ranks waiting in any subgroup.
       SplitResult[SplitEntries[I].Color] = std::make_shared<Group>(
-          Cost, std::move(SubGlobal), std::move(SubParent));
+          Cost, std::move(SubGlobal), std::move(SubParent), Poison);
       I = J;
     }
     SplitEntries.clear();
     ++SplitGeneration;
     SplitCv.notify_all();
   } else {
-    SplitCv.wait(Lock, [&] { return SplitGeneration != Gen; });
+    while (!SplitCv.wait_for(Lock, PoisonPollInterval,
+                             [&] { return SplitGeneration != Gen; }))
+      Poison->check();
   }
   auto It = SplitResult.find(Entry.Color);
   assert(It != SplitResult.end() && "split result missing for color");

@@ -14,6 +14,7 @@
 #define FUPERMOD_MPP_GROUP_H
 
 #include "mpp/CostModel.h"
+#include "mpp/Poison.h"
 
 #include <condition_variable>
 #include <cstddef>
@@ -40,8 +41,9 @@ public:
   void push(Message Msg);
 
   /// Blocks until a message with \p Tag is present, then removes and
-  /// returns the oldest such message.
-  Message popMatching(int Tag);
+  /// returns the oldest such message. Throws CommError when \p Poison
+  /// trips while waiting (the sender may never show up).
+  Message popMatching(int Tag, const PoisonState &Poison);
 
 private:
   std::mutex Mutex;
@@ -54,8 +56,16 @@ class Group {
 public:
   /// Builds a group of \p GlobalRanks.size() ranks; \p GlobalRanks[i] is
   /// the world rank of group rank i (used for cost-model lookups).
+  /// Subgroups share their parent's poison state (a failure anywhere in
+  /// the world unblocks every subgroup); a null \p Poison creates a
+  /// fresh, healthy world.
   Group(std::shared_ptr<const CostModel> Cost, std::vector<int> GlobalRanks,
-        std::vector<int> ParentRanks);
+        std::vector<int> ParentRanks,
+        std::shared_ptr<PoisonState> Poison = nullptr);
+
+  /// The failure flag shared across this group and all its subgroups.
+  PoisonState &poison() { return *Poison; }
+  const PoisonState &poison() const { return *Poison; }
 
   int size() const { return static_cast<int>(GlobalRanks.size()); }
   int globalRankOf(int Rank) const { return GlobalRanks[Rank]; }
@@ -66,6 +76,8 @@ public:
 
   /// Rendezvous for Comm::barrier(): blocks until all ranks arrive and
   /// returns the common release time (max entry time + barrier cost).
+  /// Throws CommError when the world is poisoned before the barrier
+  /// completes (a dead rank will never arrive).
   double enterBarrier(double LocalTime);
 
   /// One rank's contribution to a communicator split.
@@ -85,6 +97,7 @@ public:
 
 private:
   std::shared_ptr<const CostModel> Cost;
+  std::shared_ptr<PoisonState> Poison;
   std::vector<int> GlobalRanks;
   /// ParentRanks[i] = rank in the parent group of group rank i (identity
   /// for the world group).

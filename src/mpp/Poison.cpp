@@ -1,0 +1,25 @@
+//===-- mpp/Poison.cpp - Group failure propagation ------------------------===//
+
+#include "mpp/Poison.h"
+
+using namespace fupermod;
+
+void PoisonState::poison(int InFailedRank, const std::string &InReason) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Flag.load(std::memory_order_relaxed))
+    return; // First failure wins.
+  FailedRank = InFailedRank;
+  Reason = InReason;
+  Flag.store(true, std::memory_order_release);
+}
+
+void PoisonState::check() const {
+  if (poisoned())
+    raise();
+}
+
+void PoisonState::raise() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  throw CommError(FailedRank, "rank " + std::to_string(FailedRank) +
+                                  " failed: " + Reason);
+}

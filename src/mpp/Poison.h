@@ -1,0 +1,69 @@
+//===-- mpp/Poison.h - Group failure propagation ----------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error propagation for the SPMD runtime. When a rank dies (uncaught
+/// exception, explicit Comm::abort), its world is *poisoned*: every rank
+/// blocked in — or later entering — a communication operation receives a
+/// CommError instead of deadlocking on a peer that will never show up.
+/// Poisoning is one-way; a poisoned world never recovers (mirroring the
+/// default MPI error model, where the job is torn down).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_MPP_POISON_H
+#define FUPERMOD_MPP_POISON_H
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace fupermod {
+
+/// Thrown out of communication operations on a poisoned world. Carries
+/// the world rank whose failure caused the poisoning so survivors can
+/// report (and tests assert) who died.
+class CommError : public std::runtime_error {
+public:
+  CommError(int FailedRank, const std::string &What)
+      : std::runtime_error(What), FailedRank(FailedRank) {}
+
+  /// World rank of the rank whose failure poisoned the group.
+  int failedRank() const { return FailedRank; }
+
+private:
+  int FailedRank;
+};
+
+/// One-way failure flag shared by a world group and every subgroup split
+/// from it. The atomic makes the fast path (healthy world) a single
+/// relaxed load; the mutex only guards the diagnostic fields.
+class PoisonState {
+public:
+  /// Marks the world failed. The first caller wins; later calls are
+  /// ignored so the original cause is preserved.
+  void poison(int FailedRank, const std::string &Reason);
+
+  /// True once any rank has failed.
+  bool poisoned() const { return Flag.load(std::memory_order_acquire); }
+
+  /// Throws CommError when the world is poisoned; no-op otherwise.
+  void check() const;
+
+  /// Builds the CommError for the recorded failure. Pre: poisoned().
+  [[noreturn]] void raise() const;
+
+private:
+  std::atomic<bool> Flag{false};
+  mutable std::mutex Mutex;
+  int FailedRank = -1;
+  std::string Reason;
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_MPP_POISON_H

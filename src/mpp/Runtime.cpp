@@ -17,6 +17,20 @@ double SpmdResult::makespan() const {
   return Max;
 }
 
+bool SpmdResult::allOk() const {
+  for (const RankStatus &S : Ranks)
+    if (!S.Ok)
+      return false;
+  return true;
+}
+
+int SpmdResult::firstFailedRank() const {
+  for (std::size_t R = 0; R < Ranks.size(); ++R)
+    if (!Ranks[R].Ok)
+      return static_cast<int>(R);
+  return -1;
+}
+
 SpmdResult fupermod::runSpmd(int NumRanks,
                              const std::function<void(Comm &)> &Body,
                              std::shared_ptr<const CostModel> Cost) {
@@ -30,12 +44,31 @@ SpmdResult fupermod::runSpmd(int NumRanks,
       std::make_shared<Group>(std::move(Cost), Identity, Identity);
 
   std::vector<VirtualClock> Clocks(static_cast<std::size_t>(NumRanks));
+  std::vector<RankStatus> Statuses(static_cast<std::size_t>(NumRanks));
   std::vector<std::thread> Threads;
   Threads.reserve(static_cast<std::size_t>(NumRanks));
   for (int R = 0; R < NumRanks; ++R) {
     Threads.emplace_back([&, R] {
       Comm C(World, R, &Clocks[static_cast<std::size_t>(R)]);
-      Body(C);
+      RankStatus &Status = Statuses[static_cast<std::size_t>(R)];
+      try {
+        Body(C);
+      } catch (const CommError &E) {
+        // Secondary failure: this rank observed a peer's death. The
+        // world is already poisoned.
+        Status.Ok = false;
+        Status.Error = E.what();
+      } catch (const std::exception &E) {
+        // Primary failure: poison the world so peers blocked on this
+        // rank get a CommError instead of deadlocking.
+        World->poison().poison(R, E.what());
+        Status.Ok = false;
+        Status.Error = E.what();
+      } catch (...) {
+        World->poison().poison(R, "unknown exception");
+        Status.Ok = false;
+        Status.Error = "unknown exception";
+      }
     });
   }
   for (auto &T : Threads)
@@ -45,5 +78,6 @@ SpmdResult fupermod::runSpmd(int NumRanks,
   Result.FinalTimes.reserve(Clocks.size());
   for (const auto &C : Clocks)
     Result.FinalTimes.push_back(C.now());
+  Result.Ranks = std::move(Statuses);
   return Result;
 }

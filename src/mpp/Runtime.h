@@ -17,21 +17,45 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace fupermod {
+
+/// How one rank of an SPMD run ended.
+struct RankStatus {
+  /// The rank's body returned normally.
+  bool Ok = true;
+  /// Diagnostic when !Ok: what() of the escaped exception (a CommError
+  /// for ranks that died observing a peer's failure).
+  std::string Error;
+};
 
 /// Outcome of one SPMD run.
 struct SpmdResult {
   /// Final virtual time of each rank (completion times).
   std::vector<double> FinalTimes;
+  /// Per-rank success/failure (parallel to FinalTimes).
+  std::vector<RankStatus> Ranks;
 
   /// Largest final time — the makespan of the run.
   double makespan() const;
+
+  /// True when every rank's body returned normally.
+  bool allOk() const;
+
+  /// Smallest rank that failed, or -1 when all ranks succeeded.
+  int firstFailedRank() const;
 };
 
 /// Runs \p Body on \p NumRanks ranks, each on its own thread with its own
 /// virtual clock starting at zero. Blocks until every rank returns.
+///
+/// A body that throws does not take the process down: the escaping
+/// exception poisons the world (so peers blocked in communication get a
+/// CommError instead of deadlocking) and the rank is reported failed in
+/// the result. A body that *catches* the CommError and returns normally
+/// counts as Ok — that is the graceful-degradation path.
 ///
 /// \p Cost models communication; when null, communication is free.
 SpmdResult runSpmd(int NumRanks, const std::function<void(Comm &)> &Body,

@@ -22,8 +22,19 @@ std::vector<SimDevice> Cluster::makeDevices() const {
 
 SimDevice Cluster::makeDevice(int Rank) const {
   assert(Rank >= 0 && Rank < size() && "rank out of range");
-  return SimDevice(Devices[static_cast<std::size_t>(Rank)], NoiseSigma,
-                   Seed + static_cast<std::uint64_t>(Rank));
+  SimDevice Dev(Devices[static_cast<std::size_t>(Rank)], NoiseSigma,
+                Seed + static_cast<std::uint64_t>(Rank));
+  if (static_cast<std::size_t>(Rank) < Faults.size() &&
+      !Faults[static_cast<std::size_t>(Rank)].empty())
+    Dev.setFaultPlan(Faults[static_cast<std::size_t>(Rank)]);
+  return Dev;
+}
+
+void Cluster::addFault(int Rank, FaultEvent E) {
+  assert(Rank >= 0 && "rank out of range");
+  if (static_cast<std::size_t>(Rank) >= Faults.size())
+    Faults.resize(static_cast<std::size_t>(Rank) + 1);
+  Faults[static_cast<std::size_t>(Rank)].Events.push_back(E);
 }
 
 Cluster fupermod::makeTwoDeviceCluster() {

@@ -38,6 +38,9 @@ struct Cluster {
   double NoiseSigma = 0.02;
   /// Base RNG seed; rank r's device uses Seed + r.
   std::uint64_t Seed = 42;
+  /// Per-rank fault schedules; may be shorter than Devices (trailing
+  /// ranks then have no faults). Attached by makeDevice.
+  std::vector<FaultPlan> Faults;
 
   /// Number of ranks.
   int size() const { return static_cast<int>(Devices.size()); }
@@ -48,8 +51,11 @@ struct Cluster {
   /// Instantiates a noisy SimDevice per rank (deterministic per seed).
   std::vector<SimDevice> makeDevices() const;
 
-  /// The device for one rank.
+  /// The device for one rank, with its fault plan (if any) attached.
   SimDevice makeDevice(int Rank) const;
+
+  /// Appends \p E to rank \p Rank's fault schedule.
+  void addFault(int Rank, FaultEvent E);
 };
 
 /// Two devices with very different speed functions; used for the Fig. 3

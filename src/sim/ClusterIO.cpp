@@ -56,6 +56,48 @@ bool parseDevice(std::istringstream &LS, Cluster &Out, std::string *Error) {
   return true;
 }
 
+/// Parses one `fault <rank> <kind> ...` line; appends to \p Out.Faults.
+/// Rank bounds are checked by the caller once all devices are known.
+bool parseFault(std::istringstream &LS, Cluster &Out, std::string *Error) {
+  int Rank = -1;
+  std::string Kind;
+  if (!(LS >> Rank >> Kind) || Rank < 0)
+    return fail(Error, "malformed fault line");
+
+  FaultEvent E;
+  if (Kind == "spike") {
+    int AfterCalls = 0, Period = 0;
+    double Factor = 0.0;
+    if (!(LS >> AfterCalls >> Factor) || AfterCalls < 0 || Factor <= 0.0)
+      return fail(Error, "spike fault needs <after_calls> <factor>");
+    if (!(LS >> Period))
+      Period = 0; // The period is optional.
+    if (Period < 0)
+      return fail(Error, "spike period must be non-negative");
+    E = FaultPlan::spike(AfterCalls, Factor, Period);
+  } else if (Kind == "slowdown") {
+    double AfterBusy = 0.0, Factor = 0.0;
+    if (!(LS >> AfterBusy >> Factor) || AfterBusy < 0.0 || Factor <= 0.0)
+      return fail(Error, "slowdown fault needs <after_busy_s> <factor>");
+    E = FaultPlan::slowdown(AfterBusy, Factor);
+  } else if (Kind == "hang") {
+    int AfterCalls = 0;
+    double Seconds = 0.0;
+    if (!(LS >> AfterCalls >> Seconds) || AfterCalls < 0 || Seconds < 0.0)
+      return fail(Error, "hang fault needs <after_calls> <hang_seconds>");
+    E = FaultPlan::hang(AfterCalls, Seconds);
+  } else if (Kind == "fail") {
+    int AfterCalls = 0;
+    if (!(LS >> AfterCalls) || AfterCalls < 0)
+      return fail(Error, "fail fault needs <after_calls>");
+    E = FaultPlan::fail(AfterCalls);
+  } else {
+    return fail(Error, "unknown fault kind '" + Kind + "'");
+  }
+  Out.addFault(Rank, E);
+  return true;
+}
+
 } // namespace
 
 std::optional<Cluster> fupermod::parseCluster(std::istream &IS,
@@ -95,6 +137,9 @@ std::optional<Cluster> fupermod::parseCluster(std::istream &IS,
     } else if (Key == "device") {
       if (!parseDevice(LS, Out, Error))
         return std::nullopt;
+    } else if (Key == "fault") {
+      if (!parseFault(LS, Out, Error))
+        return std::nullopt;
     } else {
       fail(Error, "unknown key '" + Key + "'");
       return std::nullopt;
@@ -102,6 +147,10 @@ std::optional<Cluster> fupermod::parseCluster(std::istream &IS,
   }
   if (Out.Devices.empty()) {
     fail(Error, "cluster has no devices");
+    return std::nullopt;
+  }
+  if (Out.Faults.size() > Out.Devices.size()) {
+    fail(Error, "fault line references a rank with no device");
     return std::nullopt;
   }
   return Out;

@@ -17,12 +17,24 @@
 ///   device 0 cpu core 800 25 2000 300 0.55
 ///   device 1 gpu accel 4000 0.05 12000 0.5
 ///   device 0 contended sibling 800 25 2000 300 0.55 3 0.15
+///   fault 1 slowdown 30 4.0     # rank 1 runs 4x slower after 30s busy
 ///
 /// Device forms:
 ///   constant  <name> <units_per_sec>
 ///   cpu       <name> <peak> <ramp> <cliff> <width> <drop>
 ///   gpu       <name> <peak> <staging_s> <mem_limit> <out_of_core>
 ///   contended <name> <peak> <ramp> <cliff> <width> <drop> <peers> <alpha>
+///
+/// Fault forms (rank must refer to a device declared in the same file):
+///   fault <rank> spike    <after_calls> <factor> [period]
+///   fault <rank> slowdown <after_busy_s> <factor>
+///   fault <rank> hang     <after_calls> <hang_seconds>
+///   fault <rank> fail     <after_calls>
+///
+/// spike multiplies one measurement (or every period-th from after_calls
+/// on) by factor; slowdown permanently multiplies all later measurements;
+/// hang stalls one measurement for hang_seconds; fail makes the device
+/// return no timings from the triggering call on. See sim/FaultPlan.h.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,37 @@
+//===-- sim/FaultPlan.cpp - Scriptable device fault injection -------------===//
+
+#include "sim/FaultPlan.h"
+
+using namespace fupermod;
+
+FaultEvent FaultPlan::spike(int AfterCalls, double Factor, int Period) {
+  FaultEvent E;
+  E.Kind = FaultKind::LatencySpike;
+  E.AfterCalls = AfterCalls;
+  E.Factor = Factor;
+  E.Period = Period;
+  return E;
+}
+
+FaultEvent FaultPlan::slowdown(double AfterBusyTime, double Factor) {
+  FaultEvent E;
+  E.Kind = FaultKind::Slowdown;
+  E.AfterBusyTime = AfterBusyTime;
+  E.Factor = Factor;
+  return E;
+}
+
+FaultEvent FaultPlan::hang(int AfterCalls, double HangSeconds) {
+  FaultEvent E;
+  E.Kind = FaultKind::Hang;
+  E.AfterCalls = AfterCalls;
+  E.HangSeconds = HangSeconds;
+  return E;
+}
+
+FaultEvent FaultPlan::fail(int AfterCalls) {
+  FaultEvent E;
+  E.Kind = FaultKind::Fail;
+  E.AfterCalls = AfterCalls;
+  return E;
+}

@@ -1,0 +1,91 @@
+//===-- sim/FaultPlan.h - Scriptable device fault injection -----*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scriptable fault injection for simulated devices. The paper assumes a
+/// *dedicated* platform, but its dynamic algorithms (Section 4.4) exist
+/// precisely because real devices drift, spike and die. A FaultPlan
+/// attaches deterministic fault events to a SimDevice so the benchmark
+/// machinery, the dynamic balancer and the SPMD runtime can be exercised
+/// under exactly those conditions:
+///
+///  - LatencySpike: one measurement (optionally every Period-th) runs
+///    Factor times slower — a transient scheduler/thermal hiccup;
+///  - Slowdown: from the trigger on, every measurement runs Factor times
+///    slower — permanent degradation (thermal throttling, a co-tenant);
+///  - Hang: one measurement blocks for HangSeconds before completing — a
+///    wedged driver that eventually recovers;
+///  - Fail: from the trigger on, the device returns no timing at all —
+///    hard failure (device lost, rank must be excluded).
+///
+/// Events trigger deterministically on (call index, accumulated busy
+/// time), so every experiment remains bit-reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SIM_FAULTPLAN_H
+#define FUPERMOD_SIM_FAULTPLAN_H
+
+#include <vector>
+
+namespace fupermod {
+
+/// The kinds of injectable device faults.
+enum class FaultKind { LatencySpike, Slowdown, Hang, Fail };
+
+/// One scripted fault. An event triggers on the first measurement call
+/// whose 0-based index is >= AfterCalls AND whose accumulated device busy
+/// time is >= AfterBusyTime (both default to 0 = immediately).
+struct FaultEvent {
+  FaultKind Kind = FaultKind::LatencySpike;
+  /// Call-count component of the trigger (0-based measurement index).
+  int AfterCalls = 0;
+  /// Busy-time component of the trigger (seconds the device has spent
+  /// executing measurements so far).
+  double AfterBusyTime = 0.0;
+  /// LatencySpike / Slowdown: multiply the measured time by this.
+  double Factor = 1.0;
+  /// Hang: seconds the call blocks on top of the normal execution time.
+  double HangSeconds = 0.0;
+  /// LatencySpike only: 0 = spike exactly once; N >= 1 = spike every
+  /// N-th call from AfterCalls on.
+  int Period = 0;
+};
+
+/// A deterministic schedule of fault events for one device.
+struct FaultPlan {
+  std::vector<FaultEvent> Events;
+
+  bool empty() const { return Events.empty(); }
+
+  /// Convenience factories mirroring the `.cluster` fault syntax.
+  static FaultEvent spike(int AfterCalls, double Factor, int Period = 0);
+  static FaultEvent slowdown(double AfterBusyTime, double Factor);
+  static FaultEvent hang(int AfterCalls, double HangSeconds);
+  static FaultEvent fail(int AfterCalls);
+};
+
+/// Health classification of one simulated measurement.
+enum class MeasureStatus {
+  /// Normal (possibly spiked or slowed) measurement.
+  Ok,
+  /// The call blocked for a scripted hang before completing; Seconds
+  /// includes the hang.
+  Hung,
+  /// The device is hard-failed: no timing was produced at all.
+  Failed,
+};
+
+/// Outcome of one simulated measurement.
+struct Measurement {
+  /// Wall-seconds the call took (0 when Status == Failed).
+  double Seconds = 0.0;
+  MeasureStatus Status = MeasureStatus::Ok;
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SIM_FAULTPLAN_H

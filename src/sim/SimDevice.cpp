@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 using namespace fupermod;
 
@@ -13,13 +14,87 @@ SimDevice::SimDevice(DeviceProfile Profile, double NoiseSigma,
   assert(NoiseSigma >= 0.0 && "noise sigma must be non-negative");
 }
 
+void SimDevice::setFaultPlan(FaultPlan NewPlan) {
+  Plan = std::move(NewPlan);
+  Fired.assign(Plan.Events.size(), false);
+}
+
 double SimDevice::measureTime(double Units) {
-  double True = trueTime(Units);
-  if (NoiseSigma == 0.0)
-    return True;
-  double Factor = Rng.normal(1.0, NoiseSigma);
-  // Clamp to avoid absurd or negative samples from the normal tail.
-  Factor = std::clamp(Factor, 1.0 - 4.0 * NoiseSigma, 1.0 + 4.0 * NoiseSigma);
-  Factor = std::max(Factor, 0.05);
-  return True * Factor;
+  Measurement M = measure(Units);
+  if (M.Status == MeasureStatus::Failed)
+    return std::numeric_limits<double>::infinity();
+  return M.Seconds;
+}
+
+Measurement SimDevice::measure(double Units) {
+  // Trigger predicate: both the call-count and busy-time components must
+  // be satisfied, evaluated against state *before* this call runs.
+  auto Triggered = [&](const FaultEvent &E) {
+    return Calls >= E.AfterCalls && BusyTime >= E.AfterBusyTime;
+  };
+
+  // Hard failure dominates everything: once latched, the device produces
+  // no timings at all.
+  for (std::size_t I = 0; I < Plan.Events.size(); ++I)
+    if (Plan.Events[I].Kind == FaultKind::Fail && Triggered(Plan.Events[I]))
+      HardFailed = true;
+  if (HardFailed) {
+    ++Calls;
+    return {0.0, MeasureStatus::Failed};
+  }
+
+  // Latch any newly-triggered permanent slowdowns before timing the call.
+  for (std::size_t I = 0; I < Plan.Events.size(); ++I) {
+    const FaultEvent &E = Plan.Events[I];
+    if (E.Kind == FaultKind::Slowdown && !Fired[I] && Triggered(E)) {
+      Fired[I] = true;
+      SlowFactor *= E.Factor;
+    }
+  }
+
+  double Seconds = trueTime(Units);
+  if (NoiseSigma > 0.0) {
+    double Factor = Rng.normal(1.0, NoiseSigma);
+    // Clamp to avoid absurd or negative samples from the normal tail.
+    Factor =
+        std::clamp(Factor, 1.0 - 4.0 * NoiseSigma, 1.0 + 4.0 * NoiseSigma);
+    Factor = std::max(Factor, 0.05);
+    Seconds *= Factor;
+  }
+  Seconds *= SlowFactor;
+
+  Measurement M;
+  M.Status = MeasureStatus::Ok;
+
+  for (std::size_t I = 0; I < Plan.Events.size(); ++I) {
+    const FaultEvent &E = Plan.Events[I];
+    if (!Triggered(E))
+      continue;
+    switch (E.Kind) {
+    case FaultKind::LatencySpike:
+      if (E.Period > 0) {
+        if ((Calls - E.AfterCalls) % E.Period == 0)
+          Seconds *= E.Factor;
+      } else if (!Fired[I]) {
+        Fired[I] = true;
+        Seconds *= E.Factor;
+      }
+      break;
+    case FaultKind::Hang:
+      if (!Fired[I]) {
+        Fired[I] = true;
+        Seconds += E.HangSeconds;
+        M.Status = MeasureStatus::Hung;
+      }
+      break;
+    case FaultKind::Slowdown:
+    case FaultKind::Fail:
+      break; // Handled above.
+    }
+  }
+
+  M.Seconds = Seconds;
+  BusyTime += Seconds;
+  ++Calls;
+  return M;
 }

@@ -11,15 +11,22 @@
 /// repeat measurements until the confidence interval is tight (paper
 /// Section 4.1).
 ///
+/// A device may also carry a FaultPlan: a deterministic schedule of
+/// latency spikes, slowdowns, hangs and hard failures (see
+/// sim/FaultPlan.h). Faulted measurements are reported through
+/// measure(), which returns both the time and a health status.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FUPERMOD_SIM_SIMDEVICE_H
 #define FUPERMOD_SIM_SIMDEVICE_H
 
 #include "sim/DeviceProfile.h"
+#include "sim/FaultPlan.h"
 #include "support/Random.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace fupermod {
 
@@ -38,13 +45,40 @@ public:
 
   /// One noisy measurement of the execution time for \p Units; advances
   /// the RNG, so successive calls scatter independently. Never returns a
-  /// non-positive time.
+  /// non-positive time. With a fault plan attached, a hung call's time
+  /// includes the hang and a hard-failed device returns +infinity.
   double measureTime(double Units);
+
+  /// Like measureTime but reports the health of the call alongside the
+  /// time, so callers can distinguish a hang (time includes the scripted
+  /// stall) from a hard failure (no timing at all, Seconds == 0).
+  Measurement measure(double Units);
+
+  /// Attach a deterministic fault schedule. Replaces any previous plan
+  /// and resets its fired-state; call counters and busy time persist.
+  void setFaultPlan(FaultPlan Plan);
+
+  /// True once a Fail event has triggered; every subsequent measurement
+  /// reports MeasureStatus::Failed.
+  bool hardFailed() const { return HardFailed; }
+
+  /// Number of measurement calls made so far (hard-failed calls count).
+  int calls() const { return Calls; }
+
+  /// Accumulated seconds the device has spent executing measurements.
+  double busyTime() const { return BusyTime; }
 
 private:
   DeviceProfile Profile;
   double NoiseSigma;
   SplitMix64 Rng;
+
+  FaultPlan Plan;
+  std::vector<bool> Fired; // One flag per Plan event (one-shot events).
+  bool HardFailed = false;
+  double SlowFactor = 1.0; // Product of all triggered Slowdown factors.
+  int Calls = 0;
+  double BusyTime = 0.0;
 };
 
 } // namespace fupermod

@@ -214,6 +214,59 @@ TEST(RunBenchmark, OutlierRejectionRemovesSpikes) {
   EXPECT_EQ(Robust.Reps, 10); // Two spikes rejected.
 }
 
+TEST(RunBenchmark, OutlierRejectionDropsInjectedSpikes) {
+  // The spikes come from the device itself this time: a scripted fault
+  // plan inflates every sixth measurement 25x. MAD rejection must drop
+  // exactly those repetitions.
+  auto MakeSpikyDevice = [] {
+    SimDevice Dev(makeConstantProfile("c", 10.0), /*NoiseSigma=*/0.01,
+                  /*Seed=*/7);
+    FaultPlan Plan;
+    Plan.Events = {FaultPlan::spike(/*AfterCalls=*/0, 25.0, /*Period=*/6)};
+    Dev.setFaultPlan(std::move(Plan));
+    return Dev;
+  };
+  Precision Prec;
+  Prec.MinReps = 12;
+  Prec.MaxReps = 12;
+  Prec.TargetRelativeError = 1e-9;
+
+  SimDevice Plain = MakeSpikyDevice();
+  SimDeviceBackend PB(Plain);
+  Point Naive = runBenchmark(PB, 10.0, Prec);
+
+  SimDevice Robustly = MakeSpikyDevice();
+  SimDeviceBackend RB(Robustly);
+  Prec.RejectOutliers = true;
+  Point Robust = runBenchmark(RB, 10.0, Prec);
+
+  // Two spiked calls (indices 0 and 6) drag the naive mean far up; the
+  // robust mean stays at the true 1 s.
+  EXPECT_GT(Naive.Time, 3.0);
+  EXPECT_NEAR(Robust.Time, 1.0, 0.05);
+  EXPECT_EQ(Robust.Reps, 10);
+}
+
+TEST(RunBenchmark, TimeLimitCapsNoisySimMeasurement) {
+  // Regression for the accumulated-time cap on the simulated backend:
+  // with an unreachable precision target the loop must stop on TimeLimit,
+  // not run to MaxReps.
+  SimDevice Dev(makeConstantProfile("c", 10.0), /*NoiseSigma=*/0.05,
+                /*Seed=*/3);
+  SimDeviceBackend B(Dev);
+  Precision Prec;
+  Prec.MinReps = 2;
+  Prec.MaxReps = 100;
+  Prec.TargetRelativeError = 1e-9;
+  Prec.TimeLimit = 2.5;
+  Point P = runBenchmark(B, 10.0, Prec);
+  // Repetitions are ~1 s each (noise clamped to +-20%), so the cap is
+  // crossed on the third or fourth repetition.
+  EXPECT_GE(P.Reps, 3);
+  EXPECT_LE(P.Reps, 4);
+  EXPECT_NEAR(P.Time, 1.0, 0.2);
+}
+
 TEST(RunBenchmark, OutlierRejectionHarmlessOnCleanData) {
   FakeBackend B({1.0, 1.01, 0.99});
   Precision Prec;

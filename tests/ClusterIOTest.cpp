@@ -69,6 +69,78 @@ TEST(ClusterIO, RejectsMalformedInput) {
   }
 }
 
+TEST(ClusterIO, ParsesAllFaultForms) {
+  std::istringstream IS(R"(
+device 0 constant a 10
+device 0 constant b 10
+fault 0 spike 5 8.0 3
+fault 0 slowdown 30 4.0
+fault 1 hang 2 7.5
+fault 1 fail 9
+)");
+  std::string Error;
+  auto Cl = parseCluster(IS, &Error);
+  ASSERT_TRUE(Cl.has_value()) << Error;
+  ASSERT_EQ(Cl->Faults.size(), 2u);
+  ASSERT_EQ(Cl->Faults[0].Events.size(), 2u);
+  ASSERT_EQ(Cl->Faults[1].Events.size(), 2u);
+
+  const FaultEvent &Spike = Cl->Faults[0].Events[0];
+  EXPECT_EQ(Spike.Kind, FaultKind::LatencySpike);
+  EXPECT_EQ(Spike.AfterCalls, 5);
+  EXPECT_DOUBLE_EQ(Spike.Factor, 8.0);
+  EXPECT_EQ(Spike.Period, 3);
+
+  const FaultEvent &Slow = Cl->Faults[0].Events[1];
+  EXPECT_EQ(Slow.Kind, FaultKind::Slowdown);
+  EXPECT_DOUBLE_EQ(Slow.AfterBusyTime, 30.0);
+  EXPECT_DOUBLE_EQ(Slow.Factor, 4.0);
+
+  const FaultEvent &Hang = Cl->Faults[1].Events[0];
+  EXPECT_EQ(Hang.Kind, FaultKind::Hang);
+  EXPECT_EQ(Hang.AfterCalls, 2);
+  EXPECT_DOUBLE_EQ(Hang.HangSeconds, 7.5);
+
+  const FaultEvent &Fail = Cl->Faults[1].Events[1];
+  EXPECT_EQ(Fail.Kind, FaultKind::Fail);
+  EXPECT_EQ(Fail.AfterCalls, 9);
+}
+
+TEST(ClusterIO, ParsedFaultPlanReachesTheDevice) {
+  std::istringstream IS("device 0 constant a 10\nfault 0 fail 0\n");
+  auto Cl = parseCluster(IS);
+  ASSERT_TRUE(Cl.has_value());
+  SimDevice Dev = Cl->makeDevice(0);
+  EXPECT_EQ(Dev.measure(10.0).Status, MeasureStatus::Failed);
+  EXPECT_TRUE(Dev.hardFailed());
+}
+
+TEST(ClusterIO, SpikePeriodIsOptional) {
+  std::istringstream IS("device 0 constant a 10\nfault 0 spike 2 8.0\n");
+  auto Cl = parseCluster(IS);
+  ASSERT_TRUE(Cl.has_value());
+  ASSERT_EQ(Cl->Faults.size(), 1u);
+  EXPECT_EQ(Cl->Faults[0].Events[0].Period, 0); // One-shot spike.
+}
+
+TEST(ClusterIO, RejectsMalformedFaults) {
+  const char *Bad[] = {
+      "device 0 constant a 10\nfault 1 fail 0\n",     // No such rank.
+      "device 0 constant a 10\nfault 0 warp 1 2\n",   // Unknown kind.
+      "device 0 constant a 10\nfault 0 spike 3\n",    // Missing factor.
+      "device 0 constant a 10\nfault 0 spike 0 2 -1\n", // Bad period.
+      "device 0 constant a 10\nfault 0 slowdown 5 0\n", // Zero factor.
+      "device 0 constant a 10\nfault 0 hang 0 -5\n",  // Negative hang.
+      "device 0 constant a 10\nfault -1 fail 0\n",    // Negative rank.
+  };
+  for (const char *Text : Bad) {
+    std::istringstream IS(Text);
+    std::string Error;
+    EXPECT_FALSE(parseCluster(IS, &Error).has_value()) << Text;
+    EXPECT_FALSE(Error.empty()) << Text;
+  }
+}
+
 TEST(ClusterIO, ResolvePresets) {
   EXPECT_EQ(resolveCluster("two-device")->size(), 2);
   EXPECT_EQ(resolveCluster("hcl")->size(), 7);
@@ -91,4 +163,9 @@ TEST(ClusterIO, ShippedSampleFileParses) {
   ASSERT_TRUE(Cl.has_value()) << Error;
   EXPECT_EQ(Cl->size(), 5);
   EXPECT_EQ(Cl->NodeOfRank.back(), 1);
+  // The documented fault-plan example stays in sync with the parser.
+  ASSERT_EQ(Cl->Faults.size(), 5u);
+  ASSERT_EQ(Cl->Faults[4].Events.size(), 1u);
+  EXPECT_EQ(Cl->Faults[4].Events[0].Kind, FaultKind::Slowdown);
+  EXPECT_DOUBLE_EQ(Cl->Faults[4].Events[0].AfterBusyTime, 3600.0);
 }

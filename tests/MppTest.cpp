@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 using namespace fupermod;
@@ -345,6 +346,111 @@ TEST(AllgathervRing, CheaperThanTreeForLargePayloads) {
           },
           Cost);
   EXPECT_LT(RingTime, TreeTime);
+}
+
+// --- Failure propagation: a dead rank poisons its world so survivors
+// get a clean CommError instead of deadlocking in a collective. ---
+
+TEST(Poison, BarrierDoesNotDeadlockWhenOneRankDies) {
+  // Rank 0 dies before ever entering the barrier; ranks 1 and 2 would
+  // historically wait forever. Every survivor must observe a CommError
+  // naming the dead rank, and the whole test must terminate.
+  SpmdResult R = runSpmd(3, [](Comm &C) {
+    if (C.rank() == 0)
+      throw std::runtime_error("gpu fell off the bus");
+    try {
+      for (;;)
+        C.barrier();
+    } catch (const CommError &E) {
+      EXPECT_EQ(E.failedRank(), 0);
+      throw; // Let runSpmd record the secondary failure too.
+    }
+  });
+  EXPECT_FALSE(R.allOk());
+  EXPECT_EQ(R.firstFailedRank(), 0);
+  ASSERT_EQ(R.Ranks.size(), 3u);
+  EXPECT_EQ(R.Ranks[0].Error, "gpu fell off the bus");
+  // Survivors report the propagated failure, attributed to rank 0.
+  EXPECT_NE(R.Ranks[1].Error.find("rank 0 failed"), std::string::npos);
+  EXPECT_NE(R.Ranks[2].Error.find("rank 0 failed"), std::string::npos);
+}
+
+TEST(Poison, RecvFromDeadRankThrows) {
+  runSpmd(2, [](Comm &C) {
+    if (C.rank() == 1)
+      throw std::runtime_error("boom");
+    EXPECT_THROW(C.recvValue<int>(1, 4), CommError);
+  });
+}
+
+TEST(Poison, QueuedMessagesStillDeliveredAfterDeath) {
+  // Rank 0 sends, then dies. The queued message must still be received;
+  // only the *next* receive (which can never be satisfied) throws.
+  runSpmd(2, [](Comm &C) {
+    if (C.rank() == 0) {
+      C.sendValue<int>(1, 7, 42);
+      throw std::runtime_error("died after send");
+    }
+    EXPECT_EQ(C.recvValue<int>(0, 7), 42);
+    EXPECT_THROW(C.recvValue<int>(0, 7), CommError);
+  });
+}
+
+TEST(Poison, ExplicitAbortPoisonsTheWorld) {
+  SpmdResult R = runSpmd(3, [](Comm &C) {
+    if (C.rank() == 2) {
+      C.abort("device evicted");
+      return; // Simulated process exit.
+    }
+    try {
+      for (;;)
+        C.barrier();
+    } catch (const CommError &E) {
+      EXPECT_EQ(E.failedRank(), 2);
+      EXPECT_NE(std::string(E.what()).find("device evicted"),
+                std::string::npos);
+    }
+    EXPECT_TRUE(C.poisoned());
+  });
+  // abort() marks the world, not the caller: rank 2 itself returned
+  // normally, the survivors caught and handled the CommError.
+  EXPECT_TRUE(R.allOk());
+}
+
+TEST(Poison, SpreadsIntoSubgroupsAfterSplit) {
+  // Split {0,1} / {2,3}; rank 3 then dies. Both subgroups share the
+  // world's poison state, so ranks blocked on the *other* subgroup's
+  // barrier must also unblock with a CommError.
+  runSpmd(4, [](Comm &C) {
+    Comm Sub = C.split(C.rank() / 2, C.rank());
+    if (C.rank() == 3)
+      throw std::runtime_error("late fatal");
+    try {
+      for (;;)
+        Sub.barrier();
+    } catch (const CommError &E) {
+      EXPECT_EQ(E.failedRank(), 3);
+    }
+  });
+}
+
+TEST(Poison, CollectivesOnPoisonedWorldFailFast) {
+  runSpmd(3, [](Comm &C) {
+    if (C.rank() == 1)
+      throw std::runtime_error("early exit");
+    // Wait until the poison is visible, then every collective and
+    // point-to-point entry point must throw instead of blocking.
+    try {
+      for (;;)
+        C.barrier();
+    } catch (const CommError &) {
+    }
+    std::vector<double> V = {1.0};
+    EXPECT_THROW(C.allreduceValue(1.0, ReduceOp::Sum), CommError);
+    EXPECT_THROW(C.allgatherv(std::span<const double>(V)), CommError);
+    EXPECT_THROW(C.sendValue<int>((C.rank() + 1) % 3, 9, 1), CommError);
+    EXPECT_THROW(C.split(0, C.rank()), CommError);
+  });
 }
 
 TEST(SendRecv, PairedExchange) {

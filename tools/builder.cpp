@@ -101,9 +101,12 @@ int main(int Argc, char **Argv) {
                          static_cast<double>(NumPoints - 1);
     Point P = runBenchmark(*Backend, D, Prec);
     M->update(P);
-    if (P.Reps == 0)
-      std::printf("size %-10.0f infeasible\n", D);
-    else
+    if (P.Reps == 0) {
+      const char *Why = P.Status == PointStatus::TimedOut      ? "timed out"
+                        : P.Status == PointStatus::DeviceFailed ? "device failed"
+                                                                : "infeasible";
+      std::printf("size %-10.0f %s\n", D, Why);
+    } else
       std::printf("size %-10.0f time %-12.6f reps %-3d speed %.1f\n", D,
                   P.Time, P.Reps, P.speed());
   }

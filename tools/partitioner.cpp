@@ -7,7 +7,15 @@
 //
 // Usage:
 //   partitioner --total D [--algorithm constant|geometric|numerical]
-//               [--output FILE] model0.fpm model1.fpm ...
+//               [--output FILE] [--explain] [--allow-degraded]
+//               model0.fpm model1.fpm ...
+//
+// --allow-degraded drops ranks whose model is unfitted (no successful
+// measurement — e.g. the device failed during model construction) and
+// partitions the full total over the survivors instead of refusing.
+// --explain prints one line per rank stating whether it was included,
+// capped by a feasibility limit, or excluded and why — so degraded runs
+// are diagnosable from the CLI.
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +23,7 @@
 #include "core/Partitioners.h"
 #include "support/Options.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -25,6 +34,8 @@ int main(int Argc, char **Argv) {
   Options Opts(Argc, Argv);
   std::int64_t Total = Opts.getInt("total", 0);
   std::string Algorithm = Opts.get("algorithm", "geometric");
+  bool Explain = Opts.has("explain");
+  bool AllowDegraded = Opts.has("allow-degraded");
   const auto &Files = Opts.positional();
 
   if (Total <= 0 || Files.empty() ||
@@ -33,13 +44,13 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "usage: %s --total D [--algorithm "
                  "constant|geometric|numerical] [--output FILE] "
+                 "[--explain] [--allow-degraded] "
                  "model0.fpm model1.fpm ...\n",
                  Argv[0]);
     return 2;
   }
 
   std::vector<std::unique_ptr<Model>> Models;
-  std::vector<Model *> Ptrs;
   for (const std::string &File : Files) {
     std::unique_ptr<Model> M = loadModel(File);
     if (!M) {
@@ -48,17 +59,49 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     Models.push_back(std::move(M));
-    Ptrs.push_back(Models.back().get());
   }
 
-  Dist Out;
-  if (!getPartitioner(Algorithm)(Total, Ptrs, Out)) {
+  // Partition over the usable models only; with --allow-degraded an
+  // unfitted model excludes its rank (share 0), otherwise it is an error.
+  std::vector<Model *> Active;
+  std::vector<std::size_t> ActiveRanks;
+  std::vector<std::string> Exclusions(Files.size());
+  for (std::size_t I = 0; I < Models.size(); ++I) {
+    if (!Models[I]->fitted()) {
+      if (!AllowDegraded) {
+        std::fprintf(stderr,
+                     "error: model %s has no successful measurements "
+                     "(rerun builder, or pass --allow-degraded to "
+                     "partition over the remaining ranks)\n",
+                     Files[I].c_str());
+        return 1;
+      }
+      Exclusions[I] = "model unfitted: no successful measurements";
+      continue;
+    }
+    Active.push_back(Models[I].get());
+    ActiveRanks.push_back(I);
+  }
+  if (Active.empty()) {
+    std::fprintf(stderr, "error: every rank's model is unfitted\n");
+    return 1;
+  }
+
+  Dist Sub;
+  if (!getPartitioner(Algorithm)(Total, Active, Sub)) {
     std::fprintf(stderr,
                  "error: partitioning failed (unfitted model or "
                  "insufficient device capacity for %lld units)\n",
                  static_cast<long long>(Total));
     return 1;
   }
+
+  // Map the surviving ranks' shares back; excluded ranks hold 0 units.
+  Dist Out;
+  Out.Total = Total;
+  Out.Parts.assign(Files.size(), Part());
+  for (std::size_t I = 0; I < ActiveRanks.size(); ++I)
+    Out.Parts[ActiveRanks[I]] = Sub.Parts[I];
 
   std::printf("# %s partitioning of %lld units over %zu processes\n",
               Algorithm.c_str(), static_cast<long long>(Total),
@@ -68,6 +111,24 @@ int main(int Argc, char **Argv) {
                 static_cast<long long>(Out.Parts[I].Units),
                 Out.Parts[I].PredictedTime, Files[I].c_str());
   std::printf("# max predicted time: %.6f\n", Out.maxPredictedTime());
+
+  if (Explain) {
+    for (std::size_t I = 0; I < Files.size(); ++I) {
+      if (!Exclusions[I].empty()) {
+        std::printf("explain rank %zu: excluded (%s)\n", I,
+                    Exclusions[I].c_str());
+        continue;
+      }
+      double Limit = Models[I]->feasibleLimit();
+      if (std::isfinite(Limit))
+        std::printf("explain rank %zu: included, capped at %lld units "
+                    "(smallest known-infeasible size %g)\n",
+                    I, static_cast<long long>(maxUnitsUnderCap(Limit)),
+                    Limit);
+      else
+        std::printf("explain rank %zu: included, no feasibility cap\n", I);
+    }
+  }
 
   std::string Output = Opts.get("output");
   if (!Output.empty()) {
