@@ -3,11 +3,15 @@
 #include "core/Benchmark.h"
 
 #include "mpp/Comm.h"
+#include "sim/Cluster.h"
 #include "sim/SimDevice.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <future>
+#include <thread>
 
 using namespace fupermod;
 
@@ -44,10 +48,24 @@ bool SimDeviceBackend::prepare(double InUnits) {
   return true;
 }
 
+namespace {
+
+/// Blocks the calling thread for \p Seconds of real time — the cost a
+/// host thread pays while its (simulated) device executes. sleep_for
+/// rather than a spin so parallel builds overlap waits even on a
+/// single-core host, exactly like real device-offloaded measurement.
+void blockWallTime(double Seconds) {
+  if (Seconds > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(Seconds));
+}
+
+} // namespace
+
 double SimDeviceBackend::runOnce() {
   double T = Device.measureTime(Units);
   if (Clocked)
     Clocked->compute(T);
+  blockWallTime(T * WallScale);
   return T;
 }
 
@@ -65,6 +83,7 @@ RunOutcome SimDeviceBackend::runOnceChecked(double Timeout) {
   O.Seconds = O.TimedOut ? Timeout : M.Seconds;
   if (Clocked)
     Clocked->compute(O.Seconds);
+  blockWallTime(O.Seconds * WallScale);
   return O;
 }
 
@@ -175,4 +194,62 @@ Point fupermod::runBenchmark(BenchmarkBackend &Backend, double Units,
   if (!std::isfinite(Result.ConfidenceInterval))
     Result.ConfidenceInterval = 0.0; // Single-rep measurement: no interval.
   return Result;
+}
+
+std::vector<double> fupermod::buildSizeGrid(const ModelBuildPlan &Plan) {
+  assert(Plan.NumPoints >= 1 && Plan.MinSize > 0.0 &&
+         Plan.MaxSize >= Plan.MinSize && "invalid build plan");
+  std::vector<double> Sizes(static_cast<std::size_t>(Plan.NumPoints));
+  for (int I = 0; I < Plan.NumPoints; ++I)
+    Sizes[static_cast<std::size_t>(I)] =
+        Plan.NumPoints == 1
+            ? Plan.MinSize
+            : Plan.MinSize + (Plan.MaxSize - Plan.MinSize) *
+                                 static_cast<double>(I) /
+                                 static_cast<double>(Plan.NumPoints - 1);
+  return Sizes;
+}
+
+std::vector<BuiltModel>
+fupermod::buildModelsParallel(const Cluster &Cl, const ModelBuildPlan &Plan) {
+  const std::vector<double> Sizes = buildSizeGrid(Plan);
+  const int Ranks = Cl.size();
+  std::vector<BuiltModel> Out(static_cast<std::size_t>(Ranks));
+
+  // One self-contained task per rank. The device is created inside the
+  // task from the cluster description (per-rank RNG stream Seed + rank,
+  // fault plan attached), so no state is shared between workers and the
+  // Point sequence of a rank cannot depend on scheduling.
+  auto BuildRank = [&](int Rank) {
+    SimDevice Dev = Cl.makeDevice(Rank);
+    SimDeviceBackend Backend(Dev);
+    Backend.emulateWallTime(Plan.WallScale);
+    BuiltModel Built;
+    Built.M = makeModel(Plan.Kind);
+    Built.Raw.reserve(Sizes.size());
+    for (double D : Sizes) {
+      Point P = runBenchmark(Backend, D, Plan.Prec);
+      Built.Raw.push_back(P);
+      Built.M->update(P);
+    }
+    return Built;
+  };
+
+  if (Plan.Jobs <= 1 || Ranks <= 1) {
+    // Serial reference path: rank order, no pool.
+    for (int R = 0; R < Ranks; ++R)
+      Out[static_cast<std::size_t>(R)] = BuildRank(R);
+    return Out;
+  }
+
+  ThreadPool Pool(static_cast<unsigned>(std::min(Plan.Jobs, Ranks)));
+  std::vector<std::future<BuiltModel>> Futures;
+  Futures.reserve(static_cast<std::size_t>(Ranks));
+  for (int R = 0; R < Ranks; ++R)
+    Futures.push_back(Pool.submit([&BuildRank, R] { return BuildRank(R); }));
+  // get() in rank order keeps results positional and rethrows the first
+  // worker exception in a deterministic place.
+  for (int R = 0; R < Ranks; ++R)
+    Out[static_cast<std::size_t>(R)] = Futures[static_cast<std::size_t>(R)].get();
+  return Out;
 }

@@ -27,15 +27,20 @@
 #define FUPERMOD_CORE_BENCHMARK_H
 
 #include "core/Kernel.h"
+#include "core/Model.h"
 #include "core/Point.h"
 #include "support/Statistics.h"
 
 #include <limits>
+#include <memory>
+#include <string>
+#include <vector>
 
 namespace fupermod {
 
 class Comm;
 class SimDevice;
+struct Cluster;
 
 /// Statistical parameters of a measurement (the paper's
 /// `fupermod_precision`).
@@ -133,10 +138,19 @@ public:
   /// Re-points the virtual-clock target (e.g. after a split).
   void attachComm(Comm *C) { Clocked = C; }
 
+  /// Makes simulated measurements cost real wall time: each repetition
+  /// blocks the calling thread for Scale * sampled seconds, the way a
+  /// host thread blocks while its device executes a kernel. Sampled
+  /// values (and thus Points) are unaffected, so throughput benches can
+  /// exercise the parallel build path with realistic wall-clock cost
+  /// while remaining bit-deterministic. 0 (the default) disables it.
+  void emulateWallTime(double Scale) { WallScale = Scale; }
+
 private:
   SimDevice &Device;
   Comm *Clocked;
   double Units = 0.0;
+  double WallScale = 0.0;
 };
 
 /// Measures \p Backend at problem size \p Units under the given precision.
@@ -150,6 +164,50 @@ private:
 /// synchronous measurement never deadlocks on a sick device.
 Point runBenchmark(BenchmarkBackend &Backend, double Units,
                    const Precision &Prec, Comm *Sync = nullptr);
+
+/// How to build one performance model per device of a cluster (the
+/// builder tool's measurement campaign, paper Section 4.1 + 4.2).
+struct ModelBuildPlan {
+  /// Model kind per rank ("cpm", "piecewise", "akima", "linear").
+  std::string Kind = "piecewise";
+  /// Smallest and largest benchmarked problem size.
+  double MinSize = 32.0;
+  double MaxSize = 1024.0;
+  /// Number of sizes, spread evenly over [MinSize, MaxSize].
+  int NumPoints = 10;
+  /// Statistical stopping rule of every measurement.
+  Precision Prec;
+  /// Worker threads benchmarking devices concurrently; 1 runs the ranks
+  /// inline in order (the serial reference path).
+  int Jobs = 1;
+  /// Wall-time emulation scale forwarded to every SimDeviceBackend (see
+  /// SimDeviceBackend::emulateWallTime); 0 disables.
+  double WallScale = 0.0;
+};
+
+/// One rank's build outcome: the fitted model plus the raw measured
+/// points in benchmark order (kept separately because failed points are
+/// filtered or merged by Model::update, and the determinism tests compare
+/// the raw sequences bit-for-bit).
+struct BuiltModel {
+  std::unique_ptr<Model> M;
+  std::vector<Point> Raw;
+};
+
+/// Benchmarks every device of \p Cl and fits one model per rank.
+///
+/// Each rank's device, repetition loop, fault guards and Student-t
+/// stopping rule run independently on its own worker; devices carry
+/// per-rank RNG streams (Cluster::Seed + rank), so the resulting Point
+/// sets are bit-identical for any worker count, including Jobs = 1.
+/// A worker that throws propagates its exception to the caller.
+std::vector<BuiltModel> buildModelsParallel(const Cluster &Cl,
+                                            const ModelBuildPlan &Plan);
+
+/// The benchmark size grid of \p Plan: NumPoints sizes evenly spaced over
+/// [MinSize, MaxSize] (a single point sits at MinSize). Exposed so tools
+/// and tests iterate exactly the sizes the build used.
+std::vector<double> buildSizeGrid(const ModelBuildPlan &Plan);
 
 } // namespace fupermod
 

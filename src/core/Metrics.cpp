@@ -25,7 +25,11 @@ double fupermod::makespan(std::span<const double> Times) {
 }
 
 double fupermod::imbalance(std::span<const double> Times) {
-  assert(!Times.empty() && "no times to compare");
+  // An empty or all-zero set of times (every rank excluded, or a
+  // zero-unit distribution) is perfectly balanced by definition — and
+  // dividing by max would be UB / 0-division here, so guard first.
+  if (Times.empty())
+    return 0.0;
   double Max = Times[0], Min = Times[0];
   for (double T : Times) {
     Max = std::max(Max, T);

@@ -3,12 +3,56 @@
 #include "core/Model.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
 using namespace fupermod;
 
 Model::~Model() = default;
+
+double Model::sizeForTimeCached(double T) const {
+  const std::uint64_t Key = std::bit_cast<std::uint64_t>(T);
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    ++Lookups;
+    auto It = InverseCache.find(Key);
+    if (It != InverseCache.end()) {
+      ++Hits;
+      return It->second;
+    }
+  }
+  // Compute outside the lock: sizeForTime only reads the fit, and a
+  // concurrent duplicate computation of the same tau is harmless (both
+  // threads insert the identical value).
+  double X = sizeForTime(T);
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  InverseCache.emplace(Key, X);
+  return X;
+}
+
+void Model::timesAt(std::span<const double> Xs, std::span<double> Out) const {
+  assert(Xs.size() == Out.size() && "mismatched batch spans");
+  for (std::size_t I = 0; I < Xs.size(); ++I)
+    Out[I] = timeAt(Xs[I]);
+}
+
+std::uint64_t Model::cacheLookups() const {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return Lookups;
+}
+
+std::uint64_t Model::cacheHits() const {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return Hits;
+}
+
+void Model::clearEvalCache() const {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  InverseCache.clear();
+  Hits = 0;
+  Lookups = 0;
+}
 
 void Model::update(Point P) {
   if (P.deviceFault()) {
@@ -45,7 +89,7 @@ void Model::update(Point P) {
       Existing.ConfidenceInterval =
           std::max(Existing.ConfidenceInterval, P.ConfidenceInterval);
       Weights[I] = W1 + W2;
-      refit();
+      refitAndInvalidate();
       return;
     }
   }
@@ -56,7 +100,15 @@ void Model::update(Point P) {
   Weights.insert(Weights.begin() + (Pos - Points.begin()),
                  static_cast<double>(P.Reps));
   Points.insert(Pos, P);
+  refitAndInvalidate();
+}
+
+void Model::refitAndInvalidate() {
   refit();
+  // The fit changed: memoized inverse-time results describe the old
+  // curve. Counters survive so benches see lifetime hit rates.
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  InverseCache.clear();
 }
 
 void Model::decayWeights(double Factor) {
@@ -81,7 +133,7 @@ void Model::decayWeights(double Factor) {
     }
   }
   if (Dropped)
-    refit();
+    refitAndInvalidate();
 }
 
 double Model::timeAt(double X) const {
@@ -194,6 +246,40 @@ double PiecewiseModel::timeDerivative(double X) const {
   return (Ts[I + 1] - Ts[I]) / (Xs[I + 1] - Xs[I]);
 }
 
+void PiecewiseModel::timesAt(std::span<const double> Q,
+                             std::span<double> Out) const {
+  assert(Q.size() == Out.size() && "mismatched batch spans");
+  assert(fitted() && "model has no experimental points");
+  // Ascending batches walk the coarsened knots once; an out-of-order
+  // query falls back to the binary-searched scalar path.
+  std::size_t Seg = 0;
+  double Prev = -std::numeric_limits<double>::infinity();
+  for (std::size_t I = 0; I < Q.size(); ++I) {
+    double X = Q[I];
+    if (X < Prev) {
+      Out[I] = timeAt(X);
+      continue;
+    }
+    Prev = X;
+    if (X == 0.0) {
+      Out[I] = 0.0;
+      continue;
+    }
+    double T;
+    if (X <= Xs.front())
+      T = Ts.front() * X / Xs.front();
+    else if (X >= Xs.back())
+      T = Ts.back() * X / Xs.back();
+    else {
+      while (Seg + 2 < Xs.size() && Xs[Seg + 1] <= X)
+        ++Seg;
+      double Frac = (X - Xs[Seg]) / (Xs[Seg + 1] - Xs[Seg]);
+      T = Ts[Seg] + Frac * (Ts[Seg + 1] - Ts[Seg]);
+    }
+    Out[I] = std::max(T, 1e-300);
+  }
+}
+
 double PiecewiseModel::sizeForTime(double T) const {
   assert(fitted() && "model has no experimental points");
   if (T <= 0.0)
@@ -278,6 +364,16 @@ void AkimaModel::refit() {
 }
 
 double AkimaModel::timeImpl(double X) const { return Spline.eval(X); }
+
+void AkimaModel::timesAt(std::span<const double> Q,
+                         std::span<double> Out) const {
+  assert(fitted() && "model has no experimental points");
+  Spline.evalMany(Q, Out);
+  // Apply timeAt()'s guards: exact zero at zero work, and clamp any
+  // spline undershoot at the data fringes.
+  for (std::size_t I = 0; I < Q.size(); ++I)
+    Out[I] = Q[I] == 0.0 ? 0.0 : std::max(Out[I], 1e-300);
+}
 
 double AkimaModel::timeDerivative(double X) const {
   assert(fitted() && "model has no experimental points");

@@ -29,9 +29,13 @@
 #include "core/Point.h"
 #include "interp/AkimaSpline.h"
 
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace fupermod {
@@ -90,6 +94,30 @@ public:
   /// the origin at slope 1/T).
   virtual double sizeForTime(double T) const;
 
+  /// Memoized, thread-safe sizeForTime. The geometric bisection and the
+  /// numerical partitioner's geometric warm start re-evaluate the same
+  /// inverse-time lookups (keyed by the candidate completion time tau)
+  /// across calls while the model is unchanged; this caches them. The
+  /// cache is invalidated whenever the fit changes (update(),
+  /// decayWeights()). Safe to call concurrently from several partition
+  /// threads.
+  double sizeForTimeCached(double T) const;
+
+  /// Predicted times at many sizes at once (Out.size() == Xs.size()).
+  /// The default loops over timeAt(); spline-backed models override it to
+  /// reuse segment lookups across sorted query batches.
+  virtual void timesAt(std::span<const double> Xs,
+                       std::span<double> Out) const;
+
+  /// Lifetime lookup/hit counters of the inverse-time cache (lookups =
+  /// hits + misses); exposed for the throughput bench and tests.
+  std::uint64_t cacheLookups() const;
+  std::uint64_t cacheHits() const;
+
+  /// Drops all memoized inverse-time entries and resets the counters
+  /// (e.g. between timed bench phases).
+  void clearEvalCache() const;
+
   /// Experimental points, sorted by size.
   const std::vector<Point> &points() const { return Points; }
 
@@ -103,6 +131,10 @@ protected:
   /// Model-specific refit after Points changed.
   virtual void refit() = 0;
 
+  /// Refits and drops memoized inverse-time entries (the fit they were
+  /// computed against no longer exists).
+  void refitAndInvalidate();
+
   std::vector<Point> Points;
 
 private:
@@ -110,6 +142,14 @@ private:
   /// point's repetition count and reduced by decayWeights().
   std::vector<double> Weights;
   double MinInfeasible = std::numeric_limits<double>::infinity();
+
+  /// Memoized inverse-time lookups, keyed by the bit pattern of tau so
+  /// that distinct doubles never collide. Guarded by CacheMutex; mutable
+  /// because memoization is observably const.
+  mutable std::mutex CacheMutex;
+  mutable std::unordered_map<std::uint64_t, double> InverseCache;
+  mutable std::uint64_t Hits = 0;
+  mutable std::uint64_t Lookups = 0;
 };
 
 /// Constant performance model: speed does not depend on problem size.
@@ -132,6 +172,8 @@ public:
   const char *kind() const override { return "piecewise"; }
   double sizeForTime(double T) const override;
   double timeDerivative(double X) const override;
+  void timesAt(std::span<const double> Xs,
+               std::span<double> Out) const override;
 
   /// The coarsened knots actually used by the approximation (sizes and
   /// adjusted times); exposed for tests and the Fig. 2(a) bench.
@@ -178,6 +220,8 @@ class AkimaModel : public Model {
 public:
   const char *kind() const override { return "akima"; }
   double timeDerivative(double X) const override;
+  void timesAt(std::span<const double> Xs,
+               std::span<double> Out) const override;
 
 protected:
   double timeImpl(double X) const override;

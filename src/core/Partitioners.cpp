@@ -58,11 +58,15 @@ bool solveGeometric(double Total, std::span<Model *const> Models,
                     std::vector<double> &Shares, double &Tau) {
   std::size_t P = Models.size();
   std::vector<double> Caps = feasibleCaps(Models);
+  // The memoized lookup pays off whenever the same tau recurs against an
+  // unchanged model: the numerical partitioner re-runs this whole solve
+  // as its warm start, benches sweep algorithms over the same totals, and
+  // dynamic partitioning re-partitions between model updates.
   auto ShareAt = [&](std::size_t I, double T) {
     double Cap = static_cast<double>(
         std::min<std::int64_t>(maxUnitsUnderCap(Caps[I]),
                                std::int64_t(1) << 62));
-    return std::min(Models[I]->sizeForTime(T), Cap);
+    return std::min(Models[I]->sizeForTimeCached(T), Cap);
   };
   auto SumAt = [&](double T) {
     double Sum = 0.0;

@@ -94,3 +94,27 @@ Cluster fupermod::makeUniformCluster(int P, double UnitsPerSec) {
   }
   return C;
 }
+
+Cluster fupermod::makeHeterogeneousCluster(int P, std::uint64_t Variant) {
+  assert(P > 0 && "cluster must have at least one device");
+  Cluster C;
+  // All parameters come from one deterministic stream, so a (P, Variant)
+  // pair names the same platform on every host and in every session.
+  SplitMix64 Rng(0xc1057e400ULL ^ Variant);
+  for (int I = 0; I < P; ++I) {
+    double Peak = Rng.uniform(150.0, 2500.0);
+    if (Rng.uniform() < 0.35) {
+      C.Devices.push_back(
+          makeConstantProfile("const-" + std::to_string(I), Peak));
+    } else {
+      double Ramp = Rng.uniform(10.0, 60.0);
+      double Cliff = Rng.uniform(1200.0, 6000.0);
+      double Width = Rng.uniform(150.0, 800.0);
+      double Drop = Rng.uniform(0.25, 0.65);
+      C.Devices.push_back(makeCpuProfile("cpu-" + std::to_string(I), Peak,
+                                         Ramp, Cliff, Width, Drop));
+    }
+    C.NodeOfRank.push_back(I / 4);
+  }
+  return C;
+}

@@ -71,6 +71,13 @@ Cluster makeHclLikeCluster(bool WithGpu = true);
 /// \p P identical constant-speed devices (homogeneous control case).
 Cluster makeUniformCluster(int P, double UnitsPerSec);
 
+/// \p P devices with deterministically varied speed functions — a mix of
+/// constant and cpu-like profiles (peaks, cliffs and ramps drawn from a
+/// SplitMix64 stream seeded with \p Variant). The scalable platform of
+/// the build-throughput bench and the partitioner property tests: every
+/// (P, Variant) pair names the same cluster forever.
+Cluster makeHeterogeneousCluster(int P, std::uint64_t Variant = 1);
+
 } // namespace fupermod
 
 #endif // FUPERMOD_SIM_CLUSTER_H

@@ -1,0 +1,71 @@
+//===-- support/ThreadPool.cpp - Fixed-size worker pool -------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <stdexcept>
+
+using namespace fupermod;
+
+ThreadPool::ThreadPool(unsigned Workers) {
+  if (Workers == 0)
+    Workers = 1;
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Stopping)
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    Queue.push_back(std::move(Task));
+  }
+  WakeWorker.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorker.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      // Stopping only ends a worker once the queue is dry: every task
+      // queued before shutdown() still runs (clean shutdown).
+      if (Queue.empty())
+        return;
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++Running;
+    }
+    // A packaged_task captures any exception into its future, so Task()
+    // never throws out of the worker.
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Running;
+    }
+    Idle.notify_all();
+  }
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Idle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Stopping && Threads.empty())
+      return;
+    Stopping = true;
+  }
+  WakeWorker.notify_all();
+  for (std::thread &T : Threads)
+    if (T.joinable())
+      T.join();
+  Threads.clear();
+}

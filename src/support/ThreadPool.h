@@ -1,0 +1,86 @@
+//===-- support/ThreadPool.h - Fixed-size worker pool -----------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool used to parallelise the embarrassingly
+/// parallel stages of the FuPerMod pipeline (per-device model building,
+/// batched model evaluation). Tasks are submitted as callables and their
+/// results retrieved through std::future, so an exception thrown inside a
+/// worker propagates to whoever calls get() — never terminates the pool.
+///
+/// Shutdown is clean: the destructor (or shutdown()) lets every task that
+/// was already queued run to completion before joining the workers, so no
+/// future obtained from submit() is ever abandoned in a broken state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SUPPORT_THREADPOOL_H
+#define FUPERMOD_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace fupermod {
+
+/// Fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+public:
+  /// Spawns \p Workers threads (at least one).
+  explicit ThreadPool(unsigned Workers);
+
+  /// Equivalent to shutdown().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads.
+  unsigned workerCount() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Enqueues \p Fn and returns a future for its result. An exception
+  /// escaping \p Fn is captured into the future. Submitting after
+  /// shutdown() throws std::runtime_error.
+  template <class F>
+  auto submit(F &&Fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto Task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(Fn));
+    std::future<R> Result = Task->get_future();
+    enqueue([Task] { (*Task)(); });
+    return Result;
+  }
+
+  /// Blocks until every queued task has started and finished. Tasks
+  /// submitted while waiting extend the wait.
+  void drain();
+
+  /// Completes all queued tasks, then stops and joins the workers. Safe
+  /// to call more than once.
+  void shutdown();
+
+private:
+  void enqueue(std::function<void()> Task);
+  void workerLoop();
+
+  std::vector<std::thread> Threads;
+  std::deque<std::function<void()>> Queue;
+  mutable std::mutex Mutex;
+  std::condition_variable WakeWorker;
+  std::condition_variable Idle;
+  unsigned Running = 0; // Tasks currently executing.
+  bool Stopping = false;
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SUPPORT_THREADPOOL_H

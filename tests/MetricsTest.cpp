@@ -45,6 +45,18 @@ TEST(Imbalance, AllZeroTimes) {
   EXPECT_DOUBLE_EQ(imbalance(T), 0.0);
 }
 
+TEST(Imbalance, EmptyTimesIsBalanced) {
+  // Regression: every rank excluded (degraded run) used to hit an assert
+  // in debug builds and an out-of-bounds read in release builds.
+  std::vector<double> T;
+  EXPECT_DOUBLE_EQ(imbalance(T), 0.0);
+}
+
+TEST(Imbalance, SingleTimeIsBalanced) {
+  std::vector<double> T = {3.5};
+  EXPECT_DOUBLE_EQ(imbalance(T), 0.0);
+}
+
 TEST(OptimalMakespan, AnalyticForConstantSpeeds) {
   // Speeds 10 and 30: optimum gives everything time D / 40.
   std::vector<DeviceProfile> Profiles = {makeConstantProfile("a", 10.0),

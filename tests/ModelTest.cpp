@@ -277,3 +277,44 @@ TEST(ModelShape, FunctionalModelsSeeTheCliff) {
     EXPECT_GT(Before, 1.5 * After) << Kind;
   }
 }
+
+TEST(InverseCache, CachedLookupMatchesDirectAndCountsHits) {
+  PiecewiseModel M;
+  M.update(makePoint(100.0, 1.0));
+  M.update(makePoint(1000.0, 20.0));
+  M.update(makePoint(4000.0, 120.0));
+
+  for (double T : {0.5, 5.0, 60.0}) {
+    EXPECT_DOUBLE_EQ(M.sizeForTimeCached(T), M.sizeForTime(T));
+    EXPECT_DOUBLE_EQ(M.sizeForTimeCached(T), M.sizeForTime(T)); // hit
+  }
+  EXPECT_EQ(M.cacheLookups(), 6u);
+  EXPECT_EQ(M.cacheHits(), 3u);
+}
+
+TEST(InverseCache, InvalidatedWhenModelRefits) {
+  PiecewiseModel M;
+  M.update(makePoint(100.0, 1.0));
+  M.update(makePoint(1000.0, 10.0));
+  double Before = M.sizeForTimeCached(5.0);
+
+  // New measurement changes the fit; a stale cached inverse would now
+  // disagree with the direct computation.
+  M.update(makePoint(500.0, 8.0));
+  double After = M.sizeForTimeCached(5.0);
+  EXPECT_DOUBLE_EQ(After, M.sizeForTime(5.0));
+  EXPECT_NE(Before, After);
+  // Lifetime counters survive invalidation (hit rates stay meaningful).
+  EXPECT_EQ(M.cacheLookups(), 2u);
+}
+
+TEST(InverseCache, DistinguishesBitDistinctKeys) {
+  PiecewiseModel M;
+  M.update(makePoint(100.0, 1.0));
+  M.update(makePoint(1000.0, 10.0));
+  double T1 = 5.0;
+  double T2 = std::nextafter(5.0, 6.0); // Adjacent representable value.
+  EXPECT_DOUBLE_EQ(M.sizeForTimeCached(T1), M.sizeForTime(T1));
+  EXPECT_DOUBLE_EQ(M.sizeForTimeCached(T2), M.sizeForTime(T2));
+  EXPECT_EQ(M.cacheHits(), 0u); // Distinct bit patterns never collide.
+}

@@ -1,0 +1,156 @@
+//===-- tests/PartitionPropertyTest.cpp - randomized partition laws -------===//
+//
+// Property-based net over the partitioning engine: ~200 seeded random
+// heterogeneous clusters, each run through the full pipeline (benchmark
+// the simulated devices, fit models, partition). The properties hold for
+// every cluster the generator can name, not just the hand-picked
+// fixtures of PartitionersTest:
+//
+//  1. every share is non-negative and the shares sum exactly to Total;
+//  2. the geometric and numerical distributions, judged by the ground
+//     truth device profiles (Metrics::trueTimes), are never worse than
+//     the constant-model distribution by more than the models' own
+//     measured fit error;
+//  3. growing Total never shrinks any rank's share by more than one unit
+//     (largest-remainder rounding admits the classic Alabama paradox, so
+//     exact monotonicity is one unit too strong).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Benchmark.h"
+#include "core/Metrics.h"
+#include "core/Partitioners.h"
+#include "sim/Cluster.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+using namespace fupermod;
+
+namespace {
+
+struct BuiltCluster {
+  Cluster Cl;
+  std::vector<BuiltModel> Built;
+  std::vector<Model *> Models;
+};
+
+/// Benchmarks and fits one model per device of a (P, Variant)-named
+/// random platform. Noise-free so the models' only error is grid
+/// resolution, which the error-bound property measures explicitly.
+BuiltCluster buildCluster(int P, std::uint64_t Variant) {
+  BuiltCluster B;
+  B.Cl = makeHeterogeneousCluster(P, Variant);
+  B.Cl.NoiseSigma = 0.0;
+
+  ModelBuildPlan Plan;
+  Plan.Kind = "piecewise";
+  Plan.MinSize = 64.0;
+  Plan.MaxSize = 7000.0;
+  Plan.NumPoints = 10;
+  Plan.Prec.MinReps = 1;
+  Plan.Prec.MaxReps = 2;
+  B.Built = buildModelsParallel(B.Cl, Plan);
+  for (BuiltModel &M : B.Built)
+    B.Models.push_back(M.M.get());
+  return B;
+}
+
+/// Largest relative deviation between a model's fitted time function and
+/// the ground-truth profile, probed on a grid finer than the build grid.
+/// This is the honest model error the makespan property is allowed.
+double modelErrorBound(const BuiltCluster &B) {
+  double Worst = 0.0;
+  for (std::size_t R = 0; R < B.Models.size(); ++R) {
+    for (int I = 0; I <= 40; ++I) {
+      double X = 64.0 + (7000.0 - 64.0) * I / 40.0;
+      double True = B.Cl.Devices[R].time(X);
+      double Fit = B.Models[R]->timeAt(X);
+      if (True > 0.0)
+        Worst = std::max(Worst, std::abs(Fit - True) / True);
+    }
+  }
+  return Worst;
+}
+
+double trueMakespan(const Dist &D, const BuiltCluster &B) {
+  return makespan(trueTimes(D, B.Cl.Devices));
+}
+
+} // namespace
+
+TEST(PartitionProperty, SumAndNonNegativityOverRandomClusters) {
+  for (std::uint64_t Case = 0; Case < 200; ++Case) {
+    SplitMix64 Rng(0x9e3779b9 + Case);
+    int P = 2 + static_cast<int>(Case % 7);
+    BuiltCluster B = buildCluster(P, /*Variant=*/Case + 1);
+    std::int64_t Total =
+        1000 + static_cast<std::int64_t>(Rng.uniform(0.0, 49000.0));
+
+    for (const char *Name : {"constant", "geometric", "numerical"}) {
+      Dist D;
+      ASSERT_TRUE(getPartitioner(Name)(Total, B.Models, D))
+          << Name << " failed on cluster " << Case;
+      EXPECT_EQ(D.sum(), Total)
+          << Name << " dropped units on cluster " << Case;
+      for (std::size_t R = 0; R < D.Parts.size(); ++R)
+        EXPECT_GE(D.Parts[R].Units, 0)
+            << Name << " negative share, cluster " << Case << " rank "
+            << R;
+    }
+  }
+}
+
+TEST(PartitionProperty, ModelBasedNeverWorseThanConstantBeyondFitError) {
+  for (std::uint64_t Case = 0; Case < 200; ++Case) {
+    SplitMix64 Rng(0x2545f491 + Case);
+    int P = 2 + static_cast<int>(Case % 7);
+    BuiltCluster B = buildCluster(P, /*Variant=*/1000 + Case);
+    std::int64_t Total =
+        2000 + static_cast<std::int64_t>(Rng.uniform(0.0, 40000.0));
+
+    Dist Const, Geo, Num;
+    ASSERT_TRUE(partitionConstant(Total, B.Models, Const));
+    ASSERT_TRUE(partitionGeometric(Total, B.Models, Geo));
+    ASSERT_TRUE(partitionNumerical(Total, B.Models, Num));
+
+    // The functional models may misjudge a device by up to Err between
+    // grid points, on both the winning and the losing side of the
+    // comparison, plus one unit of integer rounding per rank.
+    double Err = modelErrorBound(B);
+    double Bound = trueMakespan(Const, B) * (1.0 + 2.0 * Err) + 1e-9;
+    EXPECT_LE(trueMakespan(Geo, B), Bound)
+        << "geometric worse than constant beyond model error, cluster "
+        << Case << " (err " << Err << ")";
+    EXPECT_LE(trueMakespan(Num, B), Bound)
+        << "numerical worse than constant beyond model error, cluster "
+        << Case << " (err " << Err << ")";
+  }
+}
+
+TEST(PartitionProperty, SharesGrowWithTotalUpToRoundingSlack) {
+  for (std::uint64_t Case = 0; Case < 40; ++Case) {
+    int P = 2 + static_cast<int>(Case % 7);
+    BuiltCluster B = buildCluster(P, /*Variant=*/2000 + Case);
+
+    std::vector<std::int64_t> Prev;
+    for (std::int64_t Total : {1000, 2500, 6000, 15000, 40000}) {
+      Dist D;
+      ASSERT_TRUE(partitionGeometric(Total, B.Models, D));
+      if (!Prev.empty()) {
+        for (std::size_t R = 0; R < D.Parts.size(); ++R)
+          EXPECT_GE(D.Parts[R].Units, Prev[R] - 1)
+              << "share shrank by more than the 1-unit rounding slack, "
+              << "cluster " << Case << " rank " << R << " total "
+              << Total;
+      }
+      Prev.clear();
+      for (const Part &Pt : D.Parts)
+        Prev.push_back(Pt.Units);
+    }
+  }
+}

@@ -1,0 +1,97 @@
+//===-- tests/ThreadPoolTest.cpp - worker pool unit tests -----------------===//
+//
+// The pool underpins buildModelsParallel, so its contract is pinned here:
+// results arrive through futures regardless of execution order, worker
+// exceptions surface at future.get() (not std::terminate), and shutdown
+// completes every queued task before joining — no abandoned futures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace fupermod;
+
+TEST(ThreadPool, ResultsIndependentOfExecutionOrder) {
+  ThreadPool Pool(4);
+  std::vector<std::future<int>> Futures;
+  for (int I = 0; I < 100; ++I)
+    Futures.push_back(Pool.submit([I] {
+      if (I % 7 == 0) // Stagger some tasks so completion order scrambles.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return I * I;
+    }));
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Futures[static_cast<std::size_t>(I)].get(), I * I);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool Pool(2);
+  std::future<int> Bad = Pool.submit(
+      []() -> int { throw std::runtime_error("device exploded"); });
+  std::future<int> Good = Pool.submit([] { return 42; });
+  EXPECT_THROW(
+      {
+        try {
+          Bad.get();
+        } catch (const std::runtime_error &E) {
+          EXPECT_STREQ(E.what(), "device exploded");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // A thrown task must not poison the pool for its siblings.
+  EXPECT_EQ(Good.get(), 42);
+}
+
+TEST(ThreadPool, ShutdownCompletesQueuedTasks) {
+  std::atomic<int> Completed{0};
+  std::vector<std::future<void>> Futures;
+  {
+    // One worker and 50 slow-ish tasks: most are still queued when the
+    // destructor runs, and the destructor must drain them all.
+    ThreadPool Pool(1);
+    for (int I = 0; I < 50; ++I)
+      Futures.push_back(Pool.submit([&Completed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        Completed.fetch_add(1, std::memory_order_relaxed);
+      }));
+  }
+  EXPECT_EQ(Completed.load(), 50);
+  for (std::future<void> &F : Futures)
+    EXPECT_NO_THROW(F.get()); // Every future was fulfilled, none dropped.
+}
+
+TEST(ThreadPool, DrainWaitsForInFlightWork) {
+  ThreadPool Pool(3);
+  std::atomic<int> Completed{0};
+  for (int I = 0; I < 30; ++I)
+    Pool.submit([&Completed] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      Completed.fetch_add(1, std::memory_order_relaxed);
+    });
+  Pool.drain();
+  EXPECT_EQ(Completed.load(), 30);
+  // The pool stays usable after a drain.
+  EXPECT_EQ(Pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool Pool(2);
+  Pool.shutdown();
+  EXPECT_THROW(Pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, WorkerCountClampedToAtLeastOne) {
+  ThreadPool Pool(0);
+  EXPECT_GE(Pool.workerCount(), 1u);
+  EXPECT_EQ(Pool.submit([] { return 3; }).get(), 3);
+}

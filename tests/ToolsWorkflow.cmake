@@ -44,6 +44,24 @@ foreach(Alg constant geometric numerical)
   endif()
 endforeach()
 
+# All-ranks parallel build: one model per device in a single run, and the
+# rank-0 output must match the serial single-rank build bit for bit.
+run_checked(${BUILDER} --source two-device --rank all --jobs 2
+            --kind piecewise --min 100 --max 4000 --points 12
+            --output ${WORKDIR}/all.fpm)
+foreach(R 0 1)
+  if(NOT EXISTS ${WORKDIR}/all.${R}.fpm)
+    message(FATAL_ERROR "all-ranks builder did not write all.${R}.fpm")
+  endif()
+endforeach()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/dev0.fpm ${WORKDIR}/all.0.fpm
+                RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "parallel all-ranks model differs from the serial "
+                      "rank-0 model")
+endif()
+
 # Models from a cluster description file work too.
 run_checked(${BUILDER} --source ${SAMPLE_CLUSTER} --rank 4 --min 500
             --max 10000 --points 6 --output ${WORKDIR}/gpu.fpm)

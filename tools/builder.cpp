@@ -7,13 +7,19 @@
 // them across many runs).
 //
 // Usage:
-//   builder [--source native|<preset>] [--rank R] [--kind K]
-//           [--min A] [--max B] [--points N] [--output FILE]
+//   builder [--source native|<preset>] [--rank R|all] [--jobs N]
+//           [--kind K] [--min A] [--max B] [--points N] [--output FILE]
 //           [--reps-min M] [--reps-max M2] [--rel-err E]
 //
 //   --source native        benchmark this machine's GEMM kernel
 //   --source two-device|hcl|hcl-nogpu
 //                          sample the simulated device --rank R
+//   --rank all             build every rank's model in one run; outputs
+//                          go to FILE with the rank number injected
+//                          before the extension (model.fpm -> model.0.fpm)
+//   --jobs N               benchmark up to N devices concurrently
+//                          (simulated sources only; results are
+//                          bit-identical for every N)
 //   --kind cpm|piecewise|akima   model kind (default piecewise)
 //
 //===----------------------------------------------------------------------===//
@@ -35,12 +41,34 @@ int usage(const char *Program) {
   std::fprintf(
       stderr,
       "usage: %s [--source native|two-device|hcl|hcl-nogpu|uniformN|\n"
-      "           <cluster-file>] [--rank R]\n"
+      "           <cluster-file>] [--rank R|all] [--jobs N]\n"
       "          [--kind cpm|piecewise|akima] [--min A] [--max B]\n"
       "          [--points N] [--output FILE] [--reps-min M]\n"
       "          [--reps-max M] [--rel-err E]\n",
       Program);
   return 2;
+}
+
+/// "model.fpm" + rank 2 -> "model.2.fpm"; extensionless names append.
+std::string perRankOutput(const std::string &Base, int Rank) {
+  std::size_t Dot = Base.rfind('.');
+  std::size_t Slash = Base.rfind('/');
+  if (Dot == std::string::npos ||
+      (Slash != std::string::npos && Dot < Slash))
+    return Base + "." + std::to_string(Rank);
+  return Base.substr(0, Dot) + "." + std::to_string(Rank) +
+         Base.substr(Dot);
+}
+
+void printPoint(double D, const Point &P) {
+  if (P.Reps == 0) {
+    const char *Why = P.Status == PointStatus::TimedOut      ? "timed out"
+                      : P.Status == PointStatus::DeviceFailed ? "device failed"
+                                                              : "infeasible";
+    std::printf("size %-10.0f %s\n", D, Why);
+  } else
+    std::printf("size %-10.0f time %-12.6f reps %-3d speed %.1f\n", D,
+                P.Time, P.Reps, P.speed());
 }
 
 } // namespace
@@ -49,14 +77,16 @@ int main(int Argc, char **Argv) {
   Options Opts(Argc, Argv);
   std::string Source = Opts.get("source", "native");
   std::string Kind = Opts.get("kind", "piecewise");
+  std::string RankSpec = Opts.get("rank", "0");
   double Min = Opts.getDouble("min", 32.0);
   double Max = Opts.getDouble("max", 1024.0);
   std::int64_t NumPoints = Opts.getInt("points", 10);
+  std::int64_t Jobs = Opts.getInt("jobs", 1);
   std::string Output = Opts.get("output", "model.fpm");
 
   if (Kind != "cpm" && Kind != "piecewise" && Kind != "akima")
     return usage(Argv[0]);
-  if (Min <= 0.0 || Max < Min || NumPoints < 1)
+  if (Min <= 0.0 || Max < Min || NumPoints < 1 || Jobs < 1)
     return usage(Argv[0]);
 
   Precision Prec;
@@ -65,57 +95,104 @@ int main(int Argc, char **Argv) {
   Prec.TargetRelativeError = Opts.getDouble("rel-err", 0.05);
   Prec.TimeLimit = Opts.getDouble("time-limit", 2.0);
 
-  // Pick the measurement backend.
-  std::unique_ptr<GemmKernel> Kernel;
-  std::unique_ptr<SimDevice> Device;
-  std::unique_ptr<BenchmarkBackend> Backend;
   if (Source == "native") {
-    Kernel = std::make_unique<GemmKernel>(16, true);
-    Backend = std::make_unique<NativeKernelBackend>(*Kernel);
-  } else {
-    std::string Error;
-    std::optional<Cluster> Parsed = resolveCluster(Source, &Error);
-    if (!Parsed) {
-      std::fprintf(stderr, "error: %s\n", Error.c_str());
-      return 2;
+    // One real device: nothing to parallelise over.
+    GemmKernel Kernel(16, true);
+    NativeKernelBackend Backend(Kernel);
+    std::unique_ptr<Model> M = makeModel(Kind);
+    std::printf("# benchmarking %s, %lld sizes in [%g, %g]\n",
+                Source.c_str(), static_cast<long long>(NumPoints), Min,
+                Max);
+    for (std::int64_t I = 0; I < NumPoints; ++I) {
+      double D = NumPoints == 1
+                     ? Min
+                     : Min + (Max - Min) * static_cast<double>(I) /
+                           static_cast<double>(NumPoints - 1);
+      Point P = runBenchmark(Backend, D, Prec);
+      M->update(P);
+      printPoint(D, P);
     }
-    Cluster Cl = std::move(*Parsed);
-    int Rank = static_cast<int>(Opts.getInt("rank", 0));
+    if (!saveModel(Output, *M)) {
+      std::fprintf(stderr, "error: cannot write %s\n", Output.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s (%zu points, kind %s)\n", Output.c_str(),
+                M->points().size(), M->kind());
+    return 0;
+  }
+
+  std::string Error;
+  std::optional<Cluster> Parsed = resolveCluster(Source, &Error);
+  if (!Parsed) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  Cluster Cl = std::move(*Parsed);
+  Cl.NoiseSigma = Opts.getDouble("noise", 0.02);
+
+  ModelBuildPlan Plan;
+  Plan.Kind = Kind;
+  Plan.MinSize = Min;
+  Plan.MaxSize = Max;
+  Plan.NumPoints = static_cast<int>(NumPoints);
+  Plan.Prec = Prec;
+  Plan.Jobs = static_cast<int>(Jobs);
+
+  bool AllRanks = RankSpec == "all";
+  int Rank = 0;
+  if (!AllRanks) {
+    Rank = static_cast<int>(Opts.getInt("rank", 0));
     if (Rank < 0 || Rank >= Cl.size()) {
       std::fprintf(stderr, "error: rank %d out of range for preset %s\n",
                    Rank, Source.c_str());
       return 2;
     }
-    Cl.NoiseSigma = Opts.getDouble("noise", 0.02);
-    Device = std::make_unique<SimDevice>(Cl.makeDevice(Rank));
-    Backend = std::make_unique<SimDeviceBackend>(*Device);
   }
 
-  std::unique_ptr<Model> M = makeModel(Kind);
-  std::printf("# benchmarking %s, %lld sizes in [%g, %g]\n", Source.c_str(),
-              static_cast<long long>(NumPoints), Min, Max);
-  for (std::int64_t I = 0; I < NumPoints; ++I) {
-    double D = NumPoints == 1
-                   ? Min
-                   : Min + (Max - Min) * static_cast<double>(I) /
-                         static_cast<double>(NumPoints - 1);
-    Point P = runBenchmark(*Backend, D, Prec);
-    M->update(P);
-    if (P.Reps == 0) {
-      const char *Why = P.Status == PointStatus::TimedOut      ? "timed out"
-                        : P.Status == PointStatus::DeviceFailed ? "device failed"
-                                                                : "infeasible";
-      std::printf("size %-10.0f %s\n", D, Why);
-    } else
-      std::printf("size %-10.0f time %-12.6f reps %-3d speed %.1f\n", D,
-                  P.Time, P.Reps, P.speed());
+  if (!AllRanks) {
+    // Single-rank build: shrink the cluster view to that one device so
+    // the shared parallel path does the work (serial when Jobs == 1).
+    Cluster One;
+    One.Devices = {Cl.Devices[static_cast<std::size_t>(Rank)]};
+    One.NodeOfRank = {0};
+    One.NoiseSigma = Cl.NoiseSigma;
+    One.Seed = Cl.Seed + static_cast<std::uint64_t>(Rank);
+    if (static_cast<std::size_t>(Rank) < Cl.Faults.size())
+      One.Faults = {Cl.Faults[static_cast<std::size_t>(Rank)]};
+    std::printf("# benchmarking %s rank %d, %lld sizes in [%g, %g]\n",
+                Source.c_str(), Rank, static_cast<long long>(NumPoints),
+                Min, Max);
+    std::vector<BuiltModel> Built = buildModelsParallel(One, Plan);
+    const std::vector<double> Sizes = buildSizeGrid(Plan);
+    for (std::size_t I = 0; I < Sizes.size(); ++I)
+      printPoint(Sizes[I], Built[0].Raw[I]);
+    if (!saveModel(Output, *Built[0].M)) {
+      std::fprintf(stderr, "error: cannot write %s\n", Output.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s (%zu points, kind %s)\n", Output.c_str(),
+                Built[0].M->points().size(), Built[0].M->kind());
+    return 0;
   }
 
-  if (!saveModel(Output, *M)) {
-    std::fprintf(stderr, "error: cannot write %s\n", Output.c_str());
-    return 1;
+  std::printf("# benchmarking %s, all %d ranks, %lld sizes in [%g, %g], "
+              "%lld jobs\n",
+              Source.c_str(), Cl.size(), static_cast<long long>(NumPoints),
+              Min, Max, static_cast<long long>(Jobs));
+  std::vector<BuiltModel> Built = buildModelsParallel(Cl, Plan);
+  const std::vector<double> Sizes = buildSizeGrid(Plan);
+  for (int R = 0; R < Cl.size(); ++R) {
+    std::printf("# rank %d\n", R);
+    const BuiltModel &B = Built[static_cast<std::size_t>(R)];
+    for (std::size_t I = 0; I < Sizes.size(); ++I)
+      printPoint(Sizes[I], B.Raw[I]);
+    std::string File = perRankOutput(Output, R);
+    if (!saveModel(File, *B.M)) {
+      std::fprintf(stderr, "error: cannot write %s\n", File.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s (%zu points, kind %s)\n", File.c_str(),
+                B.M->points().size(), B.M->kind());
   }
-  std::printf("# wrote %s (%zu points, kind %s)\n", Output.c_str(),
-              M->points().size(), M->kind());
   return 0;
 }

@@ -7,8 +7,11 @@
 //
 // Usage:
 //   partitioner --total D [--algorithm constant|geometric|numerical]
-//               [--output FILE] [--explain] [--allow-degraded]
+//               [--output FILE] [--explain] [--allow-degraded] [--stats]
 //               model0.fpm model1.fpm ...
+//
+// --stats prints the partition latency and the hit rate of the models'
+// memoized inverse-time lookup cache (see Model::sizeForTimeCached).
 //
 // --allow-degraded drops ranks whose model is unfitted (no successful
 // measurement — e.g. the device failed during model construction) and
@@ -23,6 +26,7 @@
 #include "core/Partitioners.h"
 #include "support/Options.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -36,6 +40,7 @@ int main(int Argc, char **Argv) {
   std::string Algorithm = Opts.get("algorithm", "geometric");
   bool Explain = Opts.has("explain");
   bool AllowDegraded = Opts.has("allow-degraded");
+  bool Stats = Opts.has("stats");
   const auto &Files = Opts.positional();
 
   if (Total <= 0 || Files.empty() ||
@@ -44,7 +49,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "usage: %s --total D [--algorithm "
                  "constant|geometric|numerical] [--output FILE] "
-                 "[--explain] [--allow-degraded] "
+                 "[--explain] [--allow-degraded] [--stats] "
                  "model0.fpm model1.fpm ...\n",
                  Argv[0]);
     return 2;
@@ -88,6 +93,7 @@ int main(int Argc, char **Argv) {
   }
 
   Dist Sub;
+  auto PartitionStart = std::chrono::steady_clock::now();
   if (!getPartitioner(Algorithm)(Total, Active, Sub)) {
     std::fprintf(stderr,
                  "error: partitioning failed (unfitted model or "
@@ -95,6 +101,10 @@ int main(int Argc, char **Argv) {
                  static_cast<long long>(Total));
     return 1;
   }
+  double PartitionSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    PartitionStart)
+          .count();
 
   // Map the surviving ranks' shares back; excluded ranks hold 0 units.
   Dist Out;
@@ -111,6 +121,24 @@ int main(int Argc, char **Argv) {
                 static_cast<long long>(Out.Parts[I].Units),
                 Out.Parts[I].PredictedTime, Files[I].c_str());
   std::printf("# max predicted time: %.6f\n", Out.maxPredictedTime());
+
+  if (Stats) {
+    // Lifetime counters of the memoized inverse-time lookups the
+    // geometric/numerical solvers went through during this partition.
+    std::uint64_t Lookups = 0, CacheHits = 0;
+    for (Model *M : Active) {
+      Lookups += M->cacheLookups();
+      CacheHits += M->cacheHits();
+    }
+    std::printf("# stats: partition latency %.6f s, inverse-time lookups "
+                "%llu, cache hits %llu (%.1f%%)\n",
+                PartitionSeconds,
+                static_cast<unsigned long long>(Lookups),
+                static_cast<unsigned long long>(CacheHits),
+                Lookups ? 100.0 * static_cast<double>(CacheHits) /
+                              static_cast<double>(Lookups)
+                        : 0.0);
+  }
 
   if (Explain) {
     for (std::size_t I = 0; I < Files.size(); ++I) {
