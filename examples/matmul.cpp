@@ -16,6 +16,7 @@
 #include "core/Metrics.h"
 #include "core/Partitioners.h"
 #include "mpp/Runtime.h"
+#include "support/Options.h"
 #include "support/Table.h"
 
 #include <iostream>
@@ -23,7 +24,18 @@
 
 using namespace fupermod;
 
-int main() {
+int main(int Argc, char **Argv) {
+  Options Opts(Argc, Argv);
+  // --threads T runs each rank's per-step GEMM on T threads (the charged
+  // compute time scales by the modelled thread speedup); --overlap
+  // prefetches the next step's pivots while the current GEMM runs.
+  std::int64_t Threads = Opts.getInt("threads", 1);
+  bool Overlap = Opts.has("overlap");
+  if (Threads < 1) {
+    std::cerr << "usage: " << Argv[0] << " [--threads T] [--overlap]\n";
+    return 2;
+  }
+
   std::cout << "Heterogeneous parallel matrix multiplication\n"
             << "============================================\n\n";
 
@@ -99,7 +111,14 @@ int main() {
   O.NBlocks = N;
   O.BlockSize = B;
   O.Verify = true;
-  std::cout << "\nrunning the parallel multiplication...\n";
+  O.Overlap = Overlap;
+  O.Threads = static_cast<unsigned>(Threads);
+  std::cout << "\nrunning the parallel multiplication";
+  if (Overlap)
+    std::cout << " (overlapped pivots)";
+  if (Threads > 1)
+    std::cout << " (" << Threads << " GEMM threads)";
+  std::cout << "...\n";
   MatMulReport R = runParallelMatMul(Cl, Rects, O);
 
   std::cout << "\nmakespan (virtual): " << R.Makespan << " s\n"

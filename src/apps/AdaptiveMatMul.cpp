@@ -34,6 +34,9 @@ fupermod::runAdaptiveMatMul(const Cluster &Platform,
     O.BlockSize = Options.BlockSize;
     O.Verify =
         Options.VerifyLastRound && Round + 1 == Options.Rounds;
+    O.ZeroCopy = Options.ZeroCopy;
+    O.Overlap = Options.Overlap;
+    O.Threads = Options.Threads;
     MatMulReport R = runParallelMatMul(Platform, Rects, O);
 
     Report.RoundMakespans.push_back(R.Makespan);

@@ -38,6 +38,11 @@ struct AdaptiveMatMulOptions {
   std::string ModelKind = "piecewise";
   /// Verify the final round's product against a serial GEMM.
   bool VerifyLastRound = true;
+  /// Passed through to every round's MatMulOptions (zero-copy pivot
+  /// fan-out, comm/compute overlap, multithreaded GEMM).
+  bool ZeroCopy = true;
+  bool Overlap = false;
+  unsigned Threads = 1;
 };
 
 /// Outcome of an adaptive run.

@@ -4,9 +4,11 @@
 
 #include "blas/Gemm.h"
 #include "mpp/Runtime.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 using namespace fupermod;
 
@@ -28,6 +30,29 @@ std::vector<double> makeBlock(int MatId, int Row, int Col, int B) {
   fillDeterministic(Block, Seed);
   return Block;
 }
+
+/// FNV-1a over a byte range, continuing from \p Hash.
+std::uint64_t fnv1a(std::uint64_t Hash, std::span<const std::byte> Data) {
+  for (std::byte Byte : Data) {
+    Hash ^= static_cast<std::uint64_t>(Byte);
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
+constexpr std::uint64_t Fnv1aBasis = 0xcbf29ce484222325ull;
+
+/// Pivot fragments of one pipeline step: the A pivot-column blocks this
+/// rectangle's rows need and the B pivot-row blocks its columns need.
+/// Own blocks are filled immediately; remote ones either arrive through
+/// a blocking receive (serial schedule) or are posted as nonblocking
+/// requests and collected by waitStep (overlap pipeline).
+struct StepBuffers {
+  std::vector<Payload> AFrag;
+  std::vector<Payload> BFrag;
+  std::vector<RecvRequest> AReq;
+  std::vector<RecvRequest> BReq;
+};
 
 } // namespace
 
@@ -54,7 +79,10 @@ MatMulReport fupermod::runParallelMatMul(const Cluster &Platform,
 
   std::vector<double> ComputeTimes(static_cast<std::size_t>(P), 0.0);
   std::vector<double> LoopEndTimes(static_cast<std::size_t>(P), 0.0);
+  std::vector<double> IdleTimes(static_cast<std::size_t>(P), 0.0);
   std::vector<long long> SendCounts(static_cast<std::size_t>(P), 0);
+  std::vector<std::uint64_t> RankHashes(static_cast<std::size_t>(P),
+                                        Fnv1aBasis);
   double MaxError = 0.0;
 
   auto Body = [&](Comm &C) {
@@ -62,105 +90,227 @@ MatMulReport fupermod::runParallelMatMul(const Cluster &Platform,
     const GridRect R = Rects[static_cast<std::size_t>(Me)];
     SimDevice Dev = Platform.makeDevice(Me);
     std::size_t BB = static_cast<std::size_t>(B) * static_cast<std::size_t>(B);
+    auto H = static_cast<std::size_t>(R.H);
+    auto W = static_cast<std::size_t>(R.W);
+    std::size_t HB = H * static_cast<std::size_t>(B);
+    std::size_t WB = W * static_cast<std::size_t>(B);
 
-    // Owned storage: A and B are partitioned identically to C.
+    std::unique_ptr<ThreadPool> Pool;
+    if (Options.Threads > 1)
+      Pool = std::make_unique<ThreadPool>(Options.Threads - 1);
+    double ThreadSpeedup = gemmThreadSpeedup(std::max(1u, Options.Threads));
+
+    // Owned storage: A and B are partitioned identically to C. Blocks
+    // live in shared payloads so a pivot fan-out can enqueue the same
+    // buffer for every receiver.
     auto LocalIndex = [&](int Col, int Row) {
-      return static_cast<std::size_t>(Row - R.Y) *
-                 static_cast<std::size_t>(R.W) +
+      return static_cast<std::size_t>(Row - R.Y) * W +
              static_cast<std::size_t>(Col - R.X);
     };
-    std::vector<std::vector<double>> ABlocks(
-        static_cast<std::size_t>(R.area()));
-    std::vector<std::vector<double>> BBlocks(
-        static_cast<std::size_t>(R.area()));
-    std::vector<std::vector<double>> CBlocks(
-        static_cast<std::size_t>(R.area()),
-        std::vector<double>(BB, 0.0));
+    std::vector<Payload> ABlocks(H * W);
+    std::vector<Payload> BBlocks(H * W);
     for (int Col = R.X; Col < R.X + R.W; ++Col) {
       for (int Row = R.Y; Row < R.Y + R.H; ++Row) {
-        ABlocks[LocalIndex(Col, Row)] = makeBlock(0, Row, Col, B);
-        BBlocks[LocalIndex(Col, Row)] = makeBlock(1, Row, Col, B);
+        ABlocks[LocalIndex(Col, Row)] =
+            Payload::adopt(makeBlock(0, Row, Col, B));
+        BBlocks[LocalIndex(Col, Row)] =
+            Payload::adopt(makeBlock(1, Row, Col, B));
       }
     }
-
-    std::vector<std::vector<double>> AFrag(static_cast<std::size_t>(R.H));
-    std::vector<std::vector<double>> BFrag(static_cast<std::size_t>(R.W));
+    // The C rectangle is one contiguous (H*B) x (W*B) row-major matrix,
+    // updated by a single packed GEMM per step.
+    std::vector<double> CRect(HB * WB, 0.0);
+    std::vector<double> APack(HB * static_cast<std::size_t>(B));
+    std::vector<double> BPack(static_cast<std::size_t>(B) * WB);
     long long Sent = 0;
 
-    for (int K = 0; K < N; ++K) {
-      // Send phase: pivot-column blocks of A go to every rank sharing the
-      // block's row; pivot-row blocks of B to every rank sharing the
-      // block's column. Buffered sends cannot deadlock.
+    auto SendBlock = [&](int Dst, int Tag, const Payload &Block) {
+      if (Options.ZeroCopy)
+        C.sendPayload(Dst, Tag, Block);
+      else
+        C.send<double>(Dst, Tag, Block.as<double>());
+      ++Sent;
+    };
+
+    // Send phase of step K: pivot-column blocks of A go to every rank
+    // sharing the block's row; pivot-row blocks of B to every rank
+    // sharing the block's column. Buffered sends cannot deadlock.
+    auto SendPivots = [&](int K) {
       for (int Row = R.Y; Row < R.Y + R.H; ++Row) {
         if (!R.contains(K, Row))
           continue;
-        const std::vector<double> &Block = ABlocks[LocalIndex(K, Row)];
+        const Payload &Block = ABlocks[LocalIndex(K, Row)];
         for (const GridRect &Q : Rects) {
           if (Q.Owner == Me || Q.W == 0 || Q.H == 0)
             continue;
-          if (Row >= Q.Y && Row < Q.Y + Q.H) {
-            C.send<double>(Q.Owner, TagA + K * N + Row, Block);
-            ++Sent;
-          }
+          if (Row >= Q.Y && Row < Q.Y + Q.H)
+            SendBlock(Q.Owner, TagA + K * N + Row, Block);
         }
       }
       for (int Col = R.X; Col < R.X + R.W; ++Col) {
         if (!R.contains(Col, K))
           continue;
-        const std::vector<double> &Block = BBlocks[LocalIndex(Col, K)];
+        const Payload &Block = BBlocks[LocalIndex(Col, K)];
         for (const GridRect &Q : Rects) {
           if (Q.Owner == Me || Q.W == 0 || Q.H == 0)
             continue;
-          if (Col >= Q.X && Col < Q.X + Q.W) {
-            C.send<double>(Q.Owner, TagB + K * N + Col, Block);
-            ++Sent;
-          }
+          if (Col >= Q.X && Col < Q.X + Q.W)
+            SendBlock(Q.Owner, TagB + K * N + Col, Block);
         }
       }
+    };
 
-      // Receive phase: collect the pivot fragments this rectangle needs.
+    auto AOwner = [&](int K, int Row) {
+      return OwnerOf[static_cast<std::size_t>(Row) *
+                         static_cast<std::size_t>(N) +
+                     static_cast<std::size_t>(K)];
+    };
+    auto BOwner = [&](int K, int Col) {
+      return OwnerOf[static_cast<std::size_t>(K) *
+                         static_cast<std::size_t>(N) +
+                     static_cast<std::size_t>(Col)];
+    };
+
+    auto RecvBlock = [&](int Src, int Tag) {
+      if (Options.ZeroCopy)
+        return C.recvPayload(Src, Tag);
+      return Payload::adopt(C.recv<double>(Src, Tag));
+    };
+
+    // Serial-schedule receive phase of step K: collect the pivot
+    // fragments with blocking receives, rows then columns, in order.
+    auto RecvStep = [&](int K, StepBuffers &Buf) {
       for (int Row = R.Y; Row < R.Y + R.H; ++Row) {
-        if (R.contains(K, Row))
-          AFrag[static_cast<std::size_t>(Row - R.Y)] =
-              ABlocks[LocalIndex(K, Row)];
-        else
-          AFrag[static_cast<std::size_t>(Row - R.Y)] = C.recv<double>(
-              OwnerOf[static_cast<std::size_t>(Row) *
-                          static_cast<std::size_t>(N) +
-                      static_cast<std::size_t>(K)],
-              TagA + K * N + Row);
+        auto I = static_cast<std::size_t>(Row - R.Y);
+        if (R.contains(K, Row)) {
+          Buf.AFrag[I] = ABlocks[LocalIndex(K, Row)];
+        } else {
+          double T0 = C.time();
+          Buf.AFrag[I] = RecvBlock(AOwner(K, Row), TagA + K * N + Row);
+          IdleTimes[static_cast<std::size_t>(Me)] += C.time() - T0;
+        }
       }
       for (int Col = R.X; Col < R.X + R.W; ++Col) {
-        if (R.contains(Col, K))
-          BFrag[static_cast<std::size_t>(Col - R.X)] =
-              BBlocks[LocalIndex(Col, K)];
-        else
-          BFrag[static_cast<std::size_t>(Col - R.X)] = C.recv<double>(
-              OwnerOf[static_cast<std::size_t>(K) *
-                          static_cast<std::size_t>(N) +
-                      static_cast<std::size_t>(Col)],
-              TagB + K * N + Col);
+        auto I = static_cast<std::size_t>(Col - R.X);
+        if (R.contains(Col, K)) {
+          Buf.BFrag[I] = BBlocks[LocalIndex(Col, K)];
+        } else {
+          double T0 = C.time();
+          Buf.BFrag[I] = RecvBlock(BOwner(K, Col), TagB + K * N + Col);
+          IdleTimes[static_cast<std::size_t>(Me)] += C.time() - T0;
+        }
       }
+    };
 
-      // Compute phase: real block updates for correctness, virtual time
-      // from the device profile for cost (size = rectangle area in block
-      // updates, the kernel's computation unit).
-      for (int Col = R.X; Col < R.X + R.W; ++Col)
-        for (int Row = R.Y; Row < R.Y + R.H; ++Row)
-          gemmNaive(static_cast<std::size_t>(B), static_cast<std::size_t>(B),
-                    static_cast<std::size_t>(B),
-                    AFrag[static_cast<std::size_t>(Row - R.Y)],
-                    BFrag[static_cast<std::size_t>(Col - R.X)],
-                    CBlocks[LocalIndex(Col, Row)]);
-      if (R.area() > 0) {
-        double T = Dev.measureTime(static_cast<double>(R.area()));
-        C.compute(T);
-        ComputeTimes[static_cast<std::size_t>(Me)] += T;
+    // Overlap pipeline: post nonblocking receives for step K's remote
+    // fragments (own blocks are filled immediately)...
+    auto PostStep = [&](int K, StepBuffers &Buf) {
+      for (int Row = R.Y; Row < R.Y + R.H; ++Row) {
+        auto I = static_cast<std::size_t>(Row - R.Y);
+        if (R.contains(K, Row))
+          Buf.AFrag[I] = ABlocks[LocalIndex(K, Row)];
+        else
+          Buf.AReq[I] = C.irecv(AOwner(K, Row), TagA + K * N + Row);
+      }
+      for (int Col = R.X; Col < R.X + R.W; ++Col) {
+        auto I = static_cast<std::size_t>(Col - R.X);
+        if (R.contains(Col, K))
+          Buf.BFrag[I] = BBlocks[LocalIndex(Col, K)];
+        else
+          Buf.BReq[I] = C.irecv(BOwner(K, Col), TagB + K * N + Col);
+      }
+    };
+
+    // ... and complete them after the previous step's GEMM, so the
+    // transfers hide behind compute. Clock deltas across the waits are
+    // the true stall time.
+    auto WaitStep = [&](StepBuffers &Buf) {
+      for (std::size_t I = 0; I < H; ++I) {
+        if (!Buf.AReq[I].pending())
+          continue;
+        double T0 = C.time();
+        Buf.AFrag[I] = Buf.AReq[I].wait();
+        IdleTimes[static_cast<std::size_t>(Me)] += C.time() - T0;
+      }
+      for (std::size_t I = 0; I < W; ++I) {
+        if (!Buf.BReq[I].pending())
+          continue;
+        double T0 = C.time();
+        Buf.BFrag[I] = Buf.BReq[I].wait();
+        IdleTimes[static_cast<std::size_t>(Me)] += C.time() - T0;
+      }
+    };
+
+    // Compute phase of one step: pack the fragments into contiguous
+    // operands and run one GEMM for the whole rectangle,
+    //   CRect (H*B x W*B) += APack (H*B x B) * BPack (B x W*B).
+    // Every C element still accumulates over the same l = 0..B-1 in
+    // ascending order, so the result is bit-identical to per-block
+    // updates — and identical across the serial, blocked, and row-banded
+    // parallel kernels. Virtual cost comes from the device profile,
+    // scaled by the modelled multithreaded-GEMM speedup.
+    auto ComputeStep = [&](StepBuffers &Buf) {
+      if (H == 0 || W == 0)
+        return;
+      for (std::size_t I = 0; I < H; ++I)
+        std::memcpy(APack.data() + I * BB, Buf.AFrag[I].as<double>().data(),
+                    BB * sizeof(double));
+      for (std::size_t L = 0; L < static_cast<std::size_t>(B); ++L)
+        for (std::size_t J = 0; J < W; ++J)
+          std::memcpy(BPack.data() + L * WB + J * static_cast<std::size_t>(B),
+                      Buf.BFrag[J].as<double>().data() +
+                          L * static_cast<std::size_t>(B),
+                      static_cast<std::size_t>(B) * sizeof(double));
+      if (Pool)
+        gemmParallel(HB, WB, static_cast<std::size_t>(B), APack, BPack,
+                     CRect, *Pool);
+      else
+        gemmBlocked(HB, WB, static_cast<std::size_t>(B), APack, BPack,
+                    CRect);
+      double T =
+          Dev.measureTime(static_cast<double>(R.area())) / ThreadSpeedup;
+      C.compute(T);
+      ComputeTimes[static_cast<std::size_t>(Me)] += T;
+    };
+
+    StepBuffers Bufs[2];
+    for (StepBuffers &Buf : Bufs) {
+      Buf.AFrag.resize(H);
+      Buf.BFrag.resize(W);
+      Buf.AReq.resize(H);
+      Buf.BReq.resize(W);
+    }
+
+    if (!Options.Overlap) {
+      // Serial schedule: send, receive, compute, step by step.
+      for (int K = 0; K < N; ++K) {
+        SendPivots(K);
+        RecvStep(K, Bufs[0]);
+        ComputeStep(Bufs[0]);
+      }
+    } else {
+      // Double-buffered pipeline: step K+1's pivots are in flight (and
+      // its receives posted) while step K's GEMM runs.
+      SendPivots(0);
+      PostStep(0, Bufs[0]);
+      WaitStep(Bufs[0]);
+      for (int K = 0; K < N; ++K) {
+        StepBuffers &Cur = Bufs[static_cast<std::size_t>(K) % 2];
+        StepBuffers &Next = Bufs[static_cast<std::size_t>(K + 1) % 2];
+        if (K + 1 < N) {
+          SendPivots(K + 1);
+          PostStep(K + 1, Next);
+        }
+        ComputeStep(Cur);
+        if (K + 1 < N)
+          WaitStep(Next);
       }
     }
 
     LoopEndTimes[static_cast<std::size_t>(Me)] = C.time();
     SendCounts[static_cast<std::size_t>(Me)] = Sent;
+    RankHashes[static_cast<std::size_t>(Me)] =
+        fnv1a(Fnv1aBasis, std::as_bytes(std::span<const double>(CRect)));
 
     if (!Options.Verify)
       return;
@@ -173,8 +323,15 @@ MatMulReport fupermod::runParallelMatMul(const Cluster &Platform,
       for (int Row = R.Y; Row < R.Y + R.H; ++Row) {
         Packed.push_back(static_cast<double>(Col));
         Packed.push_back(static_cast<double>(Row));
-        const std::vector<double> &Blk = CBlocks[LocalIndex(Col, Row)];
-        Packed.insert(Packed.end(), Blk.begin(), Blk.end());
+        auto R0 = static_cast<std::size_t>(Row - R.Y) *
+                  static_cast<std::size_t>(B);
+        auto C0 = static_cast<std::size_t>(Col - R.X) *
+                  static_cast<std::size_t>(B);
+        for (std::size_t BR = 0; BR < static_cast<std::size_t>(B); ++BR)
+          Packed.insert(Packed.end(), CRect.begin() + ((R0 + BR) * WB + C0),
+                        CRect.begin() +
+                            ((R0 + BR) * WB + C0 +
+                             static_cast<std::size_t>(B)));
       }
     }
     std::vector<double> All = C.gatherv(std::span<const double>(Packed), 0);
@@ -216,14 +373,24 @@ MatMulReport fupermod::runParallelMatMul(const Cluster &Platform,
     MaxError = maxAbsDiff(CFull, Ref);
   };
 
-  runSpmd(P, Body, Platform.makeCostModel());
+  SpmdResult Run = runSpmd(P, Body, Platform.makeCostModel());
 
   MatMulReport Report;
   Report.ComputeTimes = ComputeTimes;
   for (double T : LoopEndTimes)
     Report.Makespan = std::max(Report.Makespan, T);
+  for (double T : IdleTimes)
+    Report.MaxIdleTime = std::max(Report.MaxIdleTime, T);
   for (long long S : SendCounts)
     Report.BlocksCommunicated += S;
+  std::uint64_t Hash = Fnv1aBasis;
+  for (std::uint64_t RankHash : RankHashes) {
+    std::uint64_t Bytes = RankHash;
+    Hash = fnv1a(Hash, std::as_bytes(std::span<const std::uint64_t>(
+                           &Bytes, 1)));
+  }
+  Report.ResultHash = Hash;
+  Report.Comm = Run.Comm;
   Report.MaxError = MaxError;
   return Report;
 }

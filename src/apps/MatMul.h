@@ -10,12 +10,22 @@
 /// partitioned over processes as 2D rectangles; at iteration k the pivot
 /// block column of A and pivot block row of B are communicated to the
 /// processes whose rectangles intersect them, and every process updates
-/// its C rectangle with one GEMM per owned block.
+/// its C rectangle with one packed GEMM.
 ///
 /// The computation is performed for real (block GEMMs on real data, so
 /// the result can be verified against a serial product), while per-rank
 /// computation *cost* is charged to the virtual clock from the simulated
 /// device profiles, and communication is costed by the mpp runtime.
+///
+/// Three independent optimisations are switchable per run, and all of
+/// them leave the result matrix bit-identical to the serial schedule:
+///  - ZeroCopy: pivot fan-out enqueues one shared payload per receiver
+///    instead of deep-copying the block per destination;
+///  - Overlap: step k+1's pivots are sent and their receives posted
+///    before step k's GEMM, so the transfer hides behind compute
+///    (double-buffered pipeline on nonblocking receives);
+///  - Threads: the per-step GEMM runs as gemmParallel row bands, with
+///    virtual compute time scaled by the modelled thread speedup.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +33,7 @@
 #define FUPERMOD_APPS_MATMUL_H
 
 #include "apps/MatrixPartition2D.h"
+#include "mpp/Group.h"
 #include "sim/Cluster.h"
 
 #include <cstdint>
@@ -38,6 +49,13 @@ struct MatMulOptions {
   int BlockSize = 8;
   /// Gather the product on rank 0 and compare against a serial GEMM.
   bool Verify = true;
+  /// Share pivot payloads across receivers instead of copying per send.
+  bool ZeroCopy = true;
+  /// Prefetch step k+1's pivots (irecv) while step k's GEMM runs.
+  bool Overlap = false;
+  /// GEMM threads per rank (> 1 uses gemmParallel and scales the charged
+  /// compute time by gemmThreadSpeedup).
+  unsigned Threads = 1;
 };
 
 /// Outcome of one parallel matmul run.
@@ -46,8 +64,17 @@ struct MatMulReport {
   double Makespan = 0.0;
   /// Per-rank total virtual computation time.
   std::vector<double> ComputeTimes;
-  /// Number of b x b blocks sent over links.
+  /// Number of b x b blocks sent over links (per receiver; independent of
+  /// ZeroCopy, which changes the copies, not the messages).
   long long BlocksCommunicated = 0;
+  /// Largest per-rank virtual time spent stalled in pivot receives.
+  double MaxIdleTime = 0.0;
+  /// FNV-1a hash of every rank's C rectangle bytes, folded in rank
+  /// order. Equal hashes across option combinations prove bit-identical
+  /// results.
+  std::uint64_t ResultHash = 0;
+  /// World communication counters for the whole run.
+  CommStatsSnapshot Comm;
   /// Largest |parallel - serial| element difference (0 when Verify off).
   double MaxError = 0.0;
 };

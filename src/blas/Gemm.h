@@ -11,9 +11,14 @@
 ///
 ///  - gemmNaive: straightforward triple loop, the stand-in for the
 ///    reference Netlib BLAS whose speed function Fig. 2 plots;
-///  - gemmBlocked: cache-tiled variant, the stand-in for an optimised BLAS.
+///  - gemmBlocked: cache-tiled variant, the stand-in for an optimised BLAS;
+///  - gemmParallel: gemmBlocked over horizontal row bands on a ThreadPool,
+///    the stand-in for a multithreaded BLAS.
 ///
 /// All matrices are row-major and contiguous: C (MxN) += A (MxK) * B (KxN).
+/// Every kernel accumulates each C element over l = 0..K-1 in ascending
+/// order, so for identical inputs all three produce bit-identical results
+/// (tiling and row-band decomposition only reorder *independent* elements).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +31,8 @@
 
 namespace fupermod {
 
+class ThreadPool;
+
 /// C += A * B with the textbook i-k-j loop nest.
 void gemmNaive(std::size_t M, std::size_t N, std::size_t K,
                std::span<const double> A, std::span<const double> B,
@@ -35,6 +42,24 @@ void gemmNaive(std::size_t M, std::size_t N, std::size_t K,
 void gemmBlocked(std::size_t M, std::size_t N, std::size_t K,
                  std::span<const double> A, std::span<const double> B,
                  std::span<double> C, std::size_t Tile = 64);
+
+/// C += A * B with the M dimension split into row bands executed on
+/// \p Pool (plus the calling thread's share). Each band runs gemmBlocked
+/// with the same tiling, and bands write disjoint rows of C, so the
+/// result is bit-identical to a single gemmBlocked call. Falls back to
+/// the serial kernel when the pool has one worker or M is a single band.
+void gemmParallel(std::size_t M, std::size_t N, std::size_t K,
+                  std::span<const double> A, std::span<const double> B,
+                  std::span<double> C, ThreadPool &Pool,
+                  std::size_t Tile = 64);
+
+/// Modelled speedup of gemmParallel with \p Threads workers: Amdahl's law
+/// with a small serial fraction covering band fork/join and the shared
+/// memory bus. Used to charge virtual compute time for multithreaded
+/// devices (the container pins the runtime to one physical core, so the
+/// thread-scaling curve is modelled rather than measured — see DESIGN.md
+/// §8).
+double gemmThreadSpeedup(unsigned Threads);
 
 /// Floating point operations performed by one C += A*B call.
 inline double gemmFlops(std::size_t M, std::size_t N, std::size_t K) {

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <vector>
 
 using namespace fupermod;
@@ -86,6 +87,37 @@ double fupermod::predictGatherLinear(const LinkCost &Link, int P,
   // in the runtime's model, so the root finishes with the slowest single
   // sender: latency (count) + latency + payload transfer.
   return Link.Latency + Link.transferTime(Bytes);
+}
+
+double fupermod::predictGatherBinomial(const LinkCost &Link, int P,
+                                       std::size_t Bytes) {
+  assert(P >= 1 && "empty communicator");
+  if (P == 1)
+    return 0.0;
+  // Replay the runtime's tree arithmetic. A node whose relrank has
+  // lowest set bit M merges its subtree (masks 1..M/2, ascending — the
+  // same order the runtime receives in), then sends a sizes header (one
+  // uint64 per covered rank) followed by its accumulated data to r - M,
+  // paying the injection latency per send. Processing masks in ascending
+  // order globally finalises every sender's clock before its send.
+  std::vector<double> Clock(static_cast<std::size_t>(P), 0.0);
+  for (unsigned Mask = 1; static_cast<int>(Mask) < P; Mask <<= 1) {
+    for (int R = static_cast<int>(Mask); R < P;
+         R += static_cast<int>(Mask << 1)) {
+      auto Covered = static_cast<std::size_t>(
+          std::min<int>(static_cast<int>(Mask), P - R));
+      double &Sender = Clock[static_cast<std::size_t>(R)];
+      double &Parent = Clock[static_cast<std::size_t>(R - Mask)];
+      double SizesArrival =
+          Sender + Link.transferTime(Covered * sizeof(std::uint64_t));
+      Sender += Link.Latency;
+      double DataArrival = Sender + Link.transferTime(Covered * Bytes);
+      Sender += Link.Latency;
+      Parent = std::max(Parent, SizesArrival);
+      Parent = std::max(Parent, DataArrival);
+    }
+  }
+  return Clock[0];
 }
 
 double fupermod::predictRingAllgather(const LinkCost &Link, int P,

@@ -37,8 +37,14 @@ double predictBcast(const LinkCost &Link, int P, std::size_t Bytes);
 
 /// Completion time of the linear gather of per-rank \p Bytes at the root.
 /// Transfers are concurrent in the runtime's model, so the root finishes
-/// at the slowest single transfer.
+/// at the slowest single transfer. Kept as the analytic lower bound the
+/// binomial tree is compared against.
 double predictGatherLinear(const LinkCost &Link, int P, std::size_t Bytes);
+
+/// Completion time of the binomial-tree gatherv of per-rank \p Bytes at
+/// the root (the runtime's algorithm): each merge node forwards a sizes
+/// header (8 bytes per covered rank) followed by its accumulated data.
+double predictGatherBinomial(const LinkCost &Link, int P, std::size_t Bytes);
 
 /// Completion time of the ring allgatherv with equal per-rank chunks.
 double predictRingAllgather(const LinkCost &Link, int P,

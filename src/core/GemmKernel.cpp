@@ -3,6 +3,7 @@
 #include "core/GemmKernel.h"
 
 #include "blas/Gemm.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <cmath>
@@ -12,10 +13,14 @@ using namespace fupermod;
 
 Kernel::~Kernel() = default;
 
-GemmKernel::GemmKernel(std::size_t BlockSize, bool UseBlockedGemm)
-    : B(BlockSize), UseBlockedGemm(UseBlockedGemm) {
+GemmKernel::GemmKernel(std::size_t BlockSize, bool UseBlockedGemm,
+                       unsigned Threads)
+    : B(BlockSize), UseBlockedGemm(UseBlockedGemm),
+      Threads(Threads == 0 ? 1 : Threads) {
   assert(BlockSize > 0 && "block size must be positive");
 }
+
+GemmKernel::~GemmKernel() = default;
 
 double GemmKernel::complexity(double Units) const {
   // One unit is one b x b block update: 2 * b^3 flops. A problem of d
@@ -58,10 +63,15 @@ void GemmKernel::execute() {
   std::memcpy(APivot.data(), AStore.data(), MB * B * sizeof(double));
   std::memcpy(BPivot.data(), BStore.data(), B * NB * sizeof(double));
   // The block update Ci += A(b) * B(b).
-  if (UseBlockedGemm)
+  if (Threads > 1) {
+    if (!Pool)
+      Pool = std::make_unique<ThreadPool>(Threads - 1);
+    gemmParallel(MB, NB, B, APivot, BPivot, CStore, *Pool);
+  } else if (UseBlockedGemm) {
     gemmBlocked(MB, NB, B, APivot, BPivot, CStore);
-  else
+  } else {
     gemmNaive(MB, NB, B, APivot, BPivot, CStore);
+  }
 }
 
 void GemmKernel::finalize() {

@@ -26,17 +26,25 @@
 #include "core/Kernel.h"
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 namespace fupermod {
+
+class ThreadPool;
 
 /// GEMM-based computation kernel with configurable blocking factor.
 class GemmKernel : public Kernel {
 public:
   /// \p BlockSize is the blocking factor b; \p UseBlockedGemm selects the
   /// cache-tiled GEMM (optimised BLAS stand-in) over the naive one
-  /// (Netlib stand-in).
-  explicit GemmKernel(std::size_t BlockSize = 16, bool UseBlockedGemm = true);
+  /// (Netlib stand-in); \p Threads > 1 runs the block update through
+  /// gemmParallel on a lazily created pool (multithreaded BLAS stand-in;
+  /// results stay bit-identical to the serial kernels).
+  explicit GemmKernel(std::size_t BlockSize = 16, bool UseBlockedGemm = true,
+                      unsigned Threads = 1);
+
+  ~GemmKernel() override;
 
   double complexity(double Units) const override;
   bool initialize(std::int64_t Units) override;
@@ -51,6 +59,8 @@ public:
 private:
   std::size_t B;
   bool UseBlockedGemm;
+  unsigned Threads;
+  std::unique_ptr<ThreadPool> Pool; // Created on first multithreaded run.
   std::size_t M = 0;
   std::size_t N = 0;
   std::vector<double> AStore; // Submatrix Ai: (M*B) x (K columns = B).

@@ -2,12 +2,26 @@
 
 #include "mpp/Comm.h"
 
-#include "mpp/Group.h"
-
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <numeric>
 
 using namespace fupermod;
+
+bool RecvRequest::ready() {
+  assert(Active && "request not pending");
+  return Future.wait_for(std::chrono::seconds(0)) ==
+         std::future_status::ready;
+}
+
+Payload RecvRequest::wait() {
+  assert(Active && "request not pending");
+  Message Msg = Mailbox::awaitMessage(Future, G->poison());
+  Clock->advanceTo(Msg.ArrivalTime);
+  Active = false;
+  return std::move(Msg.Data);
+}
 
 Comm::Comm(std::shared_ptr<Group> G, int Rank, VirtualClock *Clock)
     : G(std::move(G)), Rank(Rank), Clock(Clock) {
@@ -20,7 +34,13 @@ int Comm::size() const { return G->size(); }
 
 int Comm::globalRank() const { return G->globalRankOf(Rank); }
 
-void Comm::sendBytes(int Dst, int Tag, std::span<const std::byte> Data) {
+void Comm::countCopied(std::size_t Bytes) {
+  G->stats().BytesCopied.fetch_add(Bytes, std::memory_order_relaxed);
+}
+
+CommStatsSnapshot Comm::commStats() const { return G->statsSnapshot(); }
+
+void Comm::sendPayload(int Dst, int Tag, Payload Data) {
   assert(Dst >= 0 && Dst < size() && "destination out of range");
   G->poison().check();
   LinkCost Cost = G->costModel().link(globalRank(), G->globalRankOf(Dst));
@@ -28,18 +48,42 @@ void Comm::sendBytes(int Dst, int Tag, std::span<const std::byte> Data) {
   Message Msg;
   Msg.Tag = Tag;
   Msg.ArrivalTime = Start + Cost.transferTime(Data.size());
-  Msg.Data.assign(Data.begin(), Data.end());
+  CommStats &S = G->stats();
+  S.Messages.fetch_add(1, std::memory_order_relaxed);
+  S.BytesLogical.fetch_add(Data.size(), std::memory_order_relaxed);
+  Msg.Data = std::move(Data);
   // The sender is busy for the injection overhead only; the full transfer
   // time is charged to the message arrival (receiver side).
   Clock->advance(Cost.Latency);
   G->mailbox(Rank, Dst).push(std::move(Msg));
 }
 
-std::vector<std::byte> Comm::recvBytes(int Src, int Tag) {
+void Comm::sendBytes(int Dst, int Tag, std::span<const std::byte> Data) {
+  countCopied(Data.size());
+  sendPayload(Dst, Tag, Payload::copyOf(Data));
+}
+
+Payload Comm::recvPayload(int Src, int Tag) {
   assert(Src >= 0 && Src < size() && "source out of range");
   Message Msg = G->mailbox(Src, Rank).popMatching(Tag, G->poison());
   Clock->advanceTo(Msg.ArrivalTime);
   return std::move(Msg.Data);
+}
+
+std::vector<std::byte> Comm::recvBytes(int Src, int Tag) {
+  Payload P = recvPayload(Src, Tag);
+  countCopied(P.size());
+  return P.toVector<std::byte>();
+}
+
+RecvRequest Comm::irecv(int Src, int Tag) {
+  assert(Src >= 0 && Src < size() && "source out of range");
+  RecvRequest Req;
+  Req.G = G;
+  Req.Future = G->mailbox(Src, Rank).asyncPop(Tag);
+  Req.Clock = Clock;
+  Req.Active = true;
+  return Req;
 }
 
 void Comm::abort(const std::string &Reason) {
@@ -53,19 +97,21 @@ void Comm::barrier() {
   Clock->advanceTo(Release);
 }
 
-void Comm::bcastBytes(std::vector<std::byte> &Data, int Root) {
+void Comm::bcastPayload(Payload &Data, int Root) {
   assert(Root >= 0 && Root < size() && "root out of range");
   int P = size();
   if (P == 1)
     return;
   int RelRank = (Rank - Root + P) % P;
 
-  // Binomial tree: receive from the parent, then forward to children.
+  // Binomial tree: receive from the parent, then forward the *same*
+  // payload to the children — every rank ends up sharing the root's
+  // buffer, so the whole fan-out copies nothing.
   unsigned Mask = 1;
   while (static_cast<int>(Mask) < P) {
     if (RelRank & static_cast<int>(Mask)) {
       int Parent = (RelRank - static_cast<int>(Mask) + Root) % P;
-      Data = recvBytes(Parent, TagBcast);
+      Data = recvPayload(Parent, TagBcast);
       break;
     }
     Mask <<= 1;
@@ -74,16 +120,172 @@ void Comm::bcastBytes(std::vector<std::byte> &Data, int Root) {
   while (Mask > 0) {
     int Child = RelRank + static_cast<int>(Mask);
     if (Child < P)
-      sendBytes((Child + Root) % P, TagBcast, Data);
+      sendPayload((Child + Root) % P, TagBcast, Data);
     Mask >>= 1;
   }
 }
 
+void Comm::bcastBytes(std::vector<std::byte> &Data, int Root) {
+  Payload P;
+  if (Rank == Root) {
+    countCopied(Data.size());
+    P = Payload::copyOf(Data);
+  }
+  bcastPayload(P, Root);
+  if (Rank != Root) {
+    countCopied(P.size());
+    Data = P.toVector<std::byte>();
+  }
+}
+
+std::vector<std::byte> Comm::gathervBytes(std::span<const std::byte> Local,
+                                          int Root) {
+  assert(Root >= 0 && Root < size() && "root out of range");
+  int P = size();
+  if (P == 1)
+    return std::vector<std::byte>(Local.begin(), Local.end());
+  int RelRank = (Rank - Root + P) % P;
+
+  // Binomial tree in relrank space. Each node accumulates a contiguous
+  // window of relranks [RelRank, CoverEnd): a sizes header (one uint64
+  // per covered relrank) plus the concatenated data in ascending relrank
+  // order. Children at distance Mask arrive with exactly that layout, so
+  // merging is an append.
+  std::vector<std::uint64_t> Sizes = {Local.size()};
+  std::vector<std::byte> Buf(Local.begin(), Local.end());
+  countCopied(Buf.size());
+
+  unsigned Mask = 1;
+  while (static_cast<int>(Mask) < P) {
+    if (RelRank & static_cast<int>(Mask)) {
+      int Parent = (RelRank - static_cast<int>(Mask) + Root) % P;
+      isend(Parent, TagGathervSizes, std::move(Sizes));
+      sendPayload(Parent, TagGathervData, Payload::adoptBytes(std::move(Buf)));
+      return {};
+    }
+    int Child = RelRank + static_cast<int>(Mask);
+    if (Child < P) {
+      std::vector<std::uint64_t> ChildSizes =
+          recv<std::uint64_t>((Child + Root) % P, TagGathervSizes);
+      Payload ChildData = recvPayload((Child + Root) % P, TagGathervData);
+      assert(std::accumulate(ChildSizes.begin(), ChildSizes.end(),
+                             std::uint64_t{0}) == ChildData.size() &&
+             "gatherv sizes/data mismatch");
+      Sizes.insert(Sizes.end(), ChildSizes.begin(), ChildSizes.end());
+      countCopied(ChildData.size());
+      Buf.insert(Buf.end(), ChildData.bytes().begin(),
+                 ChildData.bytes().end());
+    }
+    Mask <<= 1;
+  }
+
+  // Root: Buf holds all contributions in relrank order. Reorder to rank
+  // order (identity when Root == 0).
+  assert(RelRank == 0 && static_cast<int>(Sizes.size()) == P);
+  if (Root == 0)
+    return Buf;
+  std::vector<std::uint64_t> Offsets(static_cast<std::size_t>(P) + 1, 0);
+  for (int Q = 0; Q < P; ++Q)
+    Offsets[static_cast<std::size_t>(Q) + 1] =
+        Offsets[static_cast<std::size_t>(Q)] +
+        Sizes[static_cast<std::size_t>(Q)];
+  std::vector<std::byte> Ordered;
+  Ordered.reserve(Buf.size());
+  for (int R = 0; R < P; ++R) {
+    auto Q = static_cast<std::size_t>((R - Root + P) % P);
+    Ordered.insert(Ordered.end(), Buf.begin() + Offsets[Q],
+                   Buf.begin() + Offsets[Q + 1]);
+  }
+  return Ordered;
+}
+
+std::vector<std::byte>
+Comm::scattervBytes(std::span<const std::byte> All,
+                    std::span<const std::size_t> CountsBytes, int Root) {
+  assert(Root >= 0 && Root < size() && "root out of range");
+  int P = size();
+  assert(static_cast<int>(CountsBytes.size()) == P &&
+         "one byte count per rank required");
+  if (P == 1)
+    return std::vector<std::byte>(All.begin(), All.end());
+  int RelRank = (Rank - Root + P) % P;
+
+  // Binomial tree in relrank space, mirroring gathervBytes: every node
+  // holds a sizes header plus one payload covering a contiguous relrank
+  // window, and hands the upper half of its window to each child. The
+  // forwarded slices are subviews of the received payload, so only the
+  // root's assembly and each rank's final chunk are physical copies.
+  std::vector<std::uint64_t> Sizes;
+  Payload Cover;
+  unsigned Mask = 1;
+  if (RelRank == 0) {
+    // Assemble the relrank-ordered buffer (identity when Root == 0).
+    std::vector<std::uint64_t> RankOffsets(static_cast<std::size_t>(P) + 1,
+                                           0);
+    for (int R = 0; R < P; ++R)
+      RankOffsets[static_cast<std::size_t>(R) + 1] =
+          RankOffsets[static_cast<std::size_t>(R)] +
+          CountsBytes[static_cast<std::size_t>(R)];
+    assert(RankOffsets.back() == All.size() &&
+           "scatterv counts must cover the buffer");
+    Sizes.resize(static_cast<std::size_t>(P));
+    std::vector<std::byte> Assembled;
+    Assembled.reserve(All.size());
+    for (int Q = 0; Q < P; ++Q) {
+      auto R = static_cast<std::size_t>((Q + Root) % P);
+      Sizes[static_cast<std::size_t>(Q)] = CountsBytes[R];
+      Assembled.insert(Assembled.end(), All.begin() + RankOffsets[R],
+                       All.begin() + RankOffsets[R + 1]);
+    }
+    countCopied(Assembled.size());
+    Cover = Payload::adoptBytes(std::move(Assembled));
+    while (static_cast<int>(Mask) < P)
+      Mask <<= 1;
+  } else {
+    while (static_cast<int>(Mask) < P) {
+      if (RelRank & static_cast<int>(Mask)) {
+        int Parent = (RelRank - static_cast<int>(Mask) + Root) % P;
+        Sizes = recv<std::uint64_t>(Parent, TagScattervSizes);
+        Cover = recvPayload(Parent, TagScattervData);
+        break;
+      }
+      Mask <<= 1;
+    }
+  }
+
+  // Send phase: peel off the upper half of the window for each child.
+  Mask >>= 1;
+  while (Mask > 0) {
+    int Child = RelRank + static_cast<int>(Mask);
+    if (Child < P) {
+      auto Split = static_cast<std::size_t>(Mask);
+      assert(Split < Sizes.size() && "child window must be non-empty");
+      std::uint64_t ByteOff = 0;
+      for (std::size_t I = 0; I < Split; ++I)
+        ByteOff += Sizes[I];
+      std::vector<std::uint64_t> ChildSizes(Sizes.begin() +
+                                                static_cast<long>(Split),
+                                            Sizes.end());
+      std::uint64_t ChildBytes = Cover.size() - ByteOff;
+      isend((Child + Root) % P, TagScattervSizes, std::move(ChildSizes));
+      sendPayload((Child + Root) % P, TagScattervData,
+                  Cover.subview(ByteOff, ChildBytes));
+      Sizes.resize(Split);
+      Cover = Cover.subview(0, ByteOff);
+    }
+    Mask >>= 1;
+  }
+
+  assert(Sizes.size() == 1 && Cover.size() == Sizes.front() &&
+         "window must have narrowed to the local chunk");
+  countCopied(Cover.size());
+  return Cover.toVector<std::byte>();
+}
+
 std::vector<double> Comm::allreduce(std::span<const double> Local,
                                     ReduceOp Op) {
-  // Gather all contributions at rank 0, reduce, broadcast the result. The
-  // vectors involved are tiny (per-rank scalars), so the linear gather is
-  // fine.
+  // Gather all contributions at rank 0, reduce in rank order (fixed
+  // association keeps results bit-reproducible), broadcast the result.
   std::vector<double> All = gatherv(Local, /*Root=*/0);
   std::vector<double> Result(Local.size(), 0.0);
   if (rank() == 0) {

@@ -11,8 +11,9 @@
 /// substrate standing in for MPI in the paper's data-parallel applications.
 ///
 /// Supported operations: blocking send/recv (FIFO matching per source and
-/// tag), barrier, broadcast (binomial tree), gatherv/scatterv (linear),
-/// allgatherv, allreduce, and communicator splitting (the paper's
+/// tag), nonblocking isend/irecv (future-backed), zero-copy shared-payload
+/// send/recv/broadcast, barrier, broadcast and gatherv/scatterv (binomial
+/// trees), allgatherv, allreduce, and communicator splitting (the paper's
 /// `comm_sync` used to synchronise co-located benchmark processes).
 ///
 //===----------------------------------------------------------------------===//
@@ -21,6 +22,8 @@
 #define FUPERMOD_MPP_COMM_H
 
 #include "mpp/CostModel.h"
+#include "mpp/Group.h"
+#include "mpp/Payload.h"
 #include "mpp/Poison.h"
 #include "mpp/VirtualClock.h"
 
@@ -33,10 +36,37 @@
 
 namespace fupermod {
 
-class Group;
-
 /// Combining operation for allreduce.
 enum class ReduceOp { Sum, Max, Min };
+
+/// Handle to a pending nonblocking receive posted with Comm::irecv.
+/// wait() blocks until the message is available and advances the owning
+/// rank's clock to max(now, arrival) — computation performed between
+/// irecv and wait overlaps the transfer. Every posted request must be
+/// completed with wait(); a dropped request forfeits the message that
+/// would have fulfilled it.
+class RecvRequest {
+public:
+  RecvRequest() = default;
+
+  /// True while the request is posted and not yet waited on.
+  bool pending() const { return Active; }
+
+  /// True when wait() would return without blocking.
+  bool ready();
+
+  /// Blocks until the message arrives, advances the clock, and returns
+  /// the shared payload. Throws CommError when the world is poisoned
+  /// while waiting.
+  Payload wait();
+
+private:
+  friend class Comm;
+  std::shared_ptr<Group> G; // Keeps poison/stats alive.
+  std::future<Message> Future;
+  VirtualClock *Clock = nullptr;
+  bool Active = false;
+};
 
 /// Per-rank handle to a communication group.
 ///
@@ -73,13 +103,35 @@ public:
 
   /// Sends \p Data to \p Dst with the given tag. Never blocks (buffered);
   /// charges the link latency to the sender and the full transfer time to
-  /// the message's arrival.
+  /// the message's arrival. Deep-copies the buffer (use sendPayload /
+  /// isend for zero-copy).
   void sendBytes(int Dst, int Tag, std::span<const std::byte> Data);
+
+  /// Zero-copy send: enqueues a reference to \p Data's buffer. Sending
+  /// the same Payload to N receivers moves O(N * size) logical bytes but
+  /// copies nothing.
+  void sendPayload(int Dst, int Tag, Payload Data);
 
   /// Receives the oldest pending message from \p Src with tag \p Tag,
   /// blocking until one arrives. The caller's clock advances to the
-  /// message arrival time.
+  /// message arrival time. Returns a mutable copy of the payload.
   std::vector<std::byte> recvBytes(int Src, int Tag);
+
+  /// Zero-copy receive: like recvBytes but returns the shared immutable
+  /// payload without materialising a private buffer.
+  Payload recvPayload(int Src, int Tag);
+
+  /// Posts a nonblocking receive; complete it with RecvRequest::wait().
+  /// Receives posted on one (source, tag) pair match sends in FIFO order.
+  RecvRequest irecv(int Src, int Tag);
+
+  /// Move-based nonblocking send: adopts \p Data without copying and
+  /// enqueues it. (Buffered sends never block, so the send is complete
+  /// when this returns — no request object is needed.)
+  template <typename T> void isend(int Dst, int Tag, std::vector<T> Data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    sendPayload(Dst, Tag, Payload::adopt(std::move(Data)));
+  }
 
   /// Synchronises all ranks: every clock advances to the group maximum
   /// (plus the cost model's barrier cost).
@@ -87,6 +139,26 @@ public:
 
   /// Broadcasts root's \p Data to all ranks over a binomial tree.
   void bcastBytes(std::vector<std::byte> &Data, int Root);
+
+  /// Zero-copy broadcast: after the call every rank's \p Data shares the
+  /// root's buffer. Physical copies are O(size) for the whole tree (the
+  /// root's buffer is forwarded by reference), where bcastBytes copies
+  /// O(P * size).
+  void bcastPayload(Payload &Data, int Root);
+
+  /// Gathers variable-length byte contributions at \p Root over a
+  /// binomial tree; the result on the root is the concatenation in rank
+  /// order, other ranks get an empty vector.
+  std::vector<std::byte> gathervBytes(std::span<const std::byte> Local,
+                                      int Root);
+
+  /// Scatters \p All (significant on the root only) over a binomial tree
+  /// so that rank i receives \p CountsBytes[i] bytes; returns the local
+  /// chunk. Forwarded subtree slices share the parent's buffer (no
+  /// copies beyond the root's assembly and each rank's materialisation).
+  std::vector<std::byte>
+  scattervBytes(std::span<const std::byte> All,
+                std::span<const std::size_t> CountsBytes, int Root);
 
   /// Splits the communicator: ranks with equal \p Color form a new group,
   /// ordered by (\p Key, parent rank). Must be called by every rank.
@@ -101,6 +173,10 @@ public:
   /// True once the world has been poisoned.
   bool poisoned() const;
 
+  /// Snapshot of the world-wide communication counters (messages sent,
+  /// bytes logically moved, bytes physically copied).
+  CommStatsSnapshot commStats() const;
+
   // --- Typed convenience wrappers (trivially copyable element types) ---
 
   template <typename T> void send(int Dst, int Tag, std::span<const T> Data) {
@@ -114,10 +190,9 @@ public:
 
   template <typename T> std::vector<T> recv(int Src, int Tag) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::byte> Raw = recvBytes(Src, Tag);
-    std::vector<T> Out(Raw.size() / sizeof(T));
-    std::memcpy(Out.data(), Raw.data(), Out.size() * sizeof(T));
-    return Out;
+    Payload P = recvPayload(Src, Tag);
+    countCopied(P.size());
+    return P.toVector<T>();
   }
 
   template <typename T> T recvValue(int Src, int Tag) {
@@ -127,11 +202,16 @@ public:
 
   template <typename T> void bcast(std::vector<T> &Data, int Root) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::byte> Raw(Data.size() * sizeof(T));
-    std::memcpy(Raw.data(), Data.data(), Raw.size());
-    bcastBytes(Raw, Root);
-    Data.resize(Raw.size() / sizeof(T));
-    std::memcpy(Data.data(), Raw.data(), Raw.size());
+    Payload P;
+    if (rank() == Root) {
+      countCopied(Data.size() * sizeof(T));
+      P = Payload::copyOf(std::as_bytes(std::span<const T>(Data)));
+    }
+    bcastPayload(P, Root);
+    if (rank() != Root) {
+      countCopied(P.size());
+      Data = P.toVector<T>();
+    }
   }
 
   template <typename T> void bcastValue(T &Value, int Root) {
@@ -145,24 +225,11 @@ public:
   /// vector.
   template <typename T>
   std::vector<T> gatherv(std::span<const T> Local, int Root) {
-    static const int CountTag = TagGathervCount;
-    static const int DataTag = TagGathervData;
-    if (rank() != Root) {
-      sendValue<std::size_t>(Root, CountTag, Local.size());
-      send(Root, DataTag, Local);
-      return {};
-    }
-    std::vector<T> All;
-    for (int Src = 0; Src < size(); ++Src) {
-      if (Src == rank()) {
-        All.insert(All.end(), Local.begin(), Local.end());
-        continue;
-      }
-      std::size_t Count = recvValue<std::size_t>(Src, CountTag);
-      std::vector<T> Part = recv<T>(Src, DataTag);
-      (void)Count;
-      All.insert(All.end(), Part.begin(), Part.end());
-    }
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> Raw = gathervBytes(std::as_bytes(Local), Root);
+    std::vector<T> All(Raw.size() / sizeof(T));
+    if (!All.empty())
+      std::memcpy(All.data(), Raw.data(), All.size() * sizeof(T));
     return All;
   }
 
@@ -171,22 +238,16 @@ public:
   template <typename T>
   std::vector<T> scatterv(std::span<const T> All, std::span<const int> Counts,
                           int Root) {
-    static const int DataTag = TagScattervData;
-    if (rank() == Root) {
-      std::size_t Offset = 0;
-      std::vector<T> Mine;
-      for (int Dst = 0; Dst < size(); ++Dst) {
-        std::size_t Count = static_cast<std::size_t>(Counts[Dst]);
-        std::span<const T> Chunk = All.subspan(Offset, Count);
-        if (Dst == rank())
-          Mine.assign(Chunk.begin(), Chunk.end());
-        else
-          send(Dst, DataTag, Chunk);
-        Offset += Count;
-      }
-      return Mine;
-    }
-    return recv<T>(Root, DataTag);
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::size_t> Bytes(Counts.size());
+    for (std::size_t I = 0; I < Counts.size(); ++I)
+      Bytes[I] = static_cast<std::size_t>(Counts[I]) * sizeof(T);
+    std::vector<std::byte> Raw =
+        scattervBytes(std::as_bytes(All), Bytes, Root);
+    std::vector<T> Mine(Raw.size() / sizeof(T));
+    if (!Mine.empty())
+      std::memcpy(Mine.data(), Raw.data(), Raw.size());
+    return Mine;
   }
 
   /// All ranks obtain the concatenation (in rank order) of every rank's
@@ -248,13 +309,17 @@ public:
 private:
   // Reserved internal tags, outside the range user code should use.
   enum : int {
-    TagGathervCount = 1 << 28,
+    TagGathervSizes = 1 << 28,
     TagGathervData,
+    TagScattervSizes,
     TagScattervData,
     TagBcast,
     TagSplit,
     TagRing,
   };
+
+  /// Counts a physical deep copy of \p Bytes payload bytes.
+  void countCopied(std::size_t Bytes);
 
   std::shared_ptr<Group> G;
   int Rank;

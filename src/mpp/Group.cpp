@@ -11,44 +11,75 @@ using namespace fupermod;
 namespace {
 
 /// Poll interval of every blocking wait. A poisoning rank cannot reach
-/// the condition variables of all mailboxes and subgroups, so waiters
-/// re-check the shared flag at this cadence; it bounds how long a
-/// survivor can stay blocked after a peer dies.
+/// the futures and condition variables of all mailboxes and subgroups,
+/// so waiters re-check the shared flag at this cadence; it bounds how
+/// long a survivor can stay blocked after a peer dies.
 constexpr std::chrono::milliseconds PoisonPollInterval{10};
 
 } // namespace
 
 void Mailbox::push(Message Msg) {
+  std::promise<Message> Waiter;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    Queue.push_back(std::move(Msg));
+    auto It = Waiters.find(Msg.Tag);
+    if (It == Waiters.end() || It->second.empty()) {
+      Queues[Msg.Tag].push_back(std::move(Msg));
+      return;
+    }
+    Waiter = std::move(It->second.front());
+    It->second.pop_front();
+    if (It->second.empty())
+      Waiters.erase(It);
   }
-  Ready.notify_all();
+  // Fulfil outside the lock: set_value wakes the receiver directly.
+  Waiter.set_value(std::move(Msg));
+}
+
+std::future<Message> Mailbox::asyncPop(int Tag) {
+  std::promise<Message> Ready;
+  std::future<Message> Result = Ready.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Queues.find(Tag);
+    if (It == Queues.end() || It->second.empty()) {
+      Waiters[Tag].push_back(std::move(Ready));
+      return Result;
+    }
+    Message Msg = std::move(It->second.front());
+    It->second.pop_front();
+    if (It->second.empty())
+      Queues.erase(It);
+    Ready.set_value(std::move(Msg));
+  }
+  return Result;
+}
+
+Message Mailbox::awaitMessage(std::future<Message> &Future,
+                              const PoisonState &Poison) {
+  assert(Future.valid() && "receive already consumed");
+  // A message already handed to the future is still delivered on a
+  // poisoned world (the readiness check runs first); only an *empty* wait
+  // aborts.
+  while (Future.wait_for(PoisonPollInterval) !=
+         std::future_status::ready)
+    Poison.check();
+  return Future.get();
 }
 
 Message Mailbox::popMatching(int Tag, const PoisonState &Poison) {
-  std::unique_lock<std::mutex> Lock(Mutex);
-  auto Match = Queue.end();
-  auto HaveMatch = [&] {
-    Match = std::find_if(Queue.begin(), Queue.end(),
-                         [Tag](const Message &M) { return M.Tag == Tag; });
-    return Match != Queue.end();
-  };
-  while (!Ready.wait_for(Lock, PoisonPollInterval, HaveMatch))
-    // A message already in the queue is still delivered on a poisoned
-    // world (HaveMatch is checked first); only an *empty* wait aborts.
-    Poison.check();
-  Message Msg = std::move(*Match);
-  Queue.erase(Match);
-  return Msg;
+  std::future<Message> Future = asyncPop(Tag);
+  return awaitMessage(Future, Poison);
 }
 
 Group::Group(std::shared_ptr<const CostModel> Cost,
              std::vector<int> GlobalRanks, std::vector<int> ParentRanks,
-             std::shared_ptr<PoisonState> Poison)
+             std::shared_ptr<PoisonState> Poison,
+             std::shared_ptr<CommStats> Stats)
     : Cost(std::move(Cost)),
       Poison(Poison ? std::move(Poison)
                     : std::make_shared<PoisonState>()),
+      Stats(Stats ? std::move(Stats) : std::make_shared<CommStats>()),
       GlobalRanks(std::move(GlobalRanks)),
       ParentRanks(std::move(ParentRanks)) {
   assert(this->Cost && "null cost model");
@@ -59,6 +90,15 @@ Group::Group(std::shared_ptr<const CostModel> Cost,
   Mailboxes.resize(N * N);
   for (auto &Box : Mailboxes)
     Box = std::make_unique<Mailbox>();
+  BarrierCost = this->Cost->barrierCost(size());
+}
+
+CommStatsSnapshot Group::statsSnapshot() const {
+  CommStatsSnapshot S;
+  S.Messages = Stats->Messages.load(std::memory_order_relaxed);
+  S.BytesLogical = Stats->BytesLogical.load(std::memory_order_relaxed);
+  S.BytesCopied = Stats->BytesCopied.load(std::memory_order_relaxed);
+  return S;
 }
 
 Mailbox &Group::mailbox(int Src, int Dst) {
@@ -74,7 +114,7 @@ double Group::enterBarrier(double LocalTime) {
   std::uint64_t Gen = BarrierGeneration;
   BarrierMaxTime = std::max(BarrierMaxTime, LocalTime);
   if (++BarrierCount == size()) {
-    BarrierRelease = BarrierMaxTime + Cost->barrierCost(size());
+    BarrierRelease = BarrierMaxTime + BarrierCost;
     BarrierCount = 0;
     BarrierMaxTime = 0.0;
     ++BarrierGeneration;
@@ -122,10 +162,10 @@ std::shared_ptr<Group> Group::split(const SplitEntry &Entry) {
         SubParent.push_back(SplitEntries[J].ParentRank);
         ++J;
       }
-      // Subgroups share the world's poison state, so a failure anywhere
-      // unblocks ranks waiting in any subgroup.
+      // Subgroups share the world's poison state and counters, so a
+      // failure anywhere unblocks ranks waiting in any subgroup.
       SplitResult[SplitEntries[I].Color] = std::make_shared<Group>(
-          Cost, std::move(SubGlobal), std::move(SubParent), Poison);
+          Cost, std::move(SubGlobal), std::move(SubParent), Poison, Stats);
       I = J;
     }
     SplitEntries.clear();

@@ -6,7 +6,9 @@
 ///
 /// \file
 /// Internal shared state behind Comm: mailboxes, barrier, split
-/// rendezvous. This header is private to the mpp library and its tests.
+/// rendezvous, and the world-wide communication counters. Included by
+/// Comm.h for the message/request types; user code should only need the
+/// Comm API.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,11 +16,14 @@
 #define FUPERMOD_MPP_GROUP_H
 
 #include "mpp/CostModel.h"
+#include "mpp/Payload.h"
 #include "mpp/Poison.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -26,29 +31,69 @@
 
 namespace fupermod {
 
-/// A point-to-point message in flight.
+/// A point-to-point message in flight. The payload is shared, not owned:
+/// a fan-out that sends one buffer to N receivers enqueues N references
+/// to the same bytes.
 struct Message {
   int Tag = 0;
   /// Virtual time at which the receiver may consume the message.
   double ArrivalTime = 0.0;
-  std::vector<std::byte> Data;
+  Payload Data;
 };
 
-/// FIFO channel for one (source, destination) rank pair.
+/// World-wide communication counters, shared by a world group and every
+/// subgroup split from it (like PoisonState). Updated with relaxed
+/// atomics — totals are exact once the ranks have joined.
+struct CommStats {
+  /// Point-to-point messages enqueued (every tree edge of a collective).
+  std::atomic<unsigned long long> Messages{0};
+  /// Payload bytes logically moved over links (sum of message sizes).
+  std::atomic<unsigned long long> BytesLogical{0};
+  /// Payload bytes physically deep-copied (copy-mode sends, mutable
+  /// materialisations on receive). Zero-copy fan-out keeps this O(size)
+  /// where the logical volume is O(N * size).
+  std::atomic<unsigned long long> BytesCopied{0};
+};
+
+/// Plain-value snapshot of CommStats.
+struct CommStatsSnapshot {
+  unsigned long long Messages = 0;
+  unsigned long long BytesLogical = 0;
+  unsigned long long BytesCopied = 0;
+};
+
+/// FIFO channel for one (source, destination) rank pair, indexed by tag:
+/// each tag has its own deque, so matching never scans unrelated traffic,
+/// and a pending receive is a promise the next matching push fulfils.
 class Mailbox {
 public:
-  /// Enqueues a message and wakes a waiting receiver.
+  /// Enqueues a message, or hands it straight to the oldest pending
+  /// receiver of its tag.
   void push(Message Msg);
 
-  /// Blocks until a message with \p Tag is present, then removes and
-  /// returns the oldest such message. Throws CommError when \p Poison
-  /// trips while waiting (the sender may never show up).
+  /// Posts a receive for \p Tag. The returned future is ready immediately
+  /// when a matching message is queued; otherwise the next matching
+  /// push() fulfils it. Pending receives of one tag are served FIFO.
+  /// Every posted receive must be consumed (a dropped future forfeits the
+  /// message that eventually fulfils it).
+  std::future<Message> asyncPop(int Tag);
+
+  /// Blocks on \p Future until it is ready, re-checking \p Poison at the
+  /// poll cadence so a dead sender cannot strand the receiver. A message
+  /// already delivered to the future is returned even on a poisoned
+  /// world.
+  static Message awaitMessage(std::future<Message> &Future,
+                              const PoisonState &Poison);
+
+  /// asyncPop + awaitMessage: blocks until a message with \p Tag arrives.
   Message popMatching(int Tag, const PoisonState &Poison);
 
 private:
   std::mutex Mutex;
-  std::condition_variable Ready;
-  std::deque<Message> Queue;
+  /// Queued messages per tag (senders got here first).
+  std::map<int, std::deque<Message>> Queues;
+  /// Pending receivers per tag (receivers got here first).
+  std::map<int, std::deque<std::promise<Message>>> Waiters;
 };
 
 /// Shared state of one communicator (world or split subgroup).
@@ -56,16 +101,23 @@ class Group {
 public:
   /// Builds a group of \p GlobalRanks.size() ranks; \p GlobalRanks[i] is
   /// the world rank of group rank i (used for cost-model lookups).
-  /// Subgroups share their parent's poison state (a failure anywhere in
-  /// the world unblocks every subgroup); a null \p Poison creates a
-  /// fresh, healthy world.
+  /// Subgroups share their parent's poison state and comm counters (a
+  /// failure anywhere in the world unblocks every subgroup); null
+  /// \p Poison / \p Stats create a fresh, healthy world.
   Group(std::shared_ptr<const CostModel> Cost, std::vector<int> GlobalRanks,
         std::vector<int> ParentRanks,
-        std::shared_ptr<PoisonState> Poison = nullptr);
+        std::shared_ptr<PoisonState> Poison = nullptr,
+        std::shared_ptr<CommStats> Stats = nullptr);
 
   /// The failure flag shared across this group and all its subgroups.
   PoisonState &poison() { return *Poison; }
   const PoisonState &poison() const { return *Poison; }
+
+  /// The world-wide communication counters.
+  CommStats &stats() { return *Stats; }
+
+  /// Plain-value copy of the counters.
+  CommStatsSnapshot statsSnapshot() const;
 
   int size() const { return static_cast<int>(GlobalRanks.size()); }
   int globalRankOf(int Rank) const { return GlobalRanks[Rank]; }
@@ -98,13 +150,17 @@ public:
 private:
   std::shared_ptr<const CostModel> Cost;
   std::shared_ptr<PoisonState> Poison;
+  std::shared_ptr<CommStats> Stats;
   std::vector<int> GlobalRanks;
   /// ParentRanks[i] = rank in the parent group of group rank i (identity
   /// for the world group).
   std::vector<int> ParentRanks;
   std::vector<std::unique_ptr<Mailbox>> Mailboxes;
 
-  // Barrier state (generation-counted).
+  // Barrier state (generation-counted). The cost-model lookup is hoisted
+  // to construction — the group size never changes, so re-deriving it
+  // inside the critical section on every barrier was pure contention.
+  double BarrierCost = 0.0;
   std::mutex BarrierMutex;
   std::condition_variable BarrierCv;
   int BarrierCount = 0;
@@ -118,7 +174,6 @@ private:
   std::vector<SplitEntry> SplitEntries;
   std::map<int, std::shared_ptr<Group>> SplitResult;
   std::uint64_t SplitGeneration = 0;
-  int SplitRemaining = 0;
 };
 
 } // namespace fupermod

@@ -1,0 +1,18 @@
+//===-- mpp/Payload.cpp - Shared immutable message payloads ---------------===//
+
+#include "mpp/Payload.h"
+
+using namespace fupermod;
+
+Payload Payload::copyOf(std::span<const std::byte> Data) {
+  return adoptBytes(std::vector<std::byte>(Data.begin(), Data.end()));
+}
+
+Payload Payload::adoptBytes(std::vector<std::byte> Bytes) {
+  auto Owner =
+      std::make_shared<const std::vector<std::byte>>(std::move(Bytes));
+  Payload P;
+  P.Bytes = std::span<const std::byte>(*Owner);
+  P.Owner = std::move(Owner);
+  return P;
+}

@@ -79,5 +79,6 @@ SpmdResult fupermod::runSpmd(int NumRanks,
   for (const auto &C : Clocks)
     Result.FinalTimes.push_back(C.now());
   Result.Ranks = std::move(Statuses);
+  Result.Comm = World->statsSnapshot();
   return Result;
 }

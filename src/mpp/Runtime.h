@@ -37,6 +37,9 @@ struct SpmdResult {
   std::vector<double> FinalTimes;
   /// Per-rank success/failure (parallel to FinalTimes).
   std::vector<RankStatus> Ranks;
+  /// World-wide communication totals (messages, logical bytes moved,
+  /// bytes physically copied) accumulated over the whole run.
+  CommStatsSnapshot Comm;
 
   /// Largest final time — the makespan of the run.
   double makespan() const;

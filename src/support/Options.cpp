@@ -2,11 +2,16 @@
 
 #include "support/Options.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 using namespace fupermod;
 
-Options::Options(int Argc, const char *const *Argv) {
+Options::Options(int Argc, const char *const *Argv)
+    : Options(Argc, Argv, {}) {}
+
+Options::Options(int Argc, const char *const *Argv,
+                 const std::vector<std::string> &Flags) {
   if (Argc > 0)
     Program = Argv[0];
   for (int I = 1; I < Argc; ++I) {
@@ -17,12 +22,14 @@ Options::Options(int Argc, const char *const *Argv) {
     }
     std::string Key = Arg.substr(2);
     std::string Value;
-    // `--key=value` or `--key value` (next token not starting with --).
+    // `--key=value`, or `--key value` (next token not starting with --)
+    // unless the key is a declared boolean flag.
     std::size_t Eq = Key.find('=');
     if (Eq != std::string::npos) {
       Value = Key.substr(Eq + 1);
       Key = Key.substr(0, Eq);
-    } else if (I + 1 < Argc &&
+    } else if (std::find(Flags.begin(), Flags.end(), Key) == Flags.end() &&
+               I + 1 < Argc &&
                std::string(Argv[I + 1]).rfind("--", 0) != 0) {
       Value = Argv[++I];
     }

@@ -27,6 +27,12 @@ class Options {
 public:
   Options(int Argc, const char *const *Argv);
 
+  /// Like the plain constructor, but keys listed in \p Flags are boolean:
+  /// they never consume the following token as a value, so a flag can
+  /// directly precede a positional argument (`--stats model0.fpm`).
+  Options(int Argc, const char *const *Argv,
+          const std::vector<std::string> &Flags);
+
   /// True when `--key` appeared (with or without a value).
   bool has(const std::string &Key) const;
 

@@ -1,0 +1,365 @@
+//===-- tests/CollectivesTest.cpp - collective conformance ----------------===//
+//
+// The binomial-tree collectives must be drop-in replacements for the
+// obvious linear algorithms: byte-exact results at every group size and
+// root, the same floating-point reduction order for allreduce, clean
+// CommError propagation on a poisoned world, and the advertised zero-copy
+// and overlap behaviour of the shared-payload / nonblocking paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mpp/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+using namespace fupermod;
+
+namespace {
+
+const int GroupSizes[] = {1, 2, 3, 5, 8};
+
+/// Deterministic per-rank payload bytes (SplitMix64-style mixing).
+std::vector<std::byte> rankData(int Rank, std::size_t Len) {
+  std::vector<std::byte> Data(Len);
+  std::uint64_t X = 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(
+                                                 Rank) +
+                                             1);
+  for (std::size_t I = 0; I < Len; ++I) {
+    X ^= X >> 27;
+    X *= 0x94d049bb133111ebull;
+    Data[I] = static_cast<std::byte>(X >> 56);
+  }
+  return Data;
+}
+
+/// Per-rank contribution length: varied, with rank patterns hitting zero.
+std::size_t rankLen(int Rank) {
+  return static_cast<std::size_t>((Rank * 37 + 11) % 53) *
+         static_cast<std::size_t>(Rank % 3 == 2 ? 0 : 1);
+}
+
+// --- Reference linear algorithms, built only on blocking send/recv. ---
+
+constexpr int TagLinear = 901;
+
+std::vector<std::byte> linearBcast(Comm &C, std::vector<std::byte> Data,
+                                   int Root) {
+  if (C.rank() == Root) {
+    for (int R = 0; R < C.size(); ++R)
+      if (R != Root)
+        C.sendBytes(R, TagLinear, Data);
+    return Data;
+  }
+  return C.recvBytes(Root, TagLinear);
+}
+
+std::vector<std::byte> linearGatherv(Comm &C,
+                                     std::span<const std::byte> Local,
+                                     int Root) {
+  if (C.rank() != Root) {
+    C.sendBytes(Root, TagLinear, Local);
+    return {};
+  }
+  std::vector<std::byte> All;
+  for (int R = 0; R < C.size(); ++R) {
+    if (R == Root) {
+      All.insert(All.end(), Local.begin(), Local.end());
+      continue;
+    }
+    std::vector<std::byte> Chunk = C.recvBytes(R, TagLinear);
+    All.insert(All.end(), Chunk.begin(), Chunk.end());
+  }
+  return All;
+}
+
+std::vector<std::byte> linearScatterv(Comm &C,
+                                      std::span<const std::byte> All,
+                                      std::span<const std::size_t> Counts,
+                                      int Root) {
+  if (C.rank() == Root) {
+    std::size_t Off = 0;
+    std::vector<std::byte> Mine;
+    for (int R = 0; R < C.size(); ++R) {
+      std::span<const std::byte> Chunk = All.subspan(Off, Counts[R]);
+      if (R == Root)
+        Mine.assign(Chunk.begin(), Chunk.end());
+      else
+        C.sendBytes(R, TagLinear, Chunk);
+      Off += Counts[R];
+    }
+    return Mine;
+  }
+  return C.recvBytes(Root, TagLinear);
+}
+
+/// Linear allreduce with the documented reduction order (ascending rank
+/// at the root): the binomial implementation must be bit-identical.
+std::vector<double> linearAllreduce(Comm &C, std::span<const double> Local,
+                                    ReduceOp Op) {
+  std::vector<std::byte> Raw =
+      linearGatherv(C, std::as_bytes(Local), /*Root=*/0);
+  std::vector<double> Result(Local.begin(), Local.end());
+  if (C.rank() == 0) {
+    for (std::size_t I = 0; I < Local.size(); ++I)
+      Result[I] = reinterpret_cast<const double *>(Raw.data())[I];
+    for (int R = 1; R < C.size(); ++R)
+      for (std::size_t I = 0; I < Local.size(); ++I) {
+        double V = reinterpret_cast<const double *>(
+            Raw.data())[static_cast<std::size_t>(R) * Local.size() + I];
+        if (Op == ReduceOp::Sum)
+          Result[I] += V;
+        else if (Op == ReduceOp::Max)
+          Result[I] = std::max(Result[I], V);
+        else
+          Result[I] = std::min(Result[I], V);
+      }
+  }
+  std::vector<std::byte> Bytes(Result.size() * sizeof(double));
+  std::memcpy(Bytes.data(), Result.data(), Bytes.size());
+  Bytes = linearBcast(C, std::move(Bytes), /*Root=*/0);
+  std::memcpy(Result.data(), Bytes.data(), Bytes.size());
+  return Result;
+}
+
+} // namespace
+
+TEST(CollectivesConformance, BcastByteExactAllRootsAllSizes) {
+  for (int P : GroupSizes) {
+    for (int Root = 0; Root < P; ++Root) {
+      for (std::size_t Len : {std::size_t(0), std::size_t(1),
+                              std::size_t(257), std::size_t(4096)}) {
+        std::vector<std::vector<std::byte>> Tree(P), Linear(P);
+        runSpmd(P, [&](Comm &C) {
+          std::vector<std::byte> Data;
+          if (C.rank() == Root)
+            Data = rankData(Root, Len);
+          C.bcastBytes(Data, Root);
+          Tree[C.rank()] = Data;
+          std::vector<std::byte> Ref;
+          if (C.rank() == Root)
+            Ref = rankData(Root, Len);
+          Linear[C.rank()] = linearBcast(C, std::move(Ref), Root);
+        });
+        for (int R = 0; R < P; ++R) {
+          EXPECT_EQ(Tree[R], Linear[R]) << "P=" << P << " root=" << Root;
+          EXPECT_EQ(Tree[R], rankData(Root, Len));
+        }
+      }
+    }
+  }
+}
+
+TEST(CollectivesConformance, GathervByteExactAllRootsAllSizes) {
+  for (int P : GroupSizes) {
+    for (int Root = 0; Root < P; ++Root) {
+      std::vector<std::byte> Tree, Linear;
+      runSpmd(P, [&](Comm &C) {
+        std::vector<std::byte> Local = rankData(C.rank(), rankLen(C.rank()));
+        std::vector<std::byte> T = C.gathervBytes(Local, Root);
+        std::vector<std::byte> L = linearGatherv(C, Local, Root);
+        if (C.rank() == Root) {
+          Tree = std::move(T);
+          Linear = std::move(L);
+        } else {
+          EXPECT_TRUE(T.empty());
+        }
+      });
+      EXPECT_EQ(Tree, Linear) << "P=" << P << " root=" << Root;
+      std::vector<std::byte> Expected;
+      for (int R = 0; R < P; ++R) {
+        std::vector<std::byte> Chunk = rankData(R, rankLen(R));
+        Expected.insert(Expected.end(), Chunk.begin(), Chunk.end());
+      }
+      EXPECT_EQ(Tree, Expected) << "P=" << P << " root=" << Root;
+    }
+  }
+}
+
+TEST(CollectivesConformance, ScattervByteExactAllRootsAllSizes) {
+  for (int P : GroupSizes) {
+    std::vector<std::size_t> Counts;
+    std::vector<std::byte> All;
+    for (int R = 0; R < P; ++R) {
+      Counts.push_back(rankLen(R));
+      std::vector<std::byte> Chunk = rankData(R, rankLen(R));
+      All.insert(All.end(), Chunk.begin(), Chunk.end());
+    }
+    for (int Root = 0; Root < P; ++Root) {
+      runSpmd(P, [&](Comm &C) {
+        std::vector<std::byte> Tree = C.scattervBytes(
+            C.rank() == Root ? std::span<const std::byte>(All)
+                             : std::span<const std::byte>(),
+            Counts, Root);
+        std::vector<std::byte> Linear = linearScatterv(
+            C,
+            C.rank() == Root ? std::span<const std::byte>(All)
+                             : std::span<const std::byte>(),
+            Counts, Root);
+        EXPECT_EQ(Tree, Linear) << "P=" << P << " root=" << Root;
+        EXPECT_EQ(Tree, rankData(C.rank(), rankLen(C.rank())));
+      });
+    }
+  }
+}
+
+TEST(CollectivesConformance, AllreduceBitIdenticalToLinearOrder) {
+  // Values chosen so that floating-point summation order matters: only
+  // the documented ascending-rank order is bit-identical.
+  for (int P : GroupSizes) {
+    for (ReduceOp Op : {ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min}) {
+      runSpmd(P, [&](Comm &C) {
+        std::vector<double> Local = {1e16 * (C.rank() % 2 ? 1.0 : -1.0),
+                                     1.0 + C.rank(),
+                                     1.0 / (3.0 + C.rank())};
+        std::vector<double> Tree = C.allreduce(Local, Op);
+        std::vector<double> Linear = linearAllreduce(C, Local, Op);
+        ASSERT_EQ(Tree.size(), Linear.size());
+        EXPECT_EQ(0, std::memcmp(Tree.data(), Linear.data(),
+                                 Tree.size() * sizeof(double)))
+            << "P=" << P;
+      });
+    }
+  }
+}
+
+// --- Poisoned-group behaviour: no deadlock, CommError on every survivor,
+// for every collective entry point. ---
+
+TEST(CollectivesPoison, EverySurvivorGetsCommErrorFromEachCollective) {
+  for (int P : {2, 3, 5, 8}) {
+    for (int Kind = 0; Kind < 4; ++Kind) {
+      std::atomic<int> Survivors{0};
+      SpmdResult R = runSpmd(P, [&](Comm &C) {
+        if (C.rank() == P - 1)
+          throw std::runtime_error("scripted death");
+        try {
+          for (;;) {
+            std::vector<std::byte> B(8, std::byte{1});
+            std::vector<double> V = {1.0};
+            std::vector<std::size_t> Counts(
+                static_cast<std::size_t>(C.size()), 8u);
+            std::vector<std::byte> All(8u * C.size(), std::byte{2});
+            switch (Kind) {
+            case 0:
+              C.bcastBytes(B, 0);
+              break;
+            case 1:
+              C.gathervBytes(B, 0);
+              break;
+            case 2:
+              C.scattervBytes(All, Counts, 0);
+              break;
+            default:
+              C.allreduce(V, ReduceOp::Sum);
+            }
+          }
+        } catch (const CommError &E) {
+          EXPECT_EQ(E.failedRank(), P - 1);
+          ++Survivors;
+          throw; // Recorded by runSpmd as a propagated failure.
+        }
+      });
+      EXPECT_EQ(Survivors.load(), P - 1) << "P=" << P << " kind=" << Kind;
+      EXPECT_FALSE(R.allOk());
+      EXPECT_EQ(R.Ranks[static_cast<std::size_t>(P - 1)].Error,
+                "scripted death");
+    }
+  }
+}
+
+// --- Zero-copy guarantees of the shared-payload paths. ---
+
+TEST(CollectivesZeroCopy, BcastPayloadForwardsOneBuffer) {
+  const int P = 8;
+  const std::size_t Bytes = 1 << 16;
+  std::vector<const std::byte *> Seen(P, nullptr);
+  SpmdResult R = runSpmd(P, [&](Comm &C) {
+    Payload Data;
+    if (C.rank() == 0)
+      Data = Payload::adoptBytes(rankData(0, Bytes));
+    C.bcastPayload(Data, 0);
+    ASSERT_EQ(Data.size(), Bytes);
+    Seen[C.rank()] = Data.bytes().data();
+  });
+  // Every rank views the root's buffer: no physical copies anywhere.
+  for (int I = 1; I < P; ++I)
+    EXPECT_EQ(Seen[I], Seen[0]);
+  EXPECT_EQ(R.Comm.BytesCopied, 0u);
+  EXPECT_EQ(R.Comm.Messages, static_cast<std::uint64_t>(P - 1));
+  EXPECT_EQ(R.Comm.BytesLogical, static_cast<std::uint64_t>(P - 1) * Bytes);
+}
+
+TEST(CollectivesZeroCopy, SharedFanOutCopiesNothing) {
+  // One payload sent to N receivers: N messages, N * size logical bytes,
+  // zero physical copies; every receiver shares the sender's storage.
+  const int P = 5;
+  const std::size_t Bytes = 4096;
+  SpmdResult R = runSpmd(P, [&](Comm &C) {
+    if (C.rank() == 0) {
+      Payload Block = Payload::adoptBytes(rankData(0, Bytes));
+      for (int Dst = 1; Dst < P; ++Dst)
+        C.sendPayload(Dst, 7, Block);
+      // Keep the sender's reference alive while receivers inspect
+      // theirs, so sharedBuffer() is deterministically true.
+      C.barrier();
+    } else {
+      Payload Got = C.recvPayload(0, 7);
+      EXPECT_EQ(Got.size(), Bytes);
+      EXPECT_TRUE(Got.sharedBuffer());
+      C.barrier();
+    }
+  });
+  EXPECT_EQ(R.Comm.BytesCopied, 0u);
+  EXPECT_EQ(R.Comm.Messages, static_cast<std::uint64_t>(P - 1));
+  EXPECT_EQ(R.Comm.BytesLogical, static_cast<std::uint64_t>(P - 1) * Bytes);
+}
+
+// --- Nonblocking receive semantics: computation between irecv and wait
+// overlaps the transfer on the virtual clock. ---
+
+TEST(CollectivesOverlap, ComputeBetweenIrecvAndWaitHidesTransfer) {
+  // 1 MB at 1 MB/s: the transfer takes ~1 s of virtual time.
+  auto Cost = std::make_shared<UniformCostModel>(1e-3, 1e6);
+  const std::size_t Bytes = 1 << 20;
+  const double Arrival = 1e-3 + static_cast<double>(Bytes) / 1e6;
+  runSpmd(
+      2,
+      [&](Comm &C) {
+        if (C.rank() == 0) {
+          C.sendBytes(1, 3, rankData(0, Bytes));
+          C.sendBytes(1, 4, rankData(0, Bytes));
+          return;
+        }
+        // Blocking receive: the rank stalls until the arrival time.
+        C.recvBytes(0, 3);
+        EXPECT_NEAR(C.time(), Arrival, 1e-12);
+
+        // Nonblocking receive with enough compute to cover the second
+        // transfer: the wait returns at the compute's end, not later.
+        double ComputeSeconds = 2.0 * Arrival;
+        RecvRequest Req = C.irecv(0, 4);
+        EXPECT_TRUE(Req.pending());
+        C.compute(ComputeSeconds);
+        Payload Data = Req.wait();
+        EXPECT_FALSE(Req.pending());
+        EXPECT_EQ(Data.size(), Bytes);
+        EXPECT_NEAR(C.time(), Arrival + ComputeSeconds, 1e-12);
+      },
+      Cost);
+}
+
+TEST(CollectivesOverlap, IrecvReadyAfterQueuedSelfSend) {
+  runSpmd(1, [](Comm &C) {
+    C.isend(0, 11, std::vector<int>{1, 2, 3});
+    RecvRequest Req = C.irecv(0, 11);
+    EXPECT_TRUE(Req.ready());
+    std::vector<int> V = Req.wait().toVector<int>();
+    EXPECT_EQ(V, (std::vector<int>{1, 2, 3}));
+  });
+}

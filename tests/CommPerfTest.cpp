@@ -165,8 +165,14 @@ TEST_P(CollectivePredictionTest, GatherMatchesRuntime) {
           },
           Cost);
   EXPECT_NEAR(Measured,
-              predictGatherLinear(Link, P, Doubles * sizeof(double)),
+              predictGatherBinomial(Link, P, Doubles * sizeof(double)),
               1e-12)
+      << "P=" << P;
+  // Under the runtime's no-contention Hockney model the linear gather is
+  // the root-completion lower bound; the tree's merge chain costs more
+  // virtual time but is what bounds per-message matching work.
+  EXPECT_GE(Measured + 1e-15,
+            predictGatherLinear(Link, P, Doubles * sizeof(double)))
       << "P=" << P;
 }
 

@@ -3,7 +3,9 @@
 #include "apps/AdaptiveMatMul.h"
 
 #include "blas/Gemm.h"
+#include "support/ThreadPool.h"
 
+#include <cstring>
 #include <gtest/gtest.h>
 
 using namespace fupermod;
@@ -34,6 +36,33 @@ TEST(Gemm, AccumulatesIntoC) {
   std::vector<double> A = {1.0}, B = {2.0}, C = {10.0};
   gemmNaive(1, 1, 1, A, B, C);
   EXPECT_DOUBLE_EQ(C[0], 12.0);
+}
+
+TEST(Gemm, ParallelBitIdenticalToBlocked) {
+  // The row-band decomposition must not change any element's accumulation
+  // order, so the parallel kernel is bit-identical, not merely close.
+  ThreadPool Pool(3);
+  for (std::size_t M : {1u, 5u, 64u, 131u}) {
+    const std::size_t N = 37, K = 29;
+    std::vector<double> A(M * K), B(K * N), C1(M * N, 0.5), C2(M * N, 0.5);
+    fillDeterministic(A, 3);
+    fillDeterministic(B, 4);
+    gemmBlocked(M, N, K, A, B, C1, 16);
+    gemmParallel(M, N, K, A, B, C2, Pool, 16);
+    EXPECT_EQ(0, std::memcmp(C1.data(), C2.data(), C1.size() * sizeof(double)))
+        << "M=" << M;
+  }
+}
+
+TEST(Gemm, ThreadSpeedupIsMonotoneAndBounded) {
+  EXPECT_DOUBLE_EQ(gemmThreadSpeedup(1), 1.0);
+  double Prev = 1.0;
+  for (unsigned T : {2u, 4u, 8u, 16u}) {
+    double S = gemmThreadSpeedup(T);
+    EXPECT_GT(S, Prev);
+    EXPECT_LT(S, static_cast<double>(T));
+    Prev = S;
+  }
 }
 
 TEST(ParallelMatMul, SingleRankMatchesSerial) {
@@ -128,6 +157,95 @@ TEST(ParallelMatMul, DeterministicAcrossRuns) {
   MatMulReport B = runParallelMatMul(Cl, Rects, O);
   EXPECT_DOUBLE_EQ(A.Makespan, B.Makespan);
   EXPECT_EQ(A.BlocksCommunicated, B.BlocksCommunicated);
+}
+
+TEST(ParallelMatMul, AllOptimisationModesBitIdentical) {
+  // Zero-copy fan-out, overlap pipeline and threaded GEMM each claim to
+  // leave the result matrix bit-identical to the serial schedule; the
+  // folded per-rank hash makes that claim checkable without gathering.
+  Cluster Cl = makeHclLikeCluster(true);
+  MatMulOptions Base;
+  Base.NBlocks = 6;
+  Base.BlockSize = 8;
+  Base.Verify = true;
+
+  std::vector<double> Areas;
+  for (const DeviceProfile &P : Cl.Devices)
+    Areas.push_back(P.speed(100.0));
+  auto Rects = scaleToGrid(partitionColumnBased(Areas), Base.NBlocks);
+
+  MatMulOptions Baseline = Base;
+  Baseline.ZeroCopy = false;
+  Baseline.Overlap = false;
+  Baseline.Threads = 1;
+  MatMulReport Ref = runParallelMatMul(Cl, Rects, Baseline);
+  EXPECT_LT(Ref.MaxError, 1e-10);
+  EXPECT_NE(Ref.ResultHash, 0u);
+
+  struct {
+    bool ZeroCopy;
+    bool Overlap;
+    unsigned Threads;
+  } Modes[] = {{true, false, 1}, {true, true, 1}, {true, true, 4}};
+  for (const auto &M : Modes) {
+    MatMulOptions O = Base;
+    O.Verify = false;
+    O.ZeroCopy = M.ZeroCopy;
+    O.Overlap = M.Overlap;
+    O.Threads = M.Threads;
+    MatMulReport R = runParallelMatMul(Cl, Rects, O);
+    EXPECT_EQ(R.ResultHash, Ref.ResultHash)
+        << "zerocopy=" << M.ZeroCopy << " overlap=" << M.Overlap
+        << " threads=" << M.Threads;
+    EXPECT_EQ(R.BlocksCommunicated, Ref.BlocksCommunicated);
+  }
+}
+
+TEST(ParallelMatMul, OverlapNeverSlowerAndCutsIdleTime) {
+  Cluster Cl = makeHclLikeCluster(true);
+  // Slow fabric so pivot transfers are worth hiding.
+  Cl.Inter = LinkCost{2e-4, 4e-7};
+  MatMulOptions O;
+  O.NBlocks = 6;
+  O.BlockSize = 16;
+  O.Verify = false;
+
+  std::vector<double> Areas;
+  for (const DeviceProfile &P : Cl.Devices)
+    Areas.push_back(P.speed(100.0));
+  auto Rects = scaleToGrid(partitionColumnBased(Areas), O.NBlocks);
+
+  MatMulReport Serial = runParallelMatMul(Cl, Rects, O);
+  O.Overlap = true;
+  MatMulReport Overlap = runParallelMatMul(Cl, Rects, O);
+
+  EXPECT_EQ(Overlap.ResultHash, Serial.ResultHash);
+  EXPECT_LE(Overlap.Makespan, Serial.Makespan * (1.0 + 1e-12));
+  EXPECT_LT(Overlap.MaxIdleTime, Serial.MaxIdleTime);
+}
+
+TEST(ParallelMatMul, ZeroCopyEliminatesPhysicalCopies) {
+  Cluster Cl = makeUniformCluster(4, 100.0);
+  Cl.NoiseSigma = 0.0;
+  MatMulOptions O;
+  O.NBlocks = 6;
+  O.BlockSize = 4;
+  O.Verify = false;
+  std::vector<GridRect> Rects = {{0, 0, 3, 3, 0},
+                                 {3, 0, 3, 3, 1},
+                                 {0, 3, 3, 3, 2},
+                                 {3, 3, 3, 3, 3}};
+  O.ZeroCopy = false;
+  MatMulReport Copy = runParallelMatMul(Cl, Rects, O);
+  O.ZeroCopy = true;
+  MatMulReport Shared = runParallelMatMul(Cl, Rects, O);
+  EXPECT_EQ(Shared.ResultHash, Copy.ResultHash);
+  EXPECT_EQ(Shared.Comm.BytesCopied, 0u);
+  EXPECT_GT(Copy.Comm.BytesCopied, 0u);
+  // Same messages and logical traffic either way: the option changes the
+  // copies, not the schedule.
+  EXPECT_EQ(Shared.Comm.Messages, Copy.Comm.Messages);
+  EXPECT_EQ(Shared.Comm.BytesLogical, Copy.Comm.BytesLogical);
 }
 
 TEST(AdaptiveMatMul, MakespanDropsAcrossRounds) {

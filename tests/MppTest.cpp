@@ -79,6 +79,29 @@ TEST(SendRecv, TagsMatchIndependently) {
   });
 }
 
+TEST(SendRecv, InterleavedTagsKeepPerTagFifo) {
+  // Regression for the per-tag mailbox queues: two tag streams are
+  // interleaved at the sender, drained in opposite orders and at
+  // different paces at the receiver. Matching must stay FIFO within
+  // each tag and never pay attention to the other tag's backlog.
+  runSpmd(2, [](Comm &C) {
+    const int N = 64;
+    if (C.rank() == 0) {
+      for (int I = 0; I < N; ++I) {
+        C.sendValue<int>(1, 100, I);
+        C.sendValue<int>(1, 200, 1000 + I);
+      }
+    } else {
+      // Drain tag 200 completely first (tag 100's backlog keeps growing),
+      // then tag 100, then check both streams arrived in send order.
+      for (int I = 0; I < N; ++I)
+        EXPECT_EQ(C.recvValue<int>(0, 200), 1000 + I);
+      for (int I = 0; I < N; ++I)
+        EXPECT_EQ(C.recvValue<int>(0, 100), I);
+    }
+  });
+}
+
 TEST(SendRecv, SelfSendWorks) {
   runSpmd(1, [](Comm &C) {
     C.sendValue<int>(0, 9, 5);

@@ -9,9 +9,11 @@
 // Usage:
 //   builder [--source native|<preset>] [--rank R|all] [--jobs N]
 //           [--kind K] [--min A] [--max B] [--points N] [--output FILE]
-//           [--reps-min M] [--reps-max M2] [--rel-err E]
+//           [--reps-min M] [--reps-max M2] [--rel-err E] [--threads T]
 //
 //   --source native        benchmark this machine's GEMM kernel
+//   --threads T            GEMM threads per measurement (native source:
+//                          models the device as a T-thread processor)
 //   --source two-device|hcl|hcl-nogpu
 //                          sample the simulated device --rank R
 //   --rank all             build every rank's model in one run; outputs
@@ -44,7 +46,7 @@ int usage(const char *Program) {
       "           <cluster-file>] [--rank R|all] [--jobs N]\n"
       "          [--kind cpm|piecewise|akima] [--min A] [--max B]\n"
       "          [--points N] [--output FILE] [--reps-min M]\n"
-      "          [--reps-max M] [--rel-err E]\n",
+      "          [--reps-max M] [--rel-err E] [--threads T]\n",
       Program);
   return 2;
 }
@@ -96,8 +98,12 @@ int main(int Argc, char **Argv) {
   Prec.TimeLimit = Opts.getDouble("time-limit", 2.0);
 
   if (Source == "native") {
-    // One real device: nothing to parallelise over.
-    GemmKernel Kernel(16, true);
+    // One real device: nothing to parallelise over across devices, but
+    // the kernel itself can use --threads GEMM threads per measurement.
+    std::int64_t Threads = Opts.getInt("threads", 1);
+    if (Threads < 1)
+      return usage(Argv[0]);
+    GemmKernel Kernel(16, true, static_cast<unsigned>(Threads));
     NativeKernelBackend Backend(Kernel);
     std::unique_ptr<Model> M = makeModel(Kind);
     std::printf("# benchmarking %s, %lld sizes in [%g, %g]\n",
