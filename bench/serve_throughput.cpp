@@ -1,0 +1,193 @@
+//===-- bench/serve_throughput.cpp - batch-serve request throughput -------===//
+//
+// Measures the amortisation the engine's serve mode buys: one long-lived
+// Session (model files loaded and fitted once, inverse-time caches warm
+// across requests) answering a 64-request batch, against the pre-engine
+// workflow of a fresh one-shot partitioner run per request (session
+// creation + model load + cold caches every time). The one-shot loop
+// stays in-process, so it does not even pay exec/startup costs — the
+// reported speedup is a lower bound on the real CLI ratio.
+//
+// Output: a summary on stdout and BENCH_serve_throughput.json in the
+// working directory. With --smoke, runs a tiny batch and only checks
+// that both paths answer every request with byte-identical output — the
+// tier-1 tripwire. The full run additionally enforces the >= 5x
+// throughput floor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Benchmark.h"
+#include "engine/Serve.h"
+#include "engine/Session.h"
+#include "sim/Cluster.h"
+#include "support/Options.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace fupermod;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A loadModels-only session over \p Paths, as both the serve and the
+/// one-shot partitioner create it. Returns nullptr on failure.
+std::unique_ptr<engine::Session>
+makeLoadedSession(const std::vector<std::string> &Paths) {
+  engine::SessionConfig Cfg;
+  Cfg.Algorithm = "geometric";
+  Result<std::unique_ptr<engine::Session>> S =
+      engine::Session::create(std::move(Cfg));
+  if (!S) {
+    std::cerr << "error: " << S.error() << "\n";
+    return nullptr;
+  }
+  if (Status St = S.value()->loadModels(Paths); !St) {
+    std::cerr << "error: " << St.error() << "\n";
+    return nullptr;
+  }
+  return std::move(S.value());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts(Argc, Argv);
+  const bool Smoke = Opts.has("smoke");
+
+  const int Ranks = Smoke ? 3 : 8;
+  const int NumRequests = Smoke ? 8 : 64;
+
+  // Build one model file per device, exactly as `builder --rank all`
+  // would, so both serving paths start from files on disk.
+  Cluster Cl = makeHeterogeneousCluster(Ranks, /*Variant=*/17);
+  Cl.NoiseSigma = 0.02;
+  engine::SessionConfig BuildCfg;
+  BuildCfg.Platform = Cl;
+  Result<std::unique_ptr<engine::Session>> BuildS =
+      engine::Session::create(std::move(BuildCfg));
+  if (!BuildS) {
+    std::cerr << "error: " << BuildS.error() << "\n";
+    return 1;
+  }
+  ModelBuildPlan Plan;
+  Plan.MinSize = 100.0;
+  Plan.MaxSize = 6000.0;
+  Plan.NumPoints = Smoke ? 4 : 16;
+  Plan.Prec.MinReps = 3;
+  Plan.Prec.MaxReps = Smoke ? 4 : 6;
+  Plan.Prec.TargetRelativeError = 0.02;
+  if (Status St = BuildS.value()->measure(Plan); !St) {
+    std::cerr << "error: " << St.error() << "\n";
+    return 1;
+  }
+  std::filesystem::create_directories("serve_bench_models");
+  std::vector<std::string> Paths;
+  for (int R = 0; R < Ranks; ++R) {
+    Paths.push_back("serve_bench_models/dev" + std::to_string(R) + ".fpm");
+    if (Status St = BuildS.value()->saveModel(R, Paths.back()); !St) {
+      std::cerr << "error: " << St.error() << "\n";
+      return 1;
+    }
+  }
+
+  // The request batch: varying totals, mixed algorithms, with repeats so
+  // the long-lived session's inverse-time caches can pay off.
+  std::vector<engine::ServeRequest> Requests;
+  for (int I = 0; I < NumRequests; ++I) {
+    engine::ServeRequest Req;
+    Req.Total = 1000 + (I % 8) * 500;
+    if (I % 3 == 1)
+      Req.Algorithm = "numerical";
+    else if (I % 3 == 2)
+      Req.Algorithm = "constant";
+    Requests.push_back(Req);
+  }
+
+  std::cout << "=== serve throughput: batch mode vs repeated one-shot ===\n\n"
+            << "platform: " << Ranks << " devices, " << Plan.NumPoints
+            << " points per model, " << NumRequests << " requests\n\n";
+
+  // Serve path: one session loads the models once and answers the batch.
+  std::ostringstream ServeOut;
+  double T0 = now();
+  std::unique_ptr<engine::Session> Long = makeLoadedSession(Paths);
+  if (!Long)
+    return 1;
+  engine::ServeStats ServeSt = engine::serveRequests(*Long, Requests, ServeOut);
+  double ServeSeconds = now() - T0;
+
+  // One-shot path: a fresh session (create + load + cold caches) per
+  // request, the way repeated `partitioner --total N` invocations work.
+  std::ostringstream OneShotOut;
+  int OneShotAnswered = 0;
+  T0 = now();
+  for (const engine::ServeRequest &Req : Requests) {
+    std::unique_ptr<engine::Session> S = makeLoadedSession(Paths);
+    if (!S)
+      return 1;
+    OneShotAnswered +=
+        engine::serveRequests(*S, {&Req, 1}, OneShotOut).Answered;
+  }
+  double OneShotSeconds = now() - T0;
+
+  const double ServeRps = NumRequests / ServeSeconds;
+  const double OneShotRps = NumRequests / OneShotSeconds;
+  const double Speedup = OneShotSeconds / ServeSeconds;
+  const bool Identical = ServeOut.str() == OneShotOut.str();
+  const bool AllAnswered =
+      ServeSt.Answered == NumRequests && ServeSt.Failed == 0 &&
+      OneShotAnswered == NumRequests;
+
+  std::printf("serve:    %d requests in %.4f s  (%.0f req/s)\n", NumRequests,
+              ServeSeconds, ServeRps);
+  std::printf("one-shot: %d requests in %.4f s  (%.0f req/s)\n", NumRequests,
+              OneShotSeconds, OneShotRps);
+  std::printf("speedup:  %.1fx, outputs %s\n", Speedup,
+              Identical ? "byte-identical" : "DIVERGED");
+
+  std::FILE *J = std::fopen("BENCH_serve_throughput.json", "w");
+  if (J) {
+    std::fprintf(J,
+                 "{\n"
+                 "  \"bench\": \"serve_throughput\",\n"
+                 "  \"mode\": \"%s\",\n"
+                 "  \"devices\": %d,\n"
+                 "  \"points_per_model\": %d,\n"
+                 "  \"requests\": %d,\n"
+                 "  \"serve_seconds\": %.6f,\n"
+                 "  \"oneshot_seconds\": %.6f,\n"
+                 "  \"serve_requests_per_second\": %.1f,\n"
+                 "  \"oneshot_requests_per_second\": %.1f,\n"
+                 "  \"speedup\": %.2f,\n"
+                 "  \"outputs_identical\": %s\n"
+                 "}\n",
+                 Smoke ? "smoke" : "full", Ranks, Plan.NumPoints, NumRequests,
+                 ServeSeconds, OneShotSeconds, ServeRps, OneShotRps, Speedup,
+                 Identical ? "true" : "false");
+    std::fclose(J);
+    std::cout << "# wrote BENCH_serve_throughput.json\n";
+  }
+
+  // Tripwires. Correctness gates both modes; the amortisation floor
+  // gates the full run only (the smoke batch is too short to time).
+  if (!Identical || !AllAnswered) {
+    std::cout << "FAIL: serve output diverged from one-shot runs\n";
+    return 1;
+  }
+  if (!Smoke && Speedup < 5.0) {
+    std::cout << "FAIL: serve speedup " << Speedup << " < 5x floor\n";
+    return 1;
+  }
+  return 0;
+}

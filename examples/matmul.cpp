@@ -12,9 +12,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/MatMul.h"
-#include "core/Dynamic.h"
 #include "core/Metrics.h"
-#include "core/Partitioners.h"
+#include "engine/Session.h"
 #include "mpp/Runtime.h"
 #include "support/Options.h"
 #include "support/Table.h"
@@ -50,45 +49,39 @@ int main(int Argc, char **Argv) {
     std::cout << "  rank " << R << ": " << Cl.Devices[R].name()
               << " (node " << Cl.NodeOfRank[R] << ")\n";
 
-  // Build piecewise FPMs by synchronised benchmarking on the cluster.
+  // Build piecewise FPMs by synchronised benchmarking on the cluster —
+  // the engine session owns the models and the whole pipeline.
   std::cout << "\nbuilding functional performance models...\n";
-  std::vector<std::unique_ptr<Model>> Models(
-      static_cast<std::size_t>(Cl.size()));
-  for (int R = 0; R < Cl.size(); ++R)
-    Models[static_cast<std::size_t>(R)] = makeModel("piecewise");
-  runSpmd(Cl.size(),
-          [&](Comm &C) {
-            SimDevice Dev = Cl.makeDevice(C.rank());
-            SimDeviceBackend Backend(Dev, &C);
-            Precision Prec;
-            Prec.MinReps = 3;
-            Prec.MaxReps = 6;
-            Prec.TargetRelativeError = 0.05;
-            for (int I = 1; I <= 10; ++I) {
-              Point P = runBenchmark(
-                  Backend, 1.5 * static_cast<double>(D) * I / 10.0, Prec,
-                  &C);
-              std::vector<Point> All =
-                  C.allgatherv(std::span<const Point>(&P, 1));
-              if (C.rank() == 0)
-                for (int Q = 0; Q < C.size(); ++Q)
-                  Models[static_cast<std::size_t>(Q)]->update(
-                      All[static_cast<std::size_t>(Q)]);
-            }
-          },
-          Cl.makeCostModel());
+  engine::SessionConfig Cfg;
+  Cfg.Platform = Cl;
+  Cfg.ModelKind = "piecewise";
+  Cfg.Algorithm = "geometric";
+  Result<std::unique_ptr<engine::Session>> SessionR =
+      engine::Session::create(std::move(Cfg));
+  if (!SessionR) {
+    std::cerr << SessionR.error() << "\n";
+    return 1;
+  }
+  engine::Session &Engine = *SessionR.value();
+  engine::SyncMeasurePlan Plan;
+  Plan.Prec.MinReps = 3;
+  Plan.Prec.MaxReps = 6;
+  Plan.Prec.TargetRelativeError = 0.05;
+  for (int I = 1; I <= 10; ++I)
+    Plan.Sizes.push_back(1.5 * static_cast<double>(D) * I / 10.0);
+  if (Status S = Engine.measureSynchronized(Plan); !S) {
+    std::cerr << S.error() << "\n";
+    return 1;
+  }
 
   // Partition the C-matrix area and lay the rectangles out.
-  std::vector<Model *> Ptrs;
-  for (auto &M : Models)
-    Ptrs.push_back(M.get());
-  Dist Out;
-  if (!partitionGeometric(D, Ptrs, Out)) {
+  Result<Dist> OutR = Engine.partition(D);
+  if (!OutR) {
     std::cout << "partitioning failed\n";
     return 1;
   }
   std::vector<double> Areas;
-  for (const Part &P : Out.Parts)
+  for (const Part &P : OutR.value().Parts)
     Areas.push_back(static_cast<double>(P.Units));
   auto Rects = scaleToGrid(partitionColumnBased(Areas), N);
 

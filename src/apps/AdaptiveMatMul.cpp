@@ -2,7 +2,7 @@
 
 #include "apps/AdaptiveMatMul.h"
 
-#include "core/Partitioners.h"
+#include "engine/Session.h"
 
 #include <cassert>
 
@@ -17,10 +17,22 @@ fupermod::runAdaptiveMatMul(const Cluster &Platform,
   assert(Options.Rounds >= 1 && "need at least one round");
 
   AdaptiveMatMulReport Report;
-  Partitioner Algorithm = getPartitioner(Options.Algorithm);
-  std::vector<std::unique_ptr<Model>> Models(static_cast<std::size_t>(P));
-  for (int R = 0; R < P; ++R)
-    Models[static_cast<std::size_t>(R)] = makeModel(Options.ModelKind);
+
+  // The feedback loop (fit + partition) runs through one engine session;
+  // unknown algorithm/model names become a diagnosable report error.
+  engine::SessionConfig Cfg;
+  Cfg.Platform = Platform;
+  Cfg.ModelKind = Options.ModelKind;
+  Cfg.Algorithm = Options.Algorithm;
+  Result<std::unique_ptr<engine::Session>> SessionR =
+      engine::Session::create(std::move(Cfg));
+  if (!SessionR) {
+    Report.Error = SessionR.error();
+    return Report;
+  }
+  engine::Session &Engine = *SessionR.value();
+  // P >= 1 and ranks stay in range: these cannot fail.
+  (void)Engine.initModels(P);
 
   // Round 1 runs with even areas; later rounds use whatever the models
   // produced after the previous round.
@@ -63,20 +75,15 @@ fupermod::runAdaptiveMatMul(const Cluster &Platform,
       Pt.Time = R.ComputeTimes[static_cast<std::size_t>(Q)] /
                 static_cast<double>(N);
       Pt.Reps = N;
-      Models[static_cast<std::size_t>(Q)]->update(Pt);
+      (void)Engine.feedback(Q, Pt);
     }
 
-    std::vector<Model *> Ptrs;
-    for (auto &M : Models)
-      Ptrs.push_back(M.get());
-    Dist Out;
-    if (Algorithm(D, Ptrs, Out))
+    // On failure (some model still unfitted) the old areas are kept.
+    if (Result<Dist> Out = Engine.partition(D))
       for (int Q = 0; Q < P; ++Q)
         Areas[static_cast<std::size_t>(Q)] = static_cast<double>(
-            std::max<std::int64_t>(Out.Parts[static_cast<std::size_t>(Q)]
-                                       .Units,
-                                   0));
-    // On failure (some model still unfitted) the old areas are kept.
+            std::max<std::int64_t>(
+                Out.value().Parts[static_cast<std::size_t>(Q)].Units, 0));
   }
   return Report;
 }

@@ -53,6 +53,9 @@ struct AdaptiveMatMulReport {
   std::vector<std::vector<long long>> RoundAreas;
   /// Verification error of the final round (0 when disabled).
   double MaxError = 0.0;
+  /// Non-empty when the run could not start (e.g. an unknown algorithm
+  /// or model-kind name); the diagnostic lists the registered names.
+  std::string Error;
 };
 
 /// Runs \p Options.Rounds multiplications, rebuilding the 2D layout from

@@ -2,8 +2,8 @@
 
 #include "apps/Jacobi.h"
 
-#include "core/Dynamic.h"
-#include "core/Partitioners.h"
+#include "engine/Balance.h"
+#include "engine/Session.h"
 #include "mpp/Runtime.h"
 
 #include <cassert>
@@ -28,14 +28,6 @@ double unitFromHash(std::uint64_t H) {
   return static_cast<double>(H >> 11) * (1.0 / 9007199254740992.0);
 }
 
-/// Row ranges [Start[r], Start[r+1]) implied by a distribution.
-std::vector<std::int64_t> rowStarts(const Dist &D) {
-  std::vector<std::int64_t> Starts(D.Parts.size() + 1, 0);
-  for (std::size_t I = 0; I < D.Parts.size(); ++I)
-    Starts[I + 1] = Starts[I] + D.Parts[I].Units;
-  return Starts;
-}
-
 } // namespace
 
 double fupermod::jacobiMatrixEntry(int N, int Row, int Col) {
@@ -58,6 +50,27 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
   int N = Options.N;
   assert(N > 0 && P > 0 && "invalid Jacobi configuration");
 
+  // All phases (model feedback, repartitioning, execution) route through
+  // one engine session; unknown algorithm/model names become a
+  // diagnosable report error instead of an assert.
+  engine::SessionConfig Cfg;
+  Cfg.Platform = Platform;
+  Cfg.ModelKind = Options.ModelKind;
+  Cfg.Algorithm = Options.Algorithm;
+  Result<std::unique_ptr<engine::Session>> SessionR =
+      engine::Session::create(std::move(Cfg));
+  if (!SessionR) {
+    JacobiReport Report;
+    Report.Error = SessionR.error();
+    return Report;
+  }
+  engine::Session &Engine = *SessionR.value();
+
+  engine::BalancePolicy Policy;
+  Policy.Enabled = Options.Balance;
+  Policy.RebalanceThreshold = Options.RebalanceThreshold;
+  Policy.TrackFailures = true;
+
   std::vector<JacobiIteration> Stats(
       static_cast<std::size_t>(Options.MaxIterations));
   for (auto &S : Stats) {
@@ -76,15 +89,14 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
     SimDevice Dev = Platform.makeDevice(Me);
     bool DevFailed = false;
 
-    DynamicContext Ctx(getPartitioner(Options.Algorithm), Options.ModelKind,
-                       N, P);
-    Ctx.setStalenessDecay(Options.StalenessDecay);
-    Dist Current = Ctx.dist(); // Even initial distribution.
+    engine::BalancedLoop Loop =
+        Engine.makeBalancedLoop(N, P, Options.StalenessDecay);
+    Dist Current = Loop.dist(); // Even initial distribution.
 
     // Initial data: each rank generates its own contiguous rows of A and
     // entries of b (rows are only *regenerated* here; every later move is
     // real communication).
-    std::vector<std::int64_t> Starts = rowStarts(Current);
+    std::vector<std::int64_t> Starts = engine::contiguousStarts(Current);
     std::int64_t MyStart = Starts[static_cast<std::size_t>(Me)];
     std::int64_t MyRows =
         Current.Parts[static_cast<std::size_t>(Me)].Units;
@@ -140,30 +152,8 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
       // paper's fupermod_balance_iterate call site. With a positive
       // threshold, the balancer only runs when the measured imbalance
       // warrants the redistribution cost (ref [6]).
-      if (Options.Balance) {
-        // Snapshot the local iteration duration before any collective:
-        // the threshold allreduce below synchronises the clocks, which
-        // would otherwise erase the per-rank timing signal.
-        double MyIterTime = C.time() - IterStart;
-        bool Rebalance = true;
-        if (Options.RebalanceThreshold > 0.0) {
-          double MaxT = C.allreduceValue(MyIterTime, ReduceOp::Max);
-          double MinT = C.allreduceValue(MyIterTime, ReduceOp::Min);
-          // A hard failure anywhere overrides the threshold: the dead
-          // rank's rows must move regardless of measured imbalance.
-          double AnyFailed =
-              C.allreduceValue(DevFailed ? 1.0 : 0.0, ReduceOp::Max);
-          Rebalance =
-              AnyFailed > 0.0 ||
-              (MaxT > 0.0 &&
-               (MaxT - MinT) / MaxT > Options.RebalanceThreshold);
-        }
-        if (Rebalance) {
-          balanceIterate(Ctx, C, C.time() - MyIterTime, DevFailed);
-          if (Me == 0)
-            ++RebalanceCount;
-        }
-      }
+      if (Loop.balance(C, IterStart, Policy, DevFailed) && Me == 0)
+        ++RebalanceCount;
 
       // Exchange solution fragments (by the distribution used to compute
       // them) and evaluate convergence identically on every rank.
@@ -182,62 +172,49 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
         Stats[static_cast<std::size_t>(It)].Error = Error;
 
       // Redistribute rows of A and entries of b to the new distribution.
-      const Dist &Next = Ctx.dist();
+      const Dist &Next = Loop.dist();
       if (Options.Balance && Next.relativeChange(Current) > 0.0) {
         std::vector<std::int64_t> OldStarts = Starts;
-        std::vector<std::int64_t> NewStarts = rowStarts(Next);
+        std::vector<std::int64_t> NewStarts = engine::contiguousStarts(Next);
         std::int64_t NewStart = NewStarts[static_cast<std::size_t>(Me)];
         std::int64_t NewRows = Next.Parts[static_cast<std::size_t>(Me)].Units;
         std::vector<double> NewA(static_cast<std::size_t>(NewRows) *
                                  static_cast<std::size_t>(N));
         std::vector<double> NewB(static_cast<std::size_t>(NewRows));
 
-        auto CopyRows = [&](std::int64_t From, std::int64_t To,
-                            const double *SrcA, const double *SrcB,
-                            std::int64_t Count) {
+        auto CopyRows = [&](std::int64_t To, const double *SrcA,
+                            const double *SrcB, std::int64_t Count) {
           std::copy(SrcA, SrcA + Count * N,
                     NewA.begin() + (To - NewStart) * N);
           std::copy(SrcB, SrcB + Count, NewB.begin() + (To - NewStart));
-          (void)From;
         };
 
-        // Send my old rows that now belong to others (buffered sends
-        // first, then receives: deadlock-free).
-        for (int Q = 0; Q < P; ++Q) {
-          std::int64_t Lo = std::max(MyStart, NewStarts[Q]);
-          std::int64_t Hi = std::min(MyStart + MyRows, NewStarts[Q + 1]);
-          if (Lo >= Hi)
-            continue;
-          if (Q == Me) {
-            CopyRows(Lo, Lo, &ARows[(Lo - MyStart) * N],
-                     &BVals[Lo - MyStart], Hi - Lo);
-            continue;
-          }
-          // One message: [A rows | b entries] of the overlap.
+        engine::RangeCopier Copy;
+        // One message per peer: [A rows | b entries] of the overlap.
+        Copy.Pack = [&](std::int64_t Lo, std::int64_t Hi) {
           std::vector<double> Payload(
               static_cast<std::size_t>(Hi - Lo) * (N + 1));
           std::copy(&ARows[(Lo - MyStart) * N], &ARows[(Hi - MyStart) * N],
                     Payload.begin());
           std::copy(&BVals[Lo - MyStart], &BVals[Hi - MyStart],
                     Payload.begin() + (Hi - Lo) * N);
-          C.send<double>(Q, TagRedist, Payload);
-        }
-        // Receive the rows my new range takes over from others.
-        for (int Q = 0; Q < P; ++Q) {
-          if (Q == Me)
-            continue;
-          std::int64_t Lo = std::max(NewStart, OldStarts[Q]);
-          std::int64_t Hi = std::min(NewStart + NewRows, OldStarts[Q + 1]);
-          if (Lo >= Hi)
-            continue;
-          std::vector<double> Payload = C.recv<double>(Q, TagRedist);
+          return Payload;
+        };
+        Copy.Unpack = [&](std::int64_t Lo, std::int64_t Hi,
+                          std::span<const double> Payload) {
           assert(Payload.size() ==
                      static_cast<std::size_t>(Hi - Lo) *
                          static_cast<std::size_t>(N + 1) &&
                  "unexpected redistribution payload size");
-          CopyRows(Lo, Lo, Payload.data(), Payload.data() + (Hi - Lo) * N,
+          CopyRows(Lo, Payload.data(), Payload.data() + (Hi - Lo) * N,
                    Hi - Lo);
-        }
+        };
+        Copy.Keep = [&](std::int64_t Lo, std::int64_t Hi) {
+          CopyRows(Lo, &ARows[(Lo - MyStart) * N], &BVals[Lo - MyStart],
+                   Hi - Lo);
+        };
+        engine::redistributeContiguous(C, OldStarts, NewStarts, TagRedist,
+                                       Copy);
 
         ARows = std::move(NewA);
         BVals = std::move(NewB);
@@ -257,7 +234,7 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
     if (Me == 0) {
       IterationsDone = It;
       for (int Q = 0; Q < P; ++Q)
-        if (Ctx.isExcluded(Q))
+        if (Loop.context().isExcluded(Q))
           FailedRanks.push_back(Q);
       Solution = X;
       for (int Row = 0; Row < N; ++Row) {
@@ -270,7 +247,7 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
     }
   };
 
-  SpmdResult Run = runSpmd(P, Body, Platform.makeCostModel());
+  SpmdResult Run = Engine.execute(P, Body).value();
 
   JacobiReport Report;
   Stats.resize(static_cast<std::size_t>(IterationsDone));

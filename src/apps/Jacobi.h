@@ -82,6 +82,9 @@ struct JacobiReport {
   /// Ranks whose devices hard-failed during the run (excluded by the
   /// balancer; empty on a healthy run).
   std::vector<int> FailedRanks;
+  /// Non-empty when the run could not start (e.g. an unknown algorithm
+  /// or model-kind name); the diagnostic lists the registered names.
+  std::string Error;
 };
 
 /// Runs the Jacobi method on the given simulated platform.

@@ -2,8 +2,8 @@
 
 #include "apps/Stencil.h"
 
-#include "core/Dynamic.h"
-#include "core/Partitioners.h"
+#include "engine/Balance.h"
+#include "engine/Session.h"
 #include "mpp/Runtime.h"
 
 #include <cassert>
@@ -24,15 +24,6 @@ std::uint64_t mix(std::uint64_t Z) {
   Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
   Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
   return Z ^ (Z >> 31);
-}
-
-/// Global interior-row ranges [Start[r], Start[r+1]) implied by a
-/// distribution, in grid coordinates (interior rows begin at 1).
-std::vector<std::int64_t> bandStarts(const Dist &D) {
-  std::vector<std::int64_t> Starts(D.Parts.size() + 1, 1);
-  for (std::size_t I = 0; I < D.Parts.size(); ++I)
-    Starts[I + 1] = Starts[I] + D.Parts[I].Units;
-  return Starts;
 }
 
 /// One serial sweep of the 5-point stencil over the whole grid.
@@ -71,6 +62,25 @@ StencilReport fupermod::runStencil(const Cluster &Platform,
   assert(Rows >= 3 && Cols >= 3 && "grid too small for a stencil");
   const std::int64_t Interior = Rows - 2;
 
+  // Repartitioning routes through one engine session; unknown
+  // algorithm/model names become a diagnosable report error.
+  engine::SessionConfig Cfg;
+  Cfg.Platform = Platform;
+  Cfg.ModelKind = Options.ModelKind;
+  Cfg.Algorithm = Options.Algorithm;
+  Result<std::unique_ptr<engine::Session>> SessionR =
+      engine::Session::create(std::move(Cfg));
+  if (!SessionR) {
+    StencilReport Report;
+    Report.Error = SessionR.error();
+    return Report;
+  }
+  engine::Session &Engine = *SessionR.value();
+
+  engine::BalancePolicy Policy;
+  Policy.Enabled = Options.Balance;
+  Policy.RebalanceThreshold = Options.RebalanceThreshold;
+
   std::vector<StencilIteration> Stats(
       static_cast<std::size_t>(Options.Iterations));
   for (auto &S : Stats) {
@@ -85,10 +95,9 @@ StencilReport fupermod::runStencil(const Cluster &Platform,
   auto Body = [&](Comm &C) {
     int Me = C.rank();
     SimDevice Dev = Platform.makeDevice(Me);
-    DynamicContext Ctx(getPartitioner(Options.Algorithm),
-                       Options.ModelKind, Interior, P);
-    Dist Current = Ctx.dist();
-    std::vector<std::int64_t> Starts = bandStarts(Current);
+    engine::BalancedLoop Loop = Engine.makeBalancedLoop(Interior, P);
+    Dist Current = Loop.dist();
+    std::vector<std::int64_t> Starts = engine::contiguousStarts(Current, 1);
     std::int64_t MyStart = Starts[static_cast<std::size_t>(Me)];
     std::int64_t MyRows = Current.Parts[static_cast<std::size_t>(Me)].Units;
 
@@ -186,66 +195,40 @@ StencilReport fupermod::runStencil(const Cluster &Platform,
 
       // Dynamic balancing, as in the Jacobi use case.
       if (Options.Balance) {
-        double MyIterTime = C.time() - IterStart;
-        bool Rebalance = true;
-        if (Options.RebalanceThreshold > 0.0) {
-          double MaxT = C.allreduceValue(MyIterTime, ReduceOp::Max);
-          double MinT = C.allreduceValue(MyIterTime, ReduceOp::Min);
-          Rebalance = MaxT > 0.0 && (MaxT - MinT) / MaxT >
-                                        Options.RebalanceThreshold;
-        }
-        if (Rebalance) {
-          balanceIterate(Ctx, C, C.time() - MyIterTime);
-          if (Me == 0)
-            ++Rebalances;
-        }
+        if (Loop.balance(C, IterStart, Policy) && Me == 0)
+          ++Rebalances;
 
-        const Dist &Next = Ctx.dist();
+        const Dist &Next = Loop.dist();
         if (Next.relativeChange(Current) > 0.0) {
-          std::vector<std::int64_t> NewStarts = bandStarts(Next);
+          std::vector<std::int64_t> NewStarts =
+              engine::contiguousStarts(Next, 1);
           std::int64_t NewStart = NewStarts[static_cast<std::size_t>(Me)];
           std::int64_t NewRows =
               Next.Parts[static_cast<std::size_t>(Me)].Units;
           std::vector<double> NewBand(static_cast<std::size_t>(NewRows) *
                                       static_cast<std::size_t>(Cols));
-          // Ship overlaps of my old band with everyone's new band.
-          for (int Q = 0; Q < P; ++Q) {
-            std::int64_t Lo =
-                std::max(MyStart, NewStarts[static_cast<std::size_t>(Q)]);
-            std::int64_t Hi = std::min(
-                MyStart + MyRows, NewStarts[static_cast<std::size_t>(Q) +
-                                            1]);
-            if (Lo >= Hi)
-              continue;
-            if (Q == Me) {
-              std::copy(&Band[(Lo - MyStart) * Cols],
-                        &Band[(Hi - MyStart) * Cols],
-                        NewBand.begin() + (Lo - NewStart) * Cols);
-              continue;
-            }
-            C.send<double>(
-                Q, TagMoveRows,
-                std::span<const double>(&Band[(Lo - MyStart) * Cols],
-                                        static_cast<std::size_t>(Hi - Lo) *
-                                            Cols));
-          }
-          for (int Q = 0; Q < P; ++Q) {
-            if (Q == Me)
-              continue;
-            std::int64_t Lo =
-                std::max(NewStart, Starts[static_cast<std::size_t>(Q)]);
-            std::int64_t Hi =
-                std::min(NewStart + NewRows,
-                         Starts[static_cast<std::size_t>(Q) + 1]);
-            if (Lo >= Hi)
-              continue;
-            std::vector<double> Payload = C.recv<double>(Q, TagMoveRows);
+          engine::RangeCopier Copy;
+          Copy.Pack = [&](std::int64_t Lo, std::int64_t Hi) {
+            return std::vector<double>(
+                &Band[(Lo - MyStart) * Cols],
+                &Band[(Lo - MyStart) * Cols] +
+                    static_cast<std::size_t>(Hi - Lo) * Cols);
+          };
+          Copy.Unpack = [&](std::int64_t Lo, [[maybe_unused]] std::int64_t Hi,
+                            std::span<const double> Payload) {
             assert(Payload.size() == static_cast<std::size_t>(Hi - Lo) *
                                          static_cast<std::size_t>(Cols) &&
                    "unexpected band payload size");
             std::copy(Payload.begin(), Payload.end(),
                       NewBand.begin() + (Lo - NewStart) * Cols);
-          }
+          };
+          Copy.Keep = [&](std::int64_t Lo, std::int64_t Hi) {
+            std::copy(&Band[(Lo - MyStart) * Cols],
+                      &Band[(Hi - MyStart) * Cols],
+                      NewBand.begin() + (Lo - NewStart) * Cols);
+          };
+          engine::redistributeContiguous(C, Starts, NewStarts, TagMoveRows,
+                                         Copy);
           Band = std::move(NewBand);
           Current = Next;
           Starts = std::move(NewStarts);
@@ -284,7 +267,7 @@ StencilReport fupermod::runStencil(const Cluster &Platform,
     FinalGrid = std::move(Grid);
   };
 
-  SpmdResult Run = runSpmd(P, Body, Platform.makeCostModel());
+  SpmdResult Run = Engine.execute(P, Body).value();
 
   StencilReport Report;
   Report.Iterations = std::move(Stats);

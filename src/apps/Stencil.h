@@ -69,6 +69,9 @@ struct StencilReport {
   long long HaloRowsSent = 0;
   /// Iterations in which the balancer ran.
   int Rebalances = 0;
+  /// Non-empty when the run could not start (e.g. an unknown algorithm
+  /// or model-kind name); the diagnostic lists the registered names.
+  std::string Error;
 };
 
 /// Runs the stencil on the given simulated platform and verifies the

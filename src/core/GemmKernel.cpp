@@ -13,6 +13,25 @@ using namespace fupermod;
 
 Kernel::~Kernel() = default;
 
+KernelRegistry &fupermod::kernelRegistry() {
+  static KernelRegistry R("kernel");
+  return R;
+}
+
+namespace {
+Registrar<KernelRegistry> RegGemm(
+    kernelRegistry(), "gemm", [](const KernelConfig &Config) {
+      return std::unique_ptr<Kernel>(std::make_unique<GemmKernel>(
+          Config.BlockSize, Config.UseBlockedGemm, Config.Threads));
+    });
+} // namespace
+
+std::unique_ptr<Kernel> fupermod::makeKernel(const std::string &Name,
+                                             const KernelConfig &Config,
+                                             std::string *Err) {
+  return kernelRegistry().create(Name, Config, Err);
+}
+
 GemmKernel::GemmKernel(std::size_t BlockSize, bool UseBlockedGemm,
                        unsigned Threads)
     : B(BlockSize), UseBlockedGemm(UseBlockedGemm),

@@ -15,7 +15,10 @@
 #ifndef FUPERMOD_CORE_KERNEL_H
 #define FUPERMOD_CORE_KERNEL_H
 
+#include "support/Registry.h"
+
 #include <cstdint>
+#include <memory>
 
 namespace fupermod {
 
@@ -46,6 +49,31 @@ public:
   /// Destroys the execution context.
   virtual void finalize() = 0;
 };
+
+/// Construction parameters shared by all registered kernels. A kernel
+/// factory reads the fields it understands and ignores the rest, so one
+/// configuration can be passed uniformly through the engine.
+struct KernelConfig {
+  /// Blocking factor b (side of one square block).
+  std::size_t BlockSize = 16;
+  /// Cache-tiled GEMM (optimised BLAS stand-in) over the naive one.
+  bool UseBlockedGemm = true;
+  /// Intra-kernel threads (> 1 selects the multithreaded BLAS stand-in).
+  unsigned Threads = 1;
+};
+
+/// The kernel registry ("gemm"); additional kernels can be registered by
+/// applications. Each factory builds a fresh kernel from a KernelConfig.
+using KernelRegistry =
+    Registry<std::unique_ptr<Kernel>, const KernelConfig &>;
+KernelRegistry &kernelRegistry();
+
+/// Builds the kernel registered under \p Name via kernelRegistry().
+/// Returns null on unknown names; when \p Err is non-null it then
+/// receives a diagnostic listing every registered kernel.
+std::unique_ptr<Kernel> makeKernel(const std::string &Name,
+                                   const KernelConfig &Config,
+                                   std::string *Err = nullptr);
 
 } // namespace fupermod
 

@@ -111,6 +111,14 @@ void Model::refitAndInvalidate() {
   InverseCache.clear();
 }
 
+void Model::setWeights(std::span<const double> NewWeights) {
+  assert(NewWeights.size() == Points.size() &&
+         "one weight per stored point expected");
+  for (double W : NewWeights)
+    assert(W > 0.0 && "weights must be positive");
+  Weights.assign(NewWeights.begin(), NewWeights.end());
+}
+
 void Model::decayWeights(double Factor) {
   assert(Factor > 0.0 && Factor <= 1.0 && "decay factor must be in (0, 1]");
   if (Factor == 1.0 || Points.empty())
@@ -380,15 +388,32 @@ double AkimaModel::timeDerivative(double X) const {
   return Spline.derivative(std::max(X, 0.0));
 }
 
-std::unique_ptr<Model> fupermod::makeModel(const std::string &Kind) {
-  if (Kind == "cpm")
-    return std::make_unique<ConstantModel>();
-  if (Kind == "piecewise")
-    return std::make_unique<PiecewiseModel>();
-  if (Kind == "akima")
-    return std::make_unique<AkimaModel>();
-  if (Kind == "linear")
-    return std::make_unique<LinearModel>();
-  assert(false && "unknown model kind");
-  return nullptr;
+ModelRegistry &fupermod::modelRegistry() {
+  static ModelRegistry R("model kind");
+  return R;
+}
+
+namespace {
+
+// Built-in model kinds self-register next to their implementations; the
+// registrars run whenever this translation unit is linked, which any use
+// of modelRegistry()/makeModel() guarantees.
+Registrar<ModelRegistry> RegCpm(modelRegistry(), "cpm", [] {
+  return std::unique_ptr<Model>(std::make_unique<ConstantModel>());
+});
+Registrar<ModelRegistry> RegPiecewise(modelRegistry(), "piecewise", [] {
+  return std::unique_ptr<Model>(std::make_unique<PiecewiseModel>());
+});
+Registrar<ModelRegistry> RegAkima(modelRegistry(), "akima", [] {
+  return std::unique_ptr<Model>(std::make_unique<AkimaModel>());
+});
+Registrar<ModelRegistry> RegLinear(modelRegistry(), "linear", [] {
+  return std::unique_ptr<Model>(std::make_unique<LinearModel>());
+});
+
+} // namespace
+
+std::unique_ptr<Model> fupermod::makeModel(const std::string &Kind,
+                                           std::string *Err) {
+  return modelRegistry().create(Kind, Err);
 }

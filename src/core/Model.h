@@ -28,6 +28,7 @@
 
 #include "core/Point.h"
 #include "interp/AkimaSpline.h"
+#include "support/Registry.h"
 
 #include <cstdint>
 #include <limits>
@@ -70,6 +71,13 @@ public:
 
   /// Current merge weight of each stored point (parallel to points()).
   const std::vector<double> &weights() const { return Weights; }
+
+  /// Overwrites the per-point merge weights (one per stored point, all
+  /// positive). Used by model persistence to restore staleness-decay
+  /// state: a reloaded model must merge future measurements exactly like
+  /// the in-memory model it was saved from. Does not refit (weights only
+  /// steer future merges and decay, never the current approximation).
+  void setWeights(std::span<const double> NewWeights);
 
   /// Smallest problem size known to be infeasible on this device;
   /// +infinity when every measured size succeeded. Partitioning
@@ -231,8 +239,17 @@ private:
   AkimaSpline Spline;
 };
 
-/// Factory by kind name; asserts on unknown kinds.
-std::unique_ptr<Model> makeModel(const std::string &Kind);
+/// The model-kind registry ("cpm", "piecewise", "akima", "linear");
+/// additional kinds can be registered by applications. Lookup through
+/// makeModel below, or directly for name listings.
+using ModelRegistry = Registry<std::unique_ptr<Model>>;
+ModelRegistry &modelRegistry();
+
+/// Factory by kind name via modelRegistry(). Returns null on unknown
+/// kinds; when \p Err is non-null it then receives a diagnostic listing
+/// every registered kind.
+std::unique_ptr<Model> makeModel(const std::string &Kind,
+                                 std::string *Err = nullptr);
 
 } // namespace fupermod
 

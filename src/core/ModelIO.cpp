@@ -8,6 +8,16 @@
 
 using namespace fupermod;
 
+namespace {
+
+std::unique_ptr<Model> readFailed(std::string *Err, const std::string &Why) {
+  if (Err)
+    *Err = Why;
+  return nullptr;
+}
+
+} // namespace
+
 bool fupermod::writeModel(std::ostream &OS, const Model &M) {
   OS << "# fupermod model\n";
   OS << "kind " << M.kind() << '\n';
@@ -15,20 +25,32 @@ bool fupermod::writeModel(std::ostream &OS, const Model &M) {
     OS << "limit " << M.feasibleLimit() << '\n';
   OS << "points " << M.points().size() << '\n';
   OS.precision(17);
-  for (const Point &P : M.points())
+  const std::vector<double> &Weights = M.weights();
+  for (std::size_t I = 0; I < M.points().size(); ++I) {
+    const Point &P = M.points()[I];
     OS << P.Units << ' ' << P.Time << ' ' << P.Reps << ' '
-       << P.ConfidenceInterval << '\n';
+       << P.ConfidenceInterval;
+    // The weight column is emitted only when staleness decay (or a
+    // merge) moved the weight off its initial value, so undecayed models
+    // keep the historical four-column rows bit for bit.
+    if (I < Weights.size() && Weights[I] != static_cast<double>(P.Reps))
+      OS << ' ' << Weights[I];
+    OS << '\n';
+  }
   return static_cast<bool>(OS);
 }
 
-std::unique_ptr<Model> fupermod::readModel(std::istream &IS) {
+std::unique_ptr<Model> fupermod::readModel(std::istream &IS,
+                                           std::string *Err) {
   std::string Line;
   std::string Kind;
   std::size_t Count = 0;
   bool HaveKind = false, HavePoints = false;
   double Limit = std::numeric_limits<double>::infinity();
+  std::size_t LineNo = 0;
 
   while (std::getline(IS, Line)) {
+    ++LineNo;
     if (Line.empty() || Line[0] == '#')
       continue;
     std::istringstream LS(Line);
@@ -44,25 +66,48 @@ std::unique_ptr<Model> fupermod::readModel(std::istream &IS) {
       HavePoints = true;
       break;
     } else {
-      return nullptr; // Unknown key.
+      return readFailed(Err, "line " + std::to_string(LineNo) +
+                                 ": unknown key '" + Key + "'");
     }
   }
-  if (!HaveKind || !HavePoints)
-    return nullptr;
-  if (Kind != "cpm" && Kind != "piecewise" && Kind != "akima" &&
-      Kind != "linear")
-    return nullptr;
+  if (!HaveKind)
+    return readFailed(Err, "missing 'kind' header");
+  if (!HavePoints)
+    return readFailed(Err, "missing 'points' header");
 
-  std::unique_ptr<Model> M = makeModel(Kind);
+  std::string KindErr;
+  std::unique_ptr<Model> M = makeModel(Kind, &KindErr);
+  if (!M)
+    return readFailed(Err, KindErr);
+  std::vector<double> Weights;
+  Weights.reserve(Count);
   for (std::size_t I = 0; I < Count; ++I) {
     if (!std::getline(IS, Line))
-      return nullptr;
+      return readFailed(Err, "truncated: expected " + std::to_string(Count) +
+                                 " points, got " + std::to_string(I));
+    ++LineNo;
     std::istringstream LS(Line);
     Point P;
     if (!(LS >> P.Units >> P.Time >> P.Reps >> P.ConfidenceInterval))
-      return nullptr;
+      return readFailed(Err, "line " + std::to_string(LineNo) +
+                                 ": malformed point (expected 'units time "
+                                 "reps ci [weight]')");
     if (P.Units <= 0.0 || P.Time <= 0.0 || P.Reps <= 0)
-      return nullptr;
+      return readFailed(Err, "line " + std::to_string(LineNo) +
+                                 ": non-positive units, time, or reps");
+    double W = static_cast<double>(P.Reps);
+    if (LS >> W) {
+      if (W <= 0.0)
+        return readFailed(Err, "line " + std::to_string(LineNo) +
+                                   ": non-positive point weight");
+    }
+    LS.clear();
+    std::string Extra;
+    if (LS >> Extra)
+      return readFailed(Err, "line " + std::to_string(LineNo) +
+                                 ": malformed point (expected 'units time "
+                                 "reps ci [weight]')");
+    Weights.push_back(W);
     M->update(P);
   }
   if (std::isfinite(Limit)) {
@@ -72,6 +117,12 @@ std::unique_ptr<Model> fupermod::readModel(std::istream &IS) {
     Fail.Time = std::numeric_limits<double>::infinity();
     M->update(Fail);
   }
+  // Saved points are pre-merged (distinct sizes), so the replay stores
+  // them one-to-one and the saved weights map straight onto them.
+  if (Weights.size() == M->points().size())
+    M->setWeights(Weights);
+  if (Err)
+    Err->clear();
   return M;
 }
 
@@ -82,11 +133,18 @@ bool fupermod::saveModel(const std::string &Path, const Model &M) {
   return writeModel(OS, M);
 }
 
-std::unique_ptr<Model> fupermod::loadModel(const std::string &Path) {
+std::unique_ptr<Model> fupermod::loadModel(const std::string &Path,
+                                           std::string *Err) {
   std::ifstream IS(Path);
   if (!IS)
-    return nullptr;
-  return readModel(IS);
+    return readFailed(Err, Path + ": cannot open file");
+  std::string ReadErr;
+  std::unique_ptr<Model> M = readModel(IS, &ReadErr);
+  if (!M)
+    return readFailed(Err, Path + ": " + ReadErr);
+  if (Err)
+    Err->clear();
+  return M;
 }
 
 bool fupermod::writeDist(std::ostream &OS, const Dist &D) {

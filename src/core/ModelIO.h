@@ -14,8 +14,14 @@
 ///   # fupermod model
 ///   kind <cpm|piecewise|akima>
 ///   points <N>
-///   <units> <time> <reps> <ci>
+///   <units> <time> <reps> <ci> [weight]
 ///   ...
+///
+/// The optional trailing weight column records a point's staleness-decayed
+/// merge weight when it no longer equals the repetition count, so a
+/// reloaded model merges future measurements exactly like the in-memory
+/// model it was saved from. Files without the column (the historical
+/// format) read back with weight = reps, which is the undecayed state.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,20 +37,25 @@
 
 namespace fupermod {
 
-/// Writes \p M (kind and experimental points) to \p OS. Returns false on
-/// stream failure.
+/// Writes \p M (kind, feasibility limit, experimental points and their
+/// merge weights) to \p OS. Returns false on stream failure.
 bool writeModel(std::ostream &OS, const Model &M);
 
 /// Reads a model written by writeModel(). Returns null on malformed
-/// input.
-std::unique_ptr<Model> readModel(std::istream &IS);
+/// input; when \p Err is non-null it then receives a diagnostic naming
+/// the offending line.
+std::unique_ptr<Model> readModel(std::istream &IS,
+                                 std::string *Err = nullptr);
 
 /// Writes \p M to \p Path (overwrites). Returns false on I/O failure.
 bool saveModel(const std::string &Path, const Model &M);
 
 /// Reads a model from \p Path. Returns null when the file is missing or
-/// malformed.
-std::unique_ptr<Model> loadModel(const std::string &Path);
+/// malformed; when \p Err is non-null it then receives a diagnostic
+/// prefixed with the path, distinguishing an unreadable file from a
+/// parse error.
+std::unique_ptr<Model> loadModel(const std::string &Path,
+                                 std::string *Err = nullptr);
 
 /// Writes a distribution as lines of "rank units predicted_time".
 bool writeDist(std::ostream &OS, const Dist &D);

@@ -250,13 +250,21 @@ bool fupermod::partitionNumerical(std::int64_t Total,
   return true;
 }
 
-Partitioner fupermod::getPartitioner(const std::string &Name) {
-  if (Name == "constant")
-    return partitionConstant;
-  if (Name == "geometric")
-    return partitionGeometric;
-  if (Name == "numerical")
-    return partitionNumerical;
-  assert(false && "unknown partitioner name");
-  return nullptr;
+PartitionerRegistry &fupermod::partitionerRegistry() {
+  static PartitionerRegistry R("partitioner");
+  return R;
+}
+
+namespace {
+Registrar<PartitionerRegistry> RegConstant(partitionerRegistry(), "constant",
+                                           [] { return partitionConstant; });
+Registrar<PartitionerRegistry> RegGeometric(partitionerRegistry(), "geometric",
+                                            [] { return partitionGeometric; });
+Registrar<PartitionerRegistry> RegNumerical(partitionerRegistry(), "numerical",
+                                            [] { return partitionNumerical; });
+} // namespace
+
+Partitioner fupermod::findPartitioner(const std::string &Name,
+                                      std::string *Err) {
+  return partitionerRegistry().create(Name, Err);
 }

@@ -47,9 +47,16 @@ bool partitionGeometric(std::int64_t Total, std::span<Model *const> Models,
 bool partitionNumerical(std::int64_t Total, std::span<Model *const> Models,
                         Dist &Out);
 
-/// Looks up a partitioner by name ("constant", "geometric", "numerical");
-/// asserts on unknown names.
-Partitioner getPartitioner(const std::string &Name);
+/// The partitioner registry ("constant", "geometric", "numerical");
+/// additional algorithms can be registered by applications.
+using PartitionerRegistry = Registry<Partitioner>;
+PartitionerRegistry &partitionerRegistry();
+
+/// Looks up a partitioner by name via partitionerRegistry(). Returns a
+/// null Partitioner on unknown names; when \p Err is non-null it then
+/// receives a diagnostic listing every registered algorithm.
+Partitioner findPartitioner(const std::string &Name,
+                            std::string *Err = nullptr);
 
 } // namespace fupermod
 

@@ -1,0 +1,116 @@
+//===-- engine/Balance.h - Shared dynamic-balancing driver ------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine-side driver of the apps' dynamic load-balancing loops. The
+/// iterative applications (Jacobi, the stencil) used to each re-implement
+/// the same three pieces around DynamicContext:
+///
+///  - the imbalance-threshold test (allreduce the iteration times, only
+///    rebalance when (max - min) / max clears the threshold),
+///  - the balanceIterate call feeding the measured iteration into the
+///    partial models,
+///  - the contiguous-range redistribution shipping overlaps of the old
+///    and new per-rank ranges (buffered sends first, then receives).
+///
+/// BalancedLoop and redistributeContiguous() factor those out. The
+/// collective sequence (allreduce order, message order, payload sizes) is
+/// exactly the apps' historical one, so virtual-time traces are
+/// bit-identical to the pre-engine code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_ENGINE_BALANCE_H
+#define FUPERMOD_ENGINE_BALANCE_H
+
+#include "core/Dynamic.h"
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace fupermod {
+
+class Comm;
+
+namespace engine {
+
+/// Per-iteration balancing policy of an application loop.
+struct BalancePolicy {
+  /// Master switch: disabled loops never rebalance (static distribution).
+  bool Enabled = true;
+  /// Rebalance only when the relative imbalance of the measured
+  /// iteration times, (max - min) / max, exceeds this (0 = every
+  /// iteration).
+  double RebalanceThreshold = 0.0;
+  /// Also allreduce a device-failure flag with the threshold test; a
+  /// failure anywhere overrides the threshold (the dead rank's share
+  /// must move regardless of measured imbalance).
+  bool TrackFailures = false;
+};
+
+/// One application's balancing state: the dynamic context (partial
+/// models + current distribution) plus the threshold-gated rebalance
+/// step. Each SPMD rank owns one (replicated) instance.
+class BalancedLoop {
+public:
+  /// \p Algorithm must be non-null (obtain it via
+  /// Session::makeBalancedLoop, which pre-validates the name).
+  BalancedLoop(Partitioner Algorithm, const std::string &ModelKind,
+               std::int64_t Total, int NumProcs,
+               double StalenessDecay = 1.0);
+
+  DynamicContext &context() { return Ctx; }
+  const DynamicContext &context() const { return Ctx; }
+
+  /// Current distribution.
+  const Dist &dist() const { return Ctx.dist(); }
+
+  /// The per-iteration balance step, collective on \p C: snapshots the
+  /// iteration duration since \p IterStart, applies the threshold test
+  /// (with the exact allreduce sequence of the historical apps), and
+  /// when warranted feeds the duration into balanceIterate. Returns true
+  /// when the balancer ran.
+  bool balance(Comm &C, double IterStart, const BalancePolicy &Policy,
+               bool DeviceFailed = false);
+
+private:
+  DynamicContext Ctx;
+};
+
+/// Callbacks moving units between the old and new local storage during a
+/// contiguous-range redistribution. Ranges are in global unit
+/// coordinates.
+struct RangeCopier {
+  /// Serializes old-local units [Lo, Hi) into one message payload.
+  std::function<std::vector<double>(std::int64_t Lo, std::int64_t Hi)> Pack;
+  /// Places units [Lo, Hi) received as \p Payload into the new storage.
+  std::function<void(std::int64_t Lo, std::int64_t Hi,
+                     std::span<const double> Payload)>
+      Unpack;
+  /// Moves the self-overlap [Lo, Hi) from the old to the new storage.
+  std::function<void(std::int64_t Lo, std::int64_t Hi)> Keep;
+};
+
+/// Ships the overlaps between the old and new contiguous per-rank ranges
+/// (prefix-start arrays of size P + 1), collective on \p C: buffered
+/// sends of my old units that now belong to others, then receives of the
+/// units my new range takes over — the deadlock-free order the apps
+/// always used. \p Tag tags every message.
+void redistributeContiguous(Comm &C, std::span<const std::int64_t> OldStarts,
+                            std::span<const std::int64_t> NewStarts, int Tag,
+                            const RangeCopier &Copy);
+
+/// Prefix starts [Start[r], Start[r+1]) of a distribution's contiguous
+/// ranges, beginning at \p Base (0 for row indices, 1 for grid-interior
+/// coordinates).
+std::vector<std::int64_t> contiguousStarts(const Dist &D,
+                                           std::int64_t Base = 0);
+
+} // namespace engine
+} // namespace fupermod
+
+#endif // FUPERMOD_ENGINE_BALANCE_H

@@ -1,0 +1,108 @@
+//===-- engine/Serve.cpp - Batch request serving --------------------------===//
+
+#include "engine/Serve.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace fupermod;
+using namespace fupermod::engine;
+
+Result<std::vector<ServeRequest>>
+fupermod::engine::parseServeRequests(std::istream &IS) {
+  using R = Result<std::vector<ServeRequest>>;
+  std::vector<ServeRequest> Out;
+  std::string Line;
+  std::size_t LineNo = 0;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    // Strip a trailing comment, then whitespace-split.
+    std::size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    std::istringstream LS(Line);
+    std::string First;
+    if (!(LS >> First))
+      continue; // Blank/comment-only line.
+    ServeRequest Req;
+    if (First == "reload") {
+      Req.Reload = true;
+    } else {
+      std::istringstream TS(First);
+      if (!(TS >> Req.Total) || !TS.eof() || Req.Total <= 0)
+        return R::failure("request line " + std::to_string(LineNo) +
+                          ": expected a positive total or 'reload', got '" +
+                          First + "'");
+      LS >> Req.Algorithm; // Optional.
+    }
+    std::string Extra;
+    if (LS >> Extra)
+      return R::failure("request line " + std::to_string(LineNo) +
+                        ": unexpected trailing token '" + Extra + "'");
+    Out.push_back(std::move(Req));
+  }
+  return Out;
+}
+
+namespace {
+
+void drainWarnings(Session &S, std::ostream &OS) {
+  for (const std::string &W : S.warnings())
+    OS << "# warning: " << W << '\n';
+  S.clearWarnings();
+}
+
+/// Prints one partition result in the one-shot partitioner's format.
+void printPartition(std::ostream &OS, Session &S, const std::string &Name,
+                    const Dist &D) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "# %s partitioning of %lld units over %zu processes\n",
+                Name.c_str(), static_cast<long long>(D.Total),
+                D.Parts.size());
+  OS << Buf;
+  for (std::size_t I = 0; I < D.Parts.size(); ++I) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "rank %-3zu units %-10lld predicted_time %.6f  (%s)\n", I,
+                  static_cast<long long>(D.Parts[I].Units),
+                  D.Parts[I].PredictedTime,
+                  S.slot(static_cast<int>(I)).Source.c_str());
+    OS << Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "# max predicted time: %.6f\n",
+                D.maxPredictedTime());
+  OS << Buf;
+}
+
+} // namespace
+
+ServeStats fupermod::engine::serveRequests(
+    Session &S, std::span<const ServeRequest> Requests, std::ostream &OS) {
+  ServeStats Stats;
+  for (const ServeRequest &Req : Requests) {
+    // Hot reload: before every request, pick up model files that changed
+    // on disk (explicit "reload" lines force only this step).
+    Result<int> Refreshed = S.refreshModels();
+    if (Refreshed.ok() && Refreshed.value() > 0) {
+      Stats.Reloaded += Refreshed.value();
+      OS << "# reloaded " << Refreshed.value() << " model(s)\n";
+    }
+    drainWarnings(S, OS);
+    if (Req.Reload)
+      continue;
+
+    const std::string &Name =
+        Req.Algorithm.empty() ? S.config().Algorithm : Req.Algorithm;
+    Result<Dist> D = S.partition(Req.Total, Req.Algorithm);
+    if (!D) {
+      OS << "# error: " << D.error() << '\n';
+      ++Stats.Failed;
+      continue;
+    }
+    printPartition(OS, S, Name, D.value());
+    ++Stats.Answered;
+  }
+  return Stats;
+}

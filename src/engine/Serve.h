@@ -1,0 +1,73 @@
+//===-- engine/Serve.h - Batch request serving ------------------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Batch partition serving for `partitioner --serve REQFILE`: one
+/// long-lived Session loads the models once and answers many
+/// (total, algorithm) requests, amortising the model loads/refits and
+/// keeping the inverse-time caches warm across requests. Model files
+/// that change on disk between requests are hot-reloaded (mtime-based).
+///
+/// Request-file format, one request per line:
+///
+///   # comments and blank lines are ignored
+///   3000               # partition 3000 units with the default algorithm
+///   5000 numerical     # ... with an explicit algorithm
+///   reload             # force a model refresh now
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_ENGINE_SERVE_H
+#define FUPERMOD_ENGINE_SERVE_H
+
+#include "engine/Session.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fupermod {
+namespace engine {
+
+/// One parsed request.
+struct ServeRequest {
+  /// Units to partition (partition requests only).
+  std::int64_t Total = 0;
+  /// Algorithm name; empty = the session default.
+  std::string Algorithm;
+  /// True for an explicit "reload" line.
+  bool Reload = false;
+};
+
+/// Parses a request file. Fails with a line-numbered diagnostic on
+/// malformed lines; algorithm names are validated later, per request,
+/// so one typo does not invalidate the whole batch.
+Result<std::vector<ServeRequest>> parseServeRequests(std::istream &IS);
+
+/// Tally of one serving run.
+struct ServeStats {
+  /// Partition requests answered successfully.
+  int Answered = 0;
+  /// Partition requests that failed (error reported inline).
+  int Failed = 0;
+  /// Models hot-reloaded over the run (automatic + explicit).
+  int Reloaded = 0;
+};
+
+/// Answers every request on \p S, writing one one-shot-compatible
+/// partition block per request to \p OS. File-backed models are
+/// refreshed before every request; session warnings are drained as
+/// "# warning:" lines; a failed request prints "# error:" and serving
+/// continues.
+ServeStats serveRequests(Session &S, std::span<const ServeRequest> Requests,
+                         std::ostream &OS);
+
+} // namespace engine
+} // namespace fupermod
+
+#endif // FUPERMOD_ENGINE_SERVE_H

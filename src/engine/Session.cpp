@@ -1,0 +1,313 @@
+//===-- engine/Session.cpp - The partition-engine session -----------------===//
+
+#include "engine/Session.h"
+
+#include "core/Dynamic.h"
+#include "core/ModelIO.h"
+#include "core/Partitioners.h"
+#include "engine/Balance.h"
+#include "mpp/Runtime.h"
+
+#include <system_error>
+#include <utility>
+
+using namespace fupermod;
+using namespace fupermod::engine;
+
+namespace {
+
+/// mtime of \p Path, or the epoch default when it cannot be stat'ed.
+std::filesystem::file_time_type mtimeOf(const std::string &Path) {
+  std::error_code Ec;
+  auto T = std::filesystem::last_write_time(Path, Ec);
+  return Ec ? std::filesystem::file_time_type{} : T;
+}
+
+} // namespace
+
+Result<std::unique_ptr<Session>> Session::create(SessionConfig Config) {
+  using R = Result<std::unique_ptr<Session>>;
+  if (!modelRegistry().contains(Config.ModelKind))
+    return R::failure(modelRegistry().unknownNameError(Config.ModelKind));
+  if (!Config.Algorithm.empty() &&
+      !partitionerRegistry().contains(Config.Algorithm))
+    return R::failure(
+        partitionerRegistry().unknownNameError(Config.Algorithm));
+  if (!kernelRegistry().contains(Config.KernelName))
+    return R::failure(kernelRegistry().unknownNameError(Config.KernelName));
+  return std::unique_ptr<Session>(new Session(std::move(Config)));
+}
+
+Status Session::measure(ModelBuildPlan Plan) {
+  if (Config.Platform.size() <= 0)
+    return Status::failure("measure: the session has no platform devices");
+  if (Plan.MinSize <= 0.0 || Plan.MaxSize < Plan.MinSize ||
+      Plan.NumPoints < 1 || Plan.Jobs < 1)
+    return Status::failure("measure: invalid benchmark plan (need "
+                           "0 < min <= max, points >= 1, jobs >= 1)");
+  Plan.Kind = Config.ModelKind;
+  std::vector<BuiltModel> Built = buildModelsParallel(Config.Platform, Plan);
+  Slots.clear();
+  Slots.resize(Built.size());
+  for (std::size_t I = 0; I < Built.size(); ++I) {
+    Slots[I].M = std::move(Built[I].M);
+    Slots[I].Raw = std::move(Built[I].Raw);
+  }
+  return okStatus();
+}
+
+Status Session::measureSynchronized(const SyncMeasurePlan &Plan) {
+  const Cluster &Cl = Config.Platform;
+  if (Cl.size() <= 0)
+    return Status::failure(
+        "measureSynchronized: the session has no platform devices");
+  if (Plan.Sizes.empty())
+    return Status::failure("measureSynchronized: no benchmark sizes");
+  Slots.clear();
+  Slots.resize(static_cast<std::size_t>(Cl.size()));
+  for (ModelSlot &S : Slots)
+    S.M = makeModel(Config.ModelKind);
+  runSpmd(
+      Cl.size(),
+      [&](Comm &C) {
+        SimDevice Dev = Cl.makeDevice(C.rank());
+        SimDeviceBackend Backend(Dev, &C);
+        for (double Size : Plan.Sizes) {
+          Point P = runBenchmark(Backend, Size, Plan.Prec, &C);
+          std::vector<Point> All =
+              C.allgatherv(std::span<const Point>(&P, 1));
+          if (C.rank() == 0)
+            for (int Q = 0; Q < C.size(); ++Q) {
+              ModelSlot &S = Slots[static_cast<std::size_t>(Q)];
+              S.M->update(All[static_cast<std::size_t>(Q)]);
+              S.Raw.push_back(All[static_cast<std::size_t>(Q)]);
+            }
+        }
+      },
+      Cl.makeCostModel());
+  return okStatus();
+}
+
+Status Session::measureNative(const NativeMeasurePlan &Plan) {
+  if (Plan.MinSize <= 0.0 || Plan.MaxSize < Plan.MinSize ||
+      Plan.NumPoints < 1)
+    return Status::failure("measureNative: invalid benchmark plan (need "
+                           "0 < min <= max, points >= 1)");
+  std::string Err;
+  std::unique_ptr<Kernel> K = makeKernel(Config.KernelName, Config.Kernel,
+                                         &Err);
+  if (!K)
+    return Status::failure(Err);
+  NativeKernelBackend Backend(*K);
+  ModelSlot Slot;
+  Slot.M = makeModel(Config.ModelKind);
+  ModelBuildPlan Grid;
+  Grid.MinSize = Plan.MinSize;
+  Grid.MaxSize = Plan.MaxSize;
+  Grid.NumPoints = Plan.NumPoints;
+  for (double Size : buildSizeGrid(Grid)) {
+    Point P = runBenchmark(Backend, Size, Plan.Prec);
+    Slot.M->update(P);
+    Slot.Raw.push_back(P);
+    if (Plan.OnPoint)
+      Plan.OnPoint(Size, P);
+  }
+  Slots.clear();
+  Slots.push_back(std::move(Slot));
+  return okStatus();
+}
+
+Status Session::loadSlot(ModelSlot &Slot, const std::string &Path,
+                         bool Degraded) {
+  Slot.Source = Path;
+  Slot.MTime = mtimeOf(Path);
+  std::string Err;
+  std::unique_ptr<Model> M = loadModel(Path, &Err);
+  if (!M) {
+    if (!Degraded)
+      return Status::failure("cannot read model file " + Err);
+    Warnings.push_back("skipping unreadable model " + Err);
+    Slot.Exclusion = Err;
+    return okStatus();
+  }
+  if (!M->fitted()) {
+    if (!Degraded)
+      return Status::failure(
+          "model " + Path +
+          " has no successful measurements (rerun builder, or pass "
+          "--allow-degraded to partition over the remaining ranks)");
+    Warnings.push_back("excluding " + Path +
+                       ": model unfitted, no successful measurements");
+    Slot.Exclusion = "model unfitted: no successful measurements";
+    Slot.M = std::move(M);
+    return okStatus();
+  }
+  Slot.M = std::move(M);
+  Slot.Exclusion.clear();
+  return okStatus();
+}
+
+Status Session::loadModels(std::span<const std::string> Paths) {
+  if (Paths.empty())
+    return Status::failure("loadModels: no model files given");
+  std::vector<ModelSlot> Loaded(Paths.size());
+  for (std::size_t I = 0; I < Paths.size(); ++I) {
+    Status S = loadSlot(Loaded[I], Paths[I], Config.AllowDegraded);
+    if (!S)
+      return S;
+  }
+  Slots = std::move(Loaded);
+  return okStatus();
+}
+
+Result<int> Session::refreshModels() {
+  int Reloaded = 0;
+  for (ModelSlot &Slot : Slots) {
+    if (Slot.Source.empty())
+      continue;
+    std::filesystem::file_time_type Now = mtimeOf(Slot.Source);
+    if (Now == Slot.MTime)
+      continue;
+    // Remember the observed mtime even when the reload fails, so a
+    // broken file is re-parsed only after it changes again.
+    Slot.MTime = Now;
+    std::string Err;
+    std::unique_ptr<Model> M = loadModel(Slot.Source, &Err);
+    if (!M) {
+      Warnings.push_back("reload of " + Err +
+                         "; keeping the previous model");
+      continue;
+    }
+    if (!M->fitted()) {
+      Warnings.push_back("reload of " + Slot.Source +
+                         " produced an unfitted model; keeping the "
+                         "previous model");
+      continue;
+    }
+    Slot.M = std::move(M);
+    Slot.Exclusion.clear();
+    ++Reloaded;
+  }
+  return Reloaded;
+}
+
+Status Session::saveModel(int Rank, const std::string &Path) const {
+  if (Rank < 0 || Rank >= rankCount())
+    return Status::failure("saveModel: rank " + std::to_string(Rank) +
+                           " out of range");
+  const ModelSlot &Slot = Slots[static_cast<std::size_t>(Rank)];
+  if (!Slot.M)
+    return Status::failure("saveModel: rank " + std::to_string(Rank) +
+                           " has no model");
+  if (!fupermod::saveModel(Path, *Slot.M))
+    return Status::failure("cannot write " + Path);
+  return okStatus();
+}
+
+Status Session::initModels(int Count) {
+  if (Count <= 0)
+    return Status::failure("initModels: need at least one model");
+  Slots.clear();
+  Slots.resize(static_cast<std::size_t>(Count));
+  for (ModelSlot &S : Slots)
+    S.M = makeModel(Config.ModelKind);
+  return okStatus();
+}
+
+Status Session::feedback(int Rank, const Point &P) {
+  if (Rank < 0 || Rank >= rankCount())
+    return Status::failure("feedback: rank " + std::to_string(Rank) +
+                           " out of range");
+  ModelSlot &Slot = Slots[static_cast<std::size_t>(Rank)];
+  if (!Slot.M)
+    return Status::failure("feedback: rank " + std::to_string(Rank) +
+                           " has no model");
+  Slot.M->update(P);
+  return okStatus();
+}
+
+Result<Dist> Session::partition(std::int64_t Total,
+                                const std::string &Algorithm) {
+  using R = Result<Dist>;
+  const std::string &Name = Algorithm.empty() ? Config.Algorithm : Algorithm;
+  std::string Err;
+  Partitioner Algo = findPartitioner(Name, &Err);
+  if (!Algo)
+    return R::failure(Err);
+  if (Total <= 0)
+    return R::failure("partition: total must be positive, got " +
+                      std::to_string(Total));
+  if (Slots.empty())
+    return R::failure("partition: no models (run a measure phase or "
+                      "loadModels first)");
+
+  std::vector<Model *> Active;
+  std::vector<std::size_t> ActiveRanks;
+  for (std::size_t I = 0; I < Slots.size(); ++I) {
+    ModelSlot &Slot = Slots[I];
+    if (!Slot.Exclusion.empty())
+      continue;
+    if (!Slot.M || !Slot.M->fitted()) {
+      std::string Who = Slot.Source.empty() ? "rank " + std::to_string(I)
+                                            : Slot.Source;
+      return R::failure("partition: model of " + Who +
+                        " has no successful measurements");
+    }
+    Active.push_back(Slot.M.get());
+    ActiveRanks.push_back(I);
+  }
+  if (Active.empty())
+    return R::failure("partition: every rank's model is unfitted or "
+                      "excluded");
+
+  Dist Sub;
+  if (!Algo(Total, Active, Sub))
+    return R::failure("partitioning failed (unfitted model or insufficient "
+                      "device capacity for " + std::to_string(Total) +
+                      " units)");
+
+  // Map the participating ranks' shares back; excluded ranks hold 0.
+  Dist Out;
+  Out.Total = Total;
+  Out.Parts.assign(Slots.size(), Part());
+  for (std::size_t I = 0; I < ActiveRanks.size(); ++I)
+    Out.Parts[ActiveRanks[I]] = Sub.Parts[I];
+  return Out;
+}
+
+Result<SpmdResult> Session::execute(int Ranks,
+                                    const std::function<void(Comm &)> &Body) {
+  using R = Result<SpmdResult>;
+  if (Ranks <= 0)
+    return R::failure("execute: need at least one rank");
+  if (Config.Platform.size() <= 0)
+    return R::failure("execute: the session has no platform devices");
+  if (!Body)
+    return R::failure("execute: no SPMD body");
+  return runSpmd(Ranks, Body, Config.Platform.makeCostModel());
+}
+
+BalancedLoop Session::makeBalancedLoop(std::int64_t Total, int NumProcs,
+                                       double StalenessDecay) const {
+  // Names were validated at create(); the lookup cannot fail here.
+  return BalancedLoop(findPartitioner(Config.Algorithm), Config.ModelKind,
+                      Total, NumProcs, StalenessDecay);
+}
+
+Model *Session::model(int Rank) {
+  if (Rank < 0 || Rank >= rankCount())
+    return nullptr;
+  return Slots[static_cast<std::size_t>(Rank)].M.get();
+}
+
+const ModelSlot &Session::slot(int Rank) const {
+  return Slots.at(static_cast<std::size_t>(Rank));
+}
+
+std::vector<Model *> Session::activeModels() const {
+  std::vector<Model *> Out;
+  for (const ModelSlot &Slot : Slots)
+    if (Slot.Exclusion.empty() && Slot.M && Slot.M->fitted())
+      Out.push_back(Slot.M.get());
+  return Out;
+}

@@ -1,0 +1,213 @@
+//===-- engine/Session.h - The partition-engine session ---------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived partition engine behind the apps, tools and examples.
+/// A Session owns one measure -> model -> partition pipeline: the
+/// (simulated) platform, one performance-model slot per rank, and the
+/// models' inverse-time caches. It exposes the pipeline as explicit
+/// phases —
+///
+///   measure   benchmark devices and fit models (three measurement modes:
+///             parallel campaign, synchronised in-SPMD, native kernel);
+///   fit       feed application-measured points into the per-rank models
+///             (the adaptive routines' feedback loop);
+///   partition compute a distribution of a total over the fitted models
+///             with a registered algorithm;
+///   execute   run an SPMD body on the session's platform.
+///
+/// Every phase returns a Result/Status instead of bool/assert, and every
+/// name (model kind, partitioner, kernel) resolves through the registries,
+/// so a bad name is a diagnosable error listing the alternatives.
+///
+/// Model slots loaded from files remember their source path and mtime;
+/// refreshModels() re-reads files that changed on disk, so a long-lived
+/// session (partitioner --serve) picks up refreshed models without a
+/// restart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_ENGINE_SESSION_H
+#define FUPERMOD_ENGINE_SESSION_H
+
+#include "core/Benchmark.h"
+#include "core/Partition.h"
+#include "sim/Cluster.h"
+#include "support/Result.h"
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fupermod {
+
+class Comm;
+struct SpmdResult;
+
+namespace engine {
+
+/// Construction parameters of a Session. Names are validated against the
+/// registries at create() time.
+struct SessionConfig {
+  /// The simulated platform (empty for sessions that only load model
+  /// files or benchmark the native kernel).
+  Cluster Platform;
+  /// Model kind for every model the session builds.
+  std::string ModelKind = "piecewise";
+  /// Default partitioning algorithm (partition() can override per call).
+  std::string Algorithm = "geometric";
+  /// Kernel used by native measurement.
+  std::string KernelName = "gemm";
+  KernelConfig Kernel;
+  /// When loading model files: skip unreadable/corrupt/unfitted models
+  /// with a warning (excluding their rank from partitioning) instead of
+  /// failing the load.
+  bool AllowDegraded = false;
+};
+
+/// One rank's model and its provenance.
+struct ModelSlot {
+  std::unique_ptr<Model> M;
+  /// Raw measured points in benchmark order (measurement phases only).
+  std::vector<Point> Raw;
+  /// File the model was loaded from; empty for measured models.
+  std::string Source;
+  /// mtime of Source at load time (hot-reload detection).
+  std::filesystem::file_time_type MTime{};
+  /// Why the rank is excluded from partitioning; empty = participating.
+  std::string Exclusion;
+};
+
+/// Synchronised in-SPMD measurement plan: every rank of the platform
+/// benchmarks its device at each size with barrier-synchronised
+/// repetitions, and the points are allgathered so the session's models
+/// see every rank's measurements (the examples' model-building loop).
+struct SyncMeasurePlan {
+  std::vector<double> Sizes;
+  Precision Prec;
+};
+
+/// Native measurement plan: benchmark the session's kernel on this
+/// machine over an even size grid.
+struct NativeMeasurePlan {
+  double MinSize = 32.0;
+  double MaxSize = 1024.0;
+  int NumPoints = 10;
+  Precision Prec;
+  /// Called after each size is measured (progress reporting).
+  std::function<void(double Size, const Point &P)> OnPoint;
+};
+
+class BalancedLoop;
+
+/// The long-lived engine object. Create via Session::create(); all
+/// phases are ordinary member calls returning Result/Status.
+class Session {
+public:
+  /// Validates \p Config against the registries (model kind, default
+  /// algorithm, kernel name). Returns a failure naming the registered
+  /// alternatives on any unknown name.
+  static Result<std::unique_ptr<Session>> create(SessionConfig Config);
+
+  const SessionConfig &config() const { return Config; }
+  const Cluster &platform() const { return Config.Platform; }
+
+  /// --- measure -----------------------------------------------------
+
+  /// Benchmarks every device of the platform per \p Plan (the parallel
+  /// model-building campaign; Plan.Kind is overridden by the session's
+  /// model kind) and fills one slot per rank.
+  Status measure(ModelBuildPlan Plan);
+
+  /// Synchronised in-SPMD measurement: reproduces the examples' loop
+  /// (one SimDeviceBackend per rank, barrier-synchronised repetitions,
+  /// points allgathered each size) bit for bit.
+  Status measureSynchronized(const SyncMeasurePlan &Plan);
+
+  /// Benchmarks the configured kernel natively on this machine; fills a
+  /// single slot.
+  Status measureNative(const NativeMeasurePlan &Plan);
+
+  /// --- model I/O and hot reload ------------------------------------
+
+  /// Loads one model file per rank. On an unreadable or corrupt file the
+  /// load fails with a diagnostic naming the file and parse error —
+  /// unless AllowDegraded, which records a warning and excludes the
+  /// rank. Unfitted models are likewise an error or an exclusion.
+  Status loadModels(std::span<const std::string> Paths);
+
+  /// Re-reads every file-backed slot whose source changed on disk since
+  /// it was (re)loaded. Returns the number of models reloaded. A slot
+  /// whose file became unreadable/corrupt keeps the old model (a warning
+  /// is recorded).
+  Result<int> refreshModels();
+
+  /// Writes the model of \p Rank to \p Path.
+  Status saveModel(int Rank, const std::string &Path) const;
+
+  /// --- fit ---------------------------------------------------------
+
+  /// Discards all slots and installs \p Count empty models of the
+  /// session's kind (the adaptive feedback loop starts unfitted).
+  Status initModels(int Count);
+
+  /// Feeds one application-measured point into the model of \p Rank.
+  Status feedback(int Rank, const Point &P);
+
+  /// --- partition ---------------------------------------------------
+
+  /// Distributes \p Total units over the participating ranks with
+  /// \p Algorithm (empty = the session default). Excluded ranks receive
+  /// zero units. Fails on unknown algorithm names (listing registered
+  /// ones), unfitted models, or when the algorithm cannot produce a
+  /// valid distribution.
+  Result<Dist> partition(std::int64_t Total,
+                         const std::string &Algorithm = "");
+
+  /// --- execute -----------------------------------------------------
+
+  /// Runs \p Body on \p Ranks simulated processes of the platform under
+  /// its cost model.
+  Result<SpmdResult> execute(int Ranks,
+                             const std::function<void(Comm &)> &Body);
+
+  /// Builds a dynamic-balancing loop (partial models, even start) from
+  /// the session's validated algorithm and model kind. Safe to call
+  /// concurrently from execute() bodies.
+  BalancedLoop makeBalancedLoop(std::int64_t Total, int NumProcs,
+                                double StalenessDecay = 1.0) const;
+
+  /// --- introspection -----------------------------------------------
+
+  int rankCount() const { return static_cast<int>(Slots.size()); }
+  Model *model(int Rank);
+  const ModelSlot &slot(int Rank) const;
+  /// Pointers to the participating (non-excluded) models, with their
+  /// rank indices — the exact inputs partition() hands the algorithm.
+  std::vector<Model *> activeModels() const;
+  /// Warnings accumulated by degraded loads and refreshes.
+  const std::vector<std::string> &warnings() const { return Warnings; }
+  void clearWarnings() { Warnings.clear(); }
+
+private:
+  explicit Session(SessionConfig Config) : Config(std::move(Config)) {}
+
+  /// Loads \p Path into \p Slot (model + source + mtime). On failure
+  /// returns the diagnostic; with \p Degraded the slot is excluded
+  /// instead and a warning recorded.
+  Status loadSlot(ModelSlot &Slot, const std::string &Path, bool Degraded);
+
+  SessionConfig Config;
+  std::vector<ModelSlot> Slots;
+  std::vector<std::string> Warnings;
+};
+
+} // namespace engine
+} // namespace fupermod
+
+#endif // FUPERMOD_ENGINE_SESSION_H

@@ -65,3 +65,44 @@ std::int64_t Options::getInt(const std::string &Key,
   long long V = std::strtoll(It->second.c_str(), &End, 10);
   return End && *End == '\0' ? static_cast<std::int64_t>(V) : Default;
 }
+
+Result<std::int64_t> Options::checkedInt(const std::string &Key,
+                                         std::int64_t Default) const {
+  using R = Result<std::int64_t>;
+  auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  if (It->second.empty())
+    return R::failure("option --" + Key + " requires an integer value");
+  char *End = nullptr;
+  long long V = std::strtoll(It->second.c_str(), &End, 10);
+  if (!End || *End != '\0')
+    return R::failure("option --" + Key + ": expected an integer, got '" +
+                      It->second + "'");
+  return static_cast<std::int64_t>(V);
+}
+
+Result<double> Options::checkedDouble(const std::string &Key,
+                                      double Default) const {
+  using R = Result<double>;
+  auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  if (It->second.empty())
+    return R::failure("option --" + Key + " requires a numeric value");
+  char *End = nullptr;
+  double V = std::strtod(It->second.c_str(), &End);
+  if (!End || *End != '\0')
+    return R::failure("option --" + Key + ": expected a number, got '" +
+                      It->second + "'");
+  return V;
+}
+
+std::vector<std::string>
+Options::unknownKeys(const std::vector<std::string> &Known) const {
+  std::vector<std::string> Out;
+  for (const auto &[Key, Value] : Values)
+    if (std::find(Known.begin(), Known.end(), Key) == Known.end())
+      Out.push_back(Key);
+  return Out;
+}

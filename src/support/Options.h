@@ -14,6 +14,8 @@
 #ifndef FUPERMOD_SUPPORT_OPTIONS_H
 #define FUPERMOD_SUPPORT_OPTIONS_H
 
+#include "support/Result.h"
+
 #include <cstdint>
 #include <map>
 #include <string>
@@ -44,6 +46,19 @@ public:
   /// unparseable.
   double getDouble(const std::string &Key, double Default) const;
   std::int64_t getInt(const std::string &Key, std::int64_t Default) const;
+
+  /// Strict numeric accessors: an absent key yields \p Default, but a
+  /// value that is present and not fully numeric is an error naming the
+  /// option and the offending text — the tools print it verbatim and
+  /// exit nonzero instead of silently running with the default.
+  Result<std::int64_t> checkedInt(const std::string &Key,
+                                  std::int64_t Default) const;
+  Result<double> checkedDouble(const std::string &Key, double Default) const;
+
+  /// `--key`s that appeared on the command line but are not in \p Known
+  /// (so tools can reject mistyped flags instead of ignoring them).
+  std::vector<std::string>
+  unknownKeys(const std::vector<std::string> &Known) const;
 
   /// Arguments that did not start with `--`.
   const std::vector<std::string> &positional() const { return Positional; }

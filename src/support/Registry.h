@@ -1,0 +1,127 @@
+//===-- support/Registry.h - Name -> factory registries ---------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic name -> factory table for one family of interchangeable
+/// framework components. The paper presents models, partitioning
+/// algorithms and kernels as pluggable parts of one measure -> model ->
+/// partition workflow; the registries make that concrete: each family has
+/// exactly one table, built-in implementations self-register where they
+/// are defined, and lookups *return* errors (naming every registered
+/// alternative) instead of asserting, so a typo on a command line or in a
+/// request file is diagnosable rather than fatal.
+///
+/// Instantiated for models (core/Model.h: modelRegistry), partitioners
+/// (core/Partitioners.h: partitionerRegistry) and kernels
+/// (core/Kernel.h: kernelRegistry).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SUPPORT_REGISTRY_H
+#define FUPERMOD_SUPPORT_REGISTRY_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fupermod {
+
+/// A name -> factory table producing ProductT from ArgTs.
+///
+/// Registration order is irrelevant: names() and diagnostics list entries
+/// sorted, so error messages are deterministic.
+template <class ProductT, class... ArgTs> class Registry {
+public:
+  using Product = ProductT;
+  using Factory = std::function<ProductT(ArgTs...)>;
+
+  /// \p Family names the component family in diagnostics ("model",
+  /// "partitioner", "kernel").
+  explicit Registry(std::string Family) : Family(std::move(Family)) {}
+
+  /// Registers \p Factory under \p Name. Returns false (and keeps the
+  /// existing entry) when the name is already taken.
+  bool add(const std::string &Name, Factory F) {
+    if (Name.empty() || !F)
+      return false;
+    return Factories.emplace(Name, std::move(F)).second;
+  }
+
+  /// True when \p Name is registered.
+  bool contains(const std::string &Name) const {
+    return Factories.count(Name) > 0;
+  }
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const {
+    std::vector<std::string> Out;
+    Out.reserve(Factories.size());
+    for (const auto &[Name, F] : Factories)
+      Out.push_back(Name);
+    return Out;
+  }
+
+  /// Number of registered factories.
+  std::size_t size() const { return Factories.size(); }
+
+  /// The diagnostic produced for a lookup of unknown \p Name: names the
+  /// family and lists every registered alternative.
+  std::string unknownNameError(const std::string &Name) const {
+    std::string Msg = "unknown " + Family + " '" + Name + "' (registered: ";
+    bool First = true;
+    for (const auto &[Known, F] : Factories) {
+      if (!First)
+        Msg += ", ";
+      Msg += Known;
+      First = false;
+    }
+    if (Factories.empty())
+      Msg += "none";
+    Msg += ")";
+    return Msg;
+  }
+
+  /// Creates the product registered under \p Name. On an unknown name,
+  /// returns a default-constructed (null/empty) product and, when \p Err
+  /// is non-null, stores the unknownNameError diagnostic.
+  ProductT create(const std::string &Name, ArgTs... Args,
+                  std::string *Err = nullptr) const {
+    auto It = Factories.find(Name);
+    if (It == Factories.end()) {
+      if (Err)
+        *Err = unknownNameError(Name);
+      return ProductT();
+    }
+    if (Err)
+      Err->clear();
+    return It->second(std::forward<ArgTs>(Args)...);
+  }
+
+private:
+  std::string Family;
+  std::map<std::string, Factory> Factories;
+};
+
+/// Registers a factory at static-initialization time. Place one at file
+/// scope next to the implementation:
+///
+///   static Registrar<ModelRegistry> X(modelRegistry(), "akima",
+///       [] { return std::make_unique<AkimaModel>(); });
+///
+/// The component's translation unit is linked in whenever the registry
+/// accessor it references is used, so built-ins are always registered
+/// before the first lookup.
+template <class RegistryT> struct Registrar {
+  Registrar(RegistryT &R, const std::string &Name,
+            typename RegistryT::Factory F) {
+    R.add(Name, std::move(F));
+  }
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SUPPORT_REGISTRY_H

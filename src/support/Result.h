@@ -1,0 +1,70 @@
+//===-- support/Result.h - Error-carrying return type -----------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal value-or-error return type for the framework layers that must
+/// not assert or abort on bad input (registries, the partition engine, the
+/// command-line tools). A failed Result always carries a human-readable
+/// message suitable for printing verbatim to a user.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SUPPORT_RESULT_H
+#define FUPERMOD_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fupermod {
+
+/// Either a value of T or an error message; never both, never neither.
+template <class T> class [[nodiscard]] Result {
+public:
+  /// Implicit success.
+  Result(T Value) : Value(std::move(Value)) {}
+
+  /// Failure carrying \p Message (must be non-empty).
+  static Result failure(std::string Message) {
+    Result R;
+    R.Message = Message.empty() ? std::string("unspecified error")
+                                : std::move(Message);
+    return R;
+  }
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T &value() {
+    assert(ok() && "value() on a failed Result");
+    return *Value;
+  }
+  const T &value() const {
+    assert(ok() && "value() on a failed Result");
+    return *Value;
+  }
+
+  /// The error message; empty on success.
+  const std::string &error() const { return Message; }
+
+private:
+  Result() = default;
+
+  std::optional<T> Value;
+  std::string Message;
+};
+
+/// A Result with no payload: success or an error message.
+using Status = Result<std::monostate>;
+
+/// The successful Status.
+inline Status okStatus() { return Status(std::monostate{}); }
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SUPPORT_RESULT_H

@@ -1,0 +1,111 @@
+# CTest script exercising the engine-backed `partitioner --serve` batch
+# mode end to end: build models, answer a request batch (including a
+# per-request algorithm override and an explicit reload), hot-reload a
+# model that changed on disk between requests, and check that bad
+# requests and mistyped flags fail loudly.
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(run_checked)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE Rc
+                  OUTPUT_VARIABLE Out ERROR_VARIABLE Err)
+  if(NOT Rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${Rc}): ${ARGV}\n${Out}\n${Err}")
+  endif()
+  set(LAST_OUTPUT "${Out}" PARENT_SCOPE)
+endfunction()
+
+run_checked(${BUILDER} --source two-device --rank 0 --min 100 --max 4000
+            --points 8 --output ${WORKDIR}/dev0.fpm)
+run_checked(${BUILDER} --source two-device --rank 1 --min 100 --max 4000
+            --points 8 --output ${WORKDIR}/dev1.fpm)
+
+# A batch of requests: default algorithm, an override, a forced reload.
+file(WRITE ${WORKDIR}/requests.txt
+"# engine smoke batch
+3000
+1000 numerical
+reload
+500 constant
+")
+run_checked(${PARTITIONER} --serve ${WORKDIR}/requests.txt
+            ${WORKDIR}/dev0.fpm ${WORKDIR}/dev1.fpm)
+foreach(Expected
+        "geometric partitioning of 3000 units"
+        "numerical partitioning of 1000 units"
+        "constant partitioning of 500 units"
+        "# served 3 request\\(s\\), 0 failed")
+  if(NOT LAST_OUTPUT MATCHES "${Expected}")
+    message(FATAL_ERROR "serve output missing '${Expected}':\n"
+                        "${LAST_OUTPUT}")
+  endif()
+endforeach()
+
+# Every answered request's units must sum to its total.
+string(REGEX MATCHALL "units +([0-9]+)" Matches "${LAST_OUTPUT}")
+set(Sum 0)
+foreach(M ${Matches})
+  string(REGEX REPLACE "units +" "" U "${M}")
+  math(EXPR Sum "${Sum} + ${U}")
+endforeach()
+if(NOT Sum EQUAL 4500)
+  message(FATAL_ERROR "served units sum to ${Sum}, expected 4500:\n"
+                      "${LAST_OUTPUT}")
+endif()
+
+# Serve answers from one long-lived session: the same batch answered
+# twice must be deterministic. (Mid-run hot reload is unit-tested in
+# SessionTest; a sequential script cannot rewrite a file between two
+# requests of one invocation.)
+set(FirstRun "${LAST_OUTPUT}")
+run_checked(${PARTITIONER} --serve ${WORKDIR}/requests.txt
+            ${WORKDIR}/dev0.fpm ${WORKDIR}/dev1.fpm)
+if(NOT LAST_OUTPUT STREQUAL FirstRun)
+  message(FATAL_ERROR "serve output is not deterministic")
+endif()
+
+# A degraded batch still answers over the surviving ranks: the missing
+# model's rank is excluded with a warning and holds zero units.
+file(WRITE ${WORKDIR}/degraded.txt "600\n")
+run_checked(${PARTITIONER} --serve ${WORKDIR}/degraded.txt
+            --allow-degraded ${WORKDIR}/dev0.fpm ${WORKDIR}/missing.fpm)
+if(NOT LAST_OUTPUT MATCHES "rank 0 +units +600")
+  message(FATAL_ERROR "degraded serve did not give rank 0 the full "
+                      "total:\n${LAST_OUTPUT}")
+endif()
+if(NOT LAST_OUTPUT MATCHES "rank 1 +units +0")
+  message(FATAL_ERROR "degraded serve did not zero the excluded rank:\n"
+                      "${LAST_OUTPUT}")
+endif()
+
+# A malformed request line must fail the whole batch with its location.
+file(WRITE ${WORKDIR}/bad.txt "3000\nnonsense 7\n")
+execute_process(COMMAND ${PARTITIONER} --serve ${WORKDIR}/bad.txt
+                ${WORKDIR}/dev0.fpm RESULT_VARIABLE Rc
+                OUTPUT_QUIET ERROR_VARIABLE Err)
+if(Rc EQUAL 0)
+  message(FATAL_ERROR "partitioner accepted a malformed request file")
+endif()
+if(NOT Err MATCHES "line 2")
+  message(FATAL_ERROR "malformed request diagnostic lacks the line:\n"
+                      "${Err}")
+endif()
+
+# Strict option parsing: mistyped flags and non-numeric values fail.
+execute_process(COMMAND ${PARTITIONER} --total ten ${WORKDIR}/dev0.fpm
+                RESULT_VARIABLE Rc OUTPUT_QUIET ERROR_VARIABLE Err)
+if(Rc EQUAL 0 OR NOT Err MATCHES "expected an integer")
+  message(FATAL_ERROR "partitioner accepted --total ten:\n${Err}")
+endif()
+execute_process(COMMAND ${PARTITIONER} --total 100 --exlpain
+                ${WORKDIR}/dev0.fpm RESULT_VARIABLE Rc
+                OUTPUT_QUIET ERROR_VARIABLE Err)
+if(Rc EQUAL 0 OR NOT Err MATCHES "unknown option --exlpain")
+  message(FATAL_ERROR "partitioner accepted a mistyped flag:\n${Err}")
+endif()
+execute_process(COMMAND ${BUILDER} --points ten RESULT_VARIABLE Rc
+                OUTPUT_QUIET ERROR_VARIABLE Err)
+if(Rc EQUAL 0 OR NOT Err MATCHES "expected an integer")
+  message(FATAL_ERROR "builder accepted --points ten:\n${Err}")
+endif()
+message(STATUS "engine smoke OK")

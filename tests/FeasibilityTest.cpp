@@ -116,7 +116,7 @@ TEST_P(CappedPartitionerTest, NeverExceedsTheLimit) {
   auto P = ptrs(Models);
   Dist Out;
   // Equal speeds would split 500/500; device 1 is capped below 300.
-  ASSERT_TRUE(getPartitioner(GetParam())(1000, P, Out));
+  ASSERT_TRUE(findPartitioner(GetParam())(1000, P, Out));
   EXPECT_EQ(Out.sum(), 1000);
   EXPECT_LT(Out.Parts[1].Units, 300);
   EXPECT_EQ(Out.Parts[0].Units, 1000 - Out.Parts[1].Units);
@@ -127,7 +127,7 @@ TEST_P(CappedPartitionerTest, FailsWhenCapacityInsufficient) {
   Models[0]->update(failPoint(400.0)); // Both limited: 399 + 299 < 1000.
   auto P = ptrs(Models);
   Dist Out;
-  EXPECT_FALSE(getPartitioner(GetParam())(1000, P, Out));
+  EXPECT_FALSE(findPartitioner(GetParam())(1000, P, Out));
 }
 
 INSTANTIATE_TEST_SUITE_P(Algorithms, CappedPartitionerTest,

@@ -1,6 +1,7 @@
 //===-- tests/ModelIOTest.cpp - model persistence tests -------------------===//
 
 #include "core/ModelIO.h"
+#include "core/Partitioners.h"
 
 #include <gtest/gtest.h>
 
@@ -59,6 +60,140 @@ TEST(ModelIO, PreservesFeasibilityLimit) {
   std::unique_ptr<Model> Back = readModel(SS);
   ASSERT_NE(Back, nullptr);
   EXPECT_DOUBLE_EQ(Back->feasibleLimit(), 500.0);
+}
+
+TEST(ModelIO, RoundTripsPointWeights) {
+  auto M = makeModel("piecewise");
+  M->update(makePoint(10.0, 1.0, 4));
+  M->update(makePoint(20.0, 2.0, 6));
+  M->update(makePoint(40.0, 4.5, 2));
+  M->decayWeights(0.75);
+  M->update(makePoint(80.0, 9.0, 5)); // Fresh point at full weight.
+  ASSERT_EQ(M->weights().size(), 4u);
+
+  std::stringstream SS;
+  ASSERT_TRUE(writeModel(SS, *M));
+  std::unique_ptr<Model> Back = readModel(SS);
+  ASSERT_NE(Back, nullptr);
+  ASSERT_EQ(Back->weights().size(), M->weights().size());
+  for (std::size_t I = 0; I < M->weights().size(); ++I)
+    EXPECT_DOUBLE_EQ(Back->weights()[I], M->weights()[I]) << I;
+  for (double X : {5.0, 15.0, 30.0, 60.0, 100.0})
+    EXPECT_DOUBLE_EQ(Back->timeAt(X), M->timeAt(X)) << X;
+}
+
+TEST(ModelIO, UndecayedModelsKeepTheFourColumnFormat) {
+  // Weight == Reps is the default state; the writer must not add a fifth
+  // column, so files from older builds stay byte-compatible.
+  auto M = makeModel("cpm");
+  M->update(makePoint(10.0, 1.0, 4));
+  std::stringstream SS;
+  ASSERT_TRUE(writeModel(SS, *M));
+  std::string Line;
+  bool SawPoint = false;
+  while (std::getline(SS, Line)) {
+    if (Line.empty() || Line[0] == '#' || Line.rfind("kind", 0) == 0 ||
+        Line.rfind("points", 0) == 0)
+      continue;
+    SawPoint = true;
+    std::istringstream LS(Line);
+    std::string Tok;
+    int Columns = 0;
+    while (LS >> Tok)
+      ++Columns;
+    EXPECT_EQ(Columns, 4) << Line;
+  }
+  EXPECT_TRUE(SawPoint);
+}
+
+TEST(ModelIO, StalenessDecayContinuesIdenticallyAfterRoundTrip) {
+  // A reloaded model must carry the decay state: applying the same
+  // further decay to the original and the copy drops the same points.
+  auto M = makeModel("piecewise");
+  M->update(makePoint(10.0, 1.0, 2));
+  M->update(makePoint(20.0, 2.0, 8));
+  M->decayWeights(0.6); // 1.2 and 4.8: both above the 0.5 keep floor.
+
+  std::stringstream SS;
+  ASSERT_TRUE(writeModel(SS, *M));
+  std::unique_ptr<Model> Back = readModel(SS);
+  ASSERT_NE(Back, nullptr);
+
+  M->decayWeights(0.3); // 0.36 and 1.44: the first point is dropped.
+  Back->decayWeights(0.3);
+  ASSERT_EQ(M->points().size(), 1u);
+  ASSERT_EQ(Back->points().size(), M->points().size());
+  EXPECT_DOUBLE_EQ(Back->points()[0].Units, M->points()[0].Units);
+  ASSERT_EQ(Back->weights().size(), M->weights().size());
+  EXPECT_DOUBLE_EQ(Back->weights()[0], M->weights()[0]);
+}
+
+TEST(ModelIO, RepartitionAfterRoundTripMatchesInMemory) {
+  // The acceptance check of the persistence layer: write -> read ->
+  // re-partition must reproduce the in-memory distribution exactly.
+  auto Fast = makeModel("piecewise");
+  auto Slow = makeModel("piecewise");
+  for (int I = 1; I <= 6; ++I) {
+    Fast->update(makePoint(100.0 * I, 0.08 * I, 3, 0.004 * I));
+    Slow->update(makePoint(100.0 * I, 0.31 * I, 3, 0.009 * I));
+  }
+  Slow->decayWeights(0.9); // Exercise the weight column too.
+  Point Fail;
+  Fail.Units = 900.0;
+  Fail.Reps = 0;
+  Fail.Time = std::numeric_limits<double>::infinity();
+  Slow->update(Fail);
+
+  std::stringstream F, S;
+  ASSERT_TRUE(writeModel(F, *Fast));
+  ASSERT_TRUE(writeModel(S, *Slow));
+  std::unique_ptr<Model> FastBack = readModel(F);
+  std::unique_ptr<Model> SlowBack = readModel(S);
+  ASSERT_NE(FastBack, nullptr);
+  ASSERT_NE(SlowBack, nullptr);
+  EXPECT_DOUBLE_EQ(SlowBack->feasibleLimit(), Slow->feasibleLimit());
+
+  for (const char *Algorithm : {"constant", "geometric", "numerical"}) {
+    Partitioner Algo = findPartitioner(Algorithm);
+    ASSERT_NE(Algo, nullptr);
+    std::vector<Model *> Mem = {Fast.get(), Slow.get()};
+    std::vector<Model *> Disk = {FastBack.get(), SlowBack.get()};
+    Dist InMemory, FromDisk;
+    ASSERT_TRUE(Algo(1000, Mem, InMemory)) << Algorithm;
+    ASSERT_TRUE(Algo(1000, Disk, FromDisk)) << Algorithm;
+    ASSERT_EQ(InMemory.Parts.size(), FromDisk.Parts.size());
+    for (std::size_t I = 0; I < InMemory.Parts.size(); ++I) {
+      EXPECT_EQ(FromDisk.Parts[I].Units, InMemory.Parts[I].Units)
+          << Algorithm << " rank " << I;
+      EXPECT_DOUBLE_EQ(FromDisk.Parts[I].PredictedTime,
+                       InMemory.Parts[I].PredictedTime)
+          << Algorithm << " rank " << I;
+    }
+  }
+}
+
+TEST(ModelIO, ReportsParseErrorsWithLineNumbers) {
+  {
+    std::stringstream SS("kind cpm\npoints 1\n10 1 3 0 0.5 extra\n");
+    std::string Err;
+    EXPECT_EQ(readModel(SS, &Err), nullptr);
+    EXPECT_NE(Err.find("line 3"), std::string::npos) << Err;
+  }
+  {
+    std::stringstream SS("kind nosuch\npoints 0\n");
+    std::string Err;
+    EXPECT_EQ(readModel(SS, &Err), nullptr);
+    EXPECT_NE(Err.find("unknown model kind 'nosuch'"), std::string::npos)
+        << Err;
+    EXPECT_NE(Err.find("registered"), std::string::npos) << Err;
+  }
+  {
+    // Weights must be positive.
+    std::stringstream SS("kind cpm\npoints 1\n10 1 3 0 -2\n");
+    std::string Err;
+    EXPECT_EQ(readModel(SS, &Err), nullptr);
+    EXPECT_NE(Err.find("weight"), std::string::npos) << Err;
+  }
 }
 
 TEST(ModelIO, RejectsMalformedInput) {

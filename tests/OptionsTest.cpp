@@ -63,3 +63,39 @@ TEST(Options, LastOccurrenceWins) {
   Options O = parse({"prog", "--k", "1", "--k", "2"});
   EXPECT_EQ(O.getInt("k", 0), 2);
 }
+
+TEST(Options, CheckedAccessorsAcceptNumbersAndDefaults) {
+  Options O = parse({"prog", "--n", "12", "--d", "1.5"});
+  Result<std::int64_t> N = O.checkedInt("n", -1);
+  ASSERT_TRUE(N.ok());
+  EXPECT_EQ(N.value(), 12);
+  Result<double> D = O.checkedDouble("d", 0.0);
+  ASSERT_TRUE(D.ok());
+  EXPECT_DOUBLE_EQ(D.value(), 1.5);
+  // Absent keys still yield the default, like the lenient accessors.
+  Result<std::int64_t> Absent = O.checkedInt("m", 7);
+  ASSERT_TRUE(Absent.ok());
+  EXPECT_EQ(Absent.value(), 7);
+}
+
+TEST(Options, CheckedAccessorsRejectMalformedValues) {
+  Options O = parse({"prog", "--n", "12x", "--d", "abc", "--e="});
+  Result<std::int64_t> N = O.checkedInt("n", -1);
+  ASSERT_FALSE(N.ok());
+  EXPECT_EQ(N.error(), "option --n: expected an integer, got '12x'");
+  Result<double> D = O.checkedDouble("d", 2.5);
+  ASSERT_FALSE(D.ok());
+  EXPECT_EQ(D.error(), "option --d: expected a number, got 'abc'");
+  Result<std::int64_t> E = O.checkedInt("e", 0);
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.error(), "option --e requires an integer value");
+}
+
+TEST(Options, UnknownKeysFindsMistypedFlags) {
+  Options O = parse({"prog", "--total", "5", "--exlpain", "--stats"});
+  std::vector<std::string> Unknown =
+      O.unknownKeys({"total", "explain", "stats"});
+  ASSERT_EQ(Unknown.size(), 1u);
+  EXPECT_EQ(Unknown[0], "exlpain");
+  EXPECT_TRUE(O.unknownKeys({"total", "exlpain", "stats"}).empty());
+}

@@ -93,7 +93,7 @@ TEST(PartitionProperty, SumAndNonNegativityOverRandomClusters) {
 
     for (const char *Name : {"constant", "geometric", "numerical"}) {
       Dist D;
-      ASSERT_TRUE(getPartitioner(Name)(Total, B.Models, D))
+      ASSERT_TRUE(findPartitioner(Name)(Total, B.Models, D))
           << Name << " failed on cluster " << Case;
       EXPECT_EQ(D.sum(), Total)
           << Name << " dropped units on cluster " << Case;

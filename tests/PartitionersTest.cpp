@@ -153,7 +153,7 @@ TEST(AllPartitioners, HomogeneousClusterGetsEvenSplit) {
     auto Models = buildModels(Kind, C.Devices, 2000.0);
     auto P = ptrs(Models);
     Dist Out;
-    ASSERT_TRUE(getPartitioner(Spec)(1000, P, Out)) << Spec;
+    ASSERT_TRUE(findPartitioner(Spec)(1000, P, Out)) << Spec;
     for (const Part &Pt : Out.Parts)
       EXPECT_EQ(Pt.Units, 250) << Spec;
   }
@@ -177,7 +177,7 @@ TEST_P(PartitionerSweep, SumPreservedAndBalanced) {
                             static_cast<double>(Case.Total) * 1.2, 32);
   auto P = ptrs(Models);
   Dist Out;
-  ASSERT_TRUE(getPartitioner(Case.Algorithm)(Case.Total, P, Out));
+  ASSERT_TRUE(findPartitioner(Case.Algorithm)(Case.Total, P, Out));
   EXPECT_EQ(Out.sum(), Case.Total);
   for (const Part &Pt : Out.Parts)
     EXPECT_GE(Pt.Units, 0);

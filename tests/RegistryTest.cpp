@@ -1,0 +1,90 @@
+//===-- tests/RegistryTest.cpp - name->factory registry tests -------------===//
+
+#include "core/Kernel.h"
+#include "core/Model.h"
+#include "core/Partitioners.h"
+#include "support/Registry.h"
+
+#include <gtest/gtest.h>
+
+using namespace fupermod;
+
+TEST(Registry, AddContainsAndSortedNames) {
+  Registry<int> R("widget");
+  EXPECT_TRUE(R.add("b", [] { return 2; }));
+  EXPECT_TRUE(R.add("a", [] { return 1; }));
+  EXPECT_TRUE(R.contains("a"));
+  EXPECT_FALSE(R.contains("c"));
+  ASSERT_EQ(R.names().size(), 2u);
+  EXPECT_EQ(R.names()[0], "a"); // Sorted, so diagnostics are stable.
+  EXPECT_EQ(R.names()[1], "b");
+}
+
+TEST(Registry, RejectsDuplicatesAndEmptyNames) {
+  Registry<int> R("widget");
+  EXPECT_TRUE(R.add("a", [] { return 1; }));
+  EXPECT_FALSE(R.add("a", [] { return 9; })); // First registration wins.
+  EXPECT_FALSE(R.add("", [] { return 0; }));
+  std::string Err;
+  EXPECT_EQ(R.create("a", &Err), 1);
+  EXPECT_TRUE(Err.empty());
+}
+
+TEST(Registry, UnknownNameListsAlternatives) {
+  Registry<int> R("widget");
+  R.add("alpha", [] { return 1; });
+  R.add("beta", [] { return 2; });
+  std::string Err;
+  EXPECT_EQ(R.create("gamma", &Err), 0); // Default-constructed product.
+  EXPECT_EQ(Err, "unknown widget 'gamma' (registered: alpha, beta)");
+}
+
+TEST(Registry, ForwardsFactoryArguments) {
+  Registry<int, int, int> R("adder");
+  R.add("sum", [](int A, int B) { return A + B; });
+  std::string Err;
+  EXPECT_EQ(R.create("sum", 3, 4, &Err), 7);
+  EXPECT_TRUE(Err.empty());
+}
+
+TEST(ModelRegistry, HasAllBuiltInKinds) {
+  for (const char *Kind : {"cpm", "piecewise", "akima", "linear"}) {
+    EXPECT_TRUE(modelRegistry().contains(Kind)) << Kind;
+    std::unique_ptr<Model> M = makeModel(Kind);
+    ASSERT_NE(M, nullptr) << Kind;
+    EXPECT_STREQ(M->kind(), Kind);
+  }
+}
+
+TEST(ModelRegistry, UnknownKindIsDiagnosable) {
+  std::string Err;
+  EXPECT_EQ(makeModel("spline", &Err), nullptr);
+  EXPECT_EQ(Err,
+            "unknown model kind 'spline' (registered: akima, cpm, linear, "
+            "piecewise)");
+}
+
+TEST(PartitionerRegistry, HasAllBuiltInAlgorithms) {
+  for (const char *Name : {"constant", "geometric", "numerical"}) {
+    EXPECT_TRUE(partitionerRegistry().contains(Name)) << Name;
+    EXPECT_NE(findPartitioner(Name), nullptr) << Name;
+  }
+}
+
+TEST(PartitionerRegistry, UnknownAlgorithmIsDiagnosable) {
+  std::string Err;
+  EXPECT_EQ(findPartitioner("fastest", &Err), nullptr);
+  EXPECT_EQ(Err, "unknown partitioner 'fastest' (registered: constant, "
+                 "geometric, numerical)");
+}
+
+TEST(KernelRegistry, BuildsTheGemmKernel) {
+  ASSERT_TRUE(kernelRegistry().contains("gemm"));
+  KernelConfig Config;
+  Config.BlockSize = 8;
+  std::unique_ptr<Kernel> K = makeKernel("gemm", Config);
+  ASSERT_NE(K, nullptr);
+  std::string Err;
+  EXPECT_EQ(makeKernel("fft", Config, &Err), nullptr);
+  EXPECT_EQ(Err, "unknown kernel 'fft' (registered: gemm)");
+}

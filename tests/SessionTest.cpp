@@ -1,0 +1,310 @@
+//===-- tests/SessionTest.cpp - partition-engine session tests ------------===//
+
+#include "engine/Serve.h"
+#include "engine/Session.h"
+#include "core/ModelIO.h"
+#include "mpp/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace fupermod;
+using namespace fupermod::engine;
+
+namespace {
+
+Point makePoint(double Units, double Time, int Reps = 3) {
+  Point P;
+  P.Units = Units;
+  P.Time = Time;
+  P.Reps = Reps;
+  P.ConfidenceInterval = 0.01;
+  return P;
+}
+
+/// A session over the two-device simulated platform.
+std::unique_ptr<Session> makeTwoDeviceSession() {
+  SessionConfig Cfg;
+  Cfg.Platform = makeTwoDeviceCluster();
+  Cfg.Platform.NoiseSigma = 0.0;
+  auto R = Session::create(std::move(Cfg));
+  EXPECT_TRUE(R.ok()) << R.error();
+  return std::move(R.value());
+}
+
+/// Writes a fitted model file whose speed is \p UnitsPerSec.
+void writeModelFile(const std::string &Path, double UnitsPerSec) {
+  auto M = makeModel("piecewise");
+  for (int I = 1; I <= 4; ++I)
+    M->update(makePoint(100.0 * I, 100.0 * I / UnitsPerSec));
+  ASSERT_TRUE(fupermod::saveModel(Path, *M));
+}
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+/// refreshModels() keys on mtime; filesystem timestamps can be coarse,
+/// so force a visibly newer mtime after rewriting a file.
+void bumpMTime(const std::string &Path) {
+  std::filesystem::last_write_time(
+      Path, std::filesystem::last_write_time(Path) +
+                std::chrono::milliseconds(10));
+}
+
+} // namespace
+
+TEST(Session, CreateRejectsUnknownNamesWithAlternatives) {
+  {
+    SessionConfig Cfg;
+    Cfg.ModelKind = "spline";
+    auto R = Session::create(std::move(Cfg));
+    ASSERT_FALSE(R.ok());
+    EXPECT_NE(R.error().find("unknown model kind 'spline'"),
+              std::string::npos)
+        << R.error();
+    EXPECT_NE(R.error().find("piecewise"), std::string::npos) << R.error();
+  }
+  {
+    SessionConfig Cfg;
+    Cfg.Algorithm = "fastest";
+    auto R = Session::create(std::move(Cfg));
+    ASSERT_FALSE(R.ok());
+    EXPECT_NE(R.error().find("unknown partitioner 'fastest'"),
+              std::string::npos)
+        << R.error();
+  }
+  {
+    SessionConfig Cfg;
+    Cfg.KernelName = "fft";
+    auto R = Session::create(std::move(Cfg));
+    ASSERT_FALSE(R.ok());
+    EXPECT_NE(R.error().find("unknown kernel 'fft'"), std::string::npos)
+        << R.error();
+  }
+}
+
+TEST(Session, MeasureSynchronizedFitsEveryRank) {
+  auto S = makeTwoDeviceSession();
+  SyncMeasurePlan Plan;
+  Plan.Prec.MinReps = 2;
+  Plan.Prec.MaxReps = 3;
+  for (int I = 1; I <= 5; ++I)
+    Plan.Sizes.push_back(100.0 * I);
+  ASSERT_TRUE(S->measureSynchronized(Plan).ok());
+  ASSERT_EQ(S->rankCount(), 2);
+  for (int R = 0; R < 2; ++R) {
+    ASSERT_NE(S->model(R), nullptr);
+    EXPECT_TRUE(S->model(R)->fitted()) << R;
+    EXPECT_EQ(S->slot(R).Raw.size(), Plan.Sizes.size());
+  }
+  Result<Dist> D = S->partition(1000);
+  ASSERT_TRUE(D.ok()) << D.error();
+  EXPECT_EQ(D.value().Parts[0].Units + D.value().Parts[1].Units, 1000);
+}
+
+TEST(Session, FeedbackLoopDrivesPartitioning) {
+  auto S = makeTwoDeviceSession();
+  ASSERT_TRUE(S->initModels(2).ok());
+  // Unfitted models are a partition error naming the rank.
+  Result<Dist> Unfitted = S->partition(100);
+  ASSERT_FALSE(Unfitted.ok());
+  EXPECT_NE(Unfitted.error().find("rank 0"), std::string::npos)
+      << Unfitted.error();
+
+  // Rank 0 is 3x faster; the distribution must lean its way.
+  for (int I = 1; I <= 3; ++I) {
+    ASSERT_TRUE(S->feedback(0, makePoint(90.0 * I, 1.0 * I)).ok());
+    ASSERT_TRUE(S->feedback(1, makePoint(30.0 * I, 1.0 * I)).ok());
+  }
+  Result<Dist> D = S->partition(400);
+  ASSERT_TRUE(D.ok()) << D.error();
+  EXPECT_GT(D.value().Parts[0].Units, D.value().Parts[1].Units);
+  EXPECT_FALSE(S->feedback(7, makePoint(1.0, 1.0)).ok());
+}
+
+TEST(Session, PartitionValidatesInputs) {
+  auto S = makeTwoDeviceSession();
+  Result<Dist> NoModels = S->partition(100);
+  ASSERT_FALSE(NoModels.ok());
+  EXPECT_NE(NoModels.error().find("no models"), std::string::npos);
+
+  ASSERT_TRUE(S->initModels(2).ok());
+  ASSERT_TRUE(S->feedback(0, makePoint(100.0, 1.0)).ok());
+  ASSERT_TRUE(S->feedback(1, makePoint(100.0, 1.0)).ok());
+  Result<Dist> BadTotal = S->partition(0);
+  ASSERT_FALSE(BadTotal.ok());
+  EXPECT_NE(BadTotal.error().find("positive"), std::string::npos);
+
+  Result<Dist> BadAlgo = S->partition(100, "fastest");
+  ASSERT_FALSE(BadAlgo.ok());
+  EXPECT_NE(BadAlgo.error().find("unknown partitioner"), std::string::npos);
+
+  // A per-call override beats the session default.
+  Result<Dist> Constant = S->partition(100, "constant");
+  ASSERT_TRUE(Constant.ok()) << Constant.error();
+}
+
+TEST(Session, LoadModelsReportsFileAndParseError) {
+  SessionConfig Cfg;
+  auto SR = Session::create(std::move(Cfg));
+  ASSERT_TRUE(SR.ok());
+  Session &S = *SR.value();
+
+  std::string Missing = tempPath("session_missing.fpm");
+  std::vector<std::string> Paths = {Missing};
+  Status R = S.loadModels(Paths);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find(Missing), std::string::npos) << R.error();
+  EXPECT_NE(R.error().find("cannot open file"), std::string::npos)
+      << R.error();
+
+  std::string Corrupt = tempPath("session_corrupt.fpm");
+  {
+    std::ofstream OS(Corrupt);
+    OS << "# fupermod model\nkind piecewise\npoints 1\nnot a point\n";
+  }
+  Paths = {Corrupt};
+  R = S.loadModels(Paths);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find(Corrupt), std::string::npos) << R.error();
+  EXPECT_NE(R.error().find("line 4"), std::string::npos) << R.error();
+}
+
+TEST(Session, AllowDegradedExcludesBrokenRanksWithWarnings) {
+  SessionConfig Cfg;
+  Cfg.AllowDegraded = true;
+  auto SR = Session::create(std::move(Cfg));
+  ASSERT_TRUE(SR.ok());
+  Session &S = *SR.value();
+
+  std::string Good = tempPath("session_degraded_good.fpm");
+  writeModelFile(Good, 500.0);
+  std::string Missing = tempPath("session_degraded_missing.fpm");
+  std::vector<std::string> Paths = {Good, Missing};
+  ASSERT_TRUE(S.loadModels(Paths).ok());
+  EXPECT_FALSE(S.warnings().empty());
+  EXPECT_TRUE(S.slot(0).Exclusion.empty());
+  EXPECT_FALSE(S.slot(1).Exclusion.empty());
+
+  Result<Dist> D = S.partition(300);
+  ASSERT_TRUE(D.ok()) << D.error();
+  EXPECT_EQ(D.value().Parts[0].Units, 300);
+  EXPECT_EQ(D.value().Parts[1].Units, 0);
+  EXPECT_EQ(S.activeModels().size(), 1u);
+}
+
+TEST(Session, RefreshModelsHotReloadsChangedFiles) {
+  SessionConfig Cfg;
+  auto SR = Session::create(std::move(Cfg));
+  ASSERT_TRUE(SR.ok());
+  Session &S = *SR.value();
+
+  std::string A = tempPath("session_reload_a.fpm");
+  std::string B = tempPath("session_reload_b.fpm");
+  writeModelFile(A, 400.0);
+  writeModelFile(B, 400.0);
+  std::vector<std::string> Paths = {A, B};
+  ASSERT_TRUE(S.loadModels(Paths).ok());
+
+  // Unchanged files: nothing to do.
+  Result<int> None = S.refreshModels();
+  ASSERT_TRUE(None.ok());
+  EXPECT_EQ(None.value(), 0);
+  Dist Before = S.partition(1000).value();
+  EXPECT_EQ(Before.Parts[0].Units, Before.Parts[1].Units);
+
+  // Rank 0 got 3x faster on disk; a refresh must shift the partition.
+  writeModelFile(A, 1200.0);
+  bumpMTime(A);
+  Result<int> One = S.refreshModels();
+  ASSERT_TRUE(One.ok());
+  EXPECT_EQ(One.value(), 1);
+  Dist After = S.partition(1000).value();
+  EXPECT_GT(After.Parts[0].Units, After.Parts[1].Units);
+
+  // A reload that breaks keeps the previous model and records a warning.
+  {
+    std::ofstream OS(A);
+    OS << "kind piecewise\n"; // Missing points header.
+  }
+  bumpMTime(A);
+  Result<int> Broken = S.refreshModels();
+  ASSERT_TRUE(Broken.ok());
+  EXPECT_EQ(Broken.value(), 0);
+  EXPECT_FALSE(S.warnings().empty());
+  Dist Kept = S.partition(1000).value();
+  EXPECT_EQ(Kept.Parts[0].Units, After.Parts[0].Units);
+}
+
+TEST(Session, ExecuteRunsTheBodyOnThePlatform) {
+  auto S = makeTwoDeviceSession();
+  std::vector<int> Seen(2, 0);
+  Result<SpmdResult> R = S->execute(2, [&](Comm &C) {
+    Seen[static_cast<std::size_t>(C.rank())] = 1;
+    C.compute(0.5);
+  });
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(Seen[0] + Seen[1], 2);
+  EXPECT_GE(R.value().makespan(), 0.5);
+  EXPECT_FALSE(S->execute(0, [](Comm &) {}).ok());
+}
+
+TEST(Serve, ParsesRequestsAndReportsBadLines) {
+  {
+    std::istringstream IS("# comment\n3000\n1000 numerical\nreload\n");
+    auto R = parseServeRequests(IS);
+    ASSERT_TRUE(R.ok()) << R.error();
+    ASSERT_EQ(R.value().size(), 3u);
+    EXPECT_EQ(R.value()[0].Total, 3000);
+    EXPECT_EQ(R.value()[1].Algorithm, "numerical");
+    EXPECT_TRUE(R.value()[2].Reload);
+  }
+  {
+    std::istringstream IS("3000\nnonsense\n");
+    auto R = parseServeRequests(IS);
+    ASSERT_FALSE(R.ok());
+    EXPECT_NE(R.error().find("line 2"), std::string::npos) << R.error();
+  }
+}
+
+TEST(Serve, AnswersRequestsFromOneSession) {
+  SessionConfig Cfg;
+  auto SR = Session::create(std::move(Cfg));
+  ASSERT_TRUE(SR.ok());
+  Session &S = *SR.value();
+  std::string A = tempPath("serve_a.fpm");
+  std::string B = tempPath("serve_b.fpm");
+  writeModelFile(A, 900.0);
+  writeModelFile(B, 300.0);
+  std::vector<std::string> Paths = {A, B};
+  ASSERT_TRUE(S.loadModels(Paths).ok());
+
+  std::vector<ServeRequest> Requests(2);
+  Requests[0].Total = 1200;
+  Requests[1].Total = 400;
+  Requests[1].Algorithm = "constant";
+  std::ostringstream OS;
+  ServeStats St = serveRequests(S, Requests, OS);
+  EXPECT_EQ(St.Answered, 2);
+  EXPECT_EQ(St.Failed, 0);
+  EXPECT_NE(OS.str().find("geometric partitioning of 1200 units"),
+            std::string::npos)
+      << OS.str();
+  EXPECT_NE(OS.str().find("constant partitioning of 400 units"),
+            std::string::npos)
+      << OS.str();
+
+  // A bad per-request algorithm fails that request, not the batch.
+  Requests[0].Algorithm = "fastest";
+  std::ostringstream OS2;
+  St = serveRequests(S, Requests, OS2);
+  EXPECT_EQ(St.Answered, 1);
+  EXPECT_EQ(St.Failed, 1);
+  EXPECT_NE(OS2.str().find("# error: unknown partitioner 'fastest'"),
+            std::string::npos)
+      << OS2.str();
+}

@@ -6,6 +6,11 @@
 // `partitioner` tool (paper Section 4.3: build the models once, reuse
 // them across many runs).
 //
+// The tool is a thin frontend over the engine Session: it parses the
+// command line, configures a session (measure -> fit), and prints what
+// the session measured. Model kinds and kernels resolve through the
+// registries, so a bad name is reported with the registered alternatives.
+//
 // Usage:
 //   builder [--source native|<preset>] [--rank R|all] [--jobs N]
 //           [--kind K] [--min A] [--max B] [--points N] [--output FILE]
@@ -26,9 +31,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Benchmark.h"
-#include "core/GemmKernel.h"
-#include "core/ModelIO.h"
+#include "engine/Session.h"
 #include "sim/ClusterIO.h"
 #include "support/Options.h"
 
@@ -73,58 +76,105 @@ void printPoint(double D, const Point &P) {
                 P.Time, P.Reps, P.speed());
 }
 
+/// Prints \p Msg as an error and returns the tool's usage exit code.
+int fail(const std::string &Msg) {
+  std::fprintf(stderr, "error: %s\n", Msg.c_str());
+  return 2;
+}
+
+/// Writes the model of \p Rank to \p File and reports it; returns the
+/// process exit code.
+int writeModel(engine::Session &Engine, int Rank, const std::string &File) {
+  if (Status S = Engine.saveModel(Rank, File); !S) {
+    std::fprintf(stderr, "error: %s\n", S.error().c_str());
+    return 1;
+  }
+  const Model *M = Engine.model(Rank);
+  std::printf("# wrote %s (%zu points, kind %s)\n", File.c_str(),
+              M->points().size(), M->kind());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   Options Opts(Argc, Argv);
+  for (const std::string &Key :
+       Opts.unknownKeys({"source", "kind", "rank", "min", "max", "points",
+                         "jobs", "output", "reps-min", "reps-max",
+                         "rel-err", "time-limit", "threads", "noise"})) {
+    std::fprintf(stderr, "error: unknown option --%s\n", Key.c_str());
+    return usage(Argv[0]);
+  }
+
   std::string Source = Opts.get("source", "native");
   std::string Kind = Opts.get("kind", "piecewise");
   std::string RankSpec = Opts.get("rank", "0");
-  double Min = Opts.getDouble("min", 32.0);
-  double Max = Opts.getDouble("max", 1024.0);
-  std::int64_t NumPoints = Opts.getInt("points", 10);
-  std::int64_t Jobs = Opts.getInt("jobs", 1);
   std::string Output = Opts.get("output", "model.fpm");
 
-  if (Kind != "cpm" && Kind != "piecewise" && Kind != "akima")
-    return usage(Argv[0]);
+  // Strict numeric parsing: a typo like --points ten is an error, not a
+  // silent fallback to the default.
+  Result<double> MinR = Opts.checkedDouble("min", 32.0);
+  Result<double> MaxR = Opts.checkedDouble("max", 1024.0);
+  Result<std::int64_t> PointsR = Opts.checkedInt("points", 10);
+  Result<std::int64_t> JobsR = Opts.checkedInt("jobs", 1);
+  Result<std::int64_t> RepsMinR = Opts.checkedInt("reps-min", 3);
+  Result<std::int64_t> RepsMaxR = Opts.checkedInt("reps-max", 10);
+  Result<double> RelErrR = Opts.checkedDouble("rel-err", 0.05);
+  Result<double> TimeLimitR = Opts.checkedDouble("time-limit", 2.0);
+  Result<std::int64_t> ThreadsR = Opts.checkedInt("threads", 1);
+  Result<double> NoiseR = Opts.checkedDouble("noise", 0.02);
+  for (const Result<double> *R : {&MinR, &MaxR, &RelErrR, &TimeLimitR,
+                                  &NoiseR})
+    if (!*R)
+      return fail(R->error());
+  for (const Result<std::int64_t> *R : {&PointsR, &JobsR, &RepsMinR,
+                                        &RepsMaxR, &ThreadsR})
+    if (!*R)
+      return fail(R->error());
+
+  double Min = MinR.value();
+  double Max = MaxR.value();
+  std::int64_t NumPoints = PointsR.value();
+  std::int64_t Jobs = JobsR.value();
   if (Min <= 0.0 || Max < Min || NumPoints < 1 || Jobs < 1)
     return usage(Argv[0]);
 
   Precision Prec;
-  Prec.MinReps = static_cast<int>(Opts.getInt("reps-min", 3));
-  Prec.MaxReps = static_cast<int>(Opts.getInt("reps-max", 10));
-  Prec.TargetRelativeError = Opts.getDouble("rel-err", 0.05);
-  Prec.TimeLimit = Opts.getDouble("time-limit", 2.0);
+  Prec.MinReps = static_cast<int>(RepsMinR.value());
+  Prec.MaxReps = static_cast<int>(RepsMaxR.value());
+  Prec.TargetRelativeError = RelErrR.value();
+  Prec.TimeLimit = TimeLimitR.value();
 
   if (Source == "native") {
     // One real device: nothing to parallelise over across devices, but
     // the kernel itself can use --threads GEMM threads per measurement.
-    std::int64_t Threads = Opts.getInt("threads", 1);
+    std::int64_t Threads = ThreadsR.value();
     if (Threads < 1)
       return usage(Argv[0]);
-    GemmKernel Kernel(16, true, static_cast<unsigned>(Threads));
-    NativeKernelBackend Backend(Kernel);
-    std::unique_ptr<Model> M = makeModel(Kind);
+    engine::SessionConfig Cfg;
+    Cfg.ModelKind = Kind;
+    Cfg.Kernel.Threads = static_cast<unsigned>(Threads);
+    Result<std::unique_ptr<engine::Session>> SessionR =
+        engine::Session::create(std::move(Cfg));
+    if (!SessionR)
+      return fail(SessionR.error());
+    engine::Session &Engine = *SessionR.value();
+
+    engine::NativeMeasurePlan Plan;
+    Plan.MinSize = Min;
+    Plan.MaxSize = Max;
+    Plan.NumPoints = static_cast<int>(NumPoints);
+    Plan.Prec = Prec;
+    Plan.OnPoint = printPoint;
     std::printf("# benchmarking %s, %lld sizes in [%g, %g]\n",
                 Source.c_str(), static_cast<long long>(NumPoints), Min,
                 Max);
-    for (std::int64_t I = 0; I < NumPoints; ++I) {
-      double D = NumPoints == 1
-                     ? Min
-                     : Min + (Max - Min) * static_cast<double>(I) /
-                           static_cast<double>(NumPoints - 1);
-      Point P = runBenchmark(Backend, D, Prec);
-      M->update(P);
-      printPoint(D, P);
-    }
-    if (!saveModel(Output, *M)) {
-      std::fprintf(stderr, "error: cannot write %s\n", Output.c_str());
+    if (Status S = Engine.measureNative(Plan); !S) {
+      std::fprintf(stderr, "error: %s\n", S.error().c_str());
       return 1;
     }
-    std::printf("# wrote %s (%zu points, kind %s)\n", Output.c_str(),
-                M->points().size(), M->kind());
-    return 0;
+    return writeModel(Engine, 0, Output);
   }
 
   std::string Error;
@@ -134,20 +184,23 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   Cluster Cl = std::move(*Parsed);
-  Cl.NoiseSigma = Opts.getDouble("noise", 0.02);
+  Cl.NoiseSigma = NoiseR.value();
 
   ModelBuildPlan Plan;
-  Plan.Kind = Kind;
   Plan.MinSize = Min;
   Plan.MaxSize = Max;
   Plan.NumPoints = static_cast<int>(NumPoints);
   Plan.Prec = Prec;
   Plan.Jobs = static_cast<int>(Jobs);
+  const std::vector<double> Sizes = buildSizeGrid(Plan);
 
   bool AllRanks = RankSpec == "all";
   int Rank = 0;
   if (!AllRanks) {
-    Rank = static_cast<int>(Opts.getInt("rank", 0));
+    Result<std::int64_t> RankR = Opts.checkedInt("rank", 0);
+    if (!RankR)
+      return fail(RankR.error());
+    Rank = static_cast<int>(RankR.value());
     if (Rank < 0 || Rank >= Cl.size()) {
       std::fprintf(stderr, "error: rank %d out of range for preset %s\n",
                    Rank, Source.c_str());
@@ -165,40 +218,51 @@ int main(int Argc, char **Argv) {
     One.Seed = Cl.Seed + static_cast<std::uint64_t>(Rank);
     if (static_cast<std::size_t>(Rank) < Cl.Faults.size())
       One.Faults = {Cl.Faults[static_cast<std::size_t>(Rank)]};
+
+    engine::SessionConfig Cfg;
+    Cfg.Platform = std::move(One);
+    Cfg.ModelKind = Kind;
+    Result<std::unique_ptr<engine::Session>> SessionR =
+        engine::Session::create(std::move(Cfg));
+    if (!SessionR)
+      return fail(SessionR.error());
+    engine::Session &Engine = *SessionR.value();
+
     std::printf("# benchmarking %s rank %d, %lld sizes in [%g, %g]\n",
                 Source.c_str(), Rank, static_cast<long long>(NumPoints),
                 Min, Max);
-    std::vector<BuiltModel> Built = buildModelsParallel(One, Plan);
-    const std::vector<double> Sizes = buildSizeGrid(Plan);
-    for (std::size_t I = 0; I < Sizes.size(); ++I)
-      printPoint(Sizes[I], Built[0].Raw[I]);
-    if (!saveModel(Output, *Built[0].M)) {
-      std::fprintf(stderr, "error: cannot write %s\n", Output.c_str());
+    if (Status S = Engine.measure(Plan); !S) {
+      std::fprintf(stderr, "error: %s\n", S.error().c_str());
       return 1;
     }
-    std::printf("# wrote %s (%zu points, kind %s)\n", Output.c_str(),
-                Built[0].M->points().size(), Built[0].M->kind());
-    return 0;
+    for (std::size_t I = 0; I < Sizes.size(); ++I)
+      printPoint(Sizes[I], Engine.slot(0).Raw[I]);
+    return writeModel(Engine, 0, Output);
   }
+
+  engine::SessionConfig Cfg;
+  Cfg.Platform = Cl;
+  Cfg.ModelKind = Kind;
+  Result<std::unique_ptr<engine::Session>> SessionR =
+      engine::Session::create(std::move(Cfg));
+  if (!SessionR)
+    return fail(SessionR.error());
+  engine::Session &Engine = *SessionR.value();
 
   std::printf("# benchmarking %s, all %d ranks, %lld sizes in [%g, %g], "
               "%lld jobs\n",
               Source.c_str(), Cl.size(), static_cast<long long>(NumPoints),
               Min, Max, static_cast<long long>(Jobs));
-  std::vector<BuiltModel> Built = buildModelsParallel(Cl, Plan);
-  const std::vector<double> Sizes = buildSizeGrid(Plan);
+  if (Status S = Engine.measure(Plan); !S) {
+    std::fprintf(stderr, "error: %s\n", S.error().c_str());
+    return 1;
+  }
   for (int R = 0; R < Cl.size(); ++R) {
     std::printf("# rank %d\n", R);
-    const BuiltModel &B = Built[static_cast<std::size_t>(R)];
     for (std::size_t I = 0; I < Sizes.size(); ++I)
-      printPoint(Sizes[I], B.Raw[I]);
-    std::string File = perRankOutput(Output, R);
-    if (!saveModel(File, *B.M)) {
-      std::fprintf(stderr, "error: cannot write %s\n", File.c_str());
-      return 1;
-    }
-    std::printf("# wrote %s (%zu points, kind %s)\n", File.c_str(),
-                B.M->points().size(), B.M->kind());
+      printPoint(Sizes[I], Engine.slot(R).Raw[I]);
+    if (int Rc = writeModel(Engine, R, perRankOutput(Output, R)))
+      return Rc;
   }
   return 0;
 }

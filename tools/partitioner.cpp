@@ -5,17 +5,29 @@
 // computes the optimal distribution of a problem with the selected
 // algorithm.
 //
+// The tool is a thin frontend over the engine Session: the session loads
+// the models (remembering file mtimes), resolves the algorithm through
+// the partitioner registry, and computes the distribution.
+//
 // Usage:
 //   partitioner --total D [--algorithm constant|geometric|numerical]
 //               [--output FILE] [--explain] [--allow-degraded] [--stats]
 //               model0.fpm model1.fpm ...
+//   partitioner --serve REQFILE [--algorithm A] [--allow-degraded]
+//               model0.fpm model1.fpm ...
+//
+// --serve REQFILE answers a batch of partition requests (one `TOTAL
+// [ALGORITHM]` per line; `reload` forces a model re-read) from one
+// long-lived session: the models are loaded and fitted once, and files
+// that change on disk between requests are hot-reloaded automatically.
 //
 // --stats prints the partition latency and the hit rate of the models'
 // memoized inverse-time lookup cache (see Model::sizeForTimeCached).
 //
-// --allow-degraded drops ranks whose model is unfitted (no successful
-// measurement — e.g. the device failed during model construction) and
-// partitions the full total over the survivors instead of refusing.
+// --allow-degraded drops ranks whose model is unreadable, corrupt, or
+// unfitted (no successful measurement — e.g. the device failed during
+// model construction) with a warning, and partitions the full total over
+// the survivors instead of refusing.
 // --explain prints one line per rank stating whether it was included,
 // capped by a feasibility limit, or excluded and why — so degraded runs
 // are diagnosable from the CLI.
@@ -23,7 +35,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/ModelIO.h"
-#include "core/Partitioners.h"
+#include "engine/Serve.h"
+#include "engine/Session.h"
 #include "mpp/Runtime.h"
 #include "support/Options.h"
 
@@ -32,89 +45,108 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <sstream>
 
 using namespace fupermod;
 
+namespace {
+
+int usage(const char *Program) {
+  std::fprintf(stderr,
+               "usage: %s --total D [--algorithm "
+               "constant|geometric|numerical] [--output FILE] "
+               "[--explain] [--allow-degraded] [--stats] "
+               "model0.fpm model1.fpm ...\n"
+               "       %s --serve REQFILE [--algorithm A] "
+               "[--allow-degraded] model0.fpm model1.fpm ...\n",
+               Program, Program);
+  return 2;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   Options Opts(Argc, Argv, {"explain", "allow-degraded", "stats"});
-  std::int64_t Total = Opts.getInt("total", 0);
+  for (const std::string &Key :
+       Opts.unknownKeys({"total", "algorithm", "output", "explain",
+                         "allow-degraded", "stats", "serve"})) {
+    std::fprintf(stderr, "error: unknown option --%s\n", Key.c_str());
+    return usage(Argv[0]);
+  }
+
+  Result<std::int64_t> TotalR = Opts.checkedInt("total", 0);
+  if (!TotalR) {
+    std::fprintf(stderr, "error: %s\n", TotalR.error().c_str());
+    return 2;
+  }
+  std::int64_t Total = TotalR.value();
   std::string Algorithm = Opts.get("algorithm", "geometric");
+  std::string ServeFile = Opts.get("serve");
+  bool Serve = Opts.has("serve");
   bool Explain = Opts.has("explain");
   bool AllowDegraded = Opts.has("allow-degraded");
   bool Stats = Opts.has("stats");
   const auto &Files = Opts.positional();
 
-  if (Total <= 0 || Files.empty() ||
-      (Algorithm != "constant" && Algorithm != "geometric" &&
-       Algorithm != "numerical")) {
-    std::fprintf(stderr,
-                 "usage: %s --total D [--algorithm "
-                 "constant|geometric|numerical] [--output FILE] "
-                 "[--explain] [--allow-degraded] [--stats] "
-                 "model0.fpm model1.fpm ...\n",
-                 Argv[0]);
+  if (Files.empty() || (Serve ? ServeFile.empty() : Total <= 0))
+    return usage(Argv[0]);
+
+  // One session behind both modes: it validates the algorithm name
+  // against the registry, loads the models (remembering mtimes for hot
+  // reload), and owns the partitioning pipeline.
+  engine::SessionConfig Cfg;
+  Cfg.Algorithm = Algorithm;
+  Cfg.AllowDegraded = AllowDegraded;
+  Result<std::unique_ptr<engine::Session>> SessionR =
+      engine::Session::create(std::move(Cfg));
+  if (!SessionR) {
+    std::fprintf(stderr, "error: %s\n", SessionR.error().c_str());
     return 2;
   }
+  engine::Session &Engine = *SessionR.value();
 
-  std::vector<std::unique_ptr<Model>> Models;
-  for (const std::string &File : Files) {
-    std::unique_ptr<Model> M = loadModel(File);
-    if (!M) {
-      std::fprintf(stderr, "error: cannot read model file %s\n",
-                   File.c_str());
-      return 1;
-    }
-    Models.push_back(std::move(M));
-  }
-
-  // Partition over the usable models only; with --allow-degraded an
-  // unfitted model excludes its rank (share 0), otherwise it is an error.
-  std::vector<Model *> Active;
-  std::vector<std::size_t> ActiveRanks;
-  std::vector<std::string> Exclusions(Files.size());
-  for (std::size_t I = 0; I < Models.size(); ++I) {
-    if (!Models[I]->fitted()) {
-      if (!AllowDegraded) {
-        std::fprintf(stderr,
-                     "error: model %s has no successful measurements "
-                     "(rerun builder, or pass --allow-degraded to "
-                     "partition over the remaining ranks)\n",
-                     Files[I].c_str());
-        return 1;
-      }
-      Exclusions[I] = "model unfitted: no successful measurements";
-      continue;
-    }
-    Active.push_back(Models[I].get());
-    ActiveRanks.push_back(I);
-  }
-  if (Active.empty()) {
-    std::fprintf(stderr, "error: every rank's model is unfitted\n");
+  if (Status S = Engine.loadModels(Files); !S) {
+    std::fprintf(stderr, "error: %s\n", S.error().c_str());
     return 1;
   }
+  for (const std::string &W : Engine.warnings())
+    std::fprintf(stderr, "warning: %s\n", W.c_str());
+  Engine.clearWarnings();
 
-  Dist Sub;
+  if (Serve) {
+    std::ifstream IS(ServeFile);
+    if (!IS) {
+      std::fprintf(stderr, "error: cannot open request file %s\n",
+                   ServeFile.c_str());
+      return 1;
+    }
+    Result<std::vector<engine::ServeRequest>> Requests =
+        engine::parseServeRequests(IS);
+    if (!Requests) {
+      std::fprintf(stderr, "error: %s: %s\n", ServeFile.c_str(),
+                   Requests.error().c_str());
+      return 2;
+    }
+    engine::ServeStats St =
+        engine::serveRequests(Engine, Requests.value(), std::cout);
+    std::printf("# served %d request(s), %d failed, %d model reload(s)\n",
+                St.Answered, St.Failed, St.Reloaded);
+    return St.Failed == 0 ? 0 : 1;
+  }
+
   auto PartitionStart = std::chrono::steady_clock::now();
-  if (!getPartitioner(Algorithm)(Total, Active, Sub)) {
-    std::fprintf(stderr,
-                 "error: partitioning failed (unfitted model or "
-                 "insufficient device capacity for %lld units)\n",
-                 static_cast<long long>(Total));
+  Result<Dist> OutR = Engine.partition(Total);
+  if (!OutR) {
+    std::fprintf(stderr, "error: %s\n", OutR.error().c_str());
     return 1;
   }
   double PartitionSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     PartitionStart)
           .count();
-
-  // Map the surviving ranks' shares back; excluded ranks hold 0 units.
-  Dist Out;
-  Out.Total = Total;
-  Out.Parts.assign(Files.size(), Part());
-  for (std::size_t I = 0; I < ActiveRanks.size(); ++I)
-    Out.Parts[ActiveRanks[I]] = Sub.Parts[I];
+  const Dist &Out = OutR.value();
 
   std::printf("# %s partitioning of %lld units over %zu processes\n",
               Algorithm.c_str(), static_cast<long long>(Total),
@@ -129,7 +161,7 @@ int main(int Argc, char **Argv) {
     // Lifetime counters of the memoized inverse-time lookups the
     // geometric/numerical solvers went through during this partition.
     std::uint64_t Lookups = 0, CacheHits = 0;
-    for (Model *M : Active) {
+    for (Model *M : Engine.activeModels()) {
       Lookups += M->cacheLookups();
       CacheHits += M->cacheHits();
     }
@@ -171,12 +203,13 @@ int main(int Argc, char **Argv) {
 
   if (Explain) {
     for (std::size_t I = 0; I < Files.size(); ++I) {
-      if (!Exclusions[I].empty()) {
+      const engine::ModelSlot &Slot = Engine.slot(static_cast<int>(I));
+      if (!Slot.Exclusion.empty()) {
         std::printf("explain rank %zu: excluded (%s)\n", I,
-                    Exclusions[I].c_str());
+                    Slot.Exclusion.c_str());
         continue;
       }
-      double Limit = Models[I]->feasibleLimit();
+      double Limit = Slot.M->feasibleLimit();
       if (std::isfinite(Limit))
         std::printf("explain rank %zu: included, capped at %lld units "
                     "(smallest known-infeasible size %g)\n",
