@@ -1,47 +1,64 @@
-//===-- engine/Serve.cpp - Batch request serving --------------------------===//
+//===-- engine/Serve.cpp - Batch and streaming request serving ------------===//
 
 #include "engine/Serve.h"
 
-#include <cstdio>
+#include "engine/Server.h"
+
+#include <condition_variable>
+#include <deque>
+#include <future>
 #include <istream>
+#include <mutex>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 using namespace fupermod;
 using namespace fupermod::engine;
 
+bool fupermod::engine::parseServeLine(const std::string &Line,
+                                      std::size_t LineNo, ServeRequest &Out) {
+  // Strip a trailing comment, then whitespace-split.
+  std::string Body = Line;
+  std::size_t Hash = Body.find('#');
+  if (Hash != std::string::npos)
+    Body.resize(Hash);
+  std::istringstream LS(Body);
+  std::string First;
+  if (!(LS >> First))
+    return false; // Blank/comment-only line.
+  Out = ServeRequest();
+  Out.LineNo = LineNo;
+  if (First == "reload") {
+    Out.Reload = true;
+  } else {
+    std::istringstream TS(First);
+    if (!(TS >> Out.Total) || !TS.eof() || Out.Total <= 0) {
+      Out.ParseError = "request line " + std::to_string(LineNo) +
+                       ": expected a positive total or 'reload', got '" +
+                       First + "'";
+      return true;
+    }
+    LS >> Out.Algorithm; // Optional.
+  }
+  std::string Extra;
+  if (LS >> Extra)
+    Out.ParseError = "request line " + std::to_string(LineNo) +
+                     ": unexpected trailing token '" + Extra + "'";
+  return true;
+}
+
 Result<std::vector<ServeRequest>>
 fupermod::engine::parseServeRequests(std::istream &IS) {
-  using R = Result<std::vector<ServeRequest>>;
   std::vector<ServeRequest> Out;
   std::string Line;
   std::size_t LineNo = 0;
   while (std::getline(IS, Line)) {
     ++LineNo;
-    // Strip a trailing comment, then whitespace-split.
-    std::size_t Hash = Line.find('#');
-    if (Hash != std::string::npos)
-      Line.resize(Hash);
-    std::istringstream LS(Line);
-    std::string First;
-    if (!(LS >> First))
-      continue; // Blank/comment-only line.
     ServeRequest Req;
-    if (First == "reload") {
-      Req.Reload = true;
-    } else {
-      std::istringstream TS(First);
-      if (!(TS >> Req.Total) || !TS.eof() || Req.Total <= 0)
-        return R::failure("request line " + std::to_string(LineNo) +
-                          ": expected a positive total or 'reload', got '" +
-                          First + "'");
-      LS >> Req.Algorithm; // Optional.
-    }
-    std::string Extra;
-    if (LS >> Extra)
-      return R::failure("request line " + std::to_string(LineNo) +
-                        ": unexpected trailing token '" + Extra + "'");
-    Out.push_back(std::move(Req));
+    if (parseServeLine(Line, LineNo, Req))
+      Out.push_back(std::move(Req));
   }
   return Out;
 }
@@ -49,31 +66,8 @@ fupermod::engine::parseServeRequests(std::istream &IS) {
 namespace {
 
 void drainWarnings(Session &S, std::ostream &OS) {
-  for (const std::string &W : S.warnings())
+  for (const std::string &W : S.takeWarnings())
     OS << "# warning: " << W << '\n';
-  S.clearWarnings();
-}
-
-/// Prints one partition result in the one-shot partitioner's format.
-void printPartition(std::ostream &OS, Session &S, const std::string &Name,
-                    const Dist &D) {
-  char Buf[256];
-  std::snprintf(Buf, sizeof(Buf),
-                "# %s partitioning of %lld units over %zu processes\n",
-                Name.c_str(), static_cast<long long>(D.Total),
-                D.Parts.size());
-  OS << Buf;
-  for (std::size_t I = 0; I < D.Parts.size(); ++I) {
-    std::snprintf(Buf, sizeof(Buf),
-                  "rank %-3zu units %-10lld predicted_time %.6f  (%s)\n", I,
-                  static_cast<long long>(D.Parts[I].Units),
-                  D.Parts[I].PredictedTime,
-                  S.slot(static_cast<int>(I)).Source.c_str());
-    OS << Buf;
-  }
-  std::snprintf(Buf, sizeof(Buf), "# max predicted time: %.6f\n",
-                D.maxPredictedTime());
-  OS << Buf;
 }
 
 } // namespace
@@ -90,19 +84,154 @@ ServeStats fupermod::engine::serveRequests(
       OS << "# reloaded " << Refreshed.value() << " model(s)\n";
     }
     drainWarnings(S, OS);
+    if (!Req.ParseError.empty()) {
+      // Skip-and-record: the malformed line is reported in place and
+      // the rest of the batch is still served.
+      OS << "# error: " << Req.ParseError << '\n';
+      ++Stats.Failed;
+      ++Stats.Malformed;
+      continue;
+    }
     if (Req.Reload)
       continue;
 
-    const std::string &Name =
-        Req.Algorithm.empty() ? S.config().Algorithm : Req.Algorithm;
-    Result<Dist> D = S.partition(Req.Total, Req.Algorithm);
-    if (!D) {
-      OS << "# error: " << D.error() << '\n';
+    Result<PartitionReply> Reply =
+        S.partitionRendered(Req.Total, Req.Algorithm);
+    if (!Reply) {
+      OS << "# error: " << Reply.error() << '\n';
       ++Stats.Failed;
       continue;
     }
-    printPartition(OS, S, Name, D.value());
+    OS << Reply.value().Text;
     ++Stats.Answered;
   }
+  return Stats;
+}
+
+namespace {
+
+/// One unit of ordered output: either a response still being computed
+/// (Pending) or text that can be written as-is (Immediate).
+struct EmitItem {
+  std::optional<std::future<ServerResponse>> Pending;
+  std::string Immediate;
+};
+
+/// The request-ordered output queue between the reader (producer) and
+/// the emitter thread (consumer).
+class EmitQueue {
+public:
+  void push(EmitItem Item) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Items.push_back(std::move(Item));
+    }
+    Ready.notify_one();
+  }
+
+  void finish() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Done = true;
+    }
+    Ready.notify_one();
+  }
+
+  std::optional<EmitItem> pop() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Ready.wait(Lock, [this] { return Done || !Items.empty(); });
+    if (Items.empty())
+      return std::nullopt;
+    std::optional<EmitItem> Out(std::move(Items.front()));
+    Items.pop_front();
+    return Out;
+  }
+
+private:
+  std::mutex Mutex;
+  std::condition_variable Ready;
+  std::deque<EmitItem> Items;
+  bool Done = false;
+};
+
+} // namespace
+
+ServeStats fupermod::engine::serveStream(Server &Srv, std::istream &IS,
+                                         std::ostream &OS) {
+  ServeStats Stats;
+  std::mutex StatsMutex; // Emitter thread and reader both tally.
+  EmitQueue Emit;
+
+  // The emitter writes responses strictly in request order: it blocks on
+  // the oldest in-flight future while newer requests solve behind it.
+  // Flushing after every item keeps a pipe client's read prompt.
+  std::thread Emitter([&] {
+    while (std::optional<EmitItem> Item = Emit.pop()) {
+      if (!Item->Pending) {
+        OS << Item->Immediate;
+        OS.flush();
+        continue;
+      }
+      ServerResponse R = Item->Pending->get();
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      switch (R.K) {
+      case ServerResponse::Kind::Ok:
+        OS << R.Reply.Text;
+        ++Stats.Answered;
+        break;
+      case ServerResponse::Kind::Error:
+        OS << "# error: " << R.Message << '\n';
+        ++Stats.Failed;
+        break;
+      case ServerResponse::Kind::Rejected:
+        OS << "# rejected: " << rejectReasonName(R.Reason) << '\n';
+        ++Stats.Rejected;
+        break;
+      }
+      OS.flush();
+    }
+  });
+
+  std::string Line;
+  std::size_t LineNo = 0;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    ServeRequest Req;
+    if (!parseServeLine(Line, LineNo, Req))
+      continue;
+    if (!Req.ParseError.empty()) {
+      {
+        std::lock_guard<std::mutex> Lock(StatsMutex);
+        ++Stats.Failed;
+        ++Stats.Malformed;
+      }
+      Emit.push({std::nullopt, "# error: " + Req.ParseError + "\n"});
+      continue;
+    }
+    if (Req.Reload) {
+      // Ordered relative to the reader: requests submitted later see the
+      // refreshed models (in-flight solves finish against whichever
+      // epoch their solve started under — the atomicity guarantee).
+      Result<int> R = Srv.reload();
+      std::string Note;
+      if (R.ok() && R.value() > 0) {
+        std::lock_guard<std::mutex> Lock(StatsMutex);
+        Stats.Reloaded += R.value();
+        Note += "# reloaded " + std::to_string(R.value()) + " model(s)\n";
+      }
+      for (const std::string &W : Srv.session().takeWarnings())
+        Note += "# warning: " + W + "\n";
+      if (!Note.empty())
+        Emit.push({std::nullopt, std::move(Note)});
+      continue;
+    }
+    ServerRequest SReq;
+    SReq.Total = Req.Total;
+    SReq.Algorithm = Req.Algorithm;
+    Emit.push({Srv.submit(std::move(SReq)), std::string()});
+  }
+
+  Emit.finish();
+  Emitter.join();
   return Stats;
 }

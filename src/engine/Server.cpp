@@ -1,0 +1,238 @@
+//===-- engine/Server.cpp - Concurrent partition service ------------------===//
+
+#include "engine/Server.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+using namespace fupermod;
+using namespace fupermod::engine;
+
+const char *fupermod::engine::rejectReasonName(RejectReason Reason) {
+  switch (Reason) {
+  case RejectReason::QueueFull:
+    return "queue_full";
+  case RejectReason::Deadline:
+    return "deadline";
+  case RejectReason::ShuttingDown:
+    return "shutting_down";
+  }
+  return "unknown";
+}
+
+Server::Server(Session &S, ServerConfig Config)
+    : S(S), Config([&] {
+        ServerConfig C = Config;
+        C.Workers = std::max(1, C.Workers);
+        return C;
+      }()),
+      Queue(this->Config.QueueCapacity), Cache(this->Config.CacheCapacity) {
+  Workers.reserve(static_cast<std::size_t>(this->Config.Workers));
+  for (int I = 0; I < this->Config.Workers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+ServerResponse Server::rejected(RejectReason Reason) {
+  ServerResponse R;
+  R.K = ServerResponse::Kind::Rejected;
+  R.Reason = Reason;
+  R.Message = rejectReasonName(Reason);
+  return R;
+}
+
+std::future<ServerResponse> Server::submit(ServerRequest Req) {
+  Job J;
+  J.Req = std::move(Req);
+  J.Submitted = Clock::now();
+  std::chrono::nanoseconds Budget =
+      J.Req.Timeout.count() > 0
+          ? J.Req.Timeout
+          : std::chrono::nanoseconds(Config.DefaultDeadline);
+  if (Budget.count() > 0) {
+    J.HasDeadline = true;
+    J.Deadline = J.Submitted + Budget;
+  }
+  std::future<ServerResponse> Out = J.Promise.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Stats.Submitted;
+  }
+  switch (Queue.tryPush(std::move(J))) {
+  case QueuePush::Ok:
+    break;
+  case QueuePush::Full:
+    resolve(std::move(J), rejected(RejectReason::QueueFull));
+    break;
+  case QueuePush::Closed:
+    resolve(std::move(J), rejected(RejectReason::ShuttingDown));
+    break;
+  }
+  return Out;
+}
+
+void Server::workerLoop() {
+  // pop() returns nullopt only once the queue is closed *and* drained,
+  // so every admitted request is answered before the worker exits.
+  while (std::optional<Job> J = Queue.pop())
+    answer(std::move(*J));
+}
+
+void Server::resolve(Job &&J, ServerResponse R) {
+  R.LatencySeconds =
+      std::chrono::duration<double>(Clock::now() - J.Submitted).count();
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    switch (R.K) {
+    case ServerResponse::Kind::Ok:
+      ++Stats.Answered;
+      if (R.Coalesced)
+        ++Stats.Coalesced;
+      break;
+    case ServerResponse::Kind::Error:
+      ++Stats.Errors;
+      break;
+    case ServerResponse::Kind::Rejected:
+      switch (R.Reason) {
+      case RejectReason::QueueFull:
+        ++Stats.ShedQueueFull;
+        break;
+      case RejectReason::Deadline:
+        ++Stats.ShedDeadline;
+        break;
+      case RejectReason::ShuttingDown:
+        ++Stats.ShedShutdown;
+        break;
+      }
+      break;
+    }
+  }
+  J.Promise.set_value(std::move(R));
+}
+
+void Server::answer(Job &&J) {
+  // Deadline at dequeue: a request that waited out its budget in the
+  // queue is shed before any solve work is spent on it.
+  if (J.HasDeadline && Clock::now() > J.Deadline) {
+    resolve(std::move(J), rejected(RejectReason::Deadline));
+    return;
+  }
+
+  // The coalescing/cache key pins the model state via the epoch. A hot
+  // reload between this read and the solve below merely means the reply
+  // is computed against a *newer* epoch (partitionRendered stamps the
+  // one it actually used) — never a stale or torn one.
+  Key K;
+  K.Epoch = S.modelEpoch();
+  K.Total = J.Req.Total;
+  K.Algorithm =
+      J.Req.Algorithm.empty() ? S.config().Algorithm : J.Req.Algorithm;
+
+  {
+    std::lock_guard<std::mutex> Lock(CoalesceMutex);
+    if (std::optional<PartitionReply> Hit = Cache.get(K)) {
+      ServerResponse R;
+      R.K = ServerResponse::Kind::Ok;
+      R.Reply = std::move(*Hit);
+      R.CacheHit = true;
+      resolve(std::move(J), std::move(R));
+      return;
+    }
+    auto It = InFlight.find(K);
+    if (It != InFlight.end()) {
+      // An identical solve is in flight: attach to it. The leader
+      // resolves this job when it finishes.
+      It->second.push_back(std::move(J));
+      return;
+    }
+    InFlight.emplace(K, std::vector<Job>());
+  }
+
+  // This worker is the leader for K.
+  if (Config.SolveDelay.count() > 0)
+    std::this_thread::sleep_for(Config.SolveDelay);
+  Result<PartitionReply> Solved =
+      S.partitionRendered(J.Req.Total, J.Req.Algorithm);
+
+  std::vector<Job> Followers;
+  {
+    std::lock_guard<std::mutex> Lock(CoalesceMutex);
+    auto It = InFlight.find(K);
+    if (It != InFlight.end()) {
+      Followers = std::move(It->second);
+      InFlight.erase(It);
+    }
+    if (Solved.ok()) {
+      // Cache under the epoch the solve actually ran against (it can be
+      // newer than K.Epoch when a reload raced the solve).
+      Key Actual = K;
+      Actual.Epoch = Solved.value().Epoch;
+      Cache.put(std::move(Actual), Solved.value());
+    }
+  }
+
+  // Resolve the leader and every coalesced follower; deadline "during
+  // solve" enforcement happens here — a request whose budget expired
+  // while the solve ran is shed, not answered late.
+  Clock::time_point Now = Clock::now();
+  bool Leader = true;
+  auto ResolveOne = [&](Job &&Out) {
+    if (Out.HasDeadline && Now > Out.Deadline) {
+      resolve(std::move(Out), rejected(RejectReason::Deadline));
+    } else if (Solved.ok()) {
+      ServerResponse R;
+      R.K = ServerResponse::Kind::Ok;
+      R.Reply = Solved.value();
+      R.Coalesced = !Leader;
+      resolve(std::move(Out), std::move(R));
+    } else {
+      ServerResponse R;
+      R.K = ServerResponse::Kind::Error;
+      R.Message = Solved.error();
+      resolve(std::move(Out), std::move(R));
+    }
+  };
+  ResolveOne(std::move(J));
+  Leader = false;
+  for (Job &F : Followers)
+    ResolveOne(std::move(F));
+}
+
+Result<int> Server::reload() {
+  Result<int> R = S.refreshModels();
+  if (R.ok() && R.value() > 0) {
+    std::lock_guard<std::mutex> Lock(CoalesceMutex);
+    // The epoch bump already makes old entries unreachable; clearing
+    // returns their capacity to live keys immediately.
+    Cache.clear();
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    Stats.Reloads += static_cast<std::uint64_t>(R.value());
+  }
+  return R;
+}
+
+void Server::shutdown() {
+  std::lock_guard<std::mutex> Lock(ShutdownMutex);
+  if (ShuttingDown && Workers.empty())
+    return;
+  ShuttingDown = true;
+  Queue.close();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  Workers.clear();
+}
+
+ServerStats Server::stats() const {
+  ServerStats Out;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Out = Stats;
+  }
+  std::lock_guard<std::mutex> Lock(CoalesceMutex);
+  Out.CacheLookups = Cache.lookups();
+  Out.CacheHits = Cache.hits();
+  return Out;
+}

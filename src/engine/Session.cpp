@@ -8,6 +8,9 @@
 #include "engine/Balance.h"
 #include "mpp/Runtime.h"
 
+#include <cstdio>
+#include <fstream>
+#include <mutex>
 #include <system_error>
 #include <utility>
 
@@ -16,11 +19,46 @@ using namespace fupermod::engine;
 
 namespace {
 
-/// mtime of \p Path, or the epoch default when it cannot be stat'ed.
-std::filesystem::file_time_type mtimeOf(const std::string &Path) {
+/// What refreshModels() compares to decide whether a file changed: the
+/// cheap stat fields first, the content hash as the backstop for a
+/// rewrite within the filesystem's timestamp granularity.
+struct FileFingerprint {
+  std::filesystem::file_time_type MTime{};
+  std::uintmax_t Size = 0;
+};
+
+/// Stat of \p Path; epoch-default mtime and zero size when it cannot be
+/// stat'ed (the subsequent reload then reports the real error).
+FileFingerprint statOf(const std::string &Path) {
+  FileFingerprint F;
   std::error_code Ec;
-  auto T = std::filesystem::last_write_time(Path, Ec);
-  return Ec ? std::filesystem::file_time_type{} : T;
+  F.MTime = std::filesystem::last_write_time(Path, Ec);
+  if (Ec)
+    F.MTime = std::filesystem::file_time_type{};
+  F.Size = std::filesystem::file_size(Path, Ec);
+  if (Ec)
+    F.Size = 0;
+  return F;
+}
+
+/// FNV-1a over the file's bytes; 0 when the file cannot be read (which
+/// never matches a successfully hashed load, so the file reads as
+/// changed and the reload path reports the real error).
+std::uint64_t hashFileContents(const std::string &Path) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS)
+    return 0;
+  std::uint64_t H = 1469598103934665603ull;
+  char Buf[4096];
+  while (IS.read(Buf, sizeof(Buf)) || IS.gcount() > 0) {
+    for (std::streamsize I = 0; I < IS.gcount(); ++I) {
+      H ^= static_cast<unsigned char>(Buf[I]);
+      H *= 1099511628211ull;
+    }
+    if (!IS)
+      break;
+  }
+  return H;
 }
 
 } // namespace
@@ -46,13 +84,17 @@ Status Session::measure(ModelBuildPlan Plan) {
     return Status::failure("measure: invalid benchmark plan (need "
                            "0 < min <= max, points >= 1, jobs >= 1)");
   Plan.Kind = Config.ModelKind;
+  // The campaign itself runs unlocked (it can take seconds and touches
+  // no session state); only installing the results needs exclusivity.
   std::vector<BuiltModel> Built = buildModelsParallel(Config.Platform, Plan);
+  std::unique_lock<std::shared_mutex> Lock(StateMutex);
   Slots.clear();
   Slots.resize(Built.size());
   for (std::size_t I = 0; I < Built.size(); ++I) {
     Slots[I].M = std::move(Built[I].M);
     Slots[I].Raw = std::move(Built[I].Raw);
   }
+  ++Epoch;
   return okStatus();
 }
 
@@ -63,6 +105,9 @@ Status Session::measureSynchronized(const SyncMeasurePlan &Plan) {
         "measureSynchronized: the session has no platform devices");
   if (Plan.Sizes.empty())
     return Status::failure("measureSynchronized: no benchmark sizes");
+  // Exclusive for the whole SPMD run: rank 0's body writes the slots,
+  // and runSpmd's join orders those writes before the unlock.
+  std::unique_lock<std::shared_mutex> Lock(StateMutex);
   Slots.clear();
   Slots.resize(static_cast<std::size_t>(Cl.size()));
   for (ModelSlot &S : Slots)
@@ -85,6 +130,7 @@ Status Session::measureSynchronized(const SyncMeasurePlan &Plan) {
         }
       },
       Cl.makeCostModel());
+  ++Epoch;
   return okStatus();
 }
 
@@ -112,15 +158,20 @@ Status Session::measureNative(const NativeMeasurePlan &Plan) {
     if (Plan.OnPoint)
       Plan.OnPoint(Size, P);
   }
+  std::unique_lock<std::shared_mutex> Lock(StateMutex);
   Slots.clear();
   Slots.push_back(std::move(Slot));
+  ++Epoch;
   return okStatus();
 }
 
 Status Session::loadSlot(ModelSlot &Slot, const std::string &Path,
                          bool Degraded) {
   Slot.Source = Path;
-  Slot.MTime = mtimeOf(Path);
+  FileFingerprint F = statOf(Path);
+  Slot.MTime = F.MTime;
+  Slot.FileSize = F.Size;
+  Slot.ContentHash = hashFileContents(Path);
   std::string Err;
   std::unique_ptr<Model> M = loadModel(Path, &Err);
   if (!M) {
@@ -150,6 +201,7 @@ Status Session::loadSlot(ModelSlot &Slot, const std::string &Path,
 Status Session::loadModels(std::span<const std::string> Paths) {
   if (Paths.empty())
     return Status::failure("loadModels: no model files given");
+  std::unique_lock<std::shared_mutex> Lock(StateMutex);
   std::vector<ModelSlot> Loaded(Paths.size());
   for (std::size_t I = 0; I < Paths.size(); ++I) {
     Status S = loadSlot(Loaded[I], Paths[I], Config.AllowDegraded);
@@ -157,20 +209,32 @@ Status Session::loadModels(std::span<const std::string> Paths) {
       return S;
   }
   Slots = std::move(Loaded);
+  ++Epoch;
   return okStatus();
 }
 
 Result<int> Session::refreshModels() {
+  std::unique_lock<std::shared_mutex> Lock(StateMutex);
   int Reloaded = 0;
   for (ModelSlot &Slot : Slots) {
     if (Slot.Source.empty())
       continue;
-    std::filesystem::file_time_type Now = mtimeOf(Slot.Source);
-    if (Now == Slot.MTime)
-      continue;
-    // Remember the observed mtime even when the reload fails, so a
+    FileFingerprint Now = statOf(Slot.Source);
+    if (Now.MTime == Slot.MTime && Now.Size == Slot.FileSize) {
+      // mtime and size unchanged — but a rewrite within the timestamp
+      // granularity looks exactly like this, so hash the contents
+      // before declaring the file unchanged.
+      std::uint64_t Hash = hashFileContents(Slot.Source);
+      if (Hash == Slot.ContentHash)
+        continue;
+      Slot.ContentHash = Hash;
+    } else {
+      Slot.ContentHash = hashFileContents(Slot.Source);
+    }
+    // Remember the observed fingerprint even when the reload fails, so a
     // broken file is re-parsed only after it changes again.
-    Slot.MTime = Now;
+    Slot.MTime = Now.MTime;
+    Slot.FileSize = Now.Size;
     std::string Err;
     std::unique_ptr<Model> M = loadModel(Slot.Source, &Err);
     if (!M) {
@@ -188,11 +252,14 @@ Result<int> Session::refreshModels() {
     Slot.Exclusion.clear();
     ++Reloaded;
   }
+  if (Reloaded > 0)
+    ++Epoch;
   return Reloaded;
 }
 
 Status Session::saveModel(int Rank, const std::string &Path) const {
-  if (Rank < 0 || Rank >= rankCount())
+  std::shared_lock<std::shared_mutex> Lock(StateMutex);
+  if (Rank < 0 || Rank >= static_cast<int>(Slots.size()))
     return Status::failure("saveModel: rank " + std::to_string(Rank) +
                            " out of range");
   const ModelSlot &Slot = Slots[static_cast<std::size_t>(Rank)];
@@ -207,15 +274,18 @@ Status Session::saveModel(int Rank, const std::string &Path) const {
 Status Session::initModels(int Count) {
   if (Count <= 0)
     return Status::failure("initModels: need at least one model");
+  std::unique_lock<std::shared_mutex> Lock(StateMutex);
   Slots.clear();
   Slots.resize(static_cast<std::size_t>(Count));
   for (ModelSlot &S : Slots)
     S.M = makeModel(Config.ModelKind);
+  ++Epoch;
   return okStatus();
 }
 
 Status Session::feedback(int Rank, const Point &P) {
-  if (Rank < 0 || Rank >= rankCount())
+  std::unique_lock<std::shared_mutex> Lock(StateMutex);
+  if (Rank < 0 || Rank >= static_cast<int>(Slots.size()))
     return Status::failure("feedback: rank " + std::to_string(Rank) +
                            " out of range");
   ModelSlot &Slot = Slots[static_cast<std::size_t>(Rank)];
@@ -223,11 +293,12 @@ Status Session::feedback(int Rank, const Point &P) {
     return Status::failure("feedback: rank " + std::to_string(Rank) +
                            " has no model");
   Slot.M->update(P);
+  ++Epoch;
   return okStatus();
 }
 
-Result<Dist> Session::partition(std::int64_t Total,
-                                const std::string &Algorithm) {
+Result<Dist> Session::partitionLocked(std::int64_t Total,
+                                      const std::string &Algorithm) {
   using R = Result<Dist>;
   const std::string &Name = Algorithm.empty() ? Config.Algorithm : Algorithm;
   std::string Err;
@@ -275,6 +346,45 @@ Result<Dist> Session::partition(std::int64_t Total,
   return Out;
 }
 
+Result<Dist> Session::partition(std::int64_t Total,
+                                const std::string &Algorithm) {
+  std::shared_lock<std::shared_mutex> Lock(StateMutex);
+  return partitionLocked(Total, Algorithm);
+}
+
+Result<PartitionReply> Session::partitionRendered(
+    std::int64_t Total, const std::string &Algorithm) {
+  using R = Result<PartitionReply>;
+  std::shared_lock<std::shared_mutex> Lock(StateMutex);
+  Result<Dist> D = partitionLocked(Total, Algorithm);
+  if (!D)
+    return R::failure(D.error());
+
+  PartitionReply Reply;
+  Reply.D = std::move(D.value());
+  Reply.Epoch = Epoch;
+
+  const std::string &Name = Algorithm.empty() ? Config.Algorithm : Algorithm;
+  const Dist &Out = Reply.D;
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "# %s partitioning of %lld units over %zu processes\n",
+                Name.c_str(), static_cast<long long>(Out.Total),
+                Out.Parts.size());
+  Reply.Text += Buf;
+  for (std::size_t I = 0; I < Out.Parts.size(); ++I) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "rank %-3zu units %-10lld predicted_time %.6f  (%s)\n", I,
+                  static_cast<long long>(Out.Parts[I].Units),
+                  Out.Parts[I].PredictedTime, Slots[I].Source.c_str());
+    Reply.Text += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "# max predicted time: %.6f\n",
+                Out.maxPredictedTime());
+  Reply.Text += Buf;
+  return Reply;
+}
+
 Result<SpmdResult> Session::execute(int Ranks,
                                     const std::function<void(Comm &)> &Body) {
   using R = Result<SpmdResult>;
@@ -294,20 +404,50 @@ BalancedLoop Session::makeBalancedLoop(std::int64_t Total, int NumProcs,
                       Total, NumProcs, StalenessDecay);
 }
 
+int Session::rankCount() const {
+  std::shared_lock<std::shared_mutex> Lock(StateMutex);
+  return static_cast<int>(Slots.size());
+}
+
+std::uint64_t Session::modelEpoch() const {
+  std::shared_lock<std::shared_mutex> Lock(StateMutex);
+  return Epoch;
+}
+
 Model *Session::model(int Rank) {
-  if (Rank < 0 || Rank >= rankCount())
+  std::shared_lock<std::shared_mutex> Lock(StateMutex);
+  if (Rank < 0 || Rank >= static_cast<int>(Slots.size()))
     return nullptr;
   return Slots[static_cast<std::size_t>(Rank)].M.get();
 }
 
 const ModelSlot &Session::slot(int Rank) const {
+  std::shared_lock<std::shared_mutex> Lock(StateMutex);
   return Slots.at(static_cast<std::size_t>(Rank));
 }
 
 std::vector<Model *> Session::activeModels() const {
+  std::shared_lock<std::shared_mutex> Lock(StateMutex);
   std::vector<Model *> Out;
   for (const ModelSlot &Slot : Slots)
     if (Slot.Exclusion.empty() && Slot.M && Slot.M->fitted())
       Out.push_back(Slot.M.get());
+  return Out;
+}
+
+std::vector<std::string> Session::warnings() const {
+  std::shared_lock<std::shared_mutex> Lock(StateMutex);
+  return Warnings;
+}
+
+void Session::clearWarnings() {
+  std::unique_lock<std::shared_mutex> Lock(StateMutex);
+  Warnings.clear();
+}
+
+std::vector<std::string> Session::takeWarnings() {
+  std::unique_lock<std::shared_mutex> Lock(StateMutex);
+  std::vector<std::string> Out;
+  Out.swap(Warnings);
   return Out;
 }

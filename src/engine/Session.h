@@ -23,10 +23,21 @@
 /// name (model kind, partitioner, kernel) resolves through the registries,
 /// so a bad name is a diagnosable error listing the alternatives.
 ///
-/// Model slots loaded from files remember their source path and mtime;
-/// refreshModels() re-reads files that changed on disk, so a long-lived
+/// Model slots loaded from files remember their source path plus an
+/// (mtime, size, content hash) fingerprint; refreshModels() re-reads
+/// files that changed on disk — including a rewrite within the same
+/// timestamp granularity, which mtime alone cannot see — so a long-lived
 /// session (partitioner --serve) picks up refreshed models without a
 /// restart.
+///
+/// Sessions are thread-safe: model state is guarded by a shared mutex
+/// (many concurrent partition() readers, exclusive mutators) and stamped
+/// with a monotonically increasing *model epoch* that every mutation
+/// bumps. A refreshModels() hot reload is therefore atomic with respect
+/// to in-flight partition() calls — a solve sees either the old fit or
+/// the new one, never a mix — and partitionRendered() reports the epoch
+/// its answer was computed against, which is what the engine server keys
+/// its coalescing table and partition cache on.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,9 +49,11 @@
 #include "sim/Cluster.h"
 #include "support/Result.h"
 
+#include <cstdint>
 #include <filesystem>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -79,6 +92,12 @@ struct ModelSlot {
   std::string Source;
   /// mtime of Source at load time (hot-reload detection).
   std::filesystem::file_time_type MTime{};
+  /// Size of Source at load time. A rewrite within the mtime granularity
+  /// usually changes the size; comparing it is cheap (one stat).
+  std::uintmax_t FileSize = 0;
+  /// FNV-1a hash of Source's bytes at load time — the backstop that
+  /// catches a same-size rewrite within the mtime granularity.
+  std::uint64_t ContentHash = 0;
   /// Why the rank is excluded from partitioning; empty = participating.
   std::string Exclusion;
 };
@@ -104,6 +123,18 @@ struct NativeMeasurePlan {
 };
 
 class BalancedLoop;
+
+/// A partition answer stamped with the model epoch it was computed
+/// against, plus the rendered one-shot-compatible text block. Dist,
+/// epoch and text are produced under one reader lock, so they are
+/// guaranteed mutually consistent even while hot reloads race the call.
+struct PartitionReply {
+  Dist D;
+  /// Model epoch the solve ran against (see Session::modelEpoch()).
+  std::uint64_t Epoch = 0;
+  /// The partition block exactly as the one-shot partitioner prints it.
+  std::string Text;
+};
 
 /// The long-lived engine object. Create via Session::create(); all
 /// phases are ordinary member calls returning Result/Status.
@@ -169,6 +200,14 @@ public:
   Result<Dist> partition(std::int64_t Total,
                          const std::string &Algorithm = "");
 
+  /// Like partition(), but additionally stamps the answer with the model
+  /// epoch it was computed against and renders the one-shot-compatible
+  /// text block, all under one reader lock. This is the call the
+  /// concurrent server and serve mode answer requests with: two replies
+  /// with equal (Epoch, Total, algorithm) are bit-identical.
+  Result<PartitionReply> partitionRendered(std::int64_t Total,
+                                           const std::string &Algorithm = "");
+
   /// --- execute -----------------------------------------------------
 
   /// Runs \p Body on \p Ranks simulated processes of the platform under
@@ -184,27 +223,48 @@ public:
 
   /// --- introspection -----------------------------------------------
 
-  int rankCount() const { return static_cast<int>(Slots.size()); }
+  int rankCount() const;
   Model *model(int Rank);
   const ModelSlot &slot(int Rank) const;
   /// Pointers to the participating (non-excluded) models, with their
   /// rank indices — the exact inputs partition() hands the algorithm.
   std::vector<Model *> activeModels() const;
-  /// Warnings accumulated by degraded loads and refreshes.
-  const std::vector<std::string> &warnings() const { return Warnings; }
-  void clearWarnings() { Warnings.clear(); }
+
+  /// Monotonically increasing counter of the model state: every mutation
+  /// (load, measure, feedback, successful hot reload) bumps it. Two
+  /// partitionRendered() replies with the same (epoch, total, algorithm)
+  /// are interchangeable — the server's coalescing and cache key.
+  std::uint64_t modelEpoch() const;
+
+  /// Warnings accumulated by degraded loads and refreshes (a snapshot —
+  /// the live list may grow concurrently).
+  std::vector<std::string> warnings() const;
+  void clearWarnings();
+  /// Atomically returns and clears the accumulated warnings (so two
+  /// concurrent drains never print the same warning twice).
+  std::vector<std::string> takeWarnings();
 
 private:
   explicit Session(SessionConfig Config) : Config(std::move(Config)) {}
 
-  /// Loads \p Path into \p Slot (model + source + mtime). On failure
-  /// returns the diagnostic; with \p Degraded the slot is excluded
-  /// instead and a warning recorded.
+  /// Loads \p Path into \p Slot (model + source + fingerprint). On
+  /// failure returns the diagnostic; with \p Degraded the slot is
+  /// excluded instead and a warning recorded. Caller holds StateMutex.
   Status loadSlot(ModelSlot &Slot, const std::string &Path, bool Degraded);
 
+  /// The solve itself; caller holds StateMutex (shared suffices).
+  Result<Dist> partitionLocked(std::int64_t Total,
+                               const std::string &Algorithm);
+
   SessionConfig Config;
+
+  /// Guards Slots, Warnings and Epoch: shared for partition()/readers,
+  /// exclusive for every mutation — which makes a hot reload atomic with
+  /// respect to in-flight partition calls.
+  mutable std::shared_mutex StateMutex;
   std::vector<ModelSlot> Slots;
   std::vector<std::string> Warnings;
+  std::uint64_t Epoch = 0;
 };
 
 } // namespace engine

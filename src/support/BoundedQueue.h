@@ -1,0 +1,114 @@
+//===-- support/BoundedQueue.h - Bounded MPMC work queue --------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded multi-producer/multi-consumer queue, the admission-control
+/// primitive of the engine's service layer. Unlike ThreadPool's internal
+/// unbounded deque, pushing never blocks and never grows the queue past
+/// its capacity: tryPush() fails fast when the queue is full (the caller
+/// sheds the request with a structured rejection) or closed (the service
+/// is shutting down). Consumers block in pop() until an item, or until
+/// the queue is closed *and* drained — close() stops intake immediately
+/// but lets consumers finish every item already accepted, which is what
+/// "drain cleanly on shutdown" means for the server.
+///
+/// T only needs to be movable (the server queues jobs carrying a
+/// std::promise).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SUPPORT_BOUNDEDQUEUE_H
+#define FUPERMOD_SUPPORT_BOUNDEDQUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace fupermod {
+
+/// Why a tryPush() did not enqueue.
+enum class QueuePush {
+  Ok,     ///< Item accepted.
+  Full,   ///< Queue at capacity; caller should shed.
+  Closed, ///< close() was called; no new items are accepted.
+};
+
+template <class T> class BoundedQueue {
+public:
+  /// A queue holding at most \p Capacity items (at least 1).
+  explicit BoundedQueue(std::size_t Capacity)
+      : Capacity(Capacity == 0 ? 1 : Capacity) {}
+
+  BoundedQueue(const BoundedQueue &) = delete;
+  BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+  /// Enqueues \p Item unless the queue is full or closed. Never blocks.
+  /// \p Item is moved from only on Ok — on Full/Closed it stays valid in
+  /// the caller's hands (the server sheds it with a structured response
+  /// through the promise the item still carries).
+  QueuePush tryPush(T &&Item) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Closed)
+        return QueuePush::Closed;
+      if (Items.size() >= Capacity)
+        return QueuePush::Full;
+      Items.push_back(std::move(Item));
+    }
+    NotEmpty.notify_one();
+    return QueuePush::Ok;
+  }
+
+  /// Blocks until an item is available and returns it, or returns
+  /// nullopt once the queue is closed and fully drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotEmpty.wait(Lock, [this] { return Closed || !Items.empty(); });
+    if (Items.empty())
+      return std::nullopt; // Closed and drained.
+    std::optional<T> Out(std::move(Items.front()));
+    Items.pop_front();
+    return Out;
+  }
+
+  /// Stops intake: subsequent tryPush() returns Closed, consumers drain
+  /// the remaining items and then see nullopt. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+  }
+
+  /// True once close() was called.
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Closed;
+  }
+
+  /// Items currently queued (a snapshot; racy by nature).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Items.size();
+  }
+
+  std::size_t capacity() const { return Capacity; }
+
+private:
+  const std::size_t Capacity;
+  mutable std::mutex Mutex;
+  std::condition_variable NotEmpty;
+  std::deque<T> Items;
+  bool Closed = false;
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SUPPORT_BOUNDEDQUEUE_H

@@ -1,0 +1,94 @@
+//===-- support/LruCache.h - Fixed-capacity LRU cache -----------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-capacity least-recently-used cache. The engine server
+/// keys recent partition results by (model epoch, total, algorithm) so a
+/// repeated request is answered without re-running the solver; keying on
+/// the epoch makes every entry self-invalidating across hot reloads (an
+/// entry computed against a dead epoch can never match a live lookup).
+///
+/// Not internally synchronised: the owner serialises access (the server
+/// guards it with the same mutex as its coalescing table). Lookup and
+/// hit counters are exposed for the benches' hit-rate reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_SUPPORT_LRUCACHE_H
+#define FUPERMOD_SUPPORT_LRUCACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace fupermod {
+
+template <class K, class V, class Hash = std::hash<K>> class LruCache {
+public:
+  /// A cache holding at most \p Capacity entries; capacity 0 disables
+  /// caching entirely (every lookup misses, puts are dropped).
+  explicit LruCache(std::size_t Capacity) : Capacity(Capacity) {}
+
+  /// Returns the value for \p Key and marks it most-recently-used, or
+  /// nullopt on a miss. Counts the lookup either way.
+  std::optional<V> get(const K &Key) {
+    ++Lookups;
+    auto It = Index.find(Key);
+    if (It == Index.end())
+      return std::nullopt;
+    ++HitCount;
+    Order.splice(Order.begin(), Order, It->second);
+    return It->second->second;
+  }
+
+  /// Inserts or refreshes \p Key, evicting the least-recently-used entry
+  /// when the cache is full.
+  void put(K Key, V Value) {
+    if (Capacity == 0)
+      return;
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      It->second->second = std::move(Value);
+      Order.splice(Order.begin(), Order, It->second);
+      return;
+    }
+    if (Order.size() >= Capacity) {
+      Index.erase(Order.back().first);
+      Order.pop_back();
+    }
+    Order.emplace_front(std::move(Key), std::move(Value));
+    Index[Order.front().first] = Order.begin();
+  }
+
+  /// Drops every entry (counters are retained — they describe the
+  /// cache's lifetime service, not its current contents).
+  void clear() {
+    Order.clear();
+    Index.clear();
+  }
+
+  std::size_t size() const { return Order.size(); }
+  std::size_t capacity() const { return Capacity; }
+
+  /// Lifetime lookup/hit counters (lookups = hits + misses).
+  std::uint64_t lookups() const { return Lookups; }
+  std::uint64_t hits() const { return HitCount; }
+
+private:
+  std::size_t Capacity;
+  std::list<std::pair<K, V>> Order; // Front = most recently used.
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
+      Index;
+  std::uint64_t Lookups = 0;
+  std::uint64_t HitCount = 0;
+};
+
+} // namespace fupermod
+
+#endif // FUPERMOD_SUPPORT_LRUCACHE_H

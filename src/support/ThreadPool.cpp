@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(unsigned Workers) {
     Threads.emplace_back([this] { workerLoop(); });
 }
 
-ThreadPool::~ThreadPool() { shutdown(); }
+ThreadPool::~ThreadPool() { shutdownNow(); }
 
 void ThreadPool::enqueue(std::function<void()> Task) {
   {
@@ -64,6 +64,28 @@ void ThreadPool::shutdown() {
     Stopping = true;
   }
   WakeWorker.notify_all();
+  for (std::thread &T : Threads)
+    if (T.joinable())
+      T.join();
+  Threads.clear();
+}
+
+void ThreadPool::shutdownNow() {
+  // Pull the pending tasks out before stopping so no worker can start
+  // them; destroying the callables below destroys their packaged_tasks,
+  // which completes every associated future with broken_promise.
+  std::deque<std::function<void()>> Cancelled;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Stopping && Threads.empty() && Queue.empty())
+      return;
+    Cancelled.swap(Queue);
+    Stopping = true;
+  }
+  WakeWorker.notify_all();
+  Cancelled.clear(); // Break the promises before joining: a task that is
+                     // blocked waiting on a sibling's future wakes up and
+                     // can finish, so the joins below cannot deadlock.
   for (std::thread &T : Threads)
     if (T.joinable())
       T.join();

@@ -11,9 +11,14 @@
 /// results retrieved through std::future, so an exception thrown inside a
 /// worker propagates to whoever calls get() — never terminates the pool.
 ///
-/// Shutdown is clean: the destructor (or shutdown()) lets every task that
-/// was already queued run to completion before joining the workers, so no
-/// future obtained from submit() is ever abandoned in a broken state.
+/// Shutdown has two flavours. An explicit shutdown() is a drain: every
+/// task already queued runs to completion before the workers join. The
+/// destructor is a cancel: tasks that are queued but have not started are
+/// discarded, and because each queued callable owns its packaged_task,
+/// discarding it completes the task's future with std::future_error
+/// (broken_promise) — a waiter blocked on get() wakes with an error
+/// instead of hanging forever on a future nobody will ever fulfil. The
+/// task currently running on each worker always finishes either way.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,7 +43,9 @@ public:
   /// Spawns \p Workers threads (at least one).
   explicit ThreadPool(unsigned Workers);
 
-  /// Equivalent to shutdown().
+  /// Cancels queued-but-unstarted tasks (their futures complete with a
+  /// broken_promise error), finishes the tasks already running, and
+  /// joins the workers. Use shutdown() first for drain semantics.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
@@ -67,6 +74,11 @@ public:
   /// Completes all queued tasks, then stops and joins the workers. Safe
   /// to call more than once.
   void shutdown();
+
+  /// Stops without draining: discards every queued-but-unstarted task
+  /// (breaking its future's promise), waits only for the tasks already
+  /// running, and joins the workers. Safe to call more than once.
+  void shutdownNow();
 
 private:
   void enqueue(std::function<void()> Task);

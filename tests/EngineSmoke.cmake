@@ -78,17 +78,55 @@ if(NOT LAST_OUTPUT MATCHES "rank 1 +units +0")
                       "${LAST_OUTPUT}")
 endif()
 
-# A malformed request line must fail the whole batch with its location.
-file(WRITE ${WORKDIR}/bad.txt "3000\nnonsense 7\n")
+# A malformed request line is skipped-and-recorded: the error record on
+# stdout names the line, the rest of the batch is still answered, and
+# the exit code is nonzero because a request failed.
+file(WRITE ${WORKDIR}/bad.txt "3000\nnonsense 7\n700\n")
 execute_process(COMMAND ${PARTITIONER} --serve ${WORKDIR}/bad.txt
                 ${WORKDIR}/dev0.fpm RESULT_VARIABLE Rc
-                OUTPUT_QUIET ERROR_VARIABLE Err)
+                OUTPUT_VARIABLE Out ERROR_QUIET)
 if(Rc EQUAL 0)
-  message(FATAL_ERROR "partitioner accepted a malformed request file")
+  message(FATAL_ERROR "partitioner exited 0 despite a malformed request")
 endif()
-if(NOT Err MATCHES "line 2")
-  message(FATAL_ERROR "malformed request diagnostic lacks the line:\n"
-                      "${Err}")
+if(NOT Out MATCHES "# error: request line 2")
+  message(FATAL_ERROR "malformed request record lacks the line number:\n"
+                      "${Out}")
+endif()
+if(NOT Out MATCHES "partitioning of 700 units")
+  message(FATAL_ERROR "batch did not continue past the malformed line:\n"
+                      "${Out}")
+endif()
+if(NOT Out MATCHES "served 2 request\\(s\\), 1 failed")
+  message(FATAL_ERROR "serve summary miscounts the malformed line:\n"
+                      "${Out}")
+endif()
+
+# The same batch through the concurrent server (--workers) must answer
+# with byte-identical partition lines plus its own summary footer.
+run_checked(${PARTITIONER} --serve ${WORKDIR}/requests.txt
+            ${WORKDIR}/dev0.fpm ${WORKDIR}/dev1.fpm)
+set(SerialOut "${LAST_OUTPUT}")
+run_checked(${PARTITIONER} --serve ${WORKDIR}/requests.txt --workers 2
+            --queue 8 ${WORKDIR}/dev0.fpm ${WORKDIR}/dev1.fpm)
+foreach(Expected
+        "geometric partitioning of 3000 units"
+        "numerical partitioning of 1000 units"
+        "constant partitioning of 500 units"
+        "# served 3 request\\(s\\), 0 failed, 0 rejected"
+        "# server: 2 workers, queue 8")
+  if(NOT LAST_OUTPUT MATCHES "${Expected}")
+    message(FATAL_ERROR "concurrent serve output missing '${Expected}':\n"
+                        "${LAST_OUTPUT}")
+  endif()
+endforeach()
+# Strip both summaries and compare the answer bodies byte for byte.
+string(REGEX REPLACE "# served [^\n]*\n" "" SerialBody "${SerialOut}")
+string(REGEX REPLACE "# (served|server)[^\n]*\n" "" ConcurrentBody
+       "${LAST_OUTPUT}")
+if(NOT ConcurrentBody STREQUAL SerialBody)
+  message(FATAL_ERROR "concurrent serve diverged from sequential serve:\n"
+                      "--- sequential ---\n${SerialBody}\n"
+                      "--- concurrent ---\n${ConcurrentBody}")
 endif()
 
 # Strict option parsing: mistyped flags and non-numeric values fail.

@@ -240,6 +240,104 @@ TEST(Session, RefreshModelsHotReloadsChangedFiles) {
   EXPECT_EQ(Kept.Parts[0].Units, After.Parts[0].Units);
 }
 
+TEST(Session, RefreshModelsCatchesSameMTimeRewrite) {
+  // Regression: refreshModels used to key change detection on mtime
+  // alone. A rewrite landing within the filesystem timestamp granularity
+  // (same mtime, same or different size) was silently skipped. The
+  // fingerprint is now (mtime, size, content hash).
+  SessionConfig Cfg;
+  auto SR = Session::create(std::move(Cfg));
+  ASSERT_TRUE(SR.ok());
+  Session &S = *SR.value();
+
+  std::string A = tempPath("session_mtime_race_a.fpm");
+  std::string B = tempPath("session_mtime_race_b.fpm");
+  writeModelFile(A, 400.0);
+  writeModelFile(B, 400.0);
+  std::vector<std::string> Paths = {A, B};
+  ASSERT_TRUE(S.loadModels(Paths).ok());
+
+  // Rewrite A with different content (3x faster device) but force the
+  // mtime back to exactly what the session remembers.
+  auto OldTime = std::filesystem::last_write_time(A);
+  auto OldSize = std::filesystem::file_size(A);
+  writeModelFile(A, 1200.0);
+  std::filesystem::last_write_time(A, OldTime);
+
+  Result<int> R = S.refreshModels();
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.value(), 1) << "same-mtime rewrite must still be detected";
+  Dist After = S.partition(1000).value();
+  EXPECT_GT(After.Parts[0].Units, After.Parts[1].Units);
+
+  // The pathological corner: same mtime AND same size but different
+  // bytes — only the content hash can tell. Flip one digit in place.
+  std::string Content;
+  {
+    std::ifstream IS(A, std::ios::binary);
+    std::ostringstream SS;
+    SS << IS.rdbuf();
+    Content = SS.str();
+  }
+  OldTime = std::filesystem::last_write_time(A);
+  OldSize = std::filesystem::file_size(A);
+  std::size_t Digit = Content.find_last_of("0123456789");
+  ASSERT_NE(Digit, std::string::npos);
+  Content[Digit] = Content[Digit] == '9' ? '8' : '9';
+  {
+    std::ofstream OS(A, std::ios::binary | std::ios::trunc);
+    OS << Content;
+  }
+  ASSERT_EQ(std::filesystem::file_size(A), OldSize);
+  std::filesystem::last_write_time(A, OldTime);
+  Result<int> R2 = S.refreshModels();
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(R2.value(), 1)
+      << "same-mtime same-size byte flip must still be detected";
+
+  // And a genuine no-op rewrite (same bytes, same mtime) must not count
+  // as a reload.
+  std::filesystem::last_write_time(A, OldTime);
+  Result<int> R3 = S.refreshModels();
+  ASSERT_TRUE(R3.ok());
+  EXPECT_EQ(R3.value(), 0);
+}
+
+TEST(Session, ModelEpochAdvancesOnEveryMutation) {
+  SessionConfig Cfg;
+  auto SR = Session::create(std::move(Cfg));
+  ASSERT_TRUE(SR.ok());
+  Session &S = *SR.value();
+
+  std::uint64_t E0 = S.modelEpoch();
+  std::string A = tempPath("session_epoch_a.fpm");
+  writeModelFile(A, 400.0);
+  std::vector<std::string> Paths = {A};
+  ASSERT_TRUE(S.loadModels(Paths).ok());
+  std::uint64_t E1 = S.modelEpoch();
+  EXPECT_GT(E1, E0);
+
+  // A refresh that reloads nothing must not bump the epoch (cached
+  // partition replies keyed by it stay valid).
+  Result<int> None = S.refreshModels();
+  ASSERT_TRUE(None.ok());
+  EXPECT_EQ(None.value(), 0);
+  EXPECT_EQ(S.modelEpoch(), E1);
+
+  writeModelFile(A, 800.0);
+  bumpMTime(A);
+  ASSERT_TRUE(S.refreshModels().ok());
+  EXPECT_GT(S.modelEpoch(), E1);
+
+  // partitionRendered stamps the epoch the solve actually used.
+  Result<PartitionReply> Reply = S.partitionRendered(1000);
+  ASSERT_TRUE(Reply.ok()) << Reply.error();
+  EXPECT_EQ(Reply.value().Epoch, S.modelEpoch());
+  EXPECT_NE(Reply.value().Text.find("partitioning of 1000 units"),
+            std::string::npos)
+      << Reply.value().Text;
+}
+
 TEST(Session, ExecuteRunsTheBodyOnThePlatform) {
   auto S = makeTwoDeviceSession();
   std::vector<int> Seen(2, 0);
@@ -264,11 +362,58 @@ TEST(Serve, ParsesRequestsAndReportsBadLines) {
     EXPECT_TRUE(R.value()[2].Reload);
   }
   {
-    std::istringstream IS("3000\nnonsense\n");
+    // Malformed lines no longer abort the batch: they come back as
+    // skip-and-record requests carrying the line number and diagnostic.
+    std::istringstream IS("3000\nnonsense\n2000\n");
     auto R = parseServeRequests(IS);
-    ASSERT_FALSE(R.ok());
-    EXPECT_NE(R.error().find("line 2"), std::string::npos) << R.error();
+    ASSERT_TRUE(R.ok()) << R.error();
+    ASSERT_EQ(R.value().size(), 3u);
+    EXPECT_TRUE(R.value()[0].ParseError.empty());
+    EXPECT_EQ(R.value()[1].LineNo, 2u);
+    EXPECT_NE(R.value()[1].ParseError.find("line 2"), std::string::npos)
+        << R.value()[1].ParseError;
+    EXPECT_NE(R.value()[1].ParseError.find("nonsense"), std::string::npos)
+        << R.value()[1].ParseError;
+    EXPECT_TRUE(R.value()[2].ParseError.empty());
+    EXPECT_EQ(R.value()[2].Total, 2000);
   }
+  {
+    // Trailing junk after a well-formed request is also recorded.
+    ServeRequest Req;
+    ASSERT_TRUE(parseServeLine("1000 numerical extra", 7, Req));
+    EXPECT_NE(Req.ParseError.find("line 7"), std::string::npos)
+        << Req.ParseError;
+    EXPECT_NE(Req.ParseError.find("extra"), std::string::npos)
+        << Req.ParseError;
+  }
+}
+
+TEST(Serve, MalformedLinesAreReportedInPlaceAndServingContinues) {
+  SessionConfig Cfg;
+  auto SR = Session::create(std::move(Cfg));
+  ASSERT_TRUE(SR.ok());
+  Session &S = *SR.value();
+  std::string A = tempPath("serve_malformed_a.fpm");
+  writeModelFile(A, 500.0);
+  std::vector<std::string> Paths = {A};
+  ASSERT_TRUE(S.loadModels(Paths).ok());
+
+  std::istringstream IS("1000\nbogus line\n-5\n2000\n");
+  auto Requests = parseServeRequests(IS);
+  ASSERT_TRUE(Requests.ok());
+  std::ostringstream OS;
+  ServeStats St = serveRequests(S, Requests.value(), OS);
+  EXPECT_EQ(St.Answered, 2);
+  EXPECT_EQ(St.Failed, 2);
+  EXPECT_EQ(St.Malformed, 2);
+  // Both error records name their line, and the batch still answered
+  // the requests around them.
+  EXPECT_NE(OS.str().find("# error: request line 2"), std::string::npos)
+      << OS.str();
+  EXPECT_NE(OS.str().find("# error: request line 3"), std::string::npos)
+      << OS.str();
+  EXPECT_NE(OS.str().find("partitioning of 2000 units"), std::string::npos)
+      << OS.str();
 }
 
 TEST(Serve, AnswersRequestsFromOneSession) {

@@ -2,8 +2,11 @@
 //
 // The pool underpins buildModelsParallel, so its contract is pinned here:
 // results arrive through futures regardless of execution order, worker
-// exceptions surface at future.get() (not std::terminate), and shutdown
-// completes every queued task before joining — no abandoned futures.
+// exceptions surface at future.get() (not std::terminate), and explicit
+// shutdown() completes every queued task before joining — no abandoned
+// futures. The destructor, by contrast, cancels queued-but-unstarted
+// tasks: their futures complete with broken_promise instead of hanging
+// any waiter forever.
 //
 //===----------------------------------------------------------------------===//
 
@@ -13,6 +16,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -56,18 +60,66 @@ TEST(ThreadPool, ShutdownCompletesQueuedTasks) {
   std::atomic<int> Completed{0};
   std::vector<std::future<void>> Futures;
   {
-    // One worker and 50 slow-ish tasks: most are still queued when the
-    // destructor runs, and the destructor must drain them all.
+    // One worker and 50 slow-ish tasks: most are still queued when
+    // shutdown() runs, and shutdown() must drain them all.
     ThreadPool Pool(1);
     for (int I = 0; I < 50; ++I)
       Futures.push_back(Pool.submit([&Completed] {
         std::this_thread::sleep_for(std::chrono::microseconds(100));
         Completed.fetch_add(1, std::memory_order_relaxed);
       }));
+    Pool.shutdown();
   }
   EXPECT_EQ(Completed.load(), 50);
   for (std::future<void> &F : Futures)
     EXPECT_NO_THROW(F.get()); // Every future was fulfilled, none dropped.
+}
+
+TEST(ThreadPool, DestructorBreaksQueuedPromises) {
+  // Destroying the pool without an explicit shutdown() cancels tasks
+  // that never started: their futures must complete with broken_promise
+  // rather than leave a waiter blocked forever. The task already running
+  // still finishes (the worker is joined, not killed).
+  std::promise<void> Release;
+  std::shared_future<void> Gate = Release.get_future().share();
+  std::atomic<bool> FirstRan{false};
+  std::future<void> Running;
+  std::vector<std::future<int>> Queued;
+  // The gate opens only after a delay, so the destructor below runs
+  // while the lone worker is still parked inside the first task and the
+  // 8 queued tasks are untouched. The destructor cancels the queue
+  // BEFORE joining, so the join then completes once the gate opens.
+  std::thread Opener;
+  {
+    ThreadPool Pool(1);
+    Running = Pool.submit([&FirstRan, Gate] {
+      FirstRan.store(true, std::memory_order_release);
+      Gate.wait(); // Hold the only worker until the queue has backlog.
+    });
+    while (!FirstRan.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    for (int I = 0; I < 8; ++I)
+      Queued.push_back(Pool.submit([I] { return I; }));
+    Opener = std::thread([&Release] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      Release.set_value();
+    });
+    // Pool destructor runs here with (up to) 8 tasks still queued.
+  }
+  Opener.join();
+  EXPECT_NO_THROW(Running.get());
+  int Cancelled = 0;
+  for (std::future<int> &F : Queued) {
+    try {
+      (void)F.get(); // Tasks that squeezed in before cancellation.
+    } catch (const std::future_error &E) {
+      EXPECT_EQ(E.code(), std::future_errc::broken_promise);
+      ++Cancelled;
+    }
+  }
+  // The worker was parked on the gate while all 8 were queued, so the
+  // destructor saw a non-empty queue; at least the tail is cancelled.
+  EXPECT_GT(Cancelled, 0);
 }
 
 TEST(ThreadPool, DrainWaitsForInFlightWork) {

@@ -14,12 +14,24 @@
 //               [--output FILE] [--explain] [--allow-degraded] [--stats]
 //               model0.fpm model1.fpm ...
 //   partitioner --serve REQFILE [--algorithm A] [--allow-degraded]
+//               [--workers N [--queue N] [--deadline-ms N]]
 //               model0.fpm model1.fpm ...
 //
 // --serve REQFILE answers a batch of partition requests (one `TOTAL
 // [ALGORITHM]` per line; `reload` forces a model re-read) from one
 // long-lived session: the models are loaded and fitted once, and files
 // that change on disk between requests are hot-reloaded automatically.
+// REQFILE may be `-` to read requests from stdin — with a FIFO this is
+// the pipe transport external clients drive a long-running server over.
+//
+// --workers N serves concurrently: N worker threads drain a bounded
+// request queue (--queue, default 256) with admission control (overload
+// sheds with structured `# rejected: queue_full|deadline|shutting_down`
+// records instead of queueing without bound), optional per-request
+// deadlines (--deadline-ms), coalescing of identical in-flight requests
+// and an LRU partition cache keyed by (model epoch, total, algorithm).
+// Responses are written in request order, byte-identical to the
+// sequential mode's answers.
 //
 // --stats prints the partition latency and the hit rate of the models'
 // memoized inverse-time lookup cache (see Model::sizeForTimeCached).
@@ -36,10 +48,12 @@
 
 #include "core/ModelIO.h"
 #include "engine/Serve.h"
+#include "engine/Server.h"
 #include "engine/Session.h"
 #include "mpp/Runtime.h"
 #include "support/Options.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -59,8 +73,9 @@ int usage(const char *Program) {
                "constant|geometric|numerical] [--output FILE] "
                "[--explain] [--allow-degraded] [--stats] "
                "model0.fpm model1.fpm ...\n"
-               "       %s --serve REQFILE [--algorithm A] "
-               "[--allow-degraded] model0.fpm model1.fpm ...\n",
+               "       %s --serve REQFILE|- [--algorithm A] "
+               "[--allow-degraded] [--workers N] [--queue N] "
+               "[--deadline-ms N] model0.fpm model1.fpm ...\n",
                Program, Program);
   return 2;
 }
@@ -71,16 +86,21 @@ int main(int Argc, char **Argv) {
   Options Opts(Argc, Argv, {"explain", "allow-degraded", "stats"});
   for (const std::string &Key :
        Opts.unknownKeys({"total", "algorithm", "output", "explain",
-                         "allow-degraded", "stats", "serve"})) {
+                         "allow-degraded", "stats", "serve", "workers",
+                         "queue", "deadline-ms"})) {
     std::fprintf(stderr, "error: unknown option --%s\n", Key.c_str());
     return usage(Argv[0]);
   }
 
   Result<std::int64_t> TotalR = Opts.checkedInt("total", 0);
-  if (!TotalR) {
-    std::fprintf(stderr, "error: %s\n", TotalR.error().c_str());
-    return 2;
-  }
+  Result<std::int64_t> WorkersR = Opts.checkedInt("workers", 0);
+  Result<std::int64_t> QueueR = Opts.checkedInt("queue", 256);
+  Result<std::int64_t> DeadlineR = Opts.checkedInt("deadline-ms", 0);
+  for (const auto *R : {&TotalR, &WorkersR, &QueueR, &DeadlineR})
+    if (!*R) {
+      std::fprintf(stderr, "error: %s\n", R->error().c_str());
+      return 2;
+    }
   std::int64_t Total = TotalR.value();
   std::string Algorithm = Opts.get("algorithm", "geometric");
   std::string ServeFile = Opts.get("serve");
@@ -116,23 +136,57 @@ int main(int Argc, char **Argv) {
   Engine.clearWarnings();
 
   if (Serve) {
-    std::ifstream IS(ServeFile);
-    if (!IS) {
-      std::fprintf(stderr, "error: cannot open request file %s\n",
-                   ServeFile.c_str());
-      return 1;
+    std::ifstream FileIS;
+    if (ServeFile != "-") {
+      FileIS.open(ServeFile);
+      if (!FileIS) {
+        std::fprintf(stderr, "error: cannot open request file %s\n",
+                     ServeFile.c_str());
+        return 1;
+      }
     }
-    Result<std::vector<engine::ServeRequest>> Requests =
-        engine::parseServeRequests(IS);
-    if (!Requests) {
-      std::fprintf(stderr, "error: %s: %s\n", ServeFile.c_str(),
-                   Requests.error().c_str());
-      return 2;
+    std::istream &IS = ServeFile == "-" ? std::cin : FileIS;
+
+    engine::ServeStats St;
+    int Workers = static_cast<int>(WorkersR.value());
+    if (Workers > 0) {
+      // Concurrent serving: N workers over a bounded queue, streamed
+      // straight from the request source (file, stdin, or FIFO pipe).
+      engine::ServerConfig SrvCfg;
+      SrvCfg.Workers = Workers;
+      SrvCfg.QueueCapacity =
+          static_cast<std::size_t>(std::max<std::int64_t>(1, QueueR.value()));
+      SrvCfg.DefaultDeadline = std::chrono::milliseconds(
+          std::max<std::int64_t>(0, DeadlineR.value()));
+      engine::Server Srv(Engine, SrvCfg);
+      St = engine::serveStream(Srv, IS, std::cout);
+      Srv.shutdown();
+      engine::ServerStats SrvSt = Srv.stats();
+      std::printf("# served %d request(s), %d failed, %d rejected, "
+                  "%d model reload(s)\n",
+                  St.Answered, St.Failed, St.Rejected, St.Reloaded);
+      std::printf("# server: %d workers, queue %zu, %llu coalesced, "
+                  "%llu cache hits / %llu lookups, shed "
+                  "queue_full=%llu deadline=%llu shutting_down=%llu\n",
+                  Workers, SrvCfg.QueueCapacity,
+                  static_cast<unsigned long long>(SrvSt.Coalesced),
+                  static_cast<unsigned long long>(SrvSt.CacheHits),
+                  static_cast<unsigned long long>(SrvSt.CacheLookups),
+                  static_cast<unsigned long long>(SrvSt.ShedQueueFull),
+                  static_cast<unsigned long long>(SrvSt.ShedDeadline),
+                  static_cast<unsigned long long>(SrvSt.ShedShutdown));
+    } else {
+      Result<std::vector<engine::ServeRequest>> Requests =
+          engine::parseServeRequests(IS);
+      if (!Requests) {
+        std::fprintf(stderr, "error: %s: %s\n", ServeFile.c_str(),
+                     Requests.error().c_str());
+        return 2;
+      }
+      St = engine::serveRequests(Engine, Requests.value(), std::cout);
+      std::printf("# served %d request(s), %d failed, %d model reload(s)\n",
+                  St.Answered, St.Failed, St.Reloaded);
     }
-    engine::ServeStats St =
-        engine::serveRequests(Engine, Requests.value(), std::cout);
-    std::printf("# served %d request(s), %d failed, %d model reload(s)\n",
-                St.Answered, St.Failed, St.Reloaded);
     return St.Failed == 0 ? 0 : 1;
   }
 
