@@ -2,6 +2,7 @@
 
 #include "apps/Jacobi.h"
 
+#include "dist/PartitionedVector.h"
 #include "engine/Balance.h"
 #include "engine/Session.h"
 #include "mpp/Runtime.h"
@@ -12,10 +13,6 @@
 using namespace fupermod;
 
 namespace {
-
-enum : int {
-  TagRedist = 1 << 22,
-};
 
 std::uint64_t mix(std::uint64_t Z) {
   Z += 0x9e3779b97f4a7c15ull;
@@ -91,43 +88,41 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
 
     engine::BalancedLoop Loop =
         Engine.makeBalancedLoop(N, P, Options.StalenessDecay);
-    Dist Current = Loop.dist(); // Even initial distribution.
 
-    // Initial data: each rank generates its own contiguous rows of A and
-    // entries of b (rows are only *regenerated* here; every later move is
-    // real communication).
-    std::vector<std::int64_t> Starts = engine::contiguousStarts(Current);
-    std::int64_t MyStart = Starts[static_cast<std::size_t>(Me)];
-    std::int64_t MyRows =
-        Current.Parts[static_cast<std::size_t>(Me)].Units;
-    std::vector<double> ARows(static_cast<std::size_t>(MyRows) *
-                              static_cast<std::size_t>(N));
-    std::vector<double> BVals(static_cast<std::size_t>(MyRows));
-    for (std::int64_t R = 0; R < MyRows; ++R) {
-      int Row = static_cast<int>(MyStart + R);
+    // The system lives in a partitioner-aware container: one unit = one
+    // matrix row interleaved with its right-hand-side entry, [a_r0 ..
+    // a_r(N-1) | b_r], so a repartition moves each row in one piece.
+    // Initial data is generated in place; every later move is real
+    // communication, driven by the container's minimal-move plan.
+    dist::PartitionedVector<double> Sys(C, Loop.dist(), N + 1);
+    Sys.generate([&](std::int64_t Row, std::span<double> Out) {
       for (int Col = 0; Col < N; ++Col)
-        ARows[static_cast<std::size_t>(R) * N + Col] =
-            jacobiMatrixEntry(N, Row, Col);
-      BVals[static_cast<std::size_t>(R)] = jacobiRhsEntry(N, Row);
-    }
+        Out[static_cast<std::size_t>(Col)] =
+            jacobiMatrixEntry(N, static_cast<int>(Row), Col);
+      Out[static_cast<std::size_t>(N)] =
+          jacobiRhsEntry(N, static_cast<int>(Row));
+    });
 
     std::vector<double> X(static_cast<std::size_t>(N), 0.0);
 
     int It = 0;
     for (; It < Options.MaxIterations; ++It) {
       double IterStart = C.time();
+      std::int64_t MyStart = Sys.start();
+      std::int64_t MyRows = Sys.units();
 
       // Local sweep: x_new over owned rows (real arithmetic).
       std::vector<double> XNewLocal(static_cast<std::size_t>(MyRows), 0.0);
       for (std::int64_t R = 0; R < MyRows; ++R) {
         int Row = static_cast<int>(MyStart + R);
+        std::span<const double> Unit = Sys.unit(MyStart + R);
+        const double *ARow = Unit.data();
         double Sum = 0.0;
-        const double *ARow = &ARows[static_cast<std::size_t>(R) * N];
         for (int Col = 0; Col < N; ++Col)
           if (Col != Row)
             Sum += ARow[Col] * X[static_cast<std::size_t>(Col)];
         XNewLocal[static_cast<std::size_t>(R)] =
-            (BVals[static_cast<std::size_t>(R)] - Sum) / ARow[Row];
+            (Unit[static_cast<std::size_t>(N)] - Sum) / ARow[Row];
       }
 
       // Virtual computation cost (one unit = one row). A hard-failed
@@ -143,10 +138,14 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
               .ComputeTimes[static_cast<std::size_t>(Me)] = M.Seconds;
         }
       }
-      if (Me == 0)
+      if (Me == 0) {
+        const std::vector<std::int64_t> &Starts = Sys.starts();
         for (int Q = 0; Q < P; ++Q)
-          Stats[static_cast<std::size_t>(It)].Rows[static_cast<std::size_t>(
-              Q)] = Current.Parts[static_cast<std::size_t>(Q)].Units;
+          Stats[static_cast<std::size_t>(It)]
+              .Rows[static_cast<std::size_t>(Q)] =
+              Starts[static_cast<std::size_t>(Q) + 1] -
+              Starts[static_cast<std::size_t>(Q)];
+      }
 
       // Load balancing with the (rows, iteration-time) point, exactly the
       // paper's fupermod_balance_iterate call site. With a positive
@@ -171,58 +170,9 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
       if (Me == 0)
         Stats[static_cast<std::size_t>(It)].Error = Error;
 
-      // Redistribute rows of A and entries of b to the new distribution.
-      const Dist &Next = Loop.dist();
-      if (Options.Balance && Next.relativeChange(Current) > 0.0) {
-        std::vector<std::int64_t> OldStarts = Starts;
-        std::vector<std::int64_t> NewStarts = engine::contiguousStarts(Next);
-        std::int64_t NewStart = NewStarts[static_cast<std::size_t>(Me)];
-        std::int64_t NewRows = Next.Parts[static_cast<std::size_t>(Me)].Units;
-        std::vector<double> NewA(static_cast<std::size_t>(NewRows) *
-                                 static_cast<std::size_t>(N));
-        std::vector<double> NewB(static_cast<std::size_t>(NewRows));
-
-        auto CopyRows = [&](std::int64_t To, const double *SrcA,
-                            const double *SrcB, std::int64_t Count) {
-          std::copy(SrcA, SrcA + Count * N,
-                    NewA.begin() + (To - NewStart) * N);
-          std::copy(SrcB, SrcB + Count, NewB.begin() + (To - NewStart));
-        };
-
-        engine::RangeCopier Copy;
-        // One message per peer: [A rows | b entries] of the overlap.
-        Copy.Pack = [&](std::int64_t Lo, std::int64_t Hi) {
-          std::vector<double> Payload(
-              static_cast<std::size_t>(Hi - Lo) * (N + 1));
-          std::copy(&ARows[(Lo - MyStart) * N], &ARows[(Hi - MyStart) * N],
-                    Payload.begin());
-          std::copy(&BVals[Lo - MyStart], &BVals[Hi - MyStart],
-                    Payload.begin() + (Hi - Lo) * N);
-          return Payload;
-        };
-        Copy.Unpack = [&](std::int64_t Lo, std::int64_t Hi,
-                          std::span<const double> Payload) {
-          assert(Payload.size() ==
-                     static_cast<std::size_t>(Hi - Lo) *
-                         static_cast<std::size_t>(N + 1) &&
-                 "unexpected redistribution payload size");
-          CopyRows(Lo, Payload.data(), Payload.data() + (Hi - Lo) * N,
-                   Hi - Lo);
-        };
-        Copy.Keep = [&](std::int64_t Lo, std::int64_t Hi) {
-          CopyRows(Lo, &ARows[(Lo - MyStart) * N], &BVals[Lo - MyStart],
-                   Hi - Lo);
-        };
-        engine::redistributeContiguous(C, OldStarts, NewStarts, TagRedist,
-                                       Copy);
-
-        ARows = std::move(NewA);
-        BVals = std::move(NewB);
-        Current = Next;
-        Starts = std::move(NewStarts);
-        MyStart = NewStart;
-        MyRows = NewRows;
-      }
+      // Migrate [A | b] rows to the new distribution — only when the
+      // repartition actually moved units between ranks.
+      Loop.redistributeIfChanged(Sys);
 
       if (Error <= Options.Tolerance) {
         ++It;

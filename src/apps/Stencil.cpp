@@ -2,6 +2,7 @@
 
 #include "apps/Stencil.h"
 
+#include "dist/PartitionedVector.h"
 #include "engine/Balance.h"
 #include "engine/Session.h"
 #include "mpp/Runtime.h"
@@ -12,12 +13,6 @@
 using namespace fupermod;
 
 namespace {
-
-enum : int {
-  TagHaloUp = (1 << 23) + 1, // My top row, going to the band above.
-  TagHaloDown,               // My bottom row, going to the band below.
-  TagMoveRows,
-};
 
 std::uint64_t mix(std::uint64_t Z) {
   Z += 0x9e3779b97f4a7c15ull;
@@ -96,151 +91,83 @@ StencilReport fupermod::runStencil(const Cluster &Platform,
     int Me = C.rank();
     SimDevice Dev = Platform.makeDevice(Me);
     engine::BalancedLoop Loop = Engine.makeBalancedLoop(Interior, P);
-    Dist Current = Loop.dist();
-    std::vector<std::int64_t> Starts = engine::contiguousStarts(Current, 1);
-    std::int64_t MyStart = Starts[static_cast<std::size_t>(Me)];
-    std::int64_t MyRows = Current.Parts[static_cast<std::size_t>(Me)].Units;
 
-    // Band storage: MyRows interior rows, row-major, width Cols.
-    std::vector<double> Band(static_cast<std::size_t>(MyRows) *
-                             static_cast<std::size_t>(Cols));
-    for (std::int64_t R = 0; R < MyRows; ++R)
+    // The band lives in a partitioner-aware container: one unit = one
+    // interior grid row (Cols doubles), global row coordinates starting
+    // at 1. The container owns the halo exchange and every row move.
+    dist::PartitionedVector<double> U(C, Loop.dist(), Cols, /*Base=*/1);
+    U.generate([&](std::int64_t Row, std::span<double> Out) {
       for (int Col = 0; Col < Cols; ++Col)
-        Band[static_cast<std::size_t>(R) * Cols + Col] = stencilInitial(
-            Rows, Cols, static_cast<int>(MyStart + R), Col);
-
-    auto OwnerOfRow = [&](std::int64_t Row) {
-      for (int Q = 0; Q < P; ++Q)
-        if (Row >= Starts[static_cast<std::size_t>(Q)] &&
-            Row < Starts[static_cast<std::size_t>(Q) + 1])
-          return Q;
-      assert(false && "interior row has no owner");
-      return -1;
+        Out[static_cast<std::size_t>(Col)] =
+            stencilInitial(Rows, Cols, static_cast<int>(Row), Col);
+    });
+    // Rows 0 and Rows-1 sit outside the partitioned domain: the halo
+    // exchange fills them from the fixed boundary condition.
+    auto Boundary = [&](std::int64_t Row, std::span<double> Out) {
+      for (int Col = 0; Col < Cols; ++Col)
+        Out[static_cast<std::size_t>(Col)] =
+            stencilInitial(Rows, Cols, static_cast<int>(Row), Col);
     };
 
     for (int It = 0; It < Options.Iterations; ++It) {
       double IterStart = C.time();
-      std::int64_t MyEnd = MyStart + MyRows;
+      std::int64_t MyRows = U.units();
 
-      // Halo sends (buffered, deadlock-free): my top row to the band
-      // ending at MyStart, my bottom row to the band starting at MyEnd.
-      if (MyRows > 0) {
-        for (int Q = 0; Q < P; ++Q) {
-          if (Q == Me ||
-              Current.Parts[static_cast<std::size_t>(Q)].Units == 0)
-            continue;
-          std::int64_t QStart = Starts[static_cast<std::size_t>(Q)];
-          std::int64_t QEnd = Starts[static_cast<std::size_t>(Q) + 1];
-          if (QEnd == MyStart) {
-            C.send<double>(Q, TagHaloUp,
-                           std::span<const double>(Band.data(), Cols));
-            ++HaloSent[static_cast<std::size_t>(Me)];
-          }
-          if (QStart == MyEnd) {
-            C.send<double>(
-                Q, TagHaloDown,
-                std::span<const double>(
-                    Band.data() + (MyRows - 1) * Cols, Cols));
-            ++HaloSent[static_cast<std::size_t>(Me)];
-          }
-        }
+      // Kick off the width-1 halo exchange; the receives stay in flight
+      // while the interior rows (which need no halo data) are swept.
+      dist::HaloExchange Ex = U.startHaloExchange(1, Boundary);
+      HaloSent[static_cast<std::size_t>(Me)] += Ex.piecesSent();
+
+      std::span<const double> Band = U.local();
+      std::vector<double> Next(Band.begin(), Band.end());
+      auto SweepRow = [&](std::int64_t R, const double *Up,
+                          const double *Down) {
+        const double *Mid = Band.data() + R * Cols;
+        double *Out = Next.data() + R * Cols;
+        for (int Col = 1; Col + 1 < Cols; ++Col)
+          Out[Col] = 0.25 * (Up[Col] + Down[Col] + Mid[Col - 1] +
+                             Mid[Col + 1]);
+      };
+      // Interior rows overlap the transfer...
+      for (std::int64_t R = 1; R + 1 < MyRows; ++R)
+        SweepRow(R, Band.data() + (R - 1) * Cols,
+                 Band.data() + (R + 1) * Cols);
+      Ex.wait();
+      // ...and the boundary-adjacent rows complete once the halos are in.
+      if (MyRows == 1) {
+        SweepRow(0, U.haloAbove().data(), U.haloBelow().data());
+      } else if (MyRows > 1) {
+        SweepRow(0, U.haloAbove().data(), Band.data() + Cols);
+        SweepRow(MyRows - 1, Band.data() + (MyRows - 2) * Cols,
+                 U.haloBelow().data());
       }
+      U.assignLocal(std::move(Next));
 
-      // Halo receives (or fixed boundary rows).
-      std::vector<double> Above(static_cast<std::size_t>(Cols), 0.0);
-      std::vector<double> Below(static_cast<std::size_t>(Cols), 0.0);
       if (MyRows > 0) {
-        if (MyStart - 1 == 0) {
-          for (int Col = 0; Col < Cols; ++Col)
-            Above[static_cast<std::size_t>(Col)] =
-                stencilInitial(Rows, Cols, 0, Col);
-        } else {
-          Above = C.recv<double>(OwnerOfRow(MyStart - 1), TagHaloDown);
-        }
-        if (MyEnd == Rows - 1) {
-          for (int Col = 0; Col < Cols; ++Col)
-            Below[static_cast<std::size_t>(Col)] =
-                stencilInitial(Rows, Cols, Rows - 1, Col);
-        } else {
-          Below = C.recv<double>(OwnerOfRow(MyEnd), TagHaloUp);
-        }
-      }
-
-      // Sweep the band (real arithmetic; edge columns stay fixed).
-      if (MyRows > 0) {
-        std::vector<double> Next = Band;
-        for (std::int64_t R = 0; R < MyRows; ++R) {
-          const double *Up =
-              R == 0 ? Above.data() : &Band[(R - 1) * Cols];
-          const double *Down =
-              R == MyRows - 1 ? Below.data() : &Band[(R + 1) * Cols];
-          const double *Mid = &Band[R * Cols];
-          double *Out = &Next[R * Cols];
-          for (int Col = 1; Col + 1 < Cols; ++Col)
-            Out[Col] = 0.25 * (Up[Col] + Down[Col] + Mid[Col - 1] +
-                               Mid[Col + 1]);
-        }
-        Band = std::move(Next);
-
         double T = Dev.measureTime(static_cast<double>(MyRows));
         C.compute(T);
         Stats[static_cast<std::size_t>(It)]
             .ComputeTimes[static_cast<std::size_t>(Me)] = T;
       }
-      if (Me == 0)
+      if (Me == 0) {
+        const std::vector<std::int64_t> &Starts = U.starts();
         for (int Q = 0; Q < P; ++Q)
           Stats[static_cast<std::size_t>(It)]
               .Rows[static_cast<std::size_t>(Q)] =
-              Current.Parts[static_cast<std::size_t>(Q)].Units;
-
-      // Dynamic balancing, as in the Jacobi use case.
-      if (Options.Balance) {
-        if (Loop.balance(C, IterStart, Policy) && Me == 0)
-          ++Rebalances;
-
-        const Dist &Next = Loop.dist();
-        if (Next.relativeChange(Current) > 0.0) {
-          std::vector<std::int64_t> NewStarts =
-              engine::contiguousStarts(Next, 1);
-          std::int64_t NewStart = NewStarts[static_cast<std::size_t>(Me)];
-          std::int64_t NewRows =
-              Next.Parts[static_cast<std::size_t>(Me)].Units;
-          std::vector<double> NewBand(static_cast<std::size_t>(NewRows) *
-                                      static_cast<std::size_t>(Cols));
-          engine::RangeCopier Copy;
-          Copy.Pack = [&](std::int64_t Lo, std::int64_t Hi) {
-            return std::vector<double>(
-                &Band[(Lo - MyStart) * Cols],
-                &Band[(Lo - MyStart) * Cols] +
-                    static_cast<std::size_t>(Hi - Lo) * Cols);
-          };
-          Copy.Unpack = [&](std::int64_t Lo, [[maybe_unused]] std::int64_t Hi,
-                            std::span<const double> Payload) {
-            assert(Payload.size() == static_cast<std::size_t>(Hi - Lo) *
-                                         static_cast<std::size_t>(Cols) &&
-                   "unexpected band payload size");
-            std::copy(Payload.begin(), Payload.end(),
-                      NewBand.begin() + (Lo - NewStart) * Cols);
-          };
-          Copy.Keep = [&](std::int64_t Lo, std::int64_t Hi) {
-            std::copy(&Band[(Lo - MyStart) * Cols],
-                      &Band[(Hi - MyStart) * Cols],
-                      NewBand.begin() + (Lo - NewStart) * Cols);
-          };
-          engine::redistributeContiguous(C, Starts, NewStarts, TagMoveRows,
-                                         Copy);
-          Band = std::move(NewBand);
-          Current = Next;
-          Starts = std::move(NewStarts);
-          MyStart = NewStart;
-          MyRows = NewRows;
-        }
+              Starts[static_cast<std::size_t>(Q) + 1] -
+              Starts[static_cast<std::size_t>(Q)];
       }
+
+      // Dynamic balancing, as in the Jacobi use case; the container
+      // migrates rows only when the repartition moved units.
+      if (Loop.balance(C, IterStart, Policy) && Me == 0)
+        ++Rebalances;
+      Loop.redistributeIfChanged(U);
     }
 
     // Assemble the final grid on rank 0 and verify against a serial run.
     std::vector<double> All =
-        C.gatherv(std::span<const double>(Band), 0);
+        C.gatherv(std::span<const double>(U.local()), 0);
     if (Me != 0)
       return;
     std::vector<double> Grid(static_cast<std::size_t>(Rows) *

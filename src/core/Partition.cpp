@@ -48,6 +48,35 @@ double Dist::relativeChange(const Dist &Other) const {
   return MaxChange;
 }
 
+bool Dist::sameUnits(const Dist &Other) const {
+  if (Parts.size() != Other.Parts.size())
+    return false;
+  for (std::size_t I = 0; I < Parts.size(); ++I)
+    if (Parts[I].Units != Other.Parts[I].Units)
+      return false;
+  return true;
+}
+
+std::vector<std::int64_t> Dist::contiguousStarts(std::int64_t Base) const {
+  std::vector<std::int64_t> Starts(Parts.size() + 1, Base);
+  for (std::size_t I = 0; I < Parts.size(); ++I)
+    Starts[I + 1] = Starts[I] + Parts[I].Units;
+  return Starts;
+}
+
+int fupermod::ownerOfUnit(std::span<const std::int64_t> Starts,
+                          std::int64_t Unit) {
+  assert(Starts.size() >= 2 && "prefix starts require P + 1 entries");
+  if (Unit < Starts.front() || Unit >= Starts.back())
+    return -1;
+  // Upper bound over the (non-decreasing) prefix array: the owner is the
+  // last rank whose start is <= Unit; empty ranges share their start with
+  // the next rank and are skipped by taking the upper bound.
+  auto It = std::upper_bound(Starts.begin(), Starts.end(), Unit);
+  assert(It != Starts.begin());
+  return static_cast<int>(std::distance(Starts.begin(), It)) - 1;
+}
+
 std::int64_t fupermod::maxUnitsUnderCap(double Cap) {
   if (!std::isfinite(Cap))
     return std::numeric_limits<std::int64_t>::max();

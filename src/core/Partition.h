@@ -52,7 +52,23 @@ struct Dist {
   /// Largest relative change in per-process units against \p Other;
   /// used as the termination test of dynamic partitioning.
   double relativeChange(const Dist &Other) const;
+
+  /// True when every part assigns the same number of units as \p Other
+  /// (predicted times may differ) — the "no data moves" test of a
+  /// repartition.
+  bool sameUnits(const Dist &Other) const;
+
+  /// Prefix starts of the contiguous per-process ranges: process r owns
+  /// units [Starts[r], Starts[r+1]), beginning at \p Base (0 for row
+  /// indices, 1 for grid-interior coordinates). Size Parts.size() + 1.
+  std::vector<std::int64_t> contiguousStarts(std::int64_t Base = 0) const;
 };
+
+/// Rank owning global unit \p Unit under the prefix-start array \p Starts
+/// (size P + 1, as produced by Dist::contiguousStarts): the unique r with
+/// Starts[r] <= Unit < Starts[r+1] and a non-empty range. Returns -1 when
+/// \p Unit lies outside [Starts.front(), Starts.back()).
+int ownerOfUnit(std::span<const std::int64_t> Starts, std::int64_t Unit);
 
 /// A data partitioning algorithm: distributes \p Total units over the
 /// processes whose performance models are given, writing the result into

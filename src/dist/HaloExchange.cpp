@@ -1,0 +1,175 @@
+//===-- dist/HaloExchange.cpp - Overlappable halo exchange ----------------===//
+
+#include "dist/HaloExchange.h"
+
+#include "mpp/Poison.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace fupermod;
+using namespace fupermod::dist;
+
+HaloPlan fupermod::dist::buildHaloPlan(std::span<const std::int64_t> Starts,
+                                       int Me, std::int64_t Width) {
+  assert(Starts.size() >= 2 && "prefix starts require P + 1 entries");
+  assert(Width >= 0 && "negative halo width");
+  int P = static_cast<int>(Starts.size()) - 1;
+  assert(Me >= 0 && Me < P && "rank out of range");
+
+  auto Range = [&](int Q) {
+    return Interval{Starts[static_cast<std::size_t>(Q)],
+                    Starts[static_cast<std::size_t>(Q) + 1]};
+  };
+  Interval Mine = Range(Me);
+  Interval Domain{Starts.front(), Starts.back()};
+
+  HaloPlan Plan;
+  if (Mine.empty() || Width == 0)
+    return Plan; // A rank with no units neither needs nor feeds halos.
+  Plan.AboveWindow = {Mine.Lo - Width, Mine.Lo};
+  Plan.BelowWindow = {Mine.Hi, Mine.Hi + Width};
+
+  // The receivable parts of my windows stop at the domain edge; the rest
+  // is physical boundary, filled locally.
+  Plan.AboveInDomain = overlap(Plan.AboveWindow, Domain);
+  Plan.BelowInDomain = overlap(Plan.BelowWindow, Domain);
+  Interval AboveIn = Plan.AboveInDomain;
+  Interval BelowIn = Plan.BelowInDomain;
+
+  for (int Q = 0; Q < P; ++Q) {
+    if (Q == Me)
+      continue;
+    Interval Peer = Range(Q);
+    if (Peer.empty())
+      continue;
+    // What I contribute to Q's halos: Q's above window is [Qs - W, Qs),
+    // its below window [Qe, Qe + W). Above first, then below, matching
+    // the historical per-peer send order of the stencil app.
+    Interval ToAbove = overlap(Mine, {Peer.Lo - Width, Peer.Lo});
+    if (!ToAbove.empty())
+      Plan.Sends.push_back({Q, ToAbove, HaloPlan::Side::Above});
+    Interval ToBelow = overlap(Mine, {Peer.Hi, Peer.Hi + Width});
+    if (!ToBelow.empty())
+      Plan.Sends.push_back({Q, ToBelow, HaloPlan::Side::Below});
+  }
+  // My receives: above pieces for every owner intersecting my above
+  // window, then the below pieces.
+  for (int Q = 0; Q < P; ++Q) {
+    if (Q == Me)
+      continue;
+    Interval Piece = overlap(Range(Q), AboveIn);
+    if (!Piece.empty())
+      Plan.Recvs.push_back({Q, Piece, HaloPlan::Side::Above});
+  }
+  for (int Q = 0; Q < P; ++Q) {
+    if (Q == Me)
+      continue;
+    Interval Piece = overlap(Range(Q), BelowIn);
+    if (!Piece.empty())
+      Plan.Recvs.push_back({Q, Piece, HaloPlan::Side::Below});
+  }
+  return Plan;
+}
+
+HaloExchange &HaloExchange::operator=(HaloExchange &&Other) {
+  if (this != &Other) {
+    wait(); // Complete anything still posted before dropping it.
+    Pending = std::move(Other.Pending);
+    PiecesSent = Other.PiecesSent;
+    Other.Pending.clear();
+  }
+  return *this;
+}
+
+HaloExchange::~HaloExchange() {
+  // Drain posted receives so no message is forfeited; a poisoned world
+  // must not throw out of a destructor.
+  try {
+    for (PendingPiece &P : Pending)
+      if (P.Req.pending())
+        P.Req.wait();
+  } catch (const CommError &) {
+  }
+  Pending.clear();
+}
+
+void HaloExchange::wait() {
+  for (PendingPiece &P : Pending) {
+    Payload Data = P.Req.wait();
+    assert(Data.size() == P.Dst.size() && "unexpected halo payload size");
+    std::memcpy(P.Dst.data(), Data.bytes().data(), Data.size());
+  }
+  Pending.clear();
+}
+
+HaloExchange fupermod::dist::startHaloExchange(
+    Comm &C, const HaloPlan &Plan, std::size_t BytesPerUnit,
+    std::int64_t LocalStart, std::span<const std::byte> Local,
+    std::span<std::byte> Above, std::span<std::byte> Below,
+    const BoundaryFillFn &Boundary, int TagBase) {
+  auto UnitCount = [&](std::span<const std::byte> Buf) {
+    return static_cast<std::int64_t>(Buf.size() / BytesPerUnit);
+  };
+  assert(UnitCount(Above) >= Plan.AboveWindow.length() &&
+         UnitCount(Below) >= Plan.BelowWindow.length() &&
+         "halo buffers must cover the plan windows");
+  (void)UnitCount;
+
+  auto SlotIn = [&](std::span<std::byte> Buf, Interval Window,
+                    Interval Range) {
+    std::size_t Off =
+        static_cast<std::size_t>(Range.Lo - Window.Lo) * BytesPerUnit;
+    std::size_t Len =
+        static_cast<std::size_t>(Range.length()) * BytesPerUnit;
+    return Buf.subspan(Off, Len);
+  };
+
+  HaloExchange Ex;
+
+  // Post the receives first: the futures make the transfer overlap
+  // whatever runs before wait().
+  for (const HaloPlan::Piece &R : Plan.Recvs) {
+    bool IsAbove = R.Dst == HaloPlan::Side::Above;
+    HaloExchange::PendingPiece P;
+    P.Req = C.irecv(R.Peer, IsAbove ? TagBase : TagBase + 1);
+    P.Dst = SlotIn(IsAbove ? Above : Below,
+                   IsAbove ? Plan.AboveWindow : Plan.BelowWindow, R.Range);
+    Ex.Pending.push_back(std::move(P));
+  }
+
+  // Fill the out-of-domain (physical boundary) window units locally.
+  auto FillBoundary = [&](std::span<std::byte> Buf, Interval Window,
+                          Interval InDomain) {
+    for (std::int64_t U = Window.Lo; U < Window.Hi; ++U) {
+      if (U >= InDomain.Lo && U < InDomain.Hi)
+        continue;
+      std::span<std::byte> Out = SlotIn(Buf, Window, {U, U + 1});
+      if (Boundary)
+        Boundary(U, Out);
+      else
+        std::memset(Out.data(), 0, Out.size());
+    }
+  };
+  FillBoundary(Above, Plan.AboveWindow, Plan.AboveInDomain);
+  FillBoundary(Below, Plan.BelowWindow, Plan.BelowInDomain);
+
+  // Sends: stage each piece into an adopted payload — the comm layer
+  // then moves it without copying.
+  for (const HaloPlan::Piece &S : Plan.Sends) {
+    std::size_t Off =
+        static_cast<std::size_t>(S.Range.Lo - LocalStart) * BytesPerUnit;
+    std::size_t Len =
+        static_cast<std::size_t>(S.Range.length()) * BytesPerUnit;
+    assert(Off + Len <= Local.size() && "send range outside local storage");
+    std::vector<std::byte> Staged(Local.begin() + static_cast<long>(Off),
+                                  Local.begin() + static_cast<long>(Off) +
+                                      static_cast<long>(Len));
+    C.sendPayload(S.Peer,
+                  S.Dst == HaloPlan::Side::Above ? TagBase : TagBase + 1,
+                  Payload::adoptBytes(std::move(Staged)),
+                  TrafficClass::Halo);
+    ++Ex.PiecesSent;
+  }
+  return Ex;
+}

@@ -1,0 +1,97 @@
+//===-- dist/PartitionedVector.cpp - Partitioner-aware container ----------===//
+
+#include "dist/PartitionedVector.h"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+using namespace fupermod;
+using namespace fupermod::dist;
+
+PartitionedStorage::PartitionedStorage(Comm Comm_, const Dist &D,
+                                       std::size_t BytesPerUnit_,
+                                       std::int64_t Base, int TagBase_)
+    : C(std::move(Comm_)), BytesPerUnit(BytesPerUnit_), TagBase(TagBase_),
+      Starts(D.contiguousStarts(Base)) {
+  assert(BytesPerUnit > 0 && "units must carry at least one byte");
+  assert(static_cast<int>(Starts.size()) == C.size() + 1 &&
+         "distribution rank count must match the communicator");
+  Local.resize(static_cast<std::size_t>(units()) * BytesPerUnit);
+}
+
+std::span<std::byte> PartitionedStorage::unitBytes(std::int64_t Unit) {
+  assert(Unit >= start() && Unit < end() && "unit not owned by this rank");
+  return localBytes().subspan(
+      static_cast<std::size_t>(Unit - start()) * BytesPerUnit, BytesPerUnit);
+}
+
+std::span<const std::byte>
+PartitionedStorage::unitBytes(std::int64_t Unit) const {
+  assert(Unit >= start() && Unit < end() && "unit not owned by this rank");
+  return localBytes().subspan(
+      static_cast<std::size_t>(Unit - start()) * BytesPerUnit, BytesPerUnit);
+}
+
+void PartitionedStorage::assignLocalBytes(std::vector<std::byte> Bytes) {
+  assert(Bytes.size() == Local.size() &&
+         "assigned segment must match the partition size");
+  Local = std::move(Bytes);
+}
+
+HaloExchange
+PartitionedStorage::startHaloExchange(std::int64_t Width,
+                                      const BoundaryFillFn &Boundary) {
+  HaloPlan Plan = buildHaloPlan(Starts, C.rank(), Width);
+  HaloW = Width;
+  Above.assign(static_cast<std::size_t>(Plan.AboveWindow.length()) *
+                   BytesPerUnit,
+               std::byte{0});
+  Below.assign(static_cast<std::size_t>(Plan.BelowWindow.length()) *
+                   BytesPerUnit,
+               std::byte{0});
+  HaloExchange Ex = dist::startHaloExchange(
+      C, Plan, BytesPerUnit, start(), localBytes(),
+      {Above.data(), Above.size()}, {Below.data(), Below.size()}, Boundary,
+      TagBase);
+  HaloPieces += Ex.piecesSent();
+  return Ex;
+}
+
+void PartitionedStorage::exchangeHalos(std::int64_t Width,
+                                       const BoundaryFillFn &Boundary) {
+  startHaloExchange(Width, Boundary).wait();
+}
+
+RedistributeStats PartitionedStorage::redistribute(const Dist &NewDist) {
+  std::vector<std::int64_t> NewStarts =
+      NewDist.contiguousStarts(Starts.front());
+  assert(NewStarts.size() == Starts.size() &&
+         NewStarts.back() == Starts.back() &&
+         "redistribution must preserve the domain and rank count");
+
+  TransferPlan Plan = buildTransferPlan(Starts, NewStarts, C.rank());
+  std::int64_t OldStart = start();
+  std::int64_t NewStart = NewStarts[static_cast<std::size_t>(C.rank())];
+  std::int64_t NewEnd = NewStarts[static_cast<std::size_t>(C.rank()) + 1];
+
+  // Freeze the old segment as an immutable payload: the sends become
+  // subviews of it (zero-copy), and the keep-range copy reads from it.
+  Payload Old = Payload::adoptBytes(std::move(Local));
+  std::vector<std::byte> New(
+      static_cast<std::size_t>(NewEnd - NewStart) * BytesPerUnit);
+
+  RedistributeStats Stats = executeTransferPlan(
+      C, Plan, BytesPerUnit, OldStart, NewStart, std::move(Old),
+      {New.data(), New.size()}, TagBase + 2);
+
+  Local = std::move(New);
+  Starts = std::move(NewStarts);
+  // Halo buffers describe the old geometry; drop them.
+  Above.clear();
+  Below.clear();
+  HaloW = 0;
+  ++RedistCount;
+  UnitsMoved += Stats.UnitsSent + Stats.UnitsReceived;
+  return Stats;
+}

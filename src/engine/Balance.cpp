@@ -42,18 +42,19 @@ bool BalancedLoop::balance(Comm &C, double IterStart,
                   (MaxT - MinT) / MaxT > Policy.RebalanceThreshold;
     }
   }
-  if (Rebalance)
+  if (Rebalance) {
+    Dist Before = Ctx.dist();
     balanceIterate(Ctx, C, C.time() - MyIterTime, DeviceFailed);
+    if (!Ctx.dist().sameUnits(Before))
+      ++DistEpoch;
+  }
   return Rebalance;
 }
 
 std::vector<std::int64_t> fupermod::engine::contiguousStarts(const Dist &D,
                                                              std::int64_t
                                                                  Base) {
-  std::vector<std::int64_t> Starts(D.Parts.size() + 1, Base);
-  for (std::size_t I = 0; I < D.Parts.size(); ++I)
-    Starts[I + 1] = Starts[I] + D.Parts[I].Units;
-  return Starts;
+  return D.contiguousStarts(Base);
 }
 
 void fupermod::engine::redistributeContiguous(

@@ -28,6 +28,7 @@
 
 #include "core/Dynamic.h"
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -73,12 +74,34 @@ public:
   /// iteration duration since \p IterStart, applies the threshold test
   /// (with the exact allreduce sequence of the historical apps), and
   /// when warranted feeds the duration into balanceIterate. Returns true
-  /// when the balancer ran.
+  /// when the balancer ran. Bumps distEpoch() when the run actually
+  /// moved units between ranks.
   bool balance(Comm &C, double IterStart, const BalancePolicy &Policy,
                bool DeviceFailed = false);
 
+  /// Distribution epoch: starts at zero and increments every time
+  /// balance() changes the per-rank unit counts (threshold-suppressed or
+  /// no-op balancer runs do not count). Data structures synchronised to
+  /// an older epoch must redistribute.
+  std::uint64_t distEpoch() const { return DistEpoch; }
+
+  /// Migrates \p V (a dist::PartitionedVector or anything exposing
+  /// syncedEpoch()/setSyncedEpoch()/redistribute(const Dist &)) to the
+  /// current distribution iff it is synced to an older epoch — so data
+  /// moves exactly when a repartition changed unit counts and never
+  /// otherwise. Collective when it fires; call it at the same loop point
+  /// on every rank. Returns true when a redistribution ran.
+  template <typename Container> bool redistributeIfChanged(Container &V) {
+    if (V.syncedEpoch() == DistEpoch)
+      return false;
+    V.redistribute(Ctx.dist());
+    V.setSyncedEpoch(DistEpoch);
+    return true;
+  }
+
 private:
   DynamicContext Ctx;
+  std::uint64_t DistEpoch = 0;
 };
 
 /// Callbacks moving units between the old and new local storage during a

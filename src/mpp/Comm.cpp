@@ -40,7 +40,7 @@ void Comm::countCopied(std::size_t Bytes) {
 
 CommStatsSnapshot Comm::commStats() const { return G->statsSnapshot(); }
 
-void Comm::sendPayload(int Dst, int Tag, Payload Data) {
+void Comm::sendPayload(int Dst, int Tag, Payload Data, TrafficClass Class) {
   assert(Dst >= 0 && Dst < size() && "destination out of range");
   G->poison().check();
   LinkCost Cost = G->costModel().link(globalRank(), G->globalRankOf(Dst));
@@ -51,6 +51,10 @@ void Comm::sendPayload(int Dst, int Tag, Payload Data) {
   CommStats &S = G->stats();
   S.Messages.fetch_add(1, std::memory_order_relaxed);
   S.BytesLogical.fetch_add(Data.size(), std::memory_order_relaxed);
+  if (Class == TrafficClass::Halo)
+    S.HaloBytes.fetch_add(Data.size(), std::memory_order_relaxed);
+  else if (Class == TrafficClass::Redistribute)
+    S.RedistributeBytes.fetch_add(Data.size(), std::memory_order_relaxed);
   Msg.Data = std::move(Data);
   // The sender is busy for the injection overhead only; the full transfer
   // time is charged to the message arrival (receiver side).

@@ -39,6 +39,12 @@ namespace fupermod {
 /// Combining operation for allreduce.
 enum class ReduceOp { Sum, Max, Min };
 
+/// Accounting class of a point-to-point send. General traffic only feeds
+/// the aggregate counters; Halo and Redistribute sends additionally feed
+/// CommStats::HaloBytes / RedistributeBytes, so a workload's data-movement
+/// cost separates into kernel-coupling bytes and repartitioning bytes.
+enum class TrafficClass { General, Halo, Redistribute };
+
 /// Handle to a pending nonblocking receive posted with Comm::irecv.
 /// wait() blocks until the message is available and advances the owning
 /// rank's clock to max(now, arrival) — computation performed between
@@ -109,8 +115,10 @@ public:
 
   /// Zero-copy send: enqueues a reference to \p Data's buffer. Sending
   /// the same Payload to N receivers moves O(N * size) logical bytes but
-  /// copies nothing.
-  void sendPayload(int Dst, int Tag, Payload Data);
+  /// copies nothing. \p Class attributes the bytes to a traffic class in
+  /// the world counters.
+  void sendPayload(int Dst, int Tag, Payload Data,
+                   TrafficClass Class = TrafficClass::General);
 
   /// Receives the oldest pending message from \p Src with tag \p Tag,
   /// blocking until one arrives. The caller's clock advances to the

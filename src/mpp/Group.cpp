@@ -98,6 +98,9 @@ CommStatsSnapshot Group::statsSnapshot() const {
   S.Messages = Stats->Messages.load(std::memory_order_relaxed);
   S.BytesLogical = Stats->BytesLogical.load(std::memory_order_relaxed);
   S.BytesCopied = Stats->BytesCopied.load(std::memory_order_relaxed);
+  S.HaloBytes = Stats->HaloBytes.load(std::memory_order_relaxed);
+  S.RedistributeBytes =
+      Stats->RedistributeBytes.load(std::memory_order_relaxed);
   return S;
 }
 

@@ -53,6 +53,12 @@ struct CommStats {
   /// materialisations on receive). Zero-copy fan-out keeps this O(size)
   /// where the logical volume is O(N * size).
   std::atomic<unsigned long long> BytesCopied{0};
+  /// Subset of BytesLogical sent as halo-exchange traffic (messages the
+  /// sender classified TrafficClass::Halo).
+  std::atomic<unsigned long long> HaloBytes{0};
+  /// Subset of BytesLogical sent as redistribution traffic (messages the
+  /// sender classified TrafficClass::Redistribute).
+  std::atomic<unsigned long long> RedistributeBytes{0};
 };
 
 /// Plain-value snapshot of CommStats.
@@ -60,6 +66,8 @@ struct CommStatsSnapshot {
   unsigned long long Messages = 0;
   unsigned long long BytesLogical = 0;
   unsigned long long BytesCopied = 0;
+  unsigned long long HaloBytes = 0;
+  unsigned long long RedistributeBytes = 0;
 };
 
 /// FIFO channel for one (source, destination) rank pair, indexed by tag:

@@ -129,6 +129,24 @@ if(NOT ConcurrentBody STREQUAL SerialBody)
                       "--- concurrent ---\n${ConcurrentBody}")
 endif()
 
+# --stats surfaces the data-movement cost of the answer: the handout
+# broadcast plus the adoption replay (minimal-move redistribute and one
+# halo sweep), both zero-copy.
+run_checked(${PARTITIONER} --total 2000 --stats
+            ${WORKDIR}/dev0.fpm ${WORKDIR}/dev1.fpm)
+if(NOT LAST_OUTPUT MATCHES
+   "adopting the distribution from an even split: redistribute bytes ([0-9]+) \\(analytic minimum ([0-9]+)\\), halo bytes [0-9]+ per width-1 sweep, bytes physically copied ([0-9]+)")
+  message(FATAL_ERROR "--stats lacks the adoption line:\n${LAST_OUTPUT}")
+endif()
+if(NOT CMAKE_MATCH_1 EQUAL CMAKE_MATCH_2)
+  message(FATAL_ERROR "adoption redistribute moved ${CMAKE_MATCH_1} bytes, "
+                      "analytic minimum is ${CMAKE_MATCH_2}:\n${LAST_OUTPUT}")
+endif()
+if(NOT CMAKE_MATCH_3 EQUAL 0)
+  message(FATAL_ERROR "adoption replay physically copied ${CMAKE_MATCH_3} "
+                      "bytes on a zero-copy path:\n${LAST_OUTPUT}")
+endif()
+
 # Strict option parsing: mistyped flags and non-numeric values fail.
 execute_process(COMMAND ${PARTITIONER} --total ten ${WORKDIR}/dev0.fpm
                 RESULT_VARIABLE Rc OUTPUT_QUIET ERROR_VARIABLE Err)

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 using namespace fupermod;
 
@@ -178,4 +179,46 @@ TEST(Jacobi, HugeThresholdMeansNoRedistribution) {
   EXPECT_EQ(R.Rebalances, 0);
   for (const JacobiIteration &It : R.Iterations)
     EXPECT_EQ(It.Rows[0], It.Rows[1]); // Still the even distribution.
+}
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t H, const void *Data, std::size_t Len) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (std::size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::uint64_t reportHash(const JacobiReport &R) {
+  std::uint64_t H = 1469598103934665603ull;
+  H = fnv1a(H, R.Solution.data(), R.Solution.size() * sizeof(double));
+  return fnv1a(H, &R.Makespan, sizeof(double));
+}
+
+} // namespace
+
+// Bit-exact regression pins, captured from the pre-container Jacobi: the
+// PartitionedVector rewrite must reproduce the hand-rolled app's solution
+// AND virtual-time trace (the hash folds the Makespan bits in). Any
+// change to message sizes, counts, or ordering moves these values.
+TEST(JacobiRegression, StaticRunBitIdenticalToPreContainerApp) {
+  Cluster Cl = makeUniformCluster(3, 100.0);
+  Cl.NoiseSigma = 0.0;
+  JacobiReport R = runJacobi(Cl, smallOptions());
+  ASSERT_TRUE(R.Converged);
+  EXPECT_EQ(reportHash(R), 18116180524780898970ull);
+}
+
+TEST(JacobiRegression, BalancedRunBitIdenticalToPreContainerApp) {
+  Cluster Cl = makeHclLikeCluster(false);
+  Cl.NoiseSigma = 0.01;
+  JacobiOptions O = smallOptions();
+  O.Balance = true;
+  JacobiReport R = runJacobi(Cl, O);
+  ASSERT_TRUE(R.Converged);
+  EXPECT_EQ(R.Rebalances, 6);
+  EXPECT_EQ(reportHash(R), 7772390316824469943ull);
 }

@@ -119,3 +119,50 @@ INSTANTIATE_TEST_SUITE_P(
         RoundCase{{7.0}, 7},
         RoundCase{{0.3, 0.3, 0.4}, 1},
         RoundCase{{123.4, 234.5, 345.6, 456.7}, 1160}));
+
+TEST(Dist, SameUnitsIgnoresPredictedTimes) {
+  Dist A = Dist::even(100, 3);
+  Dist B = A;
+  B.Parts[0].PredictedTime = 9.0;
+  EXPECT_TRUE(A.sameUnits(B));
+  B.Parts[0].Units += 1;
+  B.Parts[1].Units -= 1;
+  EXPECT_FALSE(A.sameUnits(B));
+}
+
+TEST(Dist, ContiguousStartsArePrefixSums) {
+  Dist D = Dist::even(10, 3); // 4 / 3 / 3.
+  std::vector<std::int64_t> S0 = D.contiguousStarts();
+  EXPECT_EQ(S0, (std::vector<std::int64_t>{0, 4, 7, 10}));
+  std::vector<std::int64_t> S1 = D.contiguousStarts(1);
+  EXPECT_EQ(S1, (std::vector<std::int64_t>{1, 5, 8, 11}));
+}
+
+TEST(Dist, ContiguousStartsWithEmptyParts) {
+  Dist D;
+  D.Total = 5;
+  D.Parts.resize(4);
+  D.Parts[1].Units = 5; // Ranks 0, 2, 3 own nothing.
+  EXPECT_EQ(D.contiguousStarts(),
+            (std::vector<std::int64_t>{0, 0, 5, 5, 5}));
+}
+
+TEST(OwnerOfUnit, SkipsEmptyRangesAndRejectsOutOfDomain) {
+  std::vector<std::int64_t> Starts = {0, 5, 5, 10};
+  EXPECT_EQ(ownerOfUnit(Starts, 0), 0);
+  EXPECT_EQ(ownerOfUnit(Starts, 4), 0);
+  // Unit 5 belongs to rank 2 — rank 1's range [5, 5) is empty.
+  EXPECT_EQ(ownerOfUnit(Starts, 5), 2);
+  EXPECT_EQ(ownerOfUnit(Starts, 9), 2);
+  EXPECT_EQ(ownerOfUnit(Starts, 10), -1);
+  EXPECT_EQ(ownerOfUnit(Starts, -1), -1);
+}
+
+TEST(OwnerOfUnit, NonZeroBase) {
+  std::vector<std::int64_t> Starts = {1, 3, 6};
+  EXPECT_EQ(ownerOfUnit(Starts, 0), -1);
+  EXPECT_EQ(ownerOfUnit(Starts, 1), 0);
+  EXPECT_EQ(ownerOfUnit(Starts, 3), 1);
+  EXPECT_EQ(ownerOfUnit(Starts, 5), 1);
+  EXPECT_EQ(ownerOfUnit(Starts, 6), -1);
+}

@@ -1,0 +1,223 @@
+//===-- tests/RedistributeTest.cpp - minimal-move redistribution ----------===//
+//
+// Property net over the interval-overlap transfer plan: across hundreds
+// of random (P, N, old -> new) repartitions the redistributed container
+// must (a) hold exactly the gather-scatter oracle contents, (b) move
+// exactly the analytic minimum number of units, and (c) copy zero bytes
+// in the comm layer (every send is a subview of the frozen old segment).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/PartitionedVector.h"
+#include "mpp/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <span>
+#include <vector>
+
+using namespace fupermod;
+using namespace fupermod::dist;
+
+namespace {
+
+/// Deterministic contents of element \p Elem of global unit \p Unit.
+double unitValue(std::int64_t Unit, std::int64_t Elem) {
+  std::uint64_t Z = static_cast<std::uint64_t>(Unit) * 0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(Elem) + 1;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  return static_cast<double>(Z >> 11) * (1.0 / 9007199254740992.0);
+}
+
+Dist distOf(std::span<const std::int64_t> Units) {
+  Dist D;
+  for (std::int64_t U : Units) {
+    Part P;
+    P.Units = U;
+    D.Parts.push_back(P);
+    D.Total += U;
+  }
+  return D;
+}
+
+/// Random composition of \p Total into \p P non-negative parts.
+std::vector<std::int64_t> randomComposition(std::mt19937 &Rng,
+                                            std::int64_t Total, int P) {
+  std::vector<std::int64_t> Cuts = {0, Total};
+  std::uniform_int_distribution<std::int64_t> Pick(0, Total);
+  for (int I = 0; I + 1 < P; ++I)
+    Cuts.push_back(Pick(Rng));
+  std::sort(Cuts.begin(), Cuts.end());
+  std::vector<std::int64_t> Units;
+  for (int I = 0; I < P; ++I)
+    Units.push_back(Cuts[static_cast<std::size_t>(I) + 1] -
+                    Cuts[static_cast<std::size_t>(I)]);
+  return Units;
+}
+
+/// One full SPMD redistribution, checked against the oracle and the
+/// analytic transfer minimum.
+void checkCase(int P, std::span<const std::int64_t> OldUnits,
+               std::span<const std::int64_t> NewUnits, std::int64_t EPU) {
+  Dist OldD = distOf(OldUnits);
+  Dist NewD = distOf(NewUnits);
+  ASSERT_EQ(OldD.Total, NewD.Total);
+  std::vector<std::int64_t> OldStarts = OldD.contiguousStarts();
+  std::vector<std::int64_t> NewStarts = NewD.contiguousStarts();
+  std::int64_t MinUnits = minimalTransferUnits(OldStarts, NewStarts);
+
+  std::atomic<std::int64_t> TotalSent{0};
+  std::atomic<std::int64_t> TotalReceived{0};
+  SpmdResult R = runSpmd(P, [&](Comm &C) {
+    PartitionedVector<double> V(C, OldD, EPU);
+    V.generate([](std::int64_t Unit, std::span<double> Out) {
+      for (std::size_t E = 0; E < Out.size(); ++E)
+        Out[E] = unitValue(Unit, static_cast<std::int64_t>(E));
+    });
+
+    RedistributeStats S = V.redistribute(NewD);
+
+    // Oracle: unit U of the new segment must hold exactly what a gather
+    // to rank 0 + scatter by the new partition would deliver — the
+    // original contents of unit U.
+    for (std::int64_t U = V.start(); U < V.end(); ++U) {
+      std::span<const double> Unit = V.unit(U);
+      for (std::size_t E = 0; E < Unit.size(); ++E)
+        ASSERT_EQ(Unit[E], unitValue(U, static_cast<std::int64_t>(E)))
+            << "unit " << U << " elem " << E;
+    }
+
+    // Per-rank accounting: the keep range is old_me ∩ new_me, and every
+    // unit is accounted exactly once.
+    int Me = C.rank();
+    Interval Keep =
+        overlap({OldStarts[static_cast<std::size_t>(Me)],
+                 OldStarts[static_cast<std::size_t>(Me) + 1]},
+                {NewStarts[static_cast<std::size_t>(Me)],
+                 NewStarts[static_cast<std::size_t>(Me) + 1]});
+    EXPECT_EQ(S.UnitsKept, Keep.length());
+    EXPECT_EQ(S.UnitsKept + S.UnitsReceived, V.units());
+    TotalSent += S.UnitsSent;
+    TotalReceived += S.UnitsReceived;
+  });
+  ASSERT_TRUE(R.allOk());
+
+  // Byte minimality: the whole world moved exactly the analytic minimum,
+  // and the world counters agree with the per-rank stats.
+  EXPECT_EQ(TotalSent.load(), MinUnits);
+  EXPECT_EQ(TotalReceived.load(), MinUnits);
+  EXPECT_EQ(R.Comm.RedistributeBytes,
+            static_cast<unsigned long long>(MinUnits) *
+                static_cast<unsigned long long>(EPU) * sizeof(double));
+  // Zero-copy: subview sends and adopted buffers never deep-copy in the
+  // comm layer.
+  EXPECT_EQ(R.Comm.BytesCopied, 0u);
+}
+
+} // namespace
+
+TEST(TransferPlan, OverlapBasics) {
+  EXPECT_EQ(overlap({0, 5}, {3, 9}).Lo, 3);
+  EXPECT_EQ(overlap({0, 5}, {3, 9}).Hi, 5);
+  EXPECT_TRUE(overlap({0, 5}, {5, 9}).empty());
+  EXPECT_TRUE(overlap({0, 0}, {0, 9}).empty());
+  EXPECT_EQ(overlap({2, 8}, {0, 100}).length(), 6);
+}
+
+TEST(TransferPlan, HandComputedPlan) {
+  // Old: [0,4) [4,8); New: [0,6) [6,8). Rank 0 keeps [0,4), receives
+  // [4,6) from rank 1; rank 1 keeps [6,8), sends [4,6).
+  std::vector<std::int64_t> Old = {0, 4, 8};
+  std::vector<std::int64_t> New = {0, 6, 8};
+  TransferPlan P0 = buildTransferPlan(Old, New, 0);
+  EXPECT_EQ(P0.Keep.Lo, 0);
+  EXPECT_EQ(P0.Keep.Hi, 4);
+  EXPECT_TRUE(P0.Sends.empty());
+  ASSERT_EQ(P0.Recvs.size(), 1u);
+  EXPECT_EQ(P0.Recvs[0].Peer, 1);
+  EXPECT_EQ(P0.Recvs[0].Range.Lo, 4);
+  EXPECT_EQ(P0.Recvs[0].Range.Hi, 6);
+
+  TransferPlan P1 = buildTransferPlan(Old, New, 1);
+  EXPECT_EQ(P1.Keep.Lo, 6);
+  ASSERT_EQ(P1.Sends.size(), 1u);
+  EXPECT_EQ(P1.Sends[0].Peer, 0);
+  EXPECT_EQ(P1.Sends[0].Range.length(), 2);
+  EXPECT_TRUE(P1.Recvs.empty());
+
+  EXPECT_EQ(minimalTransferUnits(Old, New), 2);
+}
+
+TEST(TransferPlan, MinimalUnitsExamples) {
+  // Identity moves nothing.
+  std::vector<std::int64_t> A = {0, 3, 7, 10};
+  EXPECT_EQ(minimalTransferUnits(A, A), 0);
+  // {3,4,3} -> {7,2,3}: stays are 3 (rank 0: [0,3) ⊂ [0,7)), 0 (rank 1:
+  // [3,7) vs [7,9) disjoint), 1 (rank 2: [7,10) ∩ [9,10)) -> 10 - 4 = 6.
+  std::vector<std::int64_t> B = {0, 7, 9, 10};
+  EXPECT_EQ(minimalTransferUnits(A, B), 6);
+  // Disjoint new ranges move the whole domain.
+  std::vector<std::int64_t> C1 = {0, 10, 10, 10};
+  std::vector<std::int64_t> C2 = {0, 0, 0, 10};
+  EXPECT_EQ(minimalTransferUnits(C1, C2), 10);
+}
+
+TEST(TransferPlan, SendsMatchRecvsAcrossRanks) {
+  // Cross-rank consistency: rank r's send to q is exactly rank q's
+  // receive from r.
+  std::vector<std::int64_t> Old = {0, 2, 2, 9, 12};
+  std::vector<std::int64_t> New = {0, 5, 7, 7, 12};
+  int P = 4;
+  for (int R = 0; R < P; ++R) {
+    TransferPlan PlanR = buildTransferPlan(Old, New, R);
+    for (const TransferPlan::Piece &S : PlanR.Sends) {
+      TransferPlan PlanQ = buildTransferPlan(Old, New, S.Peer);
+      bool Found = false;
+      for (const TransferPlan::Piece &Rv : PlanQ.Recvs)
+        Found |= Rv.Peer == R && Rv.Range.Lo == S.Range.Lo &&
+                 Rv.Range.Hi == S.Range.Hi;
+      EXPECT_TRUE(Found) << "send " << R << "->" << S.Peer << " unmatched";
+    }
+  }
+}
+
+TEST(Redistribute, SingleRankIsPureKeep) {
+  std::vector<std::int64_t> Units = {12};
+  checkCase(1, Units, Units, 3);
+}
+
+TEST(Redistribute, GrowShrinkAndDegradedRanks) {
+  // Hand-picked shapes: growth into a zero-unit rank, total drain of a
+  // rank (degraded-device exclusion), and a full rotation.
+  checkCase(3, std::vector<std::int64_t>{4, 4, 4},
+            std::vector<std::int64_t>{6, 6, 0}, 2);
+  checkCase(3, std::vector<std::int64_t>{0, 12, 0},
+            std::vector<std::int64_t>{4, 4, 4}, 1);
+  checkCase(4, std::vector<std::int64_t>{1, 5, 0, 6},
+            std::vector<std::int64_t>{6, 0, 5, 1}, 5);
+}
+
+TEST(Redistribute, RandomRepartitionsMatchOracleAndMinimum) {
+  // The 200-case property net of the issue: random process counts,
+  // totals, and partition pairs (including empty parts), each checked
+  // for oracle contents, analytic-minimum traffic, and zero copies.
+  std::mt19937 Rng(20260807u);
+  const int Ps[] = {1, 2, 3, 5, 8};
+  const std::int64_t EPUs[] = {1, 3, 7};
+  for (int Case = 0; Case < 200; ++Case) {
+    int P = Ps[Case % 5];
+    std::uniform_int_distribution<std::int64_t> PickN(1, 48);
+    std::int64_t N = PickN(Rng);
+    std::vector<std::int64_t> OldUnits = randomComposition(Rng, N, P);
+    std::vector<std::int64_t> NewUnits = randomComposition(Rng, N, P);
+    std::int64_t EPU = EPUs[Case % 3];
+    SCOPED_TRACE("case " + std::to_string(Case) + " P=" +
+                 std::to_string(P) + " N=" + std::to_string(N));
+    checkCase(P, OldUnits, NewUnits, EPU);
+    if (HasFatalFailure())
+      return;
+  }
+}

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 using namespace fupermod;
 
@@ -114,4 +115,48 @@ TEST(Stencil, DeterministicAcrossRuns) {
   StencilReport B = runStencil(Cl, O);
   EXPECT_DOUBLE_EQ(A.Makespan, B.Makespan);
   EXPECT_EQ(A.HaloRowsSent, B.HaloRowsSent);
+}
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t H, const void *Data, std::size_t Len) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (std::size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::uint64_t reportHash(const StencilReport &R) {
+  std::uint64_t H = 1469598103934665603ull;
+  H = fnv1a(H, R.Grid.data(), R.Grid.size() * sizeof(double));
+  return fnv1a(H, &R.Makespan, sizeof(double));
+}
+
+} // namespace
+
+// Bit-exact regression pins, captured from the pre-container stencil: the
+// PartitionedVector halo/redistribute rewrite must reproduce the
+// hand-rolled app's grid AND virtual-time trace (the hash folds the
+// Makespan bits in). Any change to message sizes, counts, or ordering
+// moves these values.
+TEST(StencilRegression, StaticRunBitIdenticalToPreContainerApp) {
+  Cluster Cl = makeUniformCluster(3, 100.0);
+  Cl.NoiseSigma = 0.0;
+  StencilReport R = runStencil(Cl, smallOptions());
+  EXPECT_EQ(R.HaloRowsSent, 60);
+  EXPECT_EQ(reportHash(R), 16873113557665697625ull);
+}
+
+TEST(StencilRegression, BalancedRunBitIdenticalToPreContainerApp) {
+  Cluster Cl = makeHclLikeCluster(false);
+  Cl.NoiseSigma = 0.01;
+  StencilOptions O = smallOptions();
+  O.Rows = 62;
+  O.Balance = true;
+  StencilReport R = runStencil(Cl, O);
+  EXPECT_EQ(R.HaloRowsSent, 150);
+  EXPECT_EQ(R.Rebalances, 15);
+  EXPECT_EQ(reportHash(R), 17230171320769027726ull);
 }

@@ -33,8 +33,13 @@
 // Responses are written in request order, byte-identical to the
 // sequential mode's answers.
 //
-// --stats prints the partition latency and the hit rate of the models'
-// memoized inverse-time lookup cache (see Model::sizeForTimeCached).
+// --stats prints the partition latency, the hit rate of the models'
+// memoized inverse-time lookup cache (see Model::sizeForTimeCached), and
+// the data-movement cost of the distribution: the zero-copy handout
+// broadcast, plus a replay of an even-split container migrating to the
+// computed partition (minimal-move redistribute traffic) and one width-1
+// halo sweep over it — the comm counters an application pays to adopt
+// the answer.
 //
 // --allow-degraded drops ranks whose model is unreadable, corrupt, or
 // unfitted (no successful measurement — e.g. the device failed during
@@ -47,6 +52,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/ModelIO.h"
+#include "dist/PartitionedVector.h"
 #include "engine/Serve.h"
 #include "engine/Server.h"
 #include "engine/Session.h"
@@ -253,6 +259,44 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Handout.Comm.Messages),
                 static_cast<unsigned long long>(Handout.Comm.BytesLogical),
                 static_cast<unsigned long long>(Handout.Comm.BytesCopied));
+
+    // Adoption cost: replay an even-split PartitionedVector migrating to
+    // the computed distribution (the interval-overlap plan moves the
+    // analytic minimum) followed by one width-1 halo sweep. Both paths
+    // are zero-copy, so physical copies must stay 0.
+    int P = static_cast<int>(Files.size());
+    Dist Even;
+    for (int R = 0; R < P; ++R) {
+      Part Pt;
+      Pt.Units = Total / P + (R < Total % P ? 1 : 0);
+      Even.Parts.push_back(Pt);
+      Even.Total += Pt.Units;
+    }
+    std::int64_t MinUnits = dist::minimalTransferUnits(
+        Even.contiguousStarts(), Out.contiguousStarts());
+    SpmdResult Adopt = runSpmd(
+        P,
+        [&](Comm &C) {
+          dist::PartitionedVector<double> V(C, Even, 1);
+          V.generate([](std::int64_t U, std::span<double> Row) {
+            Row[0] = static_cast<double>(U);
+          });
+          V.redistribute(Out);
+          V.exchangeHalos(1, [](std::int64_t, std::span<double> Row) {
+            Row[0] = 0.0;
+          });
+        },
+        std::make_shared<UniformCostModel>(1e-5, 1e9));
+    std::printf("# stats: adopting the distribution from an even split: "
+                "redistribute bytes %llu (analytic minimum %llu), halo "
+                "bytes %llu per width-1 sweep, bytes physically copied "
+                "%llu\n",
+                static_cast<unsigned long long>(
+                    Adopt.Comm.RedistributeBytes),
+                static_cast<unsigned long long>(MinUnits) *
+                    static_cast<unsigned long long>(sizeof(double)),
+                static_cast<unsigned long long>(Adopt.Comm.HaloBytes),
+                static_cast<unsigned long long>(Adopt.Comm.BytesCopied));
   }
 
   if (Explain) {
