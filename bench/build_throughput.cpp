@@ -4,14 +4,17 @@
 // partitioning hot path: wall time of buildModelsParallel at 1/2/4/8
 // workers on an 8-device simulated cluster (with wall-time emulation, so
 // a measurement costs real blocking time the way a device kernel does),
-// bit-identity of the parallel Point sets against the serial build, and
-// the latency + inverse-time cache hit rate of the partitioners over the
-// built models.
+// bit-identity of the parallel Point sets against the serial build, the
+// latency + inverse-time cache hit rate of the partitioners over the
+// built models, and the hint-warm repeat-partition path: the same solve
+// re-run through the warm partitioners with a PartitionHint, which must
+// return identical unit counts at a fraction of the cold latency.
 //
 // Output: a table on stdout and BENCH_build_throughput.json in the
 // working directory. With --smoke, runs a tiny configuration and exits
-// non-zero if parallel output diverges from serial or the partitioners
-// fail — the tier-1 perf tripwire.
+// non-zero if parallel output diverges from serial, the partitioners
+// fail, or a warm repeat partition differs from its cold solve — the
+// tier-1 perf tripwire.
 //
 //===----------------------------------------------------------------------===//
 
@@ -98,6 +101,44 @@ PartitionStats measurePartition(const Partitioner &Algorithm,
   return S;
 }
 
+struct WarmStats {
+  double ColdSeconds = 0.0;
+  /// Seconds per hint-warm repeat (the epoch-validated memo path).
+  double WarmSeconds = 0.0;
+  double Speedup = 0.0;
+  bool Identical = true;
+  bool Ok = true;
+};
+
+/// Times one warm partitioner cold (empty hint) and across \p Reps
+/// hint-warm repeats, verifying every repeat returns the cold solve's
+/// unit counts exactly.
+WarmStats measureWarmPartition(const WarmPartitioner &Algorithm,
+                               std::int64_t Total,
+                               std::span<Model *const> Models, int Reps) {
+  for (Model *M : Models)
+    M->clearEvalCache();
+  PartitionHint Hint;
+  Dist Cold;
+  double T0 = now();
+  bool Ok = Algorithm(Total, Models, Cold, Hint);
+  double T1 = now();
+
+  WarmStats S;
+  Dist Warm;
+  double T2 = now();
+  for (int R = 0; R < Reps; ++R) {
+    Ok = Algorithm(Total, Models, Warm, Hint) && Ok;
+    S.Identical = S.Identical && Warm.sameUnits(Cold);
+  }
+  double T3 = now();
+  S.Ok = Ok && Cold.sum() == Total;
+  S.ColdSeconds = T1 - T0;
+  S.WarmSeconds = (T3 - T2) / Reps;
+  S.Speedup = S.WarmSeconds > 0.0 ? S.ColdSeconds / S.WarmSeconds : 0.0;
+  return S;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -180,6 +221,14 @@ int main(int Argc, char **Argv) {
   PartitionStats Num =
       measurePartition(partitionNumerical, Total, Models);
 
+  // Hint-warm repeats: the epoch-validated memo path of the warm
+  // partitioners, which --serve takes on every repeat request.
+  const int WarmReps = Smoke ? 20 : 200;
+  WarmStats GeoW = measureWarmPartition(partitionGeometricWarm, Total,
+                                        Models, WarmReps);
+  WarmStats NumW = measureWarmPartition(partitionNumericalWarm, Total,
+                                        Models, WarmReps);
+
   std::cout << "\npartition latency (geometric): cold "
             << Geo.ColdSeconds * 1e6 << " us, warm "
             << Geo.WarmSeconds * 1e6 << " us, cache hit rate "
@@ -188,6 +237,12 @@ int main(int Argc, char **Argv) {
             << Num.ColdSeconds * 1e6 << " us, warm "
             << Num.WarmSeconds * 1e6 << " us, cache hit rate "
             << Num.HitRate * 100.0 << "%\n"
+            << "hint-warm repeat (geometric): " << GeoW.WarmSeconds * 1e6
+            << " us (" << GeoW.Speedup << "x cold), units "
+            << (GeoW.Identical ? "identical" : "DIVERGED") << "\n"
+            << "hint-warm repeat (numerical): " << NumW.WarmSeconds * 1e6
+            << " us (" << NumW.Speedup << "x cold), units "
+            << (NumW.Identical ? "identical" : "DIVERGED") << "\n"
             << "\nserial " << Seconds[0] << " s -> 8 workers "
             << Seconds[3] << " s (" << Speedup8 << "x), outputs "
             << (Identical ? "bit-identical" : "DIVERGED") << "\n";
@@ -207,30 +262,44 @@ int main(int Argc, char **Argv) {
                  "  \"bit_identical\": %s,\n"
                  "  \"partition\": {\n"
                  "    \"geometric\": {\"cold_us\": %.2f, \"warm_us\": "
-                 "%.2f, \"cache_hit_rate\": %.4f},\n"
+                 "%.2f, \"cache_hit_rate\": %.4f, \"hint_warm_us\": "
+                 "%.3f, \"hint_speedup\": %.1f},\n"
                  "    \"numerical\": {\"cold_us\": %.2f, \"warm_us\": "
-                 "%.2f, \"cache_hit_rate\": %.4f}\n"
-                 "  }\n"
+                 "%.2f, \"cache_hit_rate\": %.4f, \"hint_warm_us\": "
+                 "%.3f, \"hint_speedup\": %.1f}\n"
+                 "  },\n"
+                 "  \"hint_units_identical\": %s\n"
                  "}\n",
                  Smoke ? "smoke" : "full", Ranks, Plan.NumPoints,
                  static_cast<long long>(Total), Seconds[0], Seconds[1],
                  Seconds[2], Seconds[3], Speedup8,
                  Identical ? "true" : "false", Geo.ColdSeconds * 1e6,
                  Geo.WarmSeconds * 1e6, Geo.HitRate,
+                 GeoW.WarmSeconds * 1e6, GeoW.Speedup,
                  Num.ColdSeconds * 1e6, Num.WarmSeconds * 1e6,
-                 Num.HitRate);
+                 Num.HitRate, NumW.WarmSeconds * 1e6, NumW.Speedup,
+                 GeoW.Identical && NumW.Identical ? "true" : "false");
     std::fclose(J);
     std::cout << "# wrote BENCH_build_throughput.json\n";
   }
 
   // Tripwires. Determinism and partitioner health gate both modes; the
-  // speedup floor gates the full run only (smoke is too short to time).
-  if (!Identical || !Geo.Ok || !Num.Ok) {
+  // speedup floors gate the full run only (smoke is too short to time).
+  if (!Identical || !Geo.Ok || !Num.Ok || !GeoW.Ok || !NumW.Ok) {
     std::cout << "FAIL: parallel build diverged or partitioning broke\n";
+    return 1;
+  }
+  if (!GeoW.Identical || !NumW.Identical) {
+    std::cout << "FAIL: hint-warm repeat partition diverged from cold\n";
     return 1;
   }
   if (!Smoke && Speedup8 < 3.0) {
     std::cout << "FAIL: 8-worker speedup " << Speedup8 << " < 3x floor\n";
+    return 1;
+  }
+  if (!Smoke && (GeoW.Speedup < 10.0 || NumW.Speedup < 10.0)) {
+    std::cout << "FAIL: hint-warm speedup (geometric " << GeoW.Speedup
+              << "x, numerical " << NumW.Speedup << "x) < 10x floor\n";
     return 1;
   }
   return 0;

@@ -1,8 +1,20 @@
 //===-- bench/micro_kernels.cpp - E8: substrate microbenchmarks -----------===//
 //
-// google-benchmark microbenchmarks of the substrates the framework is
-// built on: GEMM kernels, interpolators, the Newton solver, the
-// partitioning algorithms, and the message-passing collectives.
+// Microbenchmarks of the substrates the framework is built on: GEMM
+// kernels, interpolators, the Newton solver, the partitioning algorithms,
+// and the message-passing collectives.
+//
+// Two modes:
+//  - bare invocation: the google-benchmark suite, as before;
+//  - --gflops (or --smoke): a hand-rolled GEMM throughput phase that
+//    pits gemmNaive / gemmBlocked / gemmMicro against each other, checks
+//    the micro-kernel's result against gemmBlocked elementwise under the
+//    a-priori reassociation bound (gemmAbsErrorBound), writes
+//    BENCH_micro_kernels.json, and exits non-zero on a violated bound —
+//    or, in the full run on an AVX2 machine, on a micro-kernel that
+//    fails to reach 2x the blocked kernel's GFLOPS. --smoke shrinks the
+//    sizes and skips the throughput floor (too short to time); it is the
+//    tier-1 tripwire and must pass on portable-only builds too.
 //
 //===----------------------------------------------------------------------===//
 
@@ -13,9 +25,16 @@
 #include "mpp/Runtime.h"
 #include "sim/Cluster.h"
 #include "solver/NewtonSolver.h"
+#include "support/Table.h"
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <iostream>
 #include <memory>
 #include <vector>
 
@@ -50,6 +69,20 @@ void BM_GemmBlocked(benchmark::State &State) {
                           static_cast<std::int64_t>(2 * N * N * N));
 }
 BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmMicro(benchmark::State &State) {
+  std::size_t N = static_cast<std::size_t>(State.range(0));
+  std::vector<double> A(N * N), B(N * N), C(N * N, 0.0);
+  fillDeterministic(A, 1);
+  fillDeterministic(B, 2);
+  for (auto _ : State) {
+    gemmMicro(N, N, N, A, B, C);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<std::int64_t>(2 * N * N * N));
+}
+BENCHMARK(BM_GemmMicro)->Arg(64)->Arg(128)->Arg(256);
 
 std::pair<std::vector<double>, std::vector<double>> interpData(int N) {
   std::vector<double> X, Y;
@@ -177,6 +210,157 @@ void BM_AllgathervWallClock(benchmark::State &State) {
 }
 BENCHMARK(BM_AllgathervWallClock)->Arg(2)->Arg(4)->Arg(8);
 
+//===----------------------------------------------------------------------===//
+// --gflops / --smoke: the GEMM kernel-vs-kernel throughput phase
+//===----------------------------------------------------------------------===//
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Seconds per call of \p Run: one warmup call, then repetitions until
+/// both floors are met.
+double timePerCall(const std::function<void()> &Run, int MinReps,
+                   double MinSeconds) {
+  Run();
+  int Reps = 0;
+  double T0 = now();
+  double Elapsed = 0.0;
+  do {
+    Run();
+    ++Reps;
+    Elapsed = now() - T0;
+  } while (Reps < MinReps || Elapsed < MinSeconds);
+  return Elapsed / Reps;
+}
+
+int runGflopsPhase(bool Smoke) {
+  // Odd-ish sizes exercise the micro-kernel's M- and N-edge paths, not
+  // just full 4x8 tiles.
+  const std::vector<std::size_t> Sizes =
+      Smoke ? std::vector<std::size_t>{64, 100}
+            : std::vector<std::size_t>{64, 128, 256, 384};
+  const int MinReps = Smoke ? 3 : 5;
+  const double MinSeconds = Smoke ? 0.004 : 0.06;
+  const char *Isa = gemmIsaName(gemmMicroIsa());
+
+  std::cout << "=== micro kernels: GEMM throughput (" << (Smoke ? "smoke" : "full")
+            << ", micro-kernel isa " << Isa << ") ===\n\n";
+
+  std::vector<double> NaiveG, BlockedG, MicroG;
+  bool BoundOk = true;
+  Table T({"size", "naive(GF)", "blocked(GF)", "micro(GF)", "micro/blocked",
+           "bound_ok"});
+  for (std::size_t N : Sizes) {
+    std::vector<double> A(N * N), B(N * N), C0(N * N);
+    fillDeterministic(A, 1);
+    fillDeterministic(B, 2);
+    fillDeterministic(C0, 3);
+
+    // Correctness first: the micro-kernel result must sit within the
+    // a-priori FP-reassociation bound of the blocked kernel, element by
+    // element (both start from the same C0 so accumulation is included).
+    std::vector<double> Cb = C0, Cm = C0, Bound(N * N);
+    gemmBlocked(N, N, N, A, B, Cb);
+    gemmMicro(N, N, N, A, B, Cm);
+    gemmAbsErrorBound(N, N, N, A, B, C0, Bound);
+    bool Ok = true;
+    for (std::size_t I = 0; I < N * N; ++I)
+      Ok = Ok && std::abs(Cb[I] - Cm[I]) <= Bound[I];
+    BoundOk = BoundOk && Ok;
+
+    double Flops = gemmFlops(N, N, N);
+    std::vector<double> C(N * N, 0.0);
+    double SN = timePerCall([&] { gemmNaive(N, N, N, A, B, C); }, MinReps,
+                            MinSeconds);
+    double SB = timePerCall([&] { gemmBlocked(N, N, N, A, B, C); }, MinReps,
+                            MinSeconds);
+    double SM = timePerCall([&] { gemmMicro(N, N, N, A, B, C); }, MinReps,
+                            MinSeconds);
+    NaiveG.push_back(Flops / SN * 1e-9);
+    BlockedG.push_back(Flops / SB * 1e-9);
+    MicroG.push_back(Flops / SM * 1e-9);
+    T.addRow({Table::num(static_cast<std::int64_t>(N)),
+              Table::num(NaiveG.back(), 2), Table::num(BlockedG.back(), 2),
+              Table::num(MicroG.back(), 2),
+              Table::num(MicroG.back() / BlockedG.back(), 2),
+              Ok ? "yes" : "NO"});
+  }
+  T.print(std::cout);
+
+  double SpeedupVsBlocked = MicroG.back() / BlockedG.back();
+  double SpeedupVsNaive = MicroG.back() / NaiveG.back();
+  std::cout << "\nmicro-kernel at " << Sizes.back()
+            << ": " << SpeedupVsBlocked << "x blocked, " << SpeedupVsNaive
+            << "x naive, error bound " << (BoundOk ? "held" : "VIOLATED")
+            << "\n";
+
+  std::FILE *J = std::fopen("BENCH_micro_kernels.json", "w");
+  if (J) {
+    auto List = [&](const std::vector<double> &V) {
+      std::string S = "[";
+      char Buf[32];
+      for (std::size_t I = 0; I < V.size(); ++I) {
+        std::snprintf(Buf, sizeof(Buf), "%s%.2f", I ? ", " : "", V[I]);
+        S += Buf;
+      }
+      return S + "]";
+    };
+    std::string SizesS = "[";
+    for (std::size_t I = 0; I < Sizes.size(); ++I)
+      SizesS += (I ? ", " : "") + std::to_string(Sizes[I]);
+    SizesS += "]";
+    std::fprintf(J,
+                 "{\n"
+                 "  \"bench\": \"micro_kernels\",\n"
+                 "  \"mode\": \"%s\",\n"
+                 "  \"isa\": \"%s\",\n"
+                 "  \"sizes\": %s,\n"
+                 "  \"gflops\": {\n"
+                 "    \"naive\": %s,\n"
+                 "    \"blocked\": %s,\n"
+                 "    \"micro\": %s\n"
+                 "  },\n"
+                 "  \"speedup_micro_vs_blocked\": %.3f,\n"
+                 "  \"speedup_micro_vs_naive\": %.3f,\n"
+                 "  \"error_bound_ok\": %s\n"
+                 "}\n",
+                 Smoke ? "smoke" : "full", Isa, SizesS.c_str(),
+                 List(NaiveG).c_str(), List(BlockedG).c_str(),
+                 List(MicroG).c_str(), SpeedupVsBlocked, SpeedupVsNaive,
+                 BoundOk ? "true" : "false");
+    std::fclose(J);
+    std::cout << "# wrote BENCH_micro_kernels.json\n";
+  }
+
+  // Tripwires. The bound gates both modes and both ISAs; the throughput
+  // floor gates only the full run with the AVX2 tile compiled in and
+  // selected (the portable tile promises correctness, not 2x, and smoke
+  // timings are too short to trust).
+  if (!BoundOk) {
+    std::cout << "FAIL: micro-kernel exceeded the reassociation bound\n";
+    return 1;
+  }
+  if (!Smoke && gemmMicroIsa() == GemmIsa::Avx2 && SpeedupVsBlocked < 2.0) {
+    std::cout << "FAIL: micro-kernel speedup " << SpeedupVsBlocked
+              << " < 2x blocked floor\n";
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--smoke") == 0 ||
+        std::strcmp(Argv[I], "--gflops") == 0)
+      return runGflopsPhase(std::strcmp(Argv[I], "--smoke") == 0);
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

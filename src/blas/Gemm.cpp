@@ -7,9 +7,23 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cfloat>
 #include <cmath>
 #include <future>
 #include <vector>
+
+// The AVX2/FMA tile is only compiled when the build opted in
+// (FUPERMOD_NATIVE) on an x86 compiler that supports per-function target
+// attributes; the TU itself stays baseline, and the tile is only ever
+// *called* after a CPUID check.
+#if defined(FUPERMOD_NATIVE) &&                                               \
+    (defined(__x86_64__) || defined(__i386__)) &&                             \
+    (defined(__GNUC__) || defined(__clang__))
+#define FUPERMOD_HAVE_AVX2_TILE 1
+#include <immintrin.h>
+#else
+#define FUPERMOD_HAVE_AVX2_TILE 0
+#endif
 
 using namespace fupermod;
 
@@ -58,13 +72,199 @@ void fupermod::gemmBlocked(std::size_t M, std::size_t N, std::size_t K,
   }
 }
 
+//===----------------------------------------------------------------------===//
+// gemmMicro: register-blocked micro-kernel with runtime ISA dispatch
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Register-tile shape: MR rows of C held as NR-wide accumulators. With
+/// AVX2 that is 4 x 2 ymm accumulators plus 2 B vectors and 1 A
+/// broadcast — 11 of 16 vector registers.
+constexpr std::size_t MR = 4;
+constexpr std::size_t NR = 8;
+/// K-strip depth: one packed B panel (KC x NR = 16 KiB) stays L1-resident
+/// while every row block of A streams over it.
+constexpr std::size_t KC = 256;
+
+/// One register tile: C (MR x NR, row stride Ldc) += A (MR rows at row
+/// stride Lda, depth Kb) * Bp (packed Kb x NR panel). Per C element the
+/// products are accumulated over l ascending, exactly like gemmBlocked —
+/// only the multiply-add fusion/vectorization differs.
+using TileFn = void (*)(std::size_t Kb, const double *A, std::size_t Lda,
+                        const double *Bp, double *C, std::size_t Ldc);
+
+void tilePortable(std::size_t Kb, const double *A, std::size_t Lda,
+                  const double *Bp, double *C, std::size_t Ldc) {
+  double Acc[MR][NR];
+  for (std::size_t R = 0; R < MR; ++R)
+    for (std::size_t J = 0; J < NR; ++J)
+      Acc[R][J] = C[R * Ldc + J];
+  for (std::size_t L = 0; L < Kb; ++L) {
+    const double *BRow = Bp + L * NR;
+    for (std::size_t R = 0; R < MR; ++R) {
+      double AR = A[R * Lda + L];
+#pragma omp simd
+      for (std::size_t J = 0; J < NR; ++J)
+        Acc[R][J] += AR * BRow[J];
+    }
+  }
+  for (std::size_t R = 0; R < MR; ++R)
+    for (std::size_t J = 0; J < NR; ++J)
+      C[R * Ldc + J] = Acc[R][J];
+}
+
+#if FUPERMOD_HAVE_AVX2_TILE
+__attribute__((target("avx2,fma"))) void
+tileAvx2(std::size_t Kb, const double *A, std::size_t Lda, const double *Bp,
+         double *C, std::size_t Ldc) {
+  __m256d Acc[MR][2];
+  for (std::size_t R = 0; R < MR; ++R) {
+    Acc[R][0] = _mm256_loadu_pd(C + R * Ldc);
+    Acc[R][1] = _mm256_loadu_pd(C + R * Ldc + 4);
+  }
+  for (std::size_t L = 0; L < Kb; ++L) {
+    __m256d B0 = _mm256_loadu_pd(Bp + L * NR);
+    __m256d B1 = _mm256_loadu_pd(Bp + L * NR + 4);
+    for (std::size_t R = 0; R < MR; ++R) {
+      __m256d AR = _mm256_broadcast_sd(A + R * Lda + L);
+      Acc[R][0] = _mm256_fmadd_pd(AR, B0, Acc[R][0]);
+      Acc[R][1] = _mm256_fmadd_pd(AR, B1, Acc[R][1]);
+    }
+  }
+  for (std::size_t R = 0; R < MR; ++R) {
+    _mm256_storeu_pd(C + R * Ldc, Acc[R][0]);
+    _mm256_storeu_pd(C + R * Ldc + 4, Acc[R][1]);
+  }
+}
+#endif
+
+/// CPUID dispatch, decided once per process.
+TileFn resolveTile(GemmIsa &Isa) {
+#if FUPERMOD_HAVE_AVX2_TILE
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    Isa = GemmIsa::Avx2;
+    return tileAvx2;
+  }
+#endif
+  Isa = GemmIsa::Portable;
+  return tilePortable;
+}
+
+struct MicroDispatch {
+  GemmIsa Isa = GemmIsa::Portable;
+  TileFn Tile = nullptr;
+  MicroDispatch() { Tile = resolveTile(Isa); }
+};
+
+const MicroDispatch &microDispatch() {
+  static MicroDispatch D;
+  return D;
+}
+
+/// Scalar edge accumulation for rows [I0, IMax) x cols [J0, JMax) over
+/// the K strip [L0, L0 + Kb): each element is finished in a register, l
+/// ascending — the same per-element order as the tiles.
+void microEdge(std::size_t I0, std::size_t IMax, std::size_t J0,
+               std::size_t JMax, std::size_t L0, std::size_t Kb,
+               std::size_t N, std::size_t K, const double *A,
+               const double *B, double *C) {
+  for (std::size_t I = I0; I < IMax; ++I) {
+    const double *ARow = A + I * K + L0;
+    for (std::size_t J = J0; J < JMax; ++J) {
+      double S = C[I * N + J];
+      const double *BCol = B + L0 * N + J;
+      for (std::size_t L = 0; L < Kb; ++L)
+        S += ARow[L] * BCol[L * N];
+      C[I * N + J] = S;
+    }
+  }
+}
+
+} // namespace
+
+GemmIsa fupermod::gemmMicroIsa() { return microDispatch().Isa; }
+
+const char *fupermod::gemmIsaName(GemmIsa Isa) {
+  return Isa == GemmIsa::Avx2 ? "avx2" : "portable";
+}
+
+void fupermod::gemmMicro(std::size_t M, std::size_t N, std::size_t K,
+                         std::span<const double> A, std::span<const double> B,
+                         std::span<double> C) {
+  assert(A.size() >= M * K && B.size() >= K * N && C.size() >= M * N &&
+         "matrix buffers too small");
+  TileFn Tile = microDispatch().Tile;
+  const std::size_t MFull = M - M % MR;
+  const std::size_t NPanels = N / NR;
+  const std::size_t NFull = NPanels * NR;
+
+  // Panel-packed copy of one K strip of B: panel p holds columns
+  // [p*NR, (p+1)*NR) as a contiguous Kb x NR block, so the tile streams
+  // it with unit stride. Thread-local so repeated calls (and the
+  // per-band calls of gemmParallel) reuse the allocation.
+  static thread_local std::vector<double> Packed;
+  if (Packed.size() < KC * NFull)
+    Packed.resize(KC * NFull);
+
+  for (std::size_t L0 = 0; L0 < K; L0 += KC) {
+    const std::size_t Kb = std::min(KC, K - L0);
+    for (std::size_t P = 0; P < NPanels; ++P) {
+      double *Dst = Packed.data() + P * Kb * NR;
+      const double *Src = B.data() + L0 * N + P * NR;
+      for (std::size_t L = 0; L < Kb; ++L)
+        std::copy_n(Src + L * N, NR, Dst + L * NR);
+    }
+    for (std::size_t I = 0; I < MFull; I += MR) {
+      const double *ARows = A.data() + I * K + L0;
+      for (std::size_t P = 0; P < NPanels; ++P)
+        Tile(Kb, ARows, K, Packed.data() + P * Kb * NR,
+             C.data() + I * N + P * NR, N);
+      if (NFull < N)
+        microEdge(I, I + MR, NFull, N, L0, Kb, N, K, A.data(), B.data(),
+                  C.data());
+    }
+    if (MFull < M)
+      microEdge(MFull, M, 0, N, L0, Kb, N, K, A.data(), B.data(), C.data());
+  }
+}
+
+void fupermod::gemmAbsErrorBound(std::size_t M, std::size_t N, std::size_t K,
+                                 std::span<const double> A,
+                                 std::span<const double> B,
+                                 std::span<const double> C0,
+                                 std::span<double> Bound) {
+  assert(Bound.size() >= M * N && "bound buffer too small");
+  for (std::size_t I = 0; I < M; ++I)
+    for (std::size_t J = 0; J < N; ++J) {
+      long double Mag = std::fabs(C0[I * N + J]);
+      for (std::size_t L = 0; L < K; ++L)
+        Mag += std::fabs(static_cast<long double>(A[I * K + L]) *
+                         B[L * N + J]);
+      Bound[I * N + J] = 2.0 * static_cast<double>(K + 1) * DBL_EPSILON *
+                         static_cast<double>(Mag);
+    }
+}
+
 void fupermod::gemmParallel(std::size_t M, std::size_t N, std::size_t K,
                             std::span<const double> A,
                             std::span<const double> B, std::span<double> C,
-                            ThreadPool &Pool, std::size_t Tile) {
+                            ThreadPool &Pool, std::size_t Tile,
+                            bool UseMicro) {
   assert(A.size() >= M * K && B.size() >= K * N && C.size() >= M * N &&
          "matrix buffers too small");
   assert(Tile > 0 && "tile must be positive");
+  // The band kernel: either the cache-tiled scalar GEMM or the dispatched
+  // micro-kernel. Both compute every C element with a fixed per-element
+  // accumulation order, so the banded result is bit-identical to one
+  // serial call of the same kernel.
+  auto Band = [&](std::size_t Rows, std::span<const double> ABand,
+                  std::span<double> CBand) {
+    if (UseMicro)
+      gemmMicro(Rows, N, K, ABand, B, CBand);
+    else
+      gemmBlocked(Rows, N, K, ABand, B, CBand, Tile);
+  };
   // One band per worker plus one for the calling thread, rounded to whole
   // tiles so every band runs the same tiling gemmBlocked would use for
   // those rows. Bands own disjoint row ranges of C — no synchronisation
@@ -75,7 +275,7 @@ void fupermod::gemmParallel(std::size_t M, std::size_t N, std::size_t K,
   std::size_t TilesPerBand = (TilesTotal + Lanes - 1) / Lanes;
   std::size_t BandRows = TilesPerBand * Tile;
   if (Lanes == 1 || BandRows >= M) {
-    gemmBlocked(M, N, K, A, B, C, Tile);
+    Band(M, A, C);
     return;
   }
 
@@ -83,13 +283,11 @@ void fupermod::gemmParallel(std::size_t M, std::size_t N, std::size_t K,
   for (std::size_t Row0 = BandRows; Row0 < M; Row0 += BandRows) {
     std::size_t Rows = std::min(BandRows, M - Row0);
     Pending.push_back(Pool.submit([=] {
-      gemmBlocked(Rows, N, K, A.subspan(Row0 * K, Rows * K), B,
-                  C.subspan(Row0 * N, Rows * N), Tile);
+      Band(Rows, A.subspan(Row0 * K, Rows * K), C.subspan(Row0 * N, Rows * N));
     }));
   }
   // The calling thread computes the first band while the pool works.
-  gemmBlocked(BandRows, N, K, A.first(BandRows * K), B,
-              C.first(BandRows * N), Tile);
+  Band(BandRows, A.first(BandRows * K), C.first(BandRows * N));
   for (auto &F : Pending)
     F.get();
 }

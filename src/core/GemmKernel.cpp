@@ -22,7 +22,8 @@ namespace {
 Registrar<KernelRegistry> RegGemm(
     kernelRegistry(), "gemm", [](const KernelConfig &Config) {
       return std::unique_ptr<Kernel>(std::make_unique<GemmKernel>(
-          Config.BlockSize, Config.UseBlockedGemm, Config.Threads));
+          Config.BlockSize, Config.UseBlockedGemm, Config.Threads,
+          Config.UseMicroGemm));
     });
 } // namespace
 
@@ -33,8 +34,8 @@ std::unique_ptr<Kernel> fupermod::makeKernel(const std::string &Name,
 }
 
 GemmKernel::GemmKernel(std::size_t BlockSize, bool UseBlockedGemm,
-                       unsigned Threads)
-    : B(BlockSize), UseBlockedGemm(UseBlockedGemm),
+                       unsigned Threads, bool UseMicroGemm)
+    : B(BlockSize), UseBlockedGemm(UseBlockedGemm), UseMicroGemm(UseMicroGemm),
       Threads(Threads == 0 ? 1 : Threads) {
   assert(BlockSize > 0 && "block size must be positive");
 }
@@ -85,7 +86,10 @@ void GemmKernel::execute() {
   if (Threads > 1) {
     if (!Pool)
       Pool = std::make_unique<ThreadPool>(Threads - 1);
-    gemmParallel(MB, NB, B, APivot, BPivot, CStore, *Pool);
+    gemmParallel(MB, NB, B, APivot, BPivot, CStore, *Pool, /*Tile=*/64,
+                 UseMicroGemm);
+  } else if (UseMicroGemm) {
+    gemmMicro(MB, NB, B, APivot, BPivot, CStore);
   } else if (UseBlockedGemm) {
     gemmBlocked(MB, NB, B, APivot, BPivot, CStore);
   } else {

@@ -38,11 +38,13 @@ class GemmKernel : public Kernel {
 public:
   /// \p BlockSize is the blocking factor b; \p UseBlockedGemm selects the
   /// cache-tiled GEMM (optimised BLAS stand-in) over the naive one
-  /// (Netlib stand-in); \p Threads > 1 runs the block update through
+  /// (Netlib stand-in); \p UseMicroGemm selects the runtime-dispatched
+  /// register-blocked micro-kernel (tuned vendor BLAS stand-in) and wins
+  /// over \p UseBlockedGemm; \p Threads > 1 runs the block update through
   /// gemmParallel on a lazily created pool (multithreaded BLAS stand-in;
-  /// results stay bit-identical to the serial kernels).
+  /// results stay bit-identical to the serial run of the same kernel).
   explicit GemmKernel(std::size_t BlockSize = 16, bool UseBlockedGemm = true,
-                      unsigned Threads = 1);
+                      unsigned Threads = 1, bool UseMicroGemm = false);
 
   ~GemmKernel() override;
 
@@ -59,6 +61,7 @@ public:
 private:
   std::size_t B;
   bool UseBlockedGemm;
+  bool UseMicroGemm;
   unsigned Threads;
   std::unique_ptr<ThreadPool> Pool; // Created on first multithreaded run.
   std::size_t M = 0;

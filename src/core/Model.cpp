@@ -9,7 +9,25 @@
 
 using namespace fupermod;
 
+namespace {
+/// Source of fit-epoch values. Process-wide rather than per-model so a
+/// given value is only ever produced once: a warm-start hint that stored
+/// it can never be revalidated by a *different* model (or a later fit of
+/// the same model) that happens to share a per-object counter value.
+std::atomic<std::uint64_t> NextFitEpoch{1};
+
+std::uint64_t freshFitEpoch() {
+  return NextFitEpoch.fetch_add(1, std::memory_order_relaxed);
+}
+} // namespace
+
+Model::Model() : FitEpoch(freshFitEpoch()) {}
+
 Model::~Model() = default;
+
+void Model::bumpFitEpoch() {
+  FitEpoch.store(freshFitEpoch(), std::memory_order_relaxed);
+}
 
 double Model::sizeForTimeCached(double T) const {
   const std::uint64_t Key = std::bit_cast<std::uint64_t>(T);
@@ -47,11 +65,17 @@ std::uint64_t Model::cacheHits() const {
   return Hits;
 }
 
+std::uint64_t Model::cacheInvalidations() const {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return Invalidations;
+}
+
 void Model::clearEvalCache() const {
   std::lock_guard<std::mutex> Lock(CacheMutex);
   InverseCache.clear();
   Hits = 0;
   Lookups = 0;
+  Invalidations = 0;
 }
 
 void Model::update(Point P) {
@@ -64,13 +88,19 @@ void Model::update(Point P) {
     // Failed measurement: the size exceeded what the device can execute
     // (e.g. GPU memory without an out-of-core mode). Remember the
     // tightest known limit so partitioners avoid the infeasible region.
-    if (P.Units > 0.0)
-      MinInfeasible = std::min(MinInfeasible, P.Units);
+    // No refit happens, but a tighter cap changes partitioning results,
+    // so the fit epoch must advance or a memoized warm-start solution
+    // would ignore the new cap.
+    if (P.Units > 0.0 && P.Units < MinInfeasible) {
+      MinInfeasible = P.Units;
+      bumpFitEpoch();
+    }
     return;
   }
   assert(P.Units > 0.0 && P.Time > 0.0 && "invalid experimental point");
   // A success at or above the recorded limit supersedes it (the failure
   // may have been transient or an out-of-core mode became available).
+  // The refit below advances the epoch for this cap change too.
   if (P.Units >= MinInfeasible)
     MinInfeasible =
         std::nextafter(P.Units, std::numeric_limits<double>::infinity());
@@ -89,7 +119,7 @@ void Model::update(Point P) {
       Existing.ConfidenceInterval =
           std::max(Existing.ConfidenceInterval, P.ConfidenceInterval);
       Weights[I] = W1 + W2;
-      refitAndInvalidate();
+      refitRange(Existing.Units);
       return;
     }
   }
@@ -100,7 +130,7 @@ void Model::update(Point P) {
   Weights.insert(Weights.begin() + (Pos - Points.begin()),
                  static_cast<double>(P.Reps));
   Points.insert(Pos, P);
-  refitAndInvalidate();
+  refitRange(P.Units);
 }
 
 void Model::refitAndInvalidate() {
@@ -108,7 +138,37 @@ void Model::refitAndInvalidate() {
   // The fit changed: memoized inverse-time results describe the old
   // curve. Counters survive so benches see lifetime hit rates.
   std::lock_guard<std::mutex> Lock(CacheMutex);
+  Invalidations += InverseCache.size();
   InverseCache.clear();
+  bumpFitEpoch();
+}
+
+double Model::invalidationLowerBound(double ChangedUnits) const {
+  (void)ChangedUnits;
+  return 0.0;
+}
+
+void Model::refitRange(double ChangedUnits) {
+  refit();
+  // The bound is computed against the *new* fit (refit() above), which
+  // is conservative: surviving entries resolved to sizes the change
+  // provably cannot reach in either the old or the new curve.
+  double Bound = invalidationLowerBound(ChangedUnits);
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  if (Bound <= 0.0) {
+    Invalidations += InverseCache.size();
+    InverseCache.clear();
+  } else {
+    for (auto It = InverseCache.begin(); It != InverseCache.end();) {
+      if (It->second >= Bound) {
+        It = InverseCache.erase(It);
+        ++Invalidations;
+      } else {
+        ++It;
+      }
+    }
+  }
+  bumpFitEpoch();
 }
 
 void Model::setWeights(std::span<const double> NewWeights) {
@@ -301,6 +361,25 @@ double PiecewiseModel::sizeForTime(double T) const {
   std::size_t I = static_cast<std::size_t>(It - Ts.begin()) - 1;
   double Frac = (T - Ts[I]) / (Ts[I + 1] - Ts[I]);
   return Xs[I] + Frac * (Xs[I + 1] - Xs[I]);
+}
+
+double PiecewiseModel::invalidationLowerBound(double ChangedUnits) const {
+  // The coarsening pass is a left-to-right running maximum: a change to
+  // the point at knot I can lift (or lower) Ts[I] and cascade rightward,
+  // but knots strictly left of I and the segments between them are
+  // untouched. Inverse-time entries that resolved to sizes below
+  // Xs[I - 2] therefore still describe the current curve — Xs[I - 1]
+  // would already be safe, the extra knot is margin for the segment that
+  // ends at the changed knot. A change at the first or second knot (or a
+  // model with fewer than three knots) affects the left extrapolation
+  // ray, so everything goes.
+  if (Xs.size() < 3)
+    return 0.0;
+  auto It = std::lower_bound(Xs.begin(), Xs.end(), ChangedUnits);
+  std::size_t I = static_cast<std::size_t>(It - Xs.begin());
+  if (I < 2)
+    return 0.0;
+  return Xs[I - 2];
 }
 
 //===----------------------------------------------------------------------===//

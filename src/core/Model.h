@@ -30,6 +30,7 @@
 #include "interp/AkimaSpline.h"
 #include "support/Registry.h"
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -44,6 +45,7 @@ namespace fupermod {
 /// Base class of all computation performance models.
 class Model {
 public:
+  Model();
   virtual ~Model();
 
   /// Short model-kind name ("cpm", "piecewise", "akima").
@@ -122,9 +124,24 @@ public:
   std::uint64_t cacheLookups() const;
   std::uint64_t cacheHits() const;
 
+  /// Lifetime count of memoized inverse-time entries evicted by fit
+  /// changes — each full wipe adds the number of entries it dropped and
+  /// each ranged invalidation adds only the entries actually erased, so
+  /// the counter is comparable across both paths.
+  std::uint64_t cacheInvalidations() const;
+
   /// Drops all memoized inverse-time entries and resets the counters
-  /// (e.g. between timed bench phases).
+  /// (e.g. between timed bench phases). Does not advance fitEpoch(): the
+  /// fit itself is unchanged.
   void clearEvalCache() const;
+
+  /// Monotone identifier of the current fit. Every change that can alter
+  /// partitioning results — a refit or a feasibility-cap change — assigns
+  /// a fresh value drawn from a process-wide counter, so two epochs
+  /// compare equal only when they describe the same fit of the same
+  /// model object (values are never recycled across models). Warm-start
+  /// paths use this to prove a memoized solution is still exact.
+  std::uint64_t fitEpoch() const { return FitEpoch.load(); }
 
   /// Experimental points, sorted by size.
   const std::vector<Point> &points() const { return Points; }
@@ -139,9 +156,28 @@ protected:
   /// Model-specific refit after Points changed.
   virtual void refit() = 0;
 
-  /// Refits and drops memoized inverse-time entries (the fit they were
-  /// computed against no longer exists).
+  /// Refits and drops all memoized inverse-time entries (the fit they
+  /// were computed against no longer exists). Advances fitEpoch().
   void refitAndInvalidate();
+
+  /// Refits after a single point at \p ChangedUnits changed, dropping
+  /// only the memoized inverse-time entries the change can affect: the
+  /// model reports the smallest size whose prediction may have moved
+  /// (invalidationLowerBound()) and entries that resolved to smaller
+  /// sizes survive. Advances fitEpoch(). Equivalent to
+  /// refitAndInvalidate() in results, cheaper on incremental feedback.
+  void refitRange(double ChangedUnits);
+
+  /// Smallest size whose predicted time can change when the experimental
+  /// point at \p ChangedUnits does. The default (0) declares the whole
+  /// curve affected — correct for global fits (constant, linear) and
+  /// non-local interpolants (Akima); PiecewiseModel overrides it because
+  /// its coarsening only cascades rightward.
+  virtual double invalidationLowerBound(double ChangedUnits) const;
+
+  /// Stamps a fresh process-wide unique value into fitEpoch(). Called by
+  /// the refit paths and by feasibility-cap changes that skip refitting.
+  void bumpFitEpoch();
 
   std::vector<Point> Points;
 
@@ -158,6 +194,11 @@ private:
   mutable std::unordered_map<std::uint64_t, double> InverseCache;
   mutable std::uint64_t Hits = 0;
   mutable std::uint64_t Lookups = 0;
+  mutable std::uint64_t Invalidations = 0;
+
+  /// See fitEpoch(); atomic so partition threads can validate warm-start
+  /// hints without taking CacheMutex.
+  std::atomic<std::uint64_t> FitEpoch;
 };
 
 /// Constant performance model: speed does not depend on problem size.
@@ -191,6 +232,7 @@ public:
 protected:
   double timeImpl(double X) const override;
   void refit() override;
+  double invalidationLowerBound(double ChangedUnits) const override;
 
 private:
   std::vector<double> Xs;

@@ -302,7 +302,7 @@ Result<Dist> Session::partitionLocked(std::int64_t Total,
   using R = Result<Dist>;
   const std::string &Name = Algorithm.empty() ? Config.Algorithm : Algorithm;
   std::string Err;
-  Partitioner Algo = findPartitioner(Name, &Err);
+  WarmPartitioner Algo = findWarmPartitioner(Name, &Err);
   if (!Algo)
     return R::failure(Err);
   if (Total <= 0)
@@ -331,11 +331,34 @@ Result<Dist> Session::partitionLocked(std::int64_t Total,
     return R::failure("partition: every rank's model is unfitted or "
                       "excluded");
 
+  // Work on a copy of the hint so HintMutex is never held across the
+  // solve (concurrent partition() calls share StateMutex but race on the
+  // hints). A hint recorded against models that changed since — or
+  // against a different active set after exclusions shifted — fails its
+  // fit-epoch validation inside the warm partitioner and degrades to a
+  // seeded or cold solve.
+  PartitionHint Hint;
+  {
+    std::lock_guard<std::mutex> HintLock(HintMutex);
+    auto It = Hints.find({Name, Total});
+    if (It != Hints.end())
+      Hint = It->second;
+  }
+
   Dist Sub;
-  if (!Algo(Total, Active, Sub))
+  if (!Algo(Total, Active, Sub, Hint))
     return R::failure("partitioning failed (unfitted model or insufficient "
                       "device capacity for " + std::to_string(Total) +
                       " units)");
+
+  if (Hint.Valid) {
+    std::lock_guard<std::mutex> HintLock(HintMutex);
+    if (Hints.size() >= MaxHints && Hints.find({Name, Total}) == Hints.end())
+      Hints.clear(); // Rare at MaxHints distinct (algorithm, total) keys;
+                     // dropping all is simpler than an eviction order and
+                     // only costs the next call its warm start.
+    Hints[{Name, Total}] = std::move(Hint);
+  }
 
   // Map the participating ranks' shares back; excluded ranks hold 0.
   Dist Out;

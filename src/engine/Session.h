@@ -39,6 +39,14 @@
 /// its answer was computed against, which is what the engine server keys
 /// its coalescing table and partition cache on.
 ///
+/// partition() is warm-started: the session keeps the last successful
+/// solution per (algorithm, total) as a PartitionHint and solves through
+/// the warm partitioners, so a repeat request with unchanged models
+/// replays the memoized answer and a request right after a feedback
+/// delta or hot reload seeds its solver from the previous solution (the
+/// --serve cache-miss path). The hints validate themselves against the
+/// models' fit epochs, so results are always identical to a cold solve.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FUPERMOD_ENGINE_SESSION_H
@@ -46,13 +54,16 @@
 
 #include "core/Benchmark.h"
 #include "core/Partition.h"
+#include "core/Partitioners.h"
 #include "sim/Cluster.h"
 #include "support/Result.h"
 
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -265,6 +276,17 @@ private:
   std::vector<ModelSlot> Slots;
   std::vector<std::string> Warnings;
   std::uint64_t Epoch = 0;
+
+  /// Warm-start state: the last successful solution per (algorithm,
+  /// total). Guarded by its own mutex because partition() readers share
+  /// StateMutex yet must mutate this; each solve works on a copy, so the
+  /// lock is only held for lookup and write-back. Stale entries are
+  /// harmless (fit-epoch validation rejects them) and the map is bounded
+  /// by MaxHints.
+  mutable std::mutex HintMutex;
+  mutable std::map<std::pair<std::string, std::int64_t>, PartitionHint>
+      Hints;
+  static constexpr std::size_t MaxHints = 128;
 };
 
 } // namespace engine

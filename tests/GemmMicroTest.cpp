@@ -1,0 +1,112 @@
+//===-- tests/GemmMicroTest.cpp - register-blocked micro-kernel tests -----===//
+//
+// The micro-kernel's contract (blas/Gemm.h): gemmMicro differs from
+// gemmBlocked only by FMA/vectorization reassociation, elementwise within
+// gemmAbsErrorBound(); banding in gemmParallel never changes per-element
+// accumulation order, so the parallel micro path is bit-identical to a
+// serial gemmMicro call; and the ISA is resolved once per process by
+// CPUID dispatch — whichever tile body runs, the bound holds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blas/Gemm.h"
+
+#include "core/GemmKernel.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+using namespace fupermod;
+
+namespace {
+
+struct Shape {
+  std::size_t M, N, K;
+};
+
+/// Runs gemmBlocked and gemmMicro from the same inputs and returns the
+/// elementwise error bound alongside both results.
+struct KernelPair {
+  std::vector<double> Blocked, Micro, Bound;
+};
+
+KernelPair runPair(Shape S, std::uint64_t Seed) {
+  std::vector<double> A(S.M * S.K), B(S.K * S.N), C0(S.M * S.N);
+  fillDeterministic(A, Seed);
+  fillDeterministic(B, Seed + 1);
+  fillDeterministic(C0, Seed + 2);
+
+  KernelPair R;
+  R.Blocked = C0;
+  R.Micro = C0;
+  R.Bound.resize(S.M * S.N);
+  gemmBlocked(S.M, S.N, S.K, A, B, R.Blocked);
+  gemmMicro(S.M, S.N, S.K, A, B, R.Micro);
+  gemmAbsErrorBound(S.M, S.N, S.K, A, B, C0, R.Bound);
+  return R;
+}
+
+} // namespace
+
+TEST(GemmMicro, WithinErrorBoundOfBlocked) {
+  // Edge shapes on purpose: remainder rows (M % 4 != 0), remainder
+  // columns (N % 8 != 0), K = 1 (a single fused multiply-add per
+  // element), and a tile-aligned square for the fast path.
+  const Shape Shapes[] = {
+      {17, 23, 31}, {4, 8, 1}, {5, 9, 7}, {64, 64, 64}, {33, 40, 5},
+      {1, 1, 1},    {3, 70, 2},
+  };
+  std::uint64_t Seed = 0x5eed;
+  for (Shape S : Shapes) {
+    KernelPair R = runPair(S, Seed++);
+    for (std::size_t I = 0; I < S.M * S.N; ++I)
+      ASSERT_LE(std::abs(R.Blocked[I] - R.Micro[I]), R.Bound[I])
+          << "element " << I << " of " << S.M << "x" << S.N << "x" << S.K
+          << " exceeds the reassociation bound";
+  }
+}
+
+TEST(GemmMicro, ParallelBandingIsBitIdenticalToSerial) {
+  // Row bands write disjoint rows and never reorder any element's
+  // accumulation, so the pooled micro path must match serial gemmMicro
+  // exactly — not just within the bound.
+  const std::size_t M = 61, N = 40, K = 33;
+  std::vector<double> A(M * K), B(K * N), C0(M * N);
+  fillDeterministic(A, 7);
+  fillDeterministic(B, 8);
+  fillDeterministic(C0, 9);
+
+  std::vector<double> Serial = C0, Banded = C0;
+  gemmMicro(M, N, K, A, B, Serial);
+  ThreadPool Pool(3);
+  gemmParallel(M, N, K, A, B, Banded, Pool, /*Tile=*/16, /*UseMicro=*/true);
+  EXPECT_EQ(maxAbsDiff(Serial, Banded), 0.0);
+}
+
+TEST(GemmMicro, DispatchReportsAResolvedIsa) {
+  GemmIsa Isa = gemmMicroIsa();
+  EXPECT_TRUE(Isa == GemmIsa::Portable || Isa == GemmIsa::Avx2);
+  // The resolution is per-process and stable.
+  EXPECT_EQ(gemmMicroIsa(), Isa);
+  EXPECT_STREQ(gemmIsaName(GemmIsa::Portable), "portable");
+  EXPECT_STREQ(gemmIsaName(GemmIsa::Avx2), "avx2");
+}
+
+TEST(GemmMicro, GemmKernelRunsMicroModeSerialAndPooled) {
+  // The kernel wrapper replicates the application's block-update pattern;
+  // micro mode must run it end to end in both the serial and the
+  // row-banded configuration, with the complexity accounting unchanged.
+  for (unsigned Threads : {1u, 2u}) {
+    GemmKernel K(/*BlockSize=*/8, /*UseBlockedGemm=*/true, Threads,
+                 /*UseMicroGemm=*/true);
+    EXPECT_DOUBLE_EQ(K.complexity(5.0), 2.0 * 5.0 * 512.0);
+    ASSERT_TRUE(K.initialize(12));
+    K.execute();
+    K.execute();
+    K.finalize();
+  }
+}

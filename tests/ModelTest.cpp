@@ -318,3 +318,111 @@ TEST(InverseCache, DistinguishesBitDistinctKeys) {
   EXPECT_DOUBLE_EQ(M.sizeForTimeCached(T2), M.sizeForTime(T2));
   EXPECT_EQ(M.cacheHits(), 0u); // Distinct bit patterns never collide.
 }
+
+TEST(InverseCache, RangedInvalidationPreservesUnaffectedEntries) {
+  // Feedback at a large size must not evict memoized inverses that
+  // resolved well left of the change: piecewise coarsening only cascades
+  // rightward, so PiecewiseModel reports a non-zero invalidation bound.
+  PiecewiseModel M;
+  M.update(makePoint(100.0, 1.0));
+  M.update(makePoint(1000.0, 10.0));
+  M.update(makePoint(2000.0, 30.0));
+  M.update(makePoint(4000.0, 120.0));
+  M.clearEvalCache();
+
+  const double LowT = 0.5;   // Resolves to ~50, far left of the change.
+  const double HighT = 60.0; // Resolves between the last two knots.
+  M.sizeForTimeCached(LowT);
+  M.sizeForTimeCached(HighT);
+
+  // Repeat measurement at the last knot: only entries at or beyond the
+  // second knot left of it may be dropped.
+  M.update(makePoint(4000.0, 126.0));
+  EXPECT_EQ(M.cacheInvalidations(), 1u);
+
+  EXPECT_DOUBLE_EQ(M.sizeForTimeCached(LowT), M.sizeForTime(LowT));
+  EXPECT_EQ(M.cacheHits(), 1u); // The low entry survived...
+  EXPECT_DOUBLE_EQ(M.sizeForTimeCached(HighT), M.sizeForTime(HighT));
+  EXPECT_EQ(M.cacheHits(), 1u); // ...the high one was recomputed.
+}
+
+TEST(InverseCache, InvalidationCounterComparableAcrossWipeAndRange) {
+  // Akima has no ranged bound: every update wipes the whole cache, and
+  // the counter must report exactly the entries that wipe dropped — the
+  // same unit the ranged path counts, so `partitioner --stats` can sum
+  // them across model kinds.
+  AkimaModel A;
+  A.update(makePoint(100.0, 1.0));
+  A.update(makePoint(1000.0, 10.0));
+  A.update(makePoint(4000.0, 50.0));
+  for (double T : {0.5, 5.0, 20.0})
+    A.sizeForTimeCached(T);
+  A.update(makePoint(2000.0, 22.0)); // Full wipe: all three entries.
+  EXPECT_EQ(A.cacheInvalidations(), 3u);
+
+  // clearEvalCache resets the counters without touching the fit.
+  std::uint64_t Epoch = A.fitEpoch();
+  A.clearEvalCache();
+  EXPECT_EQ(A.cacheInvalidations(), 0u);
+  EXPECT_EQ(A.cacheLookups(), 0u);
+  EXPECT_EQ(A.fitEpoch(), Epoch);
+}
+
+TEST(FitEpoch, AdvancesOnEveryFitChange) {
+  PiecewiseModel M;
+  std::uint64_t E0 = M.fitEpoch();
+  M.update(makePoint(100.0, 1.0));
+  std::uint64_t E1 = M.fitEpoch();
+  EXPECT_NE(E1, E0);
+  M.update(makePoint(1000.0, 10.0));
+  std::uint64_t E2 = M.fitEpoch();
+  EXPECT_NE(E2, E1);
+  // Merging feedback into an existing point refits too.
+  M.update(makePoint(1000.0, 12.0));
+  EXPECT_NE(M.fitEpoch(), E2);
+}
+
+TEST(FitEpoch, AdvancesWhenFeasibilityCapTightens) {
+  // A failed measurement (Reps == 0) refits nothing, but a tighter cap
+  // changes partitioning results, so memoized warm-start solutions must
+  // stop validating.
+  PiecewiseModel M;
+  M.update(makePoint(100.0, 1.0));
+  M.update(makePoint(1000.0, 10.0));
+  std::uint64_t E = M.fitEpoch();
+  Point Fail;
+  Fail.Units = 5000.0;
+  Fail.Time = std::numeric_limits<double>::infinity();
+  Fail.Reps = 0;
+  M.update(Fail);
+  EXPECT_NE(M.fitEpoch(), E);
+  EXPECT_DOUBLE_EQ(M.feasibleLimit(), 5000.0);
+  // A looser failure than the recorded cap changes nothing.
+  std::uint64_t E2 = M.fitEpoch();
+  Fail.Units = 6000.0;
+  M.update(Fail);
+  EXPECT_EQ(M.fitEpoch(), E2);
+}
+
+TEST(FitEpoch, AdvancesWhenDecayDropsPoints) {
+  PiecewiseModel M;
+  M.update(makePoint(100.0, 1.0, /*Reps=*/10));
+  M.update(makePoint(1000.0, 10.0, /*Reps=*/1));
+  std::uint64_t E = M.fitEpoch();
+  M.decayWeights(1.0); // No-op: the fit is unchanged.
+  EXPECT_EQ(M.fitEpoch(), E);
+  M.decayWeights(0.1); // The weight-1 point decays below the keep floor.
+  EXPECT_NE(M.fitEpoch(), E);
+  EXPECT_EQ(M.points().size(), 1u);
+}
+
+TEST(FitEpoch, NeverSharedAcrossModels) {
+  // Epochs are drawn from a process-wide counter, so equality proves the
+  // same fit of the same model object — two models fed identical data
+  // still differ, and a warm-start hint can never validate against the
+  // wrong model.
+  PiecewiseModel A, B;
+  A.update(makePoint(100.0, 1.0));
+  B.update(makePoint(100.0, 1.0));
+  EXPECT_NE(A.fitEpoch(), B.fitEpoch());
+}

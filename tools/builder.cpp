@@ -15,10 +15,14 @@
 //   builder [--source native|<preset>] [--rank R|all] [--jobs N]
 //           [--kind K] [--min A] [--max B] [--points N] [--output FILE]
 //           [--reps-min M] [--reps-max M2] [--rel-err E] [--threads T]
+//           [--micro]
 //
 //   --source native        benchmark this machine's GEMM kernel
 //   --threads T            GEMM threads per measurement (native source:
 //                          models the device as a T-thread processor)
+//   --micro                use the register-blocked micro-kernel (tuned
+//                          vendor BLAS stand-in; AVX2/FMA when compiled
+//                          with FUPERMOD_NATIVE and supported by the CPU)
 //   --source two-device|hcl|hcl-nogpu
 //                          sample the simulated device --rank R
 //   --rank all             build every rank's model in one run; outputs
@@ -31,6 +35,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "blas/Gemm.h"
 #include "engine/Session.h"
 #include "sim/ClusterIO.h"
 #include "support/Options.h"
@@ -49,7 +54,7 @@ int usage(const char *Program) {
       "           <cluster-file>] [--rank R|all] [--jobs N]\n"
       "          [--kind cpm|piecewise|akima] [--min A] [--max B]\n"
       "          [--points N] [--output FILE] [--reps-min M]\n"
-      "          [--reps-max M] [--rel-err E] [--threads T]\n",
+      "          [--reps-max M] [--rel-err E] [--threads T] [--micro]\n",
       Program);
   return 2;
 }
@@ -98,11 +103,12 @@ int writeModel(engine::Session &Engine, int Rank, const std::string &File) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  Options Opts(Argc, Argv);
+  Options Opts(Argc, Argv, {"micro"});
   for (const std::string &Key :
        Opts.unknownKeys({"source", "kind", "rank", "min", "max", "points",
                          "jobs", "output", "reps-min", "reps-max",
-                         "rel-err", "time-limit", "threads", "noise"})) {
+                         "rel-err", "time-limit", "threads", "noise",
+                         "micro"})) {
     std::fprintf(stderr, "error: unknown option --%s\n", Key.c_str());
     return usage(Argv[0]);
   }
@@ -155,6 +161,9 @@ int main(int Argc, char **Argv) {
     engine::SessionConfig Cfg;
     Cfg.ModelKind = Kind;
     Cfg.Kernel.Threads = static_cast<unsigned>(Threads);
+    Cfg.Kernel.UseMicroGemm = Opts.has("micro");
+    if (Cfg.Kernel.UseMicroGemm)
+      std::printf("# micro-kernel isa: %s\n", gemmIsaName(gemmMicroIsa()));
     Result<std::unique_ptr<engine::Session>> SessionR =
         engine::Session::create(std::move(Cfg));
     if (!SessionR)

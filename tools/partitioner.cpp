@@ -219,20 +219,25 @@ int main(int Argc, char **Argv) {
 
   if (Stats) {
     // Lifetime counters of the memoized inverse-time lookups the
-    // geometric/numerical solvers went through during this partition.
-    std::uint64_t Lookups = 0, CacheHits = 0;
+    // geometric/numerical solvers went through during this partition,
+    // plus how many memoized entries fit changes evicted (full wipes and
+    // ranged invalidations count the same way: entries dropped).
+    std::uint64_t Lookups = 0, CacheHits = 0, Invalidations = 0;
     for (Model *M : Engine.activeModels()) {
       Lookups += M->cacheLookups();
       CacheHits += M->cacheHits();
+      Invalidations += M->cacheInvalidations();
     }
     std::printf("# stats: partition latency %.6f s, inverse-time lookups "
-                "%llu, cache hits %llu (%.1f%%)\n",
+                "%llu, cache hits %llu (%.1f%%), entries invalidated "
+                "%llu\n",
                 PartitionSeconds,
                 static_cast<unsigned long long>(Lookups),
                 static_cast<unsigned long long>(CacheHits),
                 Lookups ? 100.0 * static_cast<double>(CacheHits) /
                               static_cast<double>(Lookups)
-                        : 0.0);
+                        : 0.0,
+                static_cast<unsigned long long>(Invalidations));
 
     // Comm-side counters: replay the handout of this distribution to the
     // P ranks through the runtime's zero-copy broadcast. Logical traffic
