@@ -127,3 +127,122 @@ double fupermod::predictRingAllgather(const LinkCost &Link, int P,
     return 0.0;
   return static_cast<double>(P - 1) * Link.transferTime(ChunkBytes);
 }
+
+namespace {
+
+/// Replays the runtime's binomial payload broadcast over one rank list,
+/// rooted at list index 0. \p Clock[i] holds member i's virtual time on
+/// entry (non-zero for a leader that already ran an earlier stage) and
+/// its post-stage time on return — receivers advance to max(now,
+/// arrival), senders pay one injection latency per child.
+void replayBcastTree(std::vector<double> &Clock, const LinkCost &Link,
+                     std::size_t Bytes) {
+  int N = static_cast<int>(Clock.size());
+  if (N <= 1)
+    return;
+  double Transfer = Link.transferTime(Bytes);
+  unsigned TopMask = 1;
+  while (static_cast<int>(TopMask << 1) < N)
+    TopMask <<= 1;
+  // Parents have smaller list indices than their children, so one
+  // ascending pass finalises every receiver's clock before its sends.
+  for (int R = 0; R < N; ++R) {
+    unsigned Mask;
+    if (R == 0) {
+      Mask = TopMask;
+    } else {
+      Mask = 1;
+      while ((static_cast<unsigned>(R) & Mask) == 0)
+        Mask <<= 1;
+      Mask >>= 1;
+    }
+    for (; Mask > 0; Mask >>= 1) {
+      int Child = R + static_cast<int>(Mask);
+      if (Child >= N)
+        continue;
+      Clock[static_cast<std::size_t>(Child)] =
+          std::max(Clock[static_cast<std::size_t>(Child)],
+                   Clock[static_cast<std::size_t>(R)] + Transfer);
+      Clock[static_cast<std::size_t>(R)] += Link.Latency;
+    }
+  }
+}
+
+/// Replays the runtime's binomial gather over one rank list, rooted at
+/// list index 0. \p Clock[i] / \p Bytes[i] hold member i's start time
+/// and payload bytes; on return Clock[0] is the root's completion and
+/// Bytes[0] the combined payload. Each merge node sends a sizes header
+/// (one uint64 per covered member) then its accumulated data.
+void replayGatherTree(std::vector<double> &Clock,
+                      std::vector<std::uint64_t> &Bytes,
+                      const LinkCost &Link) {
+  int N = static_cast<int>(Clock.size());
+  for (unsigned Mask = 1; static_cast<int>(Mask) < N; Mask <<= 1) {
+    for (int R = static_cast<int>(Mask); R < N;
+         R += static_cast<int>(Mask << 1)) {
+      auto Covered = static_cast<std::size_t>(
+          std::min<int>(static_cast<int>(Mask), N - R));
+      double &Sender = Clock[static_cast<std::size_t>(R)];
+      double &Parent = Clock[static_cast<std::size_t>(R - Mask)];
+      double SizesArrival =
+          Sender + Link.transferTime(Covered * sizeof(std::uint64_t));
+      Sender += Link.Latency;
+      double DataArrival =
+          Sender + Link.transferTime(Bytes[static_cast<std::size_t>(R)]);
+      Sender += Link.Latency;
+      Parent = std::max(Parent, SizesArrival);
+      Parent = std::max(Parent, DataArrival);
+      Bytes[static_cast<std::size_t>(R - Mask)] +=
+          Bytes[static_cast<std::size_t>(R)];
+    }
+  }
+}
+
+} // namespace
+
+double fupermod::predictBcastTwoLevel(const LinkCost &Intra,
+                                      const LinkCost &Inter,
+                                      std::span<const int> NodeSizes,
+                                      std::size_t Bytes) {
+  assert(!NodeSizes.empty() && "empty platform");
+  // Stage 1: the inter-node tree over the node leaders (rank 0 roots it).
+  std::vector<double> Leader(NodeSizes.size(), 0.0);
+  replayBcastTree(Leader, Inter, Bytes);
+  // Stage 2: each node drains from its leader; completion is the global
+  // maximum (trailing sender latencies are always dominated by the last
+  // child's arrival, so the max over clocks equals the measured max over
+  // rank exit times).
+  double Completion = 0.0;
+  for (std::size_t K = 0; K < NodeSizes.size(); ++K) {
+    assert(NodeSizes[K] > 0 && "empty node");
+    std::vector<double> Clock(static_cast<std::size_t>(NodeSizes[K]), 0.0);
+    Clock[0] = Leader[K];
+    replayBcastTree(Clock, Intra, Bytes);
+    for (double T : Clock)
+      Completion = std::max(Completion, T);
+  }
+  return Completion;
+}
+
+double fupermod::predictGatherTwoLevel(const LinkCost &Intra,
+                                       const LinkCost &Inter,
+                                       std::span<const int> NodeSizes,
+                                       std::size_t BytesPerRank) {
+  assert(!NodeSizes.empty() && "empty platform");
+  // Stage 1: gather each node at its leader; the leader then packs the
+  // node block (one uint64 per member plus the concatenated data).
+  std::vector<double> LeaderClock(NodeSizes.size(), 0.0);
+  std::vector<std::uint64_t> BlockBytes(NodeSizes.size(), 0);
+  for (std::size_t K = 0; K < NodeSizes.size(); ++K) {
+    assert(NodeSizes[K] > 0 && "empty node");
+    auto M = static_cast<std::size_t>(NodeSizes[K]);
+    std::vector<double> Clock(M, 0.0);
+    std::vector<std::uint64_t> Bytes(M, BytesPerRank);
+    replayGatherTree(Clock, Bytes, Intra);
+    LeaderClock[K] = Clock[0];
+    BlockBytes[K] = M * sizeof(std::uint64_t) + M * BytesPerRank;
+  }
+  // Stage 2: gather the node blocks at rank 0 over the network.
+  replayGatherTree(LeaderClock, BlockBytes, Inter);
+  return LeaderClock[0];
+}

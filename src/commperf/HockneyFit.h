@@ -50,6 +50,25 @@ double predictGatherBinomial(const LinkCost &Link, int P, std::size_t Bytes);
 double predictRingAllgather(const LinkCost &Link, int P,
                             std::size_t ChunkBytes);
 
+/// Completion time of the runtime's *two-level* broadcast of \p Bytes on
+/// a node-contiguous platform: \p NodeSizes[k] ranks on node k, ranks
+/// numbered node-by-node, root = rank 0 (the leader of node 0). Stage 1
+/// is a binomial tree over the node leaders on \p Inter; stage 2 a
+/// binomial tree inside each node on \p Intra. Exact for the runtime's
+/// virtual-time semantics (all clocks aligned at the start).
+double predictBcastTwoLevel(const LinkCost &Intra, const LinkCost &Inter,
+                            std::span<const int> NodeSizes,
+                            std::size_t Bytes);
+
+/// Completion time (root's clock) of the runtime's two-level gatherv of
+/// \p BytesPerRank from every rank, same platform conventions as
+/// predictBcastTwoLevel: stage 1 gathers each node at its leader on
+/// \p Intra, stage 2 gathers the packed node blocks (8-byte member-size
+/// headers plus data) at rank 0 on \p Inter.
+double predictGatherTwoLevel(const LinkCost &Intra, const LinkCost &Inter,
+                             std::span<const int> NodeSizes,
+                             std::size_t BytesPerRank);
+
 } // namespace fupermod
 
 #endif // FUPERMOD_COMMPERF_HOCKNEYFIT_H

@@ -129,7 +129,7 @@ Status Session::measureSynchronized(const SyncMeasurePlan &Plan) {
             }
         }
       },
-      Cl.makeCostModel());
+      Cl.makeCostModel(), Config.Spmd);
   ++Epoch;
   return okStatus();
 }
@@ -417,7 +417,7 @@ Result<SpmdResult> Session::execute(int Ranks,
     return R::failure("execute: the session has no platform devices");
   if (!Body)
     return R::failure("execute: no SPMD body");
-  return runSpmd(Ranks, Body, Config.Platform.makeCostModel());
+  return runSpmd(Ranks, Body, Config.Platform.makeCostModel(), Config.Spmd);
 }
 
 BalancedLoop Session::makeBalancedLoop(std::int64_t Total, int NumProcs,

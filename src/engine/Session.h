@@ -55,6 +55,7 @@
 #include "core/Benchmark.h"
 #include "core/Partition.h"
 #include "core/Partitioners.h"
+#include "mpp/Runtime.h"
 #include "sim/Cluster.h"
 #include "support/Result.h"
 
@@ -92,6 +93,13 @@ struct SessionConfig {
   /// with a warning (excluding their rank from partitioning) instead of
   /// failing the load.
   bool AllowDegraded = false;
+  /// SPMD runtime knobs for every run the session launches (rank stack
+  /// sizes, the two-level collective threshold). The platform's node
+  /// placement reaches the runtime through makeCostModel(), so
+  /// multi-node sessions at scale get hierarchical collectives — and
+  /// BalancedLoop's allreduce-based imbalance test rides them — without
+  /// further configuration.
+  SpmdOptions Spmd;
 };
 
 /// One rank's model and its provenance.

@@ -17,7 +17,7 @@ bool RecvRequest::ready() {
 
 Payload RecvRequest::wait() {
   assert(Active && "request not pending");
-  Message Msg = Mailbox::awaitMessage(Future, G->poison());
+  Message Msg = Mailbox::awaitMessage(Future);
   Clock->advanceTo(Msg.ArrivalTime);
   Active = false;
   return std::move(Msg.Data);
@@ -84,7 +84,7 @@ RecvRequest Comm::irecv(int Src, int Tag) {
   assert(Src >= 0 && Src < size() && "source out of range");
   RecvRequest Req;
   Req.G = G;
-  Req.Future = G->mailbox(Src, Rank).asyncPop(Tag);
+  Req.Future = G->mailbox(Src, Rank).asyncPop(Tag, G->poison());
   Req.Clock = Clock;
   Req.Active = true;
   return Req;
@@ -97,8 +97,80 @@ void Comm::abort(const std::string &Reason) {
 bool Comm::poisoned() const { return G->poison().poisoned(); }
 
 void Comm::barrier() {
-  double Release = G->enterBarrier(Clock->now());
+  double Release = G->enterBarrier(Rank, Clock->now());
   Clock->advanceTo(Release);
+}
+
+bool Comm::usesTwoLevelCollectives() const { return G->twoLevelEligible(); }
+
+void Comm::bcastPayloadOverList(std::span<const int> Ranks, int MyIdx,
+                                int RootIdx, Payload &Data, int Tag) {
+  int N = static_cast<int>(Ranks.size());
+  if (N <= 1)
+    return;
+  assert(MyIdx >= 0 && MyIdx < N && RootIdx >= 0 && RootIdx < N &&
+         Ranks[static_cast<std::size_t>(MyIdx)] == Rank &&
+         "caller must be in the list");
+  int Rel = (MyIdx - RootIdx + N) % N;
+
+  // The flat binomial tree, in list-index space: receive from the
+  // parent, then forward the *same* payload to the children.
+  unsigned Mask = 1;
+  while (static_cast<int>(Mask) < N) {
+    if (Rel & static_cast<int>(Mask)) {
+      int Parent = (Rel - static_cast<int>(Mask) + RootIdx) % N;
+      Data = recvPayload(Ranks[static_cast<std::size_t>(Parent)], Tag);
+      break;
+    }
+    Mask <<= 1;
+  }
+  Mask >>= 1;
+  while (Mask > 0) {
+    int Child = Rel + static_cast<int>(Mask);
+    if (Child < N)
+      sendPayload(Ranks[static_cast<std::size_t>((Child + RootIdx) % N)],
+                  Tag, Data);
+    Mask >>= 1;
+  }
+}
+
+void Comm::bcastPayloadTwoLevel(Payload &Data, int Root) {
+  const Group::NodeLayout &L = *G->layout();
+  int MyNode = L.NodeOfRank[static_cast<std::size_t>(Rank)];
+  int RootNode = L.NodeOfRank[static_cast<std::size_t>(Root)];
+  // Each node is drained from its *node root*: the group root on its own
+  // node, the node leader (lowest rank) elsewhere.
+  auto NodeRoot = [&](int Node) {
+    return Node == RootNode ? Root : L.leaderOf(Node);
+  };
+
+  // Stage 1 — inter-node: binomial tree over the node roots, rooted at
+  // the group root (listed first, then the other nodes in dense order).
+  if (Rank == NodeRoot(MyNode)) {
+    std::vector<int> Inter;
+    Inter.reserve(static_cast<std::size_t>(L.numNodes()));
+    Inter.push_back(Root);
+    for (int Nd = 0; Nd < L.numNodes(); ++Nd)
+      if (Nd != RootNode)
+        Inter.push_back(L.leaderOf(Nd));
+    int MyIdx = MyNode == RootNode
+                    ? 0
+                    : (MyNode < RootNode ? MyNode + 1 : MyNode);
+    bcastPayloadOverList(Inter, MyIdx, /*RootIdx=*/0, Data, TagBcastInter);
+  }
+
+  // Stage 2 — intra-node: binomial tree among the node's members, rooted
+  // at the node root. The same shared payload is forwarded throughout,
+  // so the fan-out still copies nothing.
+  const std::vector<int> &Members =
+      L.Members[static_cast<std::size_t>(MyNode)];
+  auto Self = std::lower_bound(Members.begin(), Members.end(), Rank);
+  auto At = std::lower_bound(Members.begin(), Members.end(),
+                             NodeRoot(MyNode));
+  bcastPayloadOverList(Members,
+                       static_cast<int>(Self - Members.begin()),
+                       static_cast<int>(At - Members.begin()), Data,
+                       TagBcastIntra);
 }
 
 void Comm::bcastPayload(Payload &Data, int Root) {
@@ -106,6 +178,10 @@ void Comm::bcastPayload(Payload &Data, int Root) {
   int P = size();
   if (P == 1)
     return;
+  if (G->twoLevelEligible()) {
+    bcastPayloadTwoLevel(Data, Root);
+    return;
+  }
   int RelRank = (Rank - Root + P) % P;
 
   // Binomial tree: receive from the parent, then forward the *same*
@@ -142,12 +218,170 @@ void Comm::bcastBytes(std::vector<std::byte> &Data, int Root) {
   }
 }
 
+void Comm::gatherOverList(std::span<const int> Ranks, int MyIdx,
+                          int RootIdx, std::span<const std::byte> Local,
+                          std::vector<std::uint64_t> &Sizes,
+                          std::vector<std::byte> &Buf, int TagSizes,
+                          int TagData) {
+  int N = static_cast<int>(Ranks.size());
+  assert(MyIdx >= 0 && MyIdx < N && RootIdx >= 0 && RootIdx < N &&
+         Ranks[static_cast<std::size_t>(MyIdx)] == Rank &&
+         "caller must be in the list");
+  int Rel = (MyIdx - RootIdx + N) % N;
+
+  // The flat binomial gather in list-index space: each node accumulates
+  // a contiguous window of relative indices [Rel, CoverEnd) as a sizes
+  // header (one uint64 per covered member) plus the concatenated data.
+  // On return at the list root, Sizes/Buf hold every member's
+  // contribution in relative-index order (i.e. starting at RootIdx and
+  // wrapping); non-roots leave them empty.
+  Sizes.assign(1, Local.size());
+  Buf.assign(Local.begin(), Local.end());
+  countCopied(Buf.size());
+
+  unsigned Mask = 1;
+  while (static_cast<int>(Mask) < N) {
+    if (Rel & static_cast<int>(Mask)) {
+      int Parent =
+          Ranks[static_cast<std::size_t>((Rel - static_cast<int>(Mask) +
+                                          RootIdx) % N)];
+      isend(Parent, TagSizes, std::move(Sizes));
+      sendPayload(Parent, TagData, Payload::adoptBytes(std::move(Buf)));
+      Sizes.clear();
+      Buf.clear();
+      return;
+    }
+    int Child = Rel + static_cast<int>(Mask);
+    if (Child < N) {
+      int ChildRank =
+          Ranks[static_cast<std::size_t>((Child + RootIdx) % N)];
+      std::vector<std::uint64_t> ChildSizes =
+          recv<std::uint64_t>(ChildRank, TagSizes);
+      Payload ChildData = recvPayload(ChildRank, TagData);
+      assert(std::accumulate(ChildSizes.begin(), ChildSizes.end(),
+                             std::uint64_t{0}) == ChildData.size() &&
+             "gather sizes/data mismatch");
+      Sizes.insert(Sizes.end(), ChildSizes.begin(), ChildSizes.end());
+      countCopied(ChildData.size());
+      Buf.insert(Buf.end(), ChildData.bytes().begin(),
+                 ChildData.bytes().end());
+    }
+    Mask <<= 1;
+  }
+  assert(Rel == 0 && static_cast<int>(Sizes.size()) == N &&
+         "list root must have combined every member");
+}
+
+std::vector<std::byte>
+Comm::gathervBytesTwoLevel(std::span<const std::byte> Local, int Root) {
+  const Group::NodeLayout &L = *G->layout();
+  int MyNode = L.NodeOfRank[static_cast<std::size_t>(Rank)];
+  int RootNode = L.NodeOfRank[static_cast<std::size_t>(Root)];
+  auto NodeRoot = [&](int Node) {
+    return Node == RootNode ? Root : L.leaderOf(Node);
+  };
+
+  // Stage 1 — intra-node: gather the node's contributions at its node
+  // root (the group root on its own node, the leader elsewhere).
+  const std::vector<int> &Members =
+      L.Members[static_cast<std::size_t>(MyNode)];
+  auto Self = std::lower_bound(Members.begin(), Members.end(), Rank);
+  auto At = std::lower_bound(Members.begin(), Members.end(),
+                             NodeRoot(MyNode));
+  int MyIdxIntra = static_cast<int>(Self - Members.begin());
+  int RootIdxIntra = static_cast<int>(At - Members.begin());
+  std::vector<std::uint64_t> MemberSizes;
+  std::vector<std::byte> NodeBuf;
+  gatherOverList(Members, MyIdxIntra, RootIdxIntra, Local, MemberSizes,
+                 NodeBuf, TagGatherIntraSizes, TagGatherIntraData);
+  if (Rank != NodeRoot(MyNode))
+    return {};
+
+  // Pack the node block: the member sizes (in the intra list's
+  // relative-index order, which the group root can reconstruct from the
+  // layout) followed by the concatenated data.
+  std::vector<std::byte> Block(MemberSizes.size() *
+                                   sizeof(std::uint64_t) +
+                               NodeBuf.size());
+  std::memcpy(Block.data(), MemberSizes.data(),
+              MemberSizes.size() * sizeof(std::uint64_t));
+  std::memcpy(Block.data() + MemberSizes.size() * sizeof(std::uint64_t),
+              NodeBuf.data(), NodeBuf.size());
+  countCopied(Block.size());
+
+  // Stage 2 — inter-node: gather the node blocks at the group root over
+  // the node-root list (group root first, other nodes in dense order).
+  std::vector<int> Inter;
+  Inter.reserve(static_cast<std::size_t>(L.numNodes()));
+  Inter.push_back(Root);
+  for (int Nd = 0; Nd < L.numNodes(); ++Nd)
+    if (Nd != RootNode)
+      Inter.push_back(L.leaderOf(Nd));
+  int MyIdxInter =
+      MyNode == RootNode ? 0 : (MyNode < RootNode ? MyNode + 1 : MyNode);
+  std::vector<std::uint64_t> BlockSizes;
+  std::vector<std::byte> AllBlocks;
+  gatherOverList(Inter, MyIdxInter, /*RootIdx=*/0, Block, BlockSizes,
+                 AllBlocks, TagGatherInterSizes, TagGatherInterData);
+  if (Rank != Root)
+    return {};
+
+  // Decode: blocks arrive in inter-list order; within block j the member
+  // chunks follow that node's intra relative-index order. Map every
+  // chunk back to its group rank and emit rank order.
+  int P = size();
+  std::vector<std::uint64_t> ChunkOffset(static_cast<std::size_t>(P), 0);
+  std::vector<std::uint64_t> ChunkBytes(static_cast<std::size_t>(P), 0);
+  std::uint64_t BlockStart = 0;
+  std::uint64_t TotalData = 0;
+  for (std::size_t J = 0; J < Inter.size(); ++J) {
+    int Nd = L.NodeOfRank[static_cast<std::size_t>(Inter[J])];
+    const std::vector<int> &NodeMembers =
+        L.Members[static_cast<std::size_t>(Nd)];
+    int M = static_cast<int>(NodeMembers.size());
+    auto RootIt = std::lower_bound(NodeMembers.begin(), NodeMembers.end(),
+                                   NodeRoot(Nd));
+    int R0 = static_cast<int>(RootIt - NodeMembers.begin());
+    std::uint64_t DataOff =
+        BlockStart + static_cast<std::uint64_t>(M) * sizeof(std::uint64_t);
+    for (int K = 0; K < M; ++K) {
+      int Member = NodeMembers[static_cast<std::size_t>((R0 + K) % M)];
+      std::uint64_t Bytes;
+      std::memcpy(&Bytes,
+                  AllBlocks.data() + BlockStart +
+                      static_cast<std::uint64_t>(K) * sizeof(std::uint64_t),
+                  sizeof(std::uint64_t));
+      ChunkOffset[static_cast<std::size_t>(Member)] = DataOff;
+      ChunkBytes[static_cast<std::size_t>(Member)] = Bytes;
+      DataOff += Bytes;
+      TotalData += Bytes;
+    }
+    BlockStart += BlockSizes[J];
+  }
+  assert(BlockStart == AllBlocks.size() && "inter blocks must be consumed");
+  std::vector<std::byte> Ordered;
+  Ordered.reserve(TotalData);
+  for (int R = 0; R < P; ++R)
+    Ordered.insert(Ordered.end(),
+                   AllBlocks.begin() + static_cast<std::ptrdiff_t>(
+                                           ChunkOffset[static_cast<
+                                               std::size_t>(R)]),
+                   AllBlocks.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           ChunkOffset[static_cast<std::size_t>(R)] +
+                           ChunkBytes[static_cast<std::size_t>(R)]));
+  countCopied(Ordered.size());
+  return Ordered;
+}
+
 std::vector<std::byte> Comm::gathervBytes(std::span<const std::byte> Local,
                                           int Root) {
   assert(Root >= 0 && Root < size() && "root out of range");
   int P = size();
   if (P == 1)
     return std::vector<std::byte>(Local.begin(), Local.end());
+  if (G->twoLevelEligible())
+    return gathervBytesTwoLevel(Local, Root);
   int RelRank = (Rank - Root + P) % P;
 
   // Binomial tree in relrank space. Each node accumulates a contiguous

@@ -16,6 +16,15 @@
 /// trees), allgatherv, allreduce, and communicator splitting (the paper's
 /// `comm_sync` used to synchronise co-located benchmark processes).
 ///
+/// When the cost model carries a node topology (CostModel::topology())
+/// and the group spans more than one node at two-level scale
+/// (Group::twoLevelEligible), bcast and gatherv — and allreduce /
+/// allgatherv, which are built on them — switch to two-level algorithms:
+/// an intra-node stage among co-located ranks plus an inter-node binomial
+/// tree among node leaders, so large-P collectives cross the (slow)
+/// network O(numNodes) times instead of O(P). Results are byte-identical
+/// to the flat algorithms; only the virtual link charges differ.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FUPERMOD_MPP_COMM_H
@@ -185,6 +194,10 @@ public:
   /// bytes logically moved, bytes physically copied).
   CommStatsSnapshot commStats() const;
 
+  /// True when this communicator's bcast/gatherv (and the collectives
+  /// built on them) run the topology-aware two-level algorithms.
+  bool usesTwoLevelCollectives() const;
+
   // --- Typed convenience wrappers (trivially copyable element types) ---
 
   template <typename T> void send(int Dst, int Tag, std::span<const T> Data) {
@@ -205,6 +218,10 @@ public:
 
   template <typename T> T recvValue(int Src, int Tag) {
     std::vector<T> V = recv<T>(Src, Tag);
+    if (V.empty())
+      throw CommError(G->globalRankOf(Src),
+                      "recvValue: received an empty payload where a "
+                      "value was expected");
     return V.front();
   }
 
@@ -225,6 +242,10 @@ public:
   template <typename T> void bcastValue(T &Value, int Root) {
     std::vector<T> V = {Value};
     bcast(V, Root);
+    if (V.empty())
+      throw CommError(G->globalRankOf(Root),
+                      "bcastValue: root broadcast an empty payload "
+                      "where a value was expected");
     Value = V.front();
   }
 
@@ -315,7 +336,10 @@ public:
   double allreduceValue(double Value, ReduceOp Op);
 
 private:
-  // Reserved internal tags, outside the range user code should use.
+  // Reserved internal tags, outside the range user code should use. The
+  // two-level collectives use distinct tags per stage so leader traffic
+  // can never FIFO-interleave with intra-node traffic on a shared
+  // channel.
   enum : int {
     TagGathervSizes = 1 << 28,
     TagGathervData,
@@ -324,10 +348,30 @@ private:
     TagBcast,
     TagSplit,
     TagRing,
+    TagBcastInter,
+    TagBcastIntra,
+    TagGatherIntraSizes,
+    TagGatherIntraData,
+    TagGatherInterSizes,
+    TagGatherInterData,
   };
 
   /// Counts a physical deep copy of \p Bytes payload bytes.
   void countCopied(std::size_t Bytes);
+
+  // Two-level collective machinery (Comm.cpp). The *OverList helpers run
+  // the flat binomial algorithms over an explicit rank list (a node's
+  // members, or the node leaders) instead of the whole group.
+  void bcastPayloadOverList(std::span<const int> Ranks, int MyIdx,
+                            int RootIdx, Payload &Data, int Tag);
+  void gatherOverList(std::span<const int> Ranks, int MyIdx, int RootIdx,
+                      std::span<const std::byte> Local,
+                      std::vector<std::uint64_t> &Sizes,
+                      std::vector<std::byte> &Buf, int TagSizes,
+                      int TagData);
+  void bcastPayloadTwoLevel(Payload &Data, int Root);
+  std::vector<std::byte>
+  gathervBytesTwoLevel(std::span<const std::byte> Local, int Root);
 
   std::shared_ptr<Group> G;
   int Rank;

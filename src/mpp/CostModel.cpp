@@ -3,8 +3,22 @@
 #include "mpp/CostModel.h"
 
 #include <cassert>
+#include <set>
 
 using namespace fupermod;
+
+NodeTopology::NodeTopology(std::vector<int> NodeOfRank)
+    : NodeOfRank(std::move(NodeOfRank)) {
+  std::set<int> Distinct(this->NodeOfRank.begin(), this->NodeOfRank.end());
+  NumNodes = static_cast<int>(Distinct.size());
+}
+
+int NodeTopology::nodeOf(int GlobalRank) const {
+  assert(GlobalRank >= 0 &&
+         static_cast<std::size_t>(GlobalRank) < NodeOfRank.size() &&
+         "rank out of range");
+  return NodeOfRank[static_cast<std::size_t>(GlobalRank)];
+}
 
 CostModel::~CostModel() = default;
 
@@ -27,17 +41,18 @@ LinkCost UniformCostModel::link(int FromGlobalRank, int ToGlobalRank) const {
 
 TwoLevelCostModel::TwoLevelCostModel(std::vector<int> NodeOfRank,
                                      LinkCost Intra, LinkCost Inter)
-    : NodeOfRank(std::move(NodeOfRank)), Intra(Intra), Inter(Inter) {}
+    : Topo(std::move(NodeOfRank)), Intra(Intra), Inter(Inter) {}
 
-int TwoLevelCostModel::nodeOf(int GlobalRank) const {
-  assert(GlobalRank >= 0 &&
-         static_cast<std::size_t>(GlobalRank) < NodeOfRank.size() &&
-         "rank out of range");
-  return NodeOfRank[GlobalRank];
+LinkCost TwoLevelCostModel::intraLink(int Node) const {
+  auto It = NodeIntra.find(Node);
+  return It == NodeIntra.end() ? Intra : It->second;
 }
 
 LinkCost TwoLevelCostModel::link(int FromGlobalRank, int ToGlobalRank) const {
   if (FromGlobalRank == ToGlobalRank)
     return LinkCost();
-  return nodeOf(FromGlobalRank) == nodeOf(ToGlobalRank) ? Intra : Inter;
+  int FromNode = Topo.nodeOf(FromGlobalRank);
+  if (FromNode != Topo.nodeOf(ToGlobalRank))
+    return Inter;
+  return intraLink(FromNode);
 }

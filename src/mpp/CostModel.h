@@ -8,7 +8,9 @@
 /// Hockney-style communication cost: a message of S bytes from rank i to
 /// rank j costs Latency(i,j) + S * BytePeriod(i,j). A two-level model
 /// distinguishes intra-node (shared memory) from inter-node (network)
-/// links, matching the hierarchy of the paper's target platforms.
+/// links, matching the hierarchy of the paper's target platforms, and
+/// exposes the rank -> node mapping as a NodeTopology so the runtime can
+/// pick topology-aware (two-level) collective algorithms.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +18,7 @@
 #define FUPERMOD_MPP_COSTMODEL_H
 
 #include <cstddef>
+#include <map>
 #include <vector>
 
 namespace fupermod {
@@ -33,6 +36,31 @@ struct LinkCost {
   }
 };
 
+/// The node structure of a platform: which node each global rank lives
+/// on. Communicators consult this (via CostModel::topology()) to group
+/// ranks into intra-node leader stages before crossing the network.
+class NodeTopology {
+public:
+  /// \p NodeOfRank maps each global rank to a node id (ids need not be
+  /// dense; numNodes() counts distinct ids).
+  explicit NodeTopology(std::vector<int> NodeOfRank);
+
+  /// Number of global ranks covered by the mapping.
+  int numRanks() const { return static_cast<int>(NodeOfRank.size()); }
+
+  /// Number of distinct node ids.
+  int numNodes() const { return NumNodes; }
+
+  /// Node id of a global rank; asserts on out-of-range ranks.
+  int nodeOf(int GlobalRank) const;
+
+  const std::vector<int> &nodeOfRank() const { return NodeOfRank; }
+
+private:
+  std::vector<int> NodeOfRank;
+  int NumNodes = 0;
+};
+
 /// Interface mapping a (source, destination) global-rank pair to a link.
 class CostModel {
 public:
@@ -44,6 +72,12 @@ public:
 
   /// Extra synchronisation cost charged by a barrier. Defaults to zero.
   virtual double barrierCost(int NumRanks) const;
+
+  /// The platform's node structure, or nullptr for flat models (every
+  /// pair of ranks is equidistant, so hierarchical algorithms have
+  /// nothing to exploit). The returned pointer must stay valid for the
+  /// model's lifetime.
+  virtual const NodeTopology *topology() const { return nullptr; }
 };
 
 /// Zero-cost model: communication is free (useful for pure-correctness
@@ -64,6 +98,9 @@ private:
 };
 
 /// Intra-node vs inter-node link costs, given a rank -> node mapping.
+/// Individual nodes may override the default intra-node link (a machine
+/// with one NUMA box and one workstation does not have one shared-memory
+/// speed), mirroring the `node` lines of `.cluster` files.
 class TwoLevelCostModel : public CostModel {
 public:
   /// \p NodeOfRank maps each global rank to a node id; ranks on the same
@@ -73,13 +110,25 @@ public:
 
   LinkCost link(int FromGlobalRank, int ToGlobalRank) const override;
 
+  const NodeTopology *topology() const override { return &Topo; }
+
   /// Node id of a global rank.
-  int nodeOf(int GlobalRank) const;
+  int nodeOf(int GlobalRank) const { return Topo.nodeOf(GlobalRank); }
+
+  /// Overrides the intra-node link of one node id.
+  void setNodeIntra(int Node, LinkCost Link) { NodeIntra[Node] = Link; }
+
+  /// Intra-node link of \p Node (the default unless overridden).
+  LinkCost intraLink(int Node) const;
+
+  /// The inter-node (network) link.
+  LinkCost interLink() const { return Inter; }
 
 private:
-  std::vector<int> NodeOfRank;
+  NodeTopology Topo;
   LinkCost Intra;
   LinkCost Inter;
+  std::map<int, LinkCost> NodeIntra;
 };
 
 } // namespace fupermod

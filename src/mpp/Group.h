@@ -10,6 +10,15 @@
 /// Comm.h for the message/request types; user code should only need the
 /// Comm API.
 ///
+/// Scale notes: mailboxes are created lazily and live in lock-sharded
+/// hash maps, so a P-rank world costs memory proportional to the
+/// channels actually used rather than P². Barrier and split rendezvous
+/// run over a combining tree of per-rank nodes (arity 4), so P=1024+
+/// ranks never serialise on one mutex/condvar. All blocking waits are
+/// event-driven — woken by the peer's notify or by the poison broadcast
+/// (see Poison.h), never by a timer poll, so a thousand sleeping ranks
+/// cost the scheduler nothing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FUPERMOD_MPP_GROUP_H
@@ -22,11 +31,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace fupermod {
@@ -59,6 +70,11 @@ struct CommStats {
   /// Subset of BytesLogical sent as redistribution traffic (messages the
   /// sender classified TrafficClass::Redistribute).
   std::atomic<unsigned long long> RedistributeBytes{0};
+  /// Point-to-point channels (mailboxes) actually instantiated, across
+  /// the world group and all subgroups. The memory-per-rank story at
+  /// scale: nearest-neighbour traffic on P ranks creates O(P) channels,
+  /// not the O(P²) a dense mailbox matrix would allocate up front.
+  std::atomic<unsigned long long> ChannelsCreated{0};
 };
 
 /// Plain-value snapshot of CommStats.
@@ -68,6 +84,7 @@ struct CommStatsSnapshot {
   unsigned long long BytesCopied = 0;
   unsigned long long HaloBytes = 0;
   unsigned long long RedistributeBytes = 0;
+  unsigned long long ChannelsCreated = 0;
 };
 
 /// FIFO channel for one (source, destination) rank pair, indexed by tag:
@@ -81,20 +98,26 @@ public:
 
   /// Posts a receive for \p Tag. The returned future is ready immediately
   /// when a matching message is queued; otherwise the next matching
-  /// push() fulfils it. Pending receives of one tag are served FIFO.
-  /// Every posted receive must be consumed (a dropped future forfeits the
-  /// message that eventually fulfils it).
-  std::future<Message> asyncPop(int Tag);
+  /// push() fulfils it — or poisoning fails it with a CommError, so the
+  /// receiver never strands on a dead sender. On an already-poisoned
+  /// world with no queued message the future holds the error up front.
+  /// Pending receives of one tag are served FIFO. Every posted receive
+  /// must be consumed (a dropped future forfeits the message that
+  /// eventually fulfils it).
+  std::future<Message> asyncPop(int Tag, const PoisonState &Poison);
 
-  /// Blocks on \p Future until it is ready, re-checking \p Poison at the
-  /// poll cadence so a dead sender cannot strand the receiver. A message
-  /// already delivered to the future is returned even on a poisoned
-  /// world.
-  static Message awaitMessage(std::future<Message> &Future,
-                              const PoisonState &Poison);
+  /// Blocks on \p Future until it is ready; rethrows the CommError when
+  /// the wait was failed by poisoning. A message already delivered to
+  /// the future is returned even on a poisoned world.
+  static Message awaitMessage(std::future<Message> &Future);
 
   /// asyncPop + awaitMessage: blocks until a message with \p Tag arrives.
   Message popMatching(int Tag, const PoisonState &Poison);
+
+  /// Fails every pending receive with the poison error (the wake path of
+  /// PoisonState::poison()). Receives posted afterwards fail in
+  /// asyncPop(); receives that already hold a message keep it.
+  void poisonWaiters(const PoisonState &Poison);
 
 private:
   std::mutex Mutex;
@@ -107,15 +130,30 @@ private:
 /// Shared state of one communicator (world or split subgroup).
 class Group {
 public:
+  /// Default group size from which topology-aware two-level collectives
+  /// engage (when the cost model carries a multi-node topology). Below
+  /// it the flat binomial trees already finish in a handful of steps and
+  /// stay byte- and time-identical to the historical algorithms.
+  static constexpr int DefaultTwoLevelMinRanks = 16;
+
   /// Builds a group of \p GlobalRanks.size() ranks; \p GlobalRanks[i] is
   /// the world rank of group rank i (used for cost-model lookups).
   /// Subgroups share their parent's poison state and comm counters (a
   /// failure anywhere in the world unblocks every subgroup); null
   /// \p Poison / \p Stats create a fresh, healthy world.
+  /// \p TwoLevelMinRanks gates hierarchical collectives (<= 0 disables
+  /// them); subgroups inherit the parent's value.
   Group(std::shared_ptr<const CostModel> Cost, std::vector<int> GlobalRanks,
         std::vector<int> ParentRanks,
         std::shared_ptr<PoisonState> Poison = nullptr,
-        std::shared_ptr<CommStats> Stats = nullptr);
+        std::shared_ptr<CommStats> Stats = nullptr,
+        int TwoLevelMinRanks = DefaultTwoLevelMinRanks);
+
+  /// Unsubscribes the group's poison wake callback.
+  ~Group();
+
+  Group(const Group &) = delete;
+  Group &operator=(const Group &) = delete;
 
   /// The failure flag shared across this group and all its subgroups.
   PoisonState &poison() { return *Poison; }
@@ -131,14 +169,21 @@ public:
   int globalRankOf(int Rank) const { return GlobalRanks[Rank]; }
   const CostModel &costModel() const { return *Cost; }
 
-  /// Channel from \p Src to \p Dst (group-local ranks).
+  /// Channel from \p Src to \p Dst (group-local ranks). Created on first
+  /// use; the shard lock makes concurrent first-touch from many ranks
+  /// safe without a global mailbox mutex.
   Mailbox &mailbox(int Src, int Dst);
+
+  /// Number of channels instantiated so far in this group (not counting
+  /// subgroups). O(shards) — takes each shard lock briefly.
+  std::size_t mailboxCount() const;
 
   /// Rendezvous for Comm::barrier(): blocks until all ranks arrive and
   /// returns the common release time (max entry time + barrier cost).
-  /// Throws CommError when the world is poisoned before the barrier
-  /// completes (a dead rank will never arrive).
-  double enterBarrier(double LocalTime);
+  /// \p Rank is the caller's group rank — each rank combines through its
+  /// own tree node. Throws CommError when the world is poisoned before
+  /// the barrier completes (a dead rank will never arrive).
+  double enterBarrier(int Rank, double LocalTime);
 
   /// One rank's contribution to a communicator split.
   struct SplitEntry {
@@ -149,13 +194,105 @@ public:
 
   /// Rendezvous for Comm::split(): blocks until all ranks of this group
   /// contribute, then returns the subgroup for the caller's color.
+  /// Entries combine up the same per-rank tree the barrier uses; the
+  /// tree root builds the subgroups and the result propagates back down.
   std::shared_ptr<Group> split(const SplitEntry &Entry);
 
   /// Group-local rank whose parent-group rank is \p ParentRank; asserts if
   /// absent (callers only query their own subgroup).
   int rankOfParent(int ParentRank) const;
 
+  /// Node structure of this group when the cost model has a topology:
+  /// group ranks bucketed by (dense) node index, each node led by its
+  /// lowest group rank.
+  struct NodeLayout {
+    /// Group rank -> dense node index (0 .. numNodes()-1, in order of
+    /// first appearance over ascending group ranks).
+    std::vector<int> NodeOfRank;
+    /// Dense node index -> group ranks on that node, ascending.
+    std::vector<std::vector<int>> Members;
+
+    int numNodes() const { return static_cast<int>(Members.size()); }
+    int leaderOf(int DenseNode) const {
+      return Members[static_cast<std::size_t>(DenseNode)].front();
+    }
+  };
+
+  /// The group's node layout, or nullptr when the cost model is flat (or
+  /// does not cover this group's global ranks).
+  const NodeLayout *layout() const { return Layout.get(); }
+
+  /// True when collectives should use the two-level (intra-node stage +
+  /// inter-node tree) algorithms: a multi-node layout exists and the
+  /// group is at least TwoLevelMinRanks ranks.
+  bool twoLevelEligible() const {
+    return Layout && Layout->numNodes() > 1 && TwoLevelMinRanks > 0 &&
+           size() >= TwoLevelMinRanks;
+  }
+
+  int twoLevelMinRanks() const { return TwoLevelMinRanks; }
+
 private:
+  /// Lock-sharded slice of the lazy mailbox map.
+  struct MailboxShard {
+    std::mutex Mutex;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Mailbox>> Boxes;
+  };
+
+  /// One rank's node in the combining tree used by barrier and split.
+  /// Children deposit their combined subtree state here; the owning rank
+  /// waits for childCount() arrivals, pushes the combination to its
+  /// parent's node, then waits for the wake (WakeGen bump) carrying the
+  /// root's result back down.
+  struct RankTreeNode {
+    std::mutex Mutex;
+    std::condition_variable Cv;
+    /// Children that have deposited their subtree state this round.
+    int Arrived = 0;
+    /// Barrier: running max of entry times over self + arrived subtrees.
+    double MaxTime = 0.0;
+    /// Split: accumulated entries of self + arrived subtrees.
+    std::vector<SplitEntry> Entries;
+    /// Bumped by the parent when Release / SplitOut are valid; the owner
+    /// captures the pre-wake value while still holding its own lock in
+    /// the arrival phase, so a wake can never be missed or consumed by
+    /// the wrong round.
+    std::uint64_t WakeGen = 0;
+    /// Barrier result propagated down the tree.
+    double Release = 0.0;
+    /// Split result propagated down the tree.
+    std::shared_ptr<const std::map<int, std::shared_ptr<Group>>> SplitOut;
+  };
+
+  /// Fan-in of the combining tree. Four keeps the tree depth at
+  /// ceil(log4 P) (six levels at P=2048) while still spreading wakeups.
+  static constexpr int TreeArity = 4;
+
+  std::uint64_t mailboxKey(int Src, int Dst) const {
+    return static_cast<std::uint64_t>(Src) *
+               static_cast<std::uint64_t>(size()) +
+           static_cast<std::uint64_t>(Dst);
+  }
+
+  int treeParent(int Pos) const { return (Pos - 1) / TreeArity; }
+  int treeChildCount(int Pos) const;
+
+  /// Merges the caller's own contribution (\p Merge), waits until all
+  /// \p NumChildren children have arrived (woken by the last child's
+  /// notify, or by poisoning), then resets the arrival count and runs
+  /// \p Extract — all under the node's lock. Returns the pre-wake
+  /// WakeGen for the wait-for-release phase.
+  template <typename MergeFn, typename ExtractFn>
+  std::uint64_t combineAtOwnNode(RankTreeNode &Node, int NumChildren,
+                                 MergeFn Merge, ExtractFn Extract);
+
+  void buildNodeLayout();
+
+  /// The poison wake callback: notifies every tree-node condition
+  /// variable and fails every pending mailbox receive, so no waiter of
+  /// this group outlives a world failure.
+  void wakeAllWaiters();
+
   std::shared_ptr<const CostModel> Cost;
   std::shared_ptr<PoisonState> Poison;
   std::shared_ptr<CommStats> Stats;
@@ -163,25 +300,28 @@ private:
   /// ParentRanks[i] = rank in the parent group of group rank i (identity
   /// for the world group).
   std::vector<int> ParentRanks;
-  std::vector<std::unique_ptr<Mailbox>> Mailboxes;
+  /// Inverse of ParentRanks for O(1) rankOfParent.
+  std::unordered_map<int, int> RankOfParentRank;
 
-  // Barrier state (generation-counted). The cost-model lookup is hoisted
-  // to construction — the group size never changes, so re-deriving it
-  // inside the critical section on every barrier was pure contention.
+  // Lazily instantiated mailboxes, sharded by a mixed (Src, Dst) key.
+  std::vector<MailboxShard> Shards;
+  std::uint64_t ShardMask = 0;
+
+  // Combining tree: Nodes[TreePos[Rank]] is rank Rank's tree node.
+  // TreeOrder permutes ranks so that co-located ranks (same topology
+  // node) occupy adjacent tree positions and combine locally first.
+  std::vector<RankTreeNode> Nodes;
+  std::vector<int> TreePos;
+  std::vector<int> TreeOrder;
+
+  /// Barrier cost hoisted to construction — the group size never changes.
   double BarrierCost = 0.0;
-  std::mutex BarrierMutex;
-  std::condition_variable BarrierCv;
-  int BarrierCount = 0;
-  std::uint64_t BarrierGeneration = 0;
-  double BarrierMaxTime = 0.0;
-  double BarrierRelease = 0.0;
 
-  // Split rendezvous state.
-  std::mutex SplitMutex;
-  std::condition_variable SplitCv;
-  std::vector<SplitEntry> SplitEntries;
-  std::map<int, std::shared_ptr<Group>> SplitResult;
-  std::uint64_t SplitGeneration = 0;
+  std::unique_ptr<NodeLayout> Layout;
+  int TwoLevelMinRanks = DefaultTwoLevelMinRanks;
+
+  /// Subscription token of wakeAllWaiters() with the shared PoisonState.
+  std::uint64_t PoisonToken = 0;
 };
 
 } // namespace fupermod

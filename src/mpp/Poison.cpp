@@ -8,9 +8,15 @@ void PoisonState::poison(int InFailedRank, const std::string &InReason) {
   std::lock_guard<std::mutex> Lock(Mutex);
   if (Flag.load(std::memory_order_relaxed))
     return; // First failure wins.
+  // Diagnostics first, then the release store: a reader that sees the
+  // flag is guaranteed to see them, so raise() needs no lock.
   FailedRank = InFailedRank;
   Reason = InReason;
   Flag.store(true, std::memory_order_release);
+  // Wake everyone. Invoked under the lock so unsubscribe() can guarantee
+  // the callback's owner is safe to destroy once it returns.
+  for (auto &[Token, OnPoison] : Subscribers)
+    OnPoison();
 }
 
 void PoisonState::check() const {
@@ -18,8 +24,27 @@ void PoisonState::check() const {
     raise();
 }
 
-void PoisonState::raise() const {
+CommError PoisonState::makeError() const {
+  return CommError(FailedRank, "rank " + std::to_string(FailedRank) +
+                                   " failed: " + Reason);
+}
+
+void PoisonState::raise() const { throw makeError(); }
+
+std::uint64_t PoisonState::subscribe(std::function<void()> OnPoison) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  throw CommError(FailedRank, "rank " + std::to_string(FailedRank) +
-                                  " failed: " + Reason);
+  if (Flag.load(std::memory_order_relaxed)) {
+    OnPoison(); // Too late to wait for the event: deliver it now.
+    return 0;   // Nothing retained; unsubscribe(0) is a no-op.
+  }
+  std::uint64_t Token = NextToken++;
+  Subscribers.emplace(Token, std::move(OnPoison));
+  return Token;
+}
+
+void PoisonState::unsubscribe(std::uint64_t Token) {
+  if (Token == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Subscribers.erase(Token);
 }

@@ -12,12 +12,22 @@
 /// Poisoning is one-way; a poisoned world never recovers (mirroring the
 /// default MPI error model, where the job is torn down).
 ///
+/// Propagation is event-driven: blocked waiters never poll the flag on a
+/// timer. Each communicator subscribes a wake callback; the poisoning
+/// rank runs them all, which notifies every rendezvous condition
+/// variable and fails every pending mailbox receive. At a thousand ranks
+/// this matters — a periodic poll across that many sleeping threads
+/// saturates small machines before the actual communication does.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FUPERMOD_MPP_POISON_H
 #define FUPERMOD_MPP_POISON_H
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -41,11 +51,14 @@ private:
 
 /// One-way failure flag shared by a world group and every subgroup split
 /// from it. The atomic makes the fast path (healthy world) a single
-/// relaxed load; the mutex only guards the diagnostic fields.
+/// relaxed load; the diagnostic fields are written once before the flag
+/// is published, so readers on the poisoned path need no lock. The mutex
+/// guards only the subscriber list (and serialises racing poisoners).
 class PoisonState {
 public:
-  /// Marks the world failed. The first caller wins; later calls are
-  /// ignored so the original cause is preserved.
+  /// Marks the world failed and runs every subscribed wake callback. The
+  /// first caller wins; later calls are ignored so the original cause is
+  /// preserved.
   void poison(int FailedRank, const std::string &Reason);
 
   /// True once any rank has failed.
@@ -55,13 +68,36 @@ public:
   void check() const;
 
   /// Builds the CommError for the recorded failure. Pre: poisoned().
+  CommError makeError() const;
+
+  /// Throws the CommError for the recorded failure. Pre: poisoned().
+  /// Takes no locks, so it is safe to call while holding a rendezvous or
+  /// mailbox mutex.
   [[noreturn]] void raise() const;
+
+  /// Registers \p OnPoison to run (once, from the poisoning rank's
+  /// thread) when the world becomes poisoned, and returns a token for
+  /// unsubscribe(). If the world is already poisoned the callback runs
+  /// immediately in the caller's thread. Callbacks must only wake
+  /// waiters — they run under the subscription lock and must not call
+  /// back into subscribe/unsubscribe/poison.
+  std::uint64_t subscribe(std::function<void()> OnPoison);
+
+  /// Removes a subscription. Blocks until a concurrently running
+  /// invocation of the callback has finished, so the owner may be
+  /// destroyed safely afterwards.
+  void unsubscribe(std::uint64_t Token);
 
 private:
   std::atomic<bool> Flag{false};
-  mutable std::mutex Mutex;
+  /// Written before Flag is published, immutable after: readers that
+  /// observed poisoned() may read them without the mutex.
   int FailedRank = -1;
   std::string Reason;
+
+  mutable std::mutex Mutex;
+  std::uint64_t NextToken = 1;
+  std::map<std::uint64_t, std::function<void()>> Subscribers;
 };
 
 } // namespace fupermod

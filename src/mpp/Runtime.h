@@ -51,8 +51,26 @@ struct SpmdResult {
   int firstFailedRank() const;
 };
 
+/// Tuning knobs of an SPMD run. The defaults reproduce the historical
+/// behaviour at small P and scale transparently to thousands of ranks.
+struct SpmdOptions {
+  /// Stack size of each rank thread, in bytes. 0 selects automatically:
+  /// the platform default below 512 ranks, 1 MiB from 512 ranks up (so a
+  /// P=2048 world costs 2 GiB of reservation instead of the ~16 GiB that
+  /// 2048 default 8 MiB stacks would claim). Non-zero values are clamped
+  /// up to a safe minimum; on platforms without pthreads the default
+  /// stack is always used.
+  std::size_t StackBytes = 0;
+
+  /// Group size from which topology-aware two-level collectives engage
+  /// when the cost model carries a multi-node topology
+  /// (CostModel::topology()). <= 0 disables them entirely (always flat).
+  int TwoLevelMinRanks = Group::DefaultTwoLevelMinRanks;
+};
+
 /// Runs \p Body on \p NumRanks ranks, each on its own thread with its own
 /// virtual clock starting at zero. Blocks until every rank returns.
+/// Throws std::invalid_argument when \p NumRanks <= 0.
 ///
 /// A body that throws does not take the process down: the escaping
 /// exception poisons the world (so peers blocked in communication get a
@@ -62,7 +80,8 @@ struct SpmdResult {
 ///
 /// \p Cost models communication; when null, communication is free.
 SpmdResult runSpmd(int NumRanks, const std::function<void(Comm &)> &Body,
-                   std::shared_ptr<const CostModel> Cost = nullptr);
+                   std::shared_ptr<const CostModel> Cost = nullptr,
+                   const SpmdOptions &Options = {});
 
 } // namespace fupermod
 

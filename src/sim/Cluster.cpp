@@ -9,7 +9,10 @@ using namespace fupermod;
 std::shared_ptr<const CostModel> Cluster::makeCostModel() const {
   assert(NodeOfRank.size() == Devices.size() &&
          "every rank needs a node placement");
-  return std::make_shared<TwoLevelCostModel>(NodeOfRank, Intra, Inter);
+  auto Model = std::make_shared<TwoLevelCostModel>(NodeOfRank, Intra, Inter);
+  for (const auto &[Node, Link] : NodeIntra)
+    Model->setNodeIntra(Node, Link);
+  return Model;
 }
 
 std::vector<SimDevice> Cluster::makeDevices() const {

@@ -19,6 +19,7 @@
 #include "mpp/CostModel.h"
 #include "sim/SimDevice.h"
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -34,6 +35,9 @@ struct Cluster {
   LinkCost Intra{/*Latency=*/1e-6, /*BytePeriod=*/1.0 / 8e9};
   /// Network link between nodes.
   LinkCost Inter{/*Latency=*/5e-5, /*BytePeriod=*/1.0 / 1e9};
+  /// Per-node overrides of the intra-node link (`.cluster` `node` lines);
+  /// nodes not listed here use Intra.
+  std::map<int, LinkCost> NodeIntra;
   /// Relative measurement noise of every device.
   double NoiseSigma = 0.02;
   /// Base RNG seed; rank r's device uses Seed + r.

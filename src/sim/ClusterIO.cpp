@@ -134,6 +134,19 @@ std::optional<Cluster> fupermod::parseCluster(std::istream &IS,
       LinkCost &Link = Key == "intra" ? Out.Intra : Out.Inter;
       Link.Latency = Latency;
       Link.BytePeriod = 1.0 / Bandwidth;
+    } else if (Key == "node") {
+      int Node = -1;
+      double Latency = 0.0, Bandwidth = 0.0;
+      if (!(LS >> Node >> Latency >> Bandwidth) || Node < 0 ||
+          Latency < 0.0 || Bandwidth <= 0.0) {
+        fail(Error, "malformed node line");
+        return std::nullopt;
+      }
+      if (!Out.NodeIntra.emplace(Node, LinkCost{Latency, 1.0 / Bandwidth})
+               .second) {
+        fail(Error, "duplicate node line for node " + std::to_string(Node));
+        return std::nullopt;
+      }
     } else if (Key == "device") {
       if (!parseDevice(LS, Out, Error))
         return std::nullopt;
@@ -152,6 +165,17 @@ std::optional<Cluster> fupermod::parseCluster(std::istream &IS,
   if (Out.Faults.size() > Out.Devices.size()) {
     fail(Error, "fault line references a rank with no device");
     return std::nullopt;
+  }
+  for (const auto &[Node, Link] : Out.NodeIntra) {
+    (void)Link;
+    bool Known = false;
+    for (int N : Out.NodeOfRank)
+      Known = Known || N == Node;
+    if (!Known) {
+      fail(Error, "node line for node " + std::to_string(Node) +
+                      " which has no devices");
+      return std::nullopt;
+    }
   }
   return Out;
 }

@@ -13,11 +13,19 @@
 ///   seed 42
 ///   intra 1e-6 8e9            # latency(s) bandwidth(bytes/s)
 ///   inter 5e-5 1e9
+///   node 1 5e-7 2e10          # node 1's intra link beats the default
 ///   device 0 constant fast 800
 ///   device 0 cpu core 800 25 2000 300 0.55
 ///   device 1 gpu accel 4000 0.05 12000 0.5
 ///   device 0 contended sibling 800 25 2000 300 0.55 3 0.15
 ///   fault 1 slowdown 30 4.0     # rank 1 runs 4x slower after 30s busy
+///
+/// `intra`/`inter` set the default shared-memory and network links of the
+/// platform's two-level cost model; a `node <id> <latency> <bandwidth>`
+/// line overrides the intra-node link of one node (the id must have at
+/// least one device). The node placement (first column of each device
+/// line) also feeds CostModel::topology(), which the mpp runtime uses to
+/// select two-level collectives at scale.
 ///
 /// Device forms:
 ///   constant  <name> <units_per_sec>

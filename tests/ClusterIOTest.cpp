@@ -169,3 +169,53 @@ TEST(ClusterIO, ShippedSampleFileParses) {
   EXPECT_EQ(Cl->Faults[4].Events[0].Kind, FaultKind::Slowdown);
   EXPECT_DOUBLE_EQ(Cl->Faults[4].Events[0].AfterBusyTime, 3600.0);
 }
+
+TEST(ClusterIO, NodeLinesOverrideIntraLinks) {
+  std::istringstream IS(R"(
+intra 2e-6 4e9
+inter 1e-4 5e8
+device 0 constant a 10
+device 0 constant b 10
+device 1 constant c 10
+device 1 constant d 10
+node 1 5e-7 2e10
+)");
+  std::string Error;
+  auto Cl = parseCluster(IS, &Error);
+  ASSERT_TRUE(Cl.has_value()) << Error;
+  ASSERT_EQ(Cl->NodeIntra.size(), 1u);
+  EXPECT_DOUBLE_EQ(Cl->NodeIntra.at(1).Latency, 5e-7);
+
+  auto Model = Cl->makeCostModel();
+  ASSERT_NE(Model, nullptr);
+  // Node 0 keeps the platform-wide intra parameters ...
+  EXPECT_DOUBLE_EQ(Model->link(0, 1).Latency, 2e-6);
+  // ... node 1 uses its override ...
+  EXPECT_DOUBLE_EQ(Model->link(2, 3).Latency, 5e-7);
+  EXPECT_DOUBLE_EQ(1.0 / Model->link(2, 3).BytePeriod, 2e10);
+  // ... and cross-node traffic stays on the network link.
+  EXPECT_DOUBLE_EQ(Model->link(1, 2).Latency, 1e-4);
+
+  // The placement also surfaces as a topology for the runtime.
+  const NodeTopology *Topo = Model->topology();
+  ASSERT_NE(Topo, nullptr);
+  EXPECT_EQ(Topo->numNodes(), 2);
+  EXPECT_EQ(Topo->nodeOf(3), 1);
+}
+
+TEST(ClusterIO, RejectsMalformedNodeLines) {
+  const char *Bad[] = {
+      "device 0 constant a 1\nnode 0 1e-6\n",        // Missing bandwidth.
+      "device 0 constant a 1\nnode -1 1e-6 1e9\n",   // Negative node id.
+      "device 0 constant a 1\nnode 0 -1e-6 1e9\n",   // Negative latency.
+      "device 0 constant a 1\nnode 0 1e-6 0\n",      // Zero bandwidth.
+      "device 0 constant a 1\nnode 0 1e-6 1e9\nnode 0 2e-6 1e9\n", // Dup.
+      "device 0 constant a 1\nnode 3 1e-6 1e9\n",    // No such node.
+  };
+  for (const char *Text : Bad) {
+    std::istringstream IS(Text);
+    std::string Error;
+    EXPECT_FALSE(parseCluster(IS, &Error).has_value()) << Text;
+    EXPECT_FALSE(Error.empty()) << Text;
+  }
+}

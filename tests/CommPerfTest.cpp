@@ -178,3 +178,78 @@ TEST_P(CollectivePredictionTest, GatherMatchesRuntime) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, CollectivePredictionTest,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16));
+
+namespace {
+
+/// Node-contiguous multi-node platform matching the conventions of the
+/// two-level predictors: NodeSizes[k] consecutive ranks on node k, rank 0
+/// the leader of node 0.
+std::shared_ptr<const TwoLevelCostModel>
+nodedModel(std::span<const int> NodeSizes, const LinkCost &Intra,
+           const LinkCost &Inter) {
+  std::vector<int> NodeOf;
+  for (std::size_t K = 0; K < NodeSizes.size(); ++K)
+    NodeOf.insert(NodeOf.end(), static_cast<std::size_t>(NodeSizes[K]),
+                  static_cast<int>(K));
+  return std::make_shared<TwoLevelCostModel>(std::move(NodeOf), Intra,
+                                             Inter);
+}
+
+} // namespace
+
+TEST(TwoLevelPrediction, BcastMatchesRuntimeExactly) {
+  const std::vector<int> NodeSizes = {8, 8, 8};
+  const int P = 24;
+  LinkCost Intra{1e-6, 1.0 / 8e9};
+  LinkCost Inter{5e-5, 1.0 / 1e9};
+  auto Cost = nodedModel(NodeSizes, Intra, Inter);
+  for (std::size_t Bytes : {std::size_t{64}, std::size_t{65536}}) {
+    double Measured = 0.0;
+    runSpmd(
+        P,
+        [&](Comm &C) {
+          ASSERT_TRUE(C.usesTwoLevelCollectives());
+          std::vector<std::byte> Data(C.rank() == 0 ? Bytes : 0);
+          C.bcastBytes(Data, 0);
+          // Max over the post-bcast clocks is the completion time; the
+          // allreduce computes it without disturbing the measurement.
+          double End = C.allreduceValue(C.time(), ReduceOp::Max);
+          if (C.rank() == 0)
+            Measured = End;
+        },
+        Cost);
+    EXPECT_NEAR(Measured,
+                predictBcastTwoLevel(Intra, Inter, NodeSizes, Bytes),
+                1e-12)
+        << "bytes " << Bytes;
+  }
+}
+
+TEST(TwoLevelPrediction, GatherMatchesRuntimeExactly) {
+  const std::vector<int> NodeSizes = {8, 8, 8, 8};
+  const int P = 32;
+  LinkCost Intra{2e-6, 1.0 / 6e9};
+  LinkCost Inter{8e-5, 1.0 / 1.25e9};
+  auto Cost = nodedModel(NodeSizes, Intra, Inter);
+  for (std::size_t BytesPerRank : {std::size_t{16}, std::size_t{8192}}) {
+    double Measured = 0.0;
+    runSpmd(
+        P,
+        [&](Comm &C) {
+          ASSERT_TRUE(C.usesTwoLevelCollectives());
+          std::vector<std::byte> Mine(BytesPerRank,
+                                      std::byte{static_cast<unsigned char>(
+                                          C.rank())});
+          std::vector<std::byte> All = C.gathervBytes(Mine, 0);
+          if (C.rank() == 0) {
+            ASSERT_EQ(All.size(), BytesPerRank * P);
+            Measured = C.time();
+          }
+        },
+        Cost);
+    EXPECT_NEAR(Measured,
+                predictGatherTwoLevel(Intra, Inter, NodeSizes, BytesPerRank),
+                1e-12)
+        << "bytes/rank " << BytesPerRank;
+  }
+}

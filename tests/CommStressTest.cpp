@@ -99,3 +99,97 @@ TEST(CommStress, MailboxTagStorm) {
   });
   EXPECT_TRUE(Result.allOk());
 }
+
+TEST(CommStress, TreeBarrierStormWithTopology) {
+  // 64 ranks over 8 simulated nodes: the combining tree spans several
+  // levels and the release wave must still deliver exactly the running
+  // sum of per-iteration jitter maxima to every rank. This is the
+  // tree-barrier ThreadSanitizer workload.
+  const int P = 64;
+  const int Iters = 120;
+  std::vector<int> NodeOf(P);
+  for (int R = 0; R < P; ++R)
+    NodeOf[R] = R / 8;
+  auto Cost = std::make_shared<TwoLevelCostModel>(
+      std::move(NodeOf), LinkCost{1e-6, 1.0 / 8e9}, LinkCost{5e-5, 1.0 / 1e9});
+
+  std::vector<double> Expected(Iters);
+  double Acc = 0.0;
+  for (int I = 0; I < Iters; ++I) {
+    double Max = 0.0;
+    for (int R = 0; R < P; ++R)
+      Max = std::max(Max, jitter(I, R));
+    Acc += Max;
+    Expected[I] = Acc;
+  }
+
+  SpmdResult Result = runSpmd(
+      P,
+      [&](Comm &C) {
+        for (int I = 0; I < Iters; ++I) {
+          C.compute(jitter(I, C.rank()));
+          C.barrier();
+          ASSERT_DOUBLE_EQ(C.time(), Expected[I]) << "iteration " << I;
+        }
+      },
+      Cost);
+  EXPECT_TRUE(Result.allOk());
+  for (double T : Result.FinalTimes)
+    EXPECT_DOUBLE_EQ(T, Expected.back());
+}
+
+TEST(CommStress, ShardedMailboxAllToAllStorm) {
+  // Every rank messages every other rank on sender-specific tags, hitting
+  // many mailbox shards concurrently while channels are still being
+  // created lazily — the sharded-map ThreadSanitizer workload.
+  const int P = 16;
+  const int Rounds = 20;
+  SpmdResult Result = runSpmd(P, [&](Comm &C) {
+    for (int I = 0; I < Rounds; ++I) {
+      for (int Dst = 0; Dst < P; ++Dst)
+        if (Dst != C.rank())
+          C.isend(Dst, 100 + C.rank(),
+                  std::vector<int>{I * P + C.rank()});
+      for (int Src = P - 1; Src >= 0; --Src) {
+        if (Src != C.rank()) {
+          EXPECT_EQ(C.recvValue<int>(Src, 100 + Src), I * P + Src);
+        }
+      }
+    }
+  });
+  EXPECT_TRUE(Result.allOk());
+  // All-to-all traffic is the worst case: P*(P-1) point-to-point channels
+  // plus the collective trees, still created only on demand.
+  EXPECT_GE(Result.Comm.ChannelsCreated,
+            static_cast<unsigned long long>(P) * (P - 1));
+}
+
+TEST(CommStress, SplitChurnThroughTreeRendezvous) {
+  // Repeated splits with shifting colors drive the tree rendezvous hard;
+  // every subgroup must come out consistent (membership, ranks, and a
+  // working allreduce).
+  const int P = 24;
+  const int Iters = 40;
+  SpmdResult Result = runSpmd(P, [&](Comm &C) {
+    for (int I = 0; I < Iters; ++I) {
+      int Colors = 2 + I % 5;
+      int Color = (C.rank() + I) % Colors;
+      Comm Sub = C.split(Color, C.rank());
+      int Members = 0;
+      for (int R = 0; R < P; ++R)
+        if ((R + I) % Colors == Color)
+          ++Members;
+      ASSERT_EQ(Sub.size(), Members) << "iteration " << I;
+      double Sum = Sub.allreduceValue(static_cast<double>(C.rank()),
+                                      ReduceOp::Max);
+      // The largest parent rank of this color class.
+      double ExpectedMax = 0.0;
+      for (int R = 0; R < P; ++R)
+        if ((R + I) % Colors == Color)
+          ExpectedMax = std::max(ExpectedMax, static_cast<double>(R));
+      EXPECT_EQ(Sum, ExpectedMax) << "iteration " << I;
+      Sub.barrier();
+    }
+  });
+  EXPECT_TRUE(Result.allOk());
+}

@@ -488,3 +488,49 @@ TEST(SendRecv, PairedExchange) {
     EXPECT_EQ(Got[0], Left * 7);
   });
 }
+
+TEST(Runtime, RejectsNonPositiveRankCounts) {
+  auto Body = [](Comm &) {};
+  EXPECT_THROW(runSpmd(0, Body), std::invalid_argument);
+  EXPECT_THROW(runSpmd(-3, Body), std::invalid_argument);
+  try {
+    runSpmd(0, Body);
+    FAIL() << "runSpmd(0) did not throw";
+  } catch (const std::invalid_argument &E) {
+    EXPECT_NE(std::string(E.what()).find("NumRanks"), std::string::npos);
+  }
+}
+
+TEST(SendRecv, RecvValueOnEmptyPayloadThrows) {
+  runSpmd(2, [](Comm &C) {
+    if (C.rank() == 0) {
+      std::vector<int> Empty;
+      C.send<int>(1, 5, std::span<const int>(Empty));
+    } else {
+      try {
+        (void)C.recvValue<int>(0, 5);
+        FAIL() << "recvValue on an empty payload did not throw";
+      } catch (const CommError &E) {
+        EXPECT_EQ(E.failedRank(), 0);
+        EXPECT_NE(std::string(E.what()).find("empty payload"),
+                  std::string::npos);
+      }
+    }
+  });
+}
+
+TEST(Bcast, BcastValueOnEmptyRootPayloadThrows) {
+  SpmdResult R = runSpmd(2, [](Comm &C) {
+    if (C.rank() == 0) {
+      std::vector<int> Empty;
+      C.bcast(Empty, 0);
+    } else {
+      int V = 7;
+      EXPECT_THROW(C.bcastValue(V, 0), CommError);
+    }
+    // The error is reported to the caller, not turned into a poisoned
+    // world: the group must still be usable.
+    C.barrier();
+  });
+  EXPECT_TRUE(R.allOk());
+}

@@ -1,0 +1,233 @@
+//===-- tests/ScaleTest.cpp - thousand-rank runtime conformance -----------===//
+//
+// The refactored mpp substrate must behave identically at platform scale:
+// topology-aware two-level collectives byte-exact against linear
+// references (and therefore against the flat binomial trees) at P = 64,
+// 256 and 1024, bit-reproducible allreduce, exact tree-barrier release
+// times, tree-rendezvous splits, and — the memory story — far fewer than
+// P² mailbox channels for nearest-neighbour traffic on a P = 1024 world.
+//
+// The 1024-rank cases are suffixed "Slow" and excluded from the tier-1
+// ctest entry (see tests/CMakeLists.txt); run them via the ScaleTestSlow
+// test or --gtest_filter=*Slow*.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mpp/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+using namespace fupermod;
+
+namespace {
+
+/// Deterministic per-rank payload bytes (SplitMix64-style mixing).
+std::vector<std::byte> rankData(int Rank, std::size_t Len) {
+  std::vector<std::byte> Data(Len);
+  std::uint64_t X = 0x9e3779b97f4a7c15ull *
+                    (static_cast<std::uint64_t>(Rank) + 1);
+  for (std::size_t I = 0; I < Len; ++I) {
+    X ^= X >> 27;
+    X *= 0x94d049bb133111ebull;
+    Data[I] = static_cast<std::byte>(X >> 56);
+  }
+  return Data;
+}
+
+/// Per-rank contribution length: varied, with rank patterns hitting zero.
+std::size_t rankLen(int Rank) {
+  return static_cast<std::size_t>((Rank * 37 + 11) % 53) *
+         static_cast<std::size_t>(Rank % 3 == 2 ? 0 : 1);
+}
+
+/// A multi-node platform: \p RanksPerNode consecutive ranks per node,
+/// fast shared-memory links inside a node, a slow network between nodes.
+std::shared_ptr<const CostModel> nodedCost(int P, int RanksPerNode) {
+  std::vector<int> NodeOf(static_cast<std::size_t>(P));
+  for (int R = 0; R < P; ++R)
+    NodeOf[static_cast<std::size_t>(R)] = R / RanksPerNode;
+  return std::make_shared<TwoLevelCostModel>(
+      std::move(NodeOf), LinkCost{1e-6, 1.0 / 8e9},
+      LinkCost{5e-5, 1.0 / 1e9});
+}
+
+/// Per-rank allreduce contribution with a wide exponent spread, so any
+/// reassociation of the sum changes the bits.
+double rankValue(int Rank) {
+  return (Rank % 7 + 1) * 1e-3 + Rank * 1.0 / 3.0 +
+         (Rank % 2 ? 1e8 : 1e-8);
+}
+
+/// Runs the collective conformance suite on a multi-node world: bcast and
+/// gatherv byte-exact against the deterministic reference data from both
+/// a leader root and a non-leader root, allreduce bit-identical to the
+/// serial rank-order reduction, and the two-level algorithms actually
+/// engaged (or not, per \p Opts).
+void checkCollectives(int P, int RanksPerNode, const SpmdOptions &Opts,
+                      bool ExpectTwoLevel) {
+  auto Cost = nodedCost(P, RanksPerNode);
+  const std::size_t BcastLen = 8191;
+  int MidRoot = P / 2 + 1; // Not a node leader for RanksPerNode >= 2.
+
+  // Serial rank-order sum — the bit-exact reference for allreduce.
+  double ExpectedSum = rankValue(0);
+  for (int R = 1; R < P; ++R)
+    ExpectedSum += rankValue(R);
+  std::vector<std::byte> ExpectedGather;
+  for (int R = 0; R < P; ++R) {
+    std::vector<std::byte> Chunk = rankData(R, rankLen(R));
+    ExpectedGather.insert(ExpectedGather.end(), Chunk.begin(), Chunk.end());
+  }
+
+  SpmdResult Result = runSpmd(
+      P,
+      [&](Comm &C) {
+        EXPECT_EQ(C.usesTwoLevelCollectives(), ExpectTwoLevel);
+
+        for (int Root : {0, MidRoot}) {
+          std::vector<std::byte> Data;
+          if (C.rank() == Root)
+            Data = rankData(Root, BcastLen);
+          C.bcastBytes(Data, Root);
+          EXPECT_TRUE(Data == rankData(Root, BcastLen))
+              << "bcast root " << Root << " rank " << C.rank();
+        }
+
+        std::vector<std::byte> Mine = rankData(C.rank(),
+                                               rankLen(C.rank()));
+        for (int Root : {0, MidRoot}) {
+          std::vector<std::byte> All = C.gathervBytes(Mine, Root);
+          if (C.rank() == Root)
+            EXPECT_TRUE(All == ExpectedGather)
+                << "gatherv root " << Root;
+          else
+            EXPECT_TRUE(All.empty());
+        }
+
+        double Sum = C.allreduceValue(rankValue(C.rank()), ReduceOp::Sum);
+        EXPECT_EQ(Sum, ExpectedSum) << "rank " << C.rank();
+      },
+      Cost, Opts);
+  EXPECT_TRUE(Result.allOk());
+}
+
+} // namespace
+
+TEST(Scale, CollectivesByteExact64) {
+  checkCollectives(64, 8, SpmdOptions{}, /*ExpectTwoLevel=*/true);
+}
+
+TEST(Scale, CollectivesByteExact256) {
+  checkCollectives(256, 32, SpmdOptions{}, /*ExpectTwoLevel=*/true);
+}
+
+TEST(Scale, CollectivesByteExact1024Slow) {
+  checkCollectives(1024, 32, SpmdOptions{}, /*ExpectTwoLevel=*/true);
+}
+
+// Disabling two-level (TwoLevelMinRanks <= 0) must flip back to the flat
+// trees with identical bytes.
+TEST(Scale, FlatFallbackWhenDisabled) {
+  SpmdOptions Opts;
+  Opts.TwoLevelMinRanks = 0;
+  checkCollectives(64, 8, Opts, /*ExpectTwoLevel=*/false);
+}
+
+// A single-node topology has nothing to exploit: collectives stay flat
+// even above the threshold.
+TEST(Scale, FlatOnSingleNodeTopology) {
+  checkCollectives(64, 64, SpmdOptions{}, /*ExpectTwoLevel=*/false);
+}
+
+// Below the threshold the historical flat algorithms (and their virtual
+// times) are untouched even on a multi-node platform.
+TEST(Scale, FlatBelowThreshold) {
+  checkCollectives(8, 2, SpmdOptions{}, /*ExpectTwoLevel=*/false);
+}
+
+// The tree barrier must release every rank at exactly max(entry times),
+// through multiple tree levels and repeated rounds.
+TEST(Scale, TreeBarrierReleaseIsExactMax) {
+  const int P = 256;
+  auto Cost = nodedCost(P, 16);
+  SpmdResult Result = runSpmd(
+      P,
+      [&](Comm &C) {
+        double Expected = 0.0;
+        for (int Iter = 1; Iter <= 4; ++Iter) {
+          double Work = ((C.rank() * 31 + Iter * 17) % 97) * 1e-4;
+          C.compute(Work);
+          double SlowestWork = 0.0;
+          for (int R = 0; R < P; ++R)
+            SlowestWork =
+                std::max(SlowestWork, ((R * 31 + Iter * 17) % 97) * 1e-4);
+          Expected = Expected + SlowestWork;
+          C.barrier();
+          EXPECT_DOUBLE_EQ(C.time(), Expected) << "iter " << Iter;
+        }
+      },
+      Cost);
+  EXPECT_TRUE(Result.allOk());
+}
+
+// Splits rendezvous through the same combining tree; subgroup structure
+// and collectives must be correct at scale.
+TEST(Scale, TreeSplitAtScale) {
+  const int P = 256;
+  const int Colors = 8;
+  auto Cost = nodedCost(P, 16);
+  SpmdResult Result = runSpmd(
+      P,
+      [&](Comm &C) {
+        int Color = C.rank() % Colors;
+        // Key reverses rank order inside the color group.
+        Comm Sub = C.split(Color, P - C.rank());
+        EXPECT_EQ(Sub.size(), P / Colors);
+        // With reversed keys, subgroup rank 0 is the *largest* parent
+        // rank of the color class.
+        int ExpectedGlobal = (P - Colors + Color) - Sub.rank() * Colors;
+        EXPECT_EQ(Sub.globalRank(), ExpectedGlobal);
+        double Sum = Sub.allreduceValue(1.0, ReduceOp::Sum);
+        EXPECT_EQ(Sum, static_cast<double>(P / Colors));
+        Sub.barrier();
+      },
+      Cost);
+  EXPECT_TRUE(Result.allOk());
+}
+
+// The memory regression behind the lazy sharded mailboxes: a P = 1024
+// world doing nearest-neighbour exchanges plus tree collectives must
+// instantiate channels proportional to P, nowhere near the P² = 1M a
+// dense mailbox matrix would hold.
+TEST(Scale, MailboxChannelsStaySubQuadratic) {
+  const int P = 1024;
+  auto Cost = nodedCost(P, 32);
+  SpmdResult Result = runSpmd(
+      P,
+      [&](Comm &C) {
+        int Right = (C.rank() + 1) % P;
+        int Left = (C.rank() + P - 1) % P;
+        std::vector<int> Halo = {C.rank(), C.rank() + 1};
+        for (int Iter = 0; Iter < 3; ++Iter) {
+          std::vector<int> Got = C.sendrecv<int>(
+              Right, 5, std::span<const int>(Halo), Left, 5);
+          ASSERT_EQ(Got.size(), std::size_t{2});
+          EXPECT_EQ(Got[0], Left);
+        }
+        C.barrier();
+        double Sum = C.allreduceValue(1.0, ReduceOp::Sum);
+        EXPECT_EQ(Sum, static_cast<double>(P));
+      },
+      Cost);
+  EXPECT_TRUE(Result.allOk());
+  EXPECT_GT(Result.Comm.ChannelsCreated, 0u);
+  // Ring + two-level gather/bcast trees: a few channels per rank.
+  EXPECT_LT(Result.Comm.ChannelsCreated,
+            static_cast<unsigned long long>(P) * 24);
+  EXPECT_LT(Result.Comm.ChannelsCreated,
+            static_cast<unsigned long long>(P) * P / 64);
+}

@@ -259,11 +259,13 @@ int main(int Argc, char **Argv) {
         std::make_shared<UniformCostModel>(1e-5, 1e9));
     std::printf("# stats: handout of %zu-byte distribution to %zu ranks: "
                 "messages %llu, bytes logically moved %llu, bytes "
-                "physically copied %llu\n",
+                "physically copied %llu, channels instantiated %llu\n",
                 Blob.size(), Files.size(),
                 static_cast<unsigned long long>(Handout.Comm.Messages),
                 static_cast<unsigned long long>(Handout.Comm.BytesLogical),
-                static_cast<unsigned long long>(Handout.Comm.BytesCopied));
+                static_cast<unsigned long long>(Handout.Comm.BytesCopied),
+                static_cast<unsigned long long>(
+                    Handout.Comm.ChannelsCreated));
 
     // Adoption cost: replay an even-split PartitionedVector migrating to
     // the computed distribution (the interval-overlap plan moves the
