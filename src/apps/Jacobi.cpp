@@ -54,6 +54,7 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
   Cfg.Platform = Platform;
   Cfg.ModelKind = Options.ModelKind;
   Cfg.Algorithm = Options.Algorithm;
+  Cfg.Equalize = Options.Equalize;
   Result<std::unique_ptr<engine::Session>> SessionR =
       engine::Session::create(std::move(Cfg));
   if (!SessionR) {
@@ -62,6 +63,10 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
     return Report;
   }
   engine::Session &Engine = *SessionR.value();
+  // create() adopted the platform spec's `equalize` line when Options
+  // left the policy empty; this resolved config drives the loop.
+  const equalize::EqualizeConfig &EqCfg = Engine.config().Equalize;
+  bool UseEqualize = Options.Balance && !EqCfg.Policy.empty();
 
   engine::BalancePolicy Policy;
   Policy.Enabled = Options.Balance;
@@ -80,6 +85,7 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
   std::vector<double> Solution;
   double Residual = 0.0;
   std::vector<int> FailedRanks;
+  equalize::EqualizeStats EqStats;
 
   auto Body = [&](Comm &C) {
     int Me = C.rank();
@@ -88,6 +94,15 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
 
     engine::BalancedLoop Loop =
         Engine.makeBalancedLoop(N, P, Options.StalenessDecay);
+
+    // Each rank owns a policy replica; identical configs fed identical
+    // gathered times keep the replicas in lockstep (no extra collectives).
+    std::unique_ptr<equalize::Equalizer> Eq;
+    if (UseEqualize) {
+      Result<std::unique_ptr<equalize::Equalizer>> EqR =
+          equalize::makeEqualizer(EqCfg);
+      Eq = std::move(EqR.value()); // Config validated at session create.
+    }
 
     // The system lives in a partitioner-aware container: one unit = one
     // matrix row interleaved with its right-hand-side entry, [a_r0 ..
@@ -150,8 +165,11 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
       // Load balancing with the (rows, iteration-time) point, exactly the
       // paper's fupermod_balance_iterate call site. With a positive
       // threshold, the balancer only runs when the measured imbalance
-      // warrants the redistribution cost (ref [6]).
-      if (Loop.balance(C, IterStart, Policy, DevFailed) && Me == 0)
+      // warrants the redistribution cost (ref [6]). The equalization
+      // path replaces the threshold test with the configured policy.
+      bool Balanced = Eq ? Loop.balanceEqualized(C, IterStart, *Eq, DevFailed)
+                         : Loop.balance(C, IterStart, Policy, DevFailed);
+      if (Balanced && Me == 0)
         ++RebalanceCount;
 
       // Exchange solution fragments (by the distribution used to compute
@@ -183,6 +201,8 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
 
     if (Me == 0) {
       IterationsDone = It;
+      if (Eq)
+        EqStats = Eq->stats();
       for (int Q = 0; Q < P; ++Q)
         if (Loop.context().isExcluded(Q))
           FailedRanks.push_back(Q);
@@ -208,5 +228,7 @@ JacobiReport fupermod::runJacobi(const Cluster &Platform,
   Report.Solution = std::move(Solution);
   Report.Residual = Residual;
   Report.FailedRanks = std::move(FailedRanks);
+  Report.Equalize = EqStats;
+  Report.Comm = Run.Comm;
   return Report;
 }

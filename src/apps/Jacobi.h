@@ -22,6 +22,8 @@
 #define FUPERMOD_APPS_JACOBI_H
 
 #include "core/Partition.h"
+#include "equalize/Policy.h"
+#include "mpp/Group.h"
 #include "sim/Cluster.h"
 
 #include <string>
@@ -54,6 +56,13 @@ struct JacobiOptions {
   /// devices whose speed changes mid-run — e.g. an injected slowdown —
   /// instead of averaging the old and new regimes forever.
   double StalenessDecay = 1.0;
+  /// Equalization policy. With a non-empty Policy (and Balance on), the
+  /// loop takes the equalization path (BalancedLoop::balanceEqualized)
+  /// instead of the legacy threshold test; empty keeps the historical
+  /// balance() path bit for bit. Left empty, a platform spec carrying an
+  /// `equalize` line still turns the subsystem on (Session::create
+  /// adopts it).
+  equalize::EqualizeConfig Equalize;
 };
 
 /// Per-iteration record of one Jacobi run.
@@ -82,6 +91,11 @@ struct JacobiReport {
   /// Ranks whose devices hard-failed during the run (excluded by the
   /// balancer; empty on a healthy run).
   std::vector<int> FailedRanks;
+  /// Equalization-policy tallies (all zero on the legacy path).
+  equalize::EqualizeStats Equalize;
+  /// Communication counters of the run (redistribute/halo bytes plus the
+  /// "equalize.*" named counters published by rank 0).
+  CommStatsSnapshot Comm;
   /// Non-empty when the run could not start (e.g. an unknown algorithm
   /// or model-kind name); the diagnostic lists the registered names.
   std::string Error;

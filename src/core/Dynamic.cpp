@@ -53,6 +53,14 @@ int DynamicContext::activeCount() const {
   return N;
 }
 
+void DynamicContext::restoreDist(const Dist &Previous) {
+  assert(Previous.Parts.size() == Current.Parts.size() &&
+         "restored distribution changes the rank count");
+  assert(Previous.Total == Current.Total &&
+         "restored distribution changes the problem size");
+  Current = Previous;
+}
+
 double DynamicContext::repartition() {
   std::vector<Model *> Active;
   std::vector<int> ActiveRanks;
@@ -96,8 +104,7 @@ double DynamicContext::updateAndRepartition(int Rank, Point P) {
   return repartition();
 }
 
-double
-DynamicContext::updateAllAndRepartition(std::span<const Point> PerRank) {
+void DynamicContext::updateAll(std::span<const Point> PerRank) {
   assert(static_cast<int>(PerRank.size()) == size() &&
          "one point per process expected");
   for (int R = 0; R < size(); ++R) {
@@ -109,6 +116,11 @@ DynamicContext::updateAllAndRepartition(std::span<const Point> PerRank) {
     M.decayWeights(DecayFactor);
     M.update(PerRank[R]);
   }
+}
+
+double
+DynamicContext::updateAllAndRepartition(std::span<const Point> PerRank) {
+  updateAll(PerRank);
   return repartition();
 }
 

@@ -61,6 +61,21 @@ public:
   /// device's behavior changes.
   double updateAllAndRepartition(std::span<const Point> PerRank);
 
+  /// Feeds one point per process (index = rank) into the partial models
+  /// without repartitioning: decays every active model by the staleness
+  /// factor, applies the updates, and excludes ranks whose point carries
+  /// PointStatus::DeviceFailed. Equalization policies call this on every
+  /// round — monitoring is free — and pay for repartitionNow() only when
+  /// a rebalance is actually requested, so the models have already
+  /// tracked a drift by the time the trigger fires.
+  void updateAll(std::span<const Point> PerRank);
+
+  /// Recomputes the distribution from the current models over the active
+  /// ranks. Returns the relative change between the old and new
+  /// distributions, or +infinity when repartitioning was not possible
+  /// (some model still has no successful point, or no rank survives).
+  double repartitionNow() { return repartition(); }
+
   /// Sets the exponential staleness decay applied to every model's point
   /// weights per repartitioning round (1 = keep history forever, the
   /// default; smaller values make the models track regime changes like a
@@ -83,6 +98,14 @@ public:
 
   /// Number of ranks still participating in partitioning.
   int activeCount() const;
+
+  /// Reverts the current distribution to \p Previous without touching the
+  /// partial models. Used by cost-arbitrated equalization: a vetoed
+  /// repartition keeps feeding measurements into the models (so later
+  /// quotes stay sharp) but the running distribution must stay put.
+  /// \p Previous must describe the same rank count and total as the
+  /// current distribution.
+  void restoreDist(const Dist &Previous);
 
 private:
   /// Repartitions Current over the active ranks; excluded ranks receive

@@ -40,6 +40,27 @@ double fupermod::imbalance(std::span<const double> Times) {
   return (Max - Min) / Max;
 }
 
+double fupermod::imbalance(std::span<const double> Times,
+                           std::span<const std::uint8_t> Active) {
+  assert(Times.size() == Active.size() && "one mask entry per time");
+  bool Any = false;
+  double Max = 0.0, Min = 0.0;
+  for (std::size_t I = 0; I < Times.size(); ++I) {
+    if (!Active[I])
+      continue;
+    if (!Any) {
+      Max = Min = Times[I];
+      Any = true;
+      continue;
+    }
+    Max = std::max(Max, Times[I]);
+    Min = std::min(Min, Times[I]);
+  }
+  if (!Any || Max <= 0.0)
+    return 0.0;
+  return (Max - Min) / Max;
+}
+
 double
 fupermod::optimalMakespan(std::int64_t Total,
                           std::span<const DeviceProfile> Profiles) {

@@ -18,6 +18,7 @@
 #include "core/Partition.h"
 #include "sim/DeviceProfile.h"
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -33,6 +34,15 @@ double makespan(std::span<const double> Times);
 /// Load imbalance of \p Times: (max - min) / max, in [0, 1); 0 is a
 /// perfectly balanced distribution.
 double imbalance(std::span<const double> Times);
+
+/// Masked load imbalance: (max - min) / max over the ranks whose
+/// \p Active entry is non-zero only. This is the trigger metric of the
+/// equalization subsystem — a rank excluded by staleness decay or a hard
+/// failure holds zero units and measures a near-zero time, which the
+/// unmasked metric would misread as a permanent maximal imbalance. No
+/// active rank (or an all-zero active set) is balanced by definition.
+double imbalance(std::span<const double> Times,
+                 std::span<const std::uint8_t> Active);
 
 /// Makespan of the best real-valued distribution, found by high-resolution
 /// bisection directly on the true profiles; the baseline against which

@@ -37,6 +37,10 @@ namespace fupermod {
 
 class Comm;
 
+namespace equalize {
+class Equalizer;
+} // namespace equalize
+
 namespace engine {
 
 /// Per-iteration balancing policy of an application loop.
@@ -78,6 +82,23 @@ public:
   /// moved units between ranks.
   bool balance(Comm &C, double IterStart, const BalancePolicy &Policy,
                bool DeviceFailed = false);
+
+  /// The equalization-subsystem variant of balance(), collective on \p C:
+  /// gathers every rank's iteration duration and failure flag in one
+  /// allgather, feeds them to the replicated \p Eq policy
+  /// (equalize::Equalizer decides *whether* this round warrants a solve),
+  /// and on a trigger repartitions — then lets the policy's approve()
+  /// step veto adoption (cost arbitration). A vetoed solve keeps the
+  /// measurements in the partial models but restores the previous
+  /// distribution, so the running data layout never moves for a
+  /// non-amortizing rebalance. A device failure anywhere forces both the
+  /// solve and adoption. Bumps distEpoch() only on adopted repartitions
+  /// that moved units. Returns true when a solve ran (adopted or
+  /// vetoed). Every rank must pass an identically configured policy
+  /// instance; only rank 0 publishes the policy's statistics deltas into
+  /// the world counters (Comm::accumulateCounter, "equalize.*" keys).
+  bool balanceEqualized(Comm &C, double IterStart, equalize::Equalizer &Eq,
+                        bool DeviceFailed = false);
 
   /// Distribution epoch: starts at zero and increments every time
   /// balance() changes the per-rank unit counts (threshold-suppressed or

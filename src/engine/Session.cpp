@@ -73,6 +73,18 @@ Result<std::unique_ptr<Session>> Session::create(SessionConfig Config) {
         partitionerRegistry().unknownNameError(Config.Algorithm));
   if (!kernelRegistry().contains(Config.KernelName))
     return R::failure(kernelRegistry().unknownNameError(Config.KernelName));
+  // Explicit config wins; otherwise adopt the platform spec's `equalize`
+  // line, so a .cluster file alone can turn the subsystem on.
+  if (Config.Equalize.Policy.empty() &&
+      !Config.Platform.Equalize.Policy.empty()) {
+    Result<equalize::EqualizeConfig> FromSpec =
+        equalize::configFromSpec(Config.Platform.Equalize);
+    if (!FromSpec)
+      return R::failure(FromSpec.error());
+    Config.Equalize = FromSpec.value();
+  } else if (Status S = equalize::validateConfig(Config.Equalize); !S) {
+    return R::failure(S.error());
+  }
   return std::unique_ptr<Session>(new Session(std::move(Config)));
 }
 
@@ -417,7 +429,10 @@ Result<SpmdResult> Session::execute(int Ranks,
     return R::failure("execute: the session has no platform devices");
   if (!Body)
     return R::failure("execute: no SPMD body");
-  return runSpmd(Ranks, Body, Config.Platform.makeCostModel(), Config.Spmd);
+  R Res = runSpmd(Ranks, Body, Config.Platform.makeCostModel(), Config.Spmd);
+  if (Res)
+    recordCommTraffic(Res.value().Comm);
+  return Res;
 }
 
 BalancedLoop Session::makeBalancedLoop(std::int64_t Total, int NumProcs,
@@ -425,6 +440,27 @@ BalancedLoop Session::makeBalancedLoop(std::int64_t Total, int NumProcs,
   // Names were validated at create(); the lookup cannot fail here.
   return BalancedLoop(findPartitioner(Config.Algorithm), Config.ModelKind,
                       Total, NumProcs, StalenessDecay);
+}
+
+Result<std::unique_ptr<equalize::Equalizer>> Session::makeEqualizer() const {
+  return equalize::makeEqualizer(Config.Equalize);
+}
+
+CommStatsSnapshot Session::commTraffic() const {
+  std::lock_guard<std::mutex> Lock(TrafficMutex);
+  return Traffic;
+}
+
+void Session::recordCommTraffic(const CommStatsSnapshot &S) {
+  std::lock_guard<std::mutex> Lock(TrafficMutex);
+  Traffic.Messages += S.Messages;
+  Traffic.BytesLogical += S.BytesLogical;
+  Traffic.BytesCopied += S.BytesCopied;
+  Traffic.HaloBytes += S.HaloBytes;
+  Traffic.RedistributeBytes += S.RedistributeBytes;
+  Traffic.ChannelsCreated += S.ChannelsCreated;
+  for (const auto &[Name, Value] : S.Counters)
+    Traffic.Counters[Name] += Value;
 }
 
 int Session::rankCount() const {

@@ -55,6 +55,7 @@
 #include "core/Benchmark.h"
 #include "core/Partition.h"
 #include "core/Partitioners.h"
+#include "equalize/Policy.h"
 #include "mpp/Runtime.h"
 #include "sim/Cluster.h"
 #include "support/Result.h"
@@ -100,6 +101,11 @@ struct SessionConfig {
   /// BalancedLoop's allreduce-based imbalance test rides them — without
   /// further configuration.
   SpmdOptions Spmd;
+  /// Equalization policy for the session's balanced loops (empty Policy
+  /// = disabled; the apps then take their legacy balance() path). When
+  /// left empty and the platform spec carries an `equalize` line,
+  /// create() adopts the spec's configuration.
+  equalize::EqualizeConfig Equalize;
 };
 
 /// One rank's model and its provenance.
@@ -240,6 +246,12 @@ public:
   BalancedLoop makeBalancedLoop(std::int64_t Total, int NumProcs,
                                 double StalenessDecay = 1.0) const;
 
+  /// Instantiates the session's equalization policy (replicate per rank:
+  /// call once per SPMD rank, or construct rank replicas from the same
+  /// config). Fails when no policy is configured or a knob is out of
+  /// range.
+  Result<std::unique_ptr<equalize::Equalizer>> makeEqualizer() const;
+
   /// --- introspection -----------------------------------------------
 
   int rankCount() const;
@@ -254,6 +266,13 @@ public:
   /// partitionRendered() replies with the same (epoch, total, algorithm)
   /// are interchangeable — the server's coalescing and cache key.
   std::uint64_t modelEpoch() const;
+
+  /// Accumulated communication traffic of every SPMD run the session
+  /// launched (execute() folds each run's counter snapshot in; callers
+  /// that run SPMD through other channels can record extra snapshots).
+  /// The serve summary's `# traffic:` line reads this.
+  CommStatsSnapshot commTraffic() const;
+  void recordCommTraffic(const CommStatsSnapshot &S);
 
   /// Warnings accumulated by degraded loads and refreshes (a snapshot —
   /// the live list may grow concurrently).
@@ -295,6 +314,11 @@ private:
   mutable std::map<std::pair<std::string, std::int64_t>, PartitionHint>
       Hints;
   static constexpr std::size_t MaxHints = 128;
+
+  /// Folded counter snapshots of the session's SPMD runs (see
+  /// commTraffic()).
+  mutable std::mutex TrafficMutex;
+  CommStatsSnapshot Traffic;
 };
 
 } // namespace engine

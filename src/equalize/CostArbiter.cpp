@@ -1,0 +1,99 @@
+//===-- equalize/CostArbiter.cpp - Pricing candidate rebalances -----------===//
+
+#include "equalize/CostArbiter.h"
+
+#include "dist/Redistribute.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace fupermod;
+using namespace fupermod::equalize;
+
+CostArbiter::CostArbiter(const ArbiterConfig &Cfg) : Cfg(Cfg) {
+  assert(this->Cfg.BytesPerUnit >= 0.0 && "negative unit payload");
+  assert(this->Cfg.HorizonRounds >= 0 && "negative benefit horizon");
+}
+
+RebalanceQuote CostArbiter::quote(const Dist &Current, const Dist &Candidate,
+                                  std::span<const double> EwmaTimes,
+                                  std::span<const std::uint8_t> Active) {
+  std::size_t P = Current.Parts.size();
+  assert(Candidate.Parts.size() == P && EwmaTimes.size() == P &&
+         Active.size() == P && "per-rank inputs disagree on the rank count");
+
+  RebalanceQuote Q;
+  std::vector<std::int64_t> OldStarts = Current.contiguousStarts();
+  std::vector<std::int64_t> NewStarts = Candidate.contiguousStarts();
+  Q.MovedUnits = dist::minimalTransferUnits(OldStarts, NewStarts);
+  Q.MigrationBytes = static_cast<unsigned long long>(
+      std::llround(static_cast<double>(Q.MovedUnits) * Cfg.BytesPerUnit));
+
+  // Makespan hit of the migration: transfers between distinct rank pairs
+  // overlap in the runtime, so the critical path is the busiest single
+  // rank's outbound plus inbound volume (each leg paying one message
+  // latency per peer it exchanges with).
+  double WorstRank = 0.0;
+  for (std::size_t R = 0; R < P; ++R) {
+    dist::TransferPlan Plan = dist::buildTransferPlan(OldStarts, NewStarts,
+                                                      static_cast<int>(R));
+    double Seconds = 0.0;
+    for (const auto &Piece : Plan.Sends)
+      Seconds += Cfg.Link.transferTime(static_cast<std::size_t>(
+          static_cast<double>(Piece.Range.length()) * Cfg.BytesPerUnit));
+    for (const auto &Piece : Plan.Recvs)
+      Seconds += Cfg.Link.transferTime(static_cast<std::size_t>(
+          static_cast<double>(Piece.Range.length()) * Cfg.BytesPerUnit));
+    WorstRank = std::max(WorstRank, Seconds);
+  }
+  Q.MigrationSeconds = WorstRank;
+  Q.OverheadSeconds = Cfg.SolverSeconds + Cfg.HaloSeconds;
+
+  // Current round time: the busiest active rank's windowed time.
+  // Candidate round time: scale each active rank's per-unit EWMA rate to
+  // its candidate share. Ranks with no usable rate (no units or no time
+  // in the window) fall back to the mean active rate, so a rank that was
+  // idle under the current distribution does not project a free share.
+  double RateSum = 0.0;
+  int RateCount = 0;
+  for (std::size_t R = 0; R < P; ++R) {
+    if (!Active[R])
+      continue;
+    Q.CurrentRoundSeconds = std::max(Q.CurrentRoundSeconds, EwmaTimes[R]);
+    std::int64_t Units = Current.Parts[R].Units;
+    if (Units > 0 && EwmaTimes[R] > 0.0) {
+      RateSum += EwmaTimes[R] / static_cast<double>(Units);
+      ++RateCount;
+    }
+  }
+  double MeanRate = RateCount > 0 ? RateSum / RateCount : 0.0;
+  for (std::size_t R = 0; R < P; ++R) {
+    if (!Active[R])
+      continue;
+    std::int64_t OldUnits = Current.Parts[R].Units;
+    double Rate = (OldUnits > 0 && EwmaTimes[R] > 0.0)
+                      ? EwmaTimes[R] / static_cast<double>(OldUnits)
+                      : MeanRate;
+    Q.CandidateRoundSeconds =
+        std::max(Q.CandidateRoundSeconds,
+                 Rate * static_cast<double>(Candidate.Parts[R].Units));
+  }
+
+  Q.SavingsPerRound = Q.CurrentRoundSeconds - Q.CandidateRoundSeconds;
+  Q.NetBenefit = Q.SavingsPerRound * static_cast<double>(Cfg.HorizonRounds) -
+                 (Q.MigrationSeconds + Q.OverheadSeconds);
+  Q.Approved = Q.NetBenefit > Cfg.MinNetBenefit &&
+               Q.SavingsPerRound >
+                   Cfg.MinRelativeSaving * Q.CurrentRoundSeconds;
+
+  ++Counters.Quotes;
+  if (Q.Approved) {
+    ++Counters.Approvals;
+    Counters.ApprovedBenefit += Q.NetBenefit;
+    Counters.ApprovedBytes += Q.MigrationBytes;
+  } else {
+    ++Counters.Vetoes;
+  }
+  return Q;
+}

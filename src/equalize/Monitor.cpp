@@ -1,0 +1,114 @@
+//===-- equalize/Monitor.cpp - Windowed imbalance monitoring --------------===//
+
+#include "equalize/Monitor.h"
+
+#include "core/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace fupermod;
+using namespace fupermod::equalize;
+
+ImbalanceMonitor::ImbalanceMonitor(const MonitorConfig &Cfg) : Cfg(Cfg) {
+  assert(this->Cfg.TriggerThreshold >= 0.0 && "negative trigger threshold");
+  assert(this->Cfg.Cooldown >= 0 && "negative cooldown");
+  assert(this->Cfg.EwmaAlpha > 0.0 && this->Cfg.EwmaAlpha <= 1.0 &&
+         "EWMA weight must be in (0, 1]");
+  this->Cfg.ClearThreshold =
+      std::min(this->Cfg.ClearThreshold, this->Cfg.TriggerThreshold);
+  this->Cfg.ClearThreshold = std::max(this->Cfg.ClearThreshold, 0.0);
+  this->Cfg.MinBreaches = std::max(this->Cfg.MinBreaches, 1);
+  // Saturate "rounds since the last trigger" so the first breach of a
+  // fresh monitor is never mistaken for being inside a cooldown.
+  RoundsSinceTrigger = std::numeric_limits<int>::max() - 1;
+  BestSinceRebalance = std::numeric_limits<double>::infinity();
+}
+
+void ImbalanceMonitor::notifyRebalanced() {
+  Armed = false;
+  Ewma.clear();
+  Seeded.clear();
+  BreachStreak = 0;
+  // BestSinceRebalance is NOT reset here: it tracks the best level since
+  // the episode's *trigger*, across all of the episode's adoptions, so
+  // the stall rule can close an episode whose settling rounds keep
+  // moving units (noise churn) without improving the balance.
+}
+
+bool ImbalanceMonitor::observe(std::span<const double> Times,
+                               std::span<const std::uint8_t> Active) {
+  assert(Times.size() == Active.size() && "one mask entry per rank");
+  ++Counters.Rounds;
+  if (RoundsSinceTrigger < std::numeric_limits<int>::max() - 1)
+    ++RoundsSinceTrigger;
+
+  if (Ewma.empty()) {
+    Ewma.assign(Times.size(), 0.0);
+    Seeded.assign(Times.size(), 0);
+  }
+  assert(Ewma.size() == Times.size() &&
+         "rank count changed under the monitor");
+  for (std::size_t R = 0; R < Times.size(); ++R) {
+    if (!Active[R])
+      continue;
+    if (!Seeded[R]) {
+      Ewma[R] = Times[R];
+      Seeded[R] = 1;
+    } else {
+      Ewma[R] = Cfg.EwmaAlpha * Times[R] + (1.0 - Cfg.EwmaAlpha) * Ewma[R];
+    }
+  }
+  // The metric masks out inactive ranks *and* active ranks whose window
+  // has no sample yet (they would contribute a meaningless zero).
+  std::vector<std::uint8_t> Windowed(Active.begin(), Active.end());
+  for (std::size_t R = 0; R < Windowed.size(); ++R)
+    if (!Seeded[R])
+      Windowed[R] = 0;
+  LastImbalance = fupermod::imbalance(Ewma, Windowed);
+
+  // Baseline/hysteresis bookkeeping happens before the breach test, so a
+  // round that closes an episode and a later breach behave identically
+  // whether or not rounds separate them.
+  if (Armed) {
+    // Spontaneous improvement lowers the reference; it never rises
+    // outside an episode, so a genuine drift always shows as a margin
+    // above it.
+    Baseline = std::min(Baseline, LastImbalance);
+  } else {
+    bool Cleared = LastImbalance < Baseline + Cfg.ClearThreshold;
+    bool Stalled = LastImbalance >= BestSinceRebalance;
+    if (Cleared || Stalled) {
+      // Episode over: adopt the level it achieved as the new baseline.
+      Baseline = std::min(BestSinceRebalance, LastImbalance);
+      Armed = true;
+    } else {
+      BestSinceRebalance = LastImbalance;
+    }
+  }
+
+  if (!(LastImbalance > Baseline + Cfg.TriggerThreshold)) {
+    BreachStreak = 0;
+    return false;
+  }
+  ++Counters.Breaches;
+  ++BreachStreak;
+  if (RoundsSinceTrigger <= Cfg.Cooldown) {
+    ++Counters.CooldownSuppressed;
+    return false;
+  }
+  if (!Armed) {
+    ++Counters.HysteresisSuppressed;
+    return false;
+  }
+  if (BreachStreak < Cfg.MinBreaches)
+    return false;
+
+  ++Counters.Triggers;
+  RoundsSinceTrigger = 0;
+  BreachStreak = 0;
+  // A new episode opens: its best-achieved level starts fresh.
+  BestSinceRebalance = std::numeric_limits<double>::infinity();
+  return true;
+}

@@ -1,0 +1,169 @@
+//===-- equalize/Monitor.h - Windowed imbalance monitoring ------*- C++ -*-===//
+//
+// Part of the FuPerMod reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement side of the dynamic equalization subsystem: a
+/// per-rank exponentially weighted moving average of the measured
+/// iteration times, reduced each round to one *windowed imbalance*
+/// figure, (max - min) / max over the active ranks only (excluded or
+/// degraded ranks must not pin the metric at its maximum forever — see
+/// Metrics::imbalance's masked overload).
+///
+/// The monitor turns that figure into a *trigger* decision. The trigger
+/// is **drift-adaptive**: on a dedicated heterogeneous platform the
+/// integer-unit granularity leaves a residual imbalance floor that
+/// varies with the platform and the regime (a 1-row part on a fast
+/// device pins the metric far from zero even at the discrete optimum),
+/// so an absolute threshold either never fires or never stops firing.
+/// The monitor instead maintains a *baseline* — the level the last
+/// rebalancing episode achieved — and fires when the imbalance rises
+/// more than the trigger threshold above it. Damping:
+///
+///  - trigger/clear **hysteresis**: after an *adopted* rebalance the
+///    monitor disarms; it re-arms (closing the episode) when the
+///    imbalance returns to within the clear threshold of the old
+///    baseline, or when a settling round stops improving on the
+///    episode's best — at which point that best becomes the new
+///    baseline. One sustained breach therefore cannot fire on every
+///    round while the rebalance it requested is still taking effect,
+///    and an unreachable absolute floor cannot silence the monitor
+///    forever;
+///  - a **cooldown** of N rounds after each trigger during which no new
+///    trigger fires regardless of the metric;
+///  - a **consecutive-breach count**: the trigger margin must be
+///    breached on M successive rounds before the monitor fires, so a
+///    one-round noise spike does not cause a repartition.
+///
+/// Every rank of an SPMD run owns a replica fed with identical gathered
+/// times, so all replicas make the same decision in lockstep without a
+/// coordinating root.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUPERMOD_EQUALIZE_MONITOR_H
+#define FUPERMOD_EQUALIZE_MONITOR_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fupermod {
+namespace equalize {
+
+/// Tuning knobs of an ImbalanceMonitor. All thresholds are relative
+/// imbalances in [0, 1); rounds are application iterations.
+struct MonitorConfig {
+  /// Fire when the windowed imbalance rises more than this above the
+  /// drift-adaptive baseline (the level the last rebalancing episode
+  /// achieved; 0 before the first).
+  double TriggerThreshold = 0.25;
+  /// Re-arm when the imbalance falls back to within this margin of the
+  /// baseline (hysteresis). Clamped up to at most TriggerThreshold.
+  double ClearThreshold = 0.1;
+  /// Rounds after a trigger during which no new trigger fires.
+  int Cooldown = 0;
+  /// Consecutive breach rounds required before a trigger.
+  int MinBreaches = 1;
+  /// Weight of the newest sample in the per-rank EWMA, in (0, 1];
+  /// 1 = no smoothing (each round judged on its own times).
+  double EwmaAlpha = 1.0;
+};
+
+/// Counters of one monitor's lifetime, for reports and tripwires.
+struct MonitorCounters {
+  /// observe() calls.
+  std::uint64_t Rounds = 0;
+  /// Rounds whose windowed imbalance breached the trigger threshold.
+  std::uint64_t Breaches = 0;
+  /// Breach rounds that fired a trigger.
+  std::uint64_t Triggers = 0;
+  /// Breach rounds swallowed by the post-trigger cooldown.
+  std::uint64_t CooldownSuppressed = 0;
+  /// Breach rounds swallowed because the monitor was still disarmed
+  /// (imbalance never dropped below the clear threshold since the last
+  /// trigger).
+  std::uint64_t HysteresisSuppressed = 0;
+};
+
+/// Deterministic trigger automaton over a stream of per-rank iteration
+/// times. Pure state machine — no communication, no clocks — so a
+/// recorded time series can be replayed through a fresh instance offline
+/// and must reproduce the in-run trigger sequence exactly (the bench's
+/// exact-trigger tripwire).
+class ImbalanceMonitor {
+public:
+  explicit ImbalanceMonitor(const MonitorConfig &Cfg);
+
+  /// Feeds one round of measured per-rank times. \p Active masks the
+  /// ranks that participate in the metric (non-zero = active); excluded,
+  /// failed and zero-unit ranks must be masked out by the caller. Both
+  /// spans have one entry per rank; the rank count must stay constant
+  /// across a monitor's lifetime. Returns true when this round triggers
+  /// a rebalance request: the cooldown clock restarts (so a veto
+  /// downstream still rate-limits the next request) but the window and
+  /// the armed state are left alone — whether the rebalance was actually
+  /// *adopted* is the caller's call, reported via notifyRebalanced().
+  bool observe(std::span<const double> Times,
+               std::span<const std::uint8_t> Active);
+
+  /// Windowed (EWMA, masked) imbalance of the most recent observe().
+  double imbalance() const { return LastImbalance; }
+
+  /// Current drift-adaptive baseline: the imbalance level the last
+  /// rebalancing episode achieved (0 before the first episode; only
+  /// lowered in between, by spontaneous improvement).
+  double baseline() const { return Baseline; }
+
+  /// False between an adopted rebalance and the round that closes the
+  /// episode (imbalance cleared, or a settling round stopped
+  /// improving). Policies use the re-arm edge to close a settling
+  /// episode (see ThresholdEqualizer).
+  bool armed() const { return Armed; }
+
+  /// Tells the monitor a repartition was adopted (a trigger that was
+  /// approved, a device-failure override, or an every-K policy's
+  /// cadence): the EWMA window resets — the distribution changed, so the
+  /// old per-rank times are no longer comparable — and the monitor
+  /// disarms until the episode closes (the imbalance clears back to the
+  /// baseline band, or a settling round stops improving on the
+  /// episode's best, which then becomes the new baseline). This is the
+  /// hysteresis that keeps one sustained breach from firing again while
+  /// the rebalance it requested is still taking effect, without letting
+  /// an unreachable absolute floor silence the monitor forever.
+  void notifyRebalanced();
+
+  const MonitorCounters &counters() const { return Counters; }
+  const MonitorConfig &config() const { return Cfg; }
+
+private:
+  MonitorConfig Cfg;
+  MonitorCounters Counters;
+  /// Per-rank EWMA of the measured times; empty until the first observe
+  /// (and again after each reset).
+  std::vector<double> Ewma;
+  /// Ranks whose EWMA has been seeded since the last reset (a rank
+  /// masked inactive on the seeding round joins the window later).
+  std::vector<std::uint8_t> Seeded;
+  double LastImbalance = 0.0;
+  /// Drift-adaptive reference level; breaches are measured against it.
+  double Baseline = 0.0;
+  /// Best (lowest) imbalance seen since the current episode's trigger;
+  /// +infinity right after one. Tracked across the episode's adoptions;
+  /// a settling round that fails to improve on it closes the episode.
+  double BestSinceRebalance;
+  /// Current run of consecutive breach rounds.
+  int BreachStreak = 0;
+  /// Rounds elapsed since the last trigger (saturating; large when no
+  /// trigger has fired yet so the first breach is never in cooldown).
+  int RoundsSinceTrigger;
+  /// Hysteresis state: triggers fire only while armed.
+  bool Armed = true;
+};
+
+} // namespace equalize
+} // namespace fupermod
+
+#endif // FUPERMOD_EQUALIZE_MONITOR_H

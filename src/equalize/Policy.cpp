@@ -1,0 +1,254 @@
+//===-- equalize/Policy.cpp - Equalization policies -----------------------===//
+
+#include "equalize/Policy.h"
+
+#include "sim/Cluster.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+using namespace fupermod;
+using namespace fupermod::equalize;
+
+//===----------------------------------------------------------------------===//
+// Base policy
+//===----------------------------------------------------------------------===//
+
+bool Equalizer::shouldSolve(std::span<const double> Times,
+                            std::span<const std::uint8_t> Active,
+                            bool AnyFailed) {
+  (void)Times;
+  (void)Active;
+  ++Stats.Rounds;
+  return AnyFailed;
+}
+
+bool Equalizer::approve(const Dist &Current, const Dist &Candidate) {
+  (void)Current;
+  (void)Candidate;
+  return true;
+}
+
+void Equalizer::noteOutcome(bool Adopted, bool ForcedByFailure) {
+  if (!Adopted)
+    return;
+  ++Stats.Rebalances;
+  if (ForcedByFailure)
+    ++Stats.ForcedByFailure;
+}
+
+//===----------------------------------------------------------------------===//
+// Policies
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// "off": never repartition; failures still force one.
+class OffEqualizer : public Equalizer {
+public:
+  explicit OffEqualizer(const EqualizeConfig &) {}
+};
+
+/// "every": fixed cadence of K rounds (K = 1 is the historical
+/// every-round balancing).
+class EveryKEqualizer : public Equalizer {
+public:
+  explicit EveryKEqualizer(const EqualizeConfig &Cfg)
+      : Period(Cfg.Period < 1 ? 1 : Cfg.Period) {}
+
+  bool shouldSolve(std::span<const double> Times,
+                   std::span<const std::uint8_t> Active,
+                   bool AnyFailed) override {
+    bool Forced = Equalizer::shouldSolve(Times, Active, AnyFailed);
+    // Rounds is 1-based after the base call: fire on rounds K, 2K, ...
+    return Forced || (Stats.Rounds % static_cast<std::uint64_t>(Period)) == 0;
+  }
+
+private:
+  int Period;
+};
+
+/// "threshold": the ImbalanceMonitor decides when to open a rebalancing
+/// episode; the episode then keeps solving every round ("settling")
+/// until the imbalance drops below the clear threshold — one solve
+/// rarely suffices, because the partial models only learn the
+/// post-drift regime from the measurements the episode itself produces.
+/// The episode closes when the monitor re-arms (imbalance cleared), on
+/// a no-op solve, or on an arbiter veto in the derived policy; the
+/// monitor then stays quiet until the imbalance breaches again.
+class ThresholdEqualizer : public Equalizer {
+public:
+  explicit ThresholdEqualizer(const EqualizeConfig &Cfg)
+      : Monitor(Cfg.Monitor) {}
+
+  bool shouldSolve(std::span<const double> Times,
+                   std::span<const std::uint8_t> Active,
+                   bool AnyFailed) override {
+    bool Forced = Equalizer::shouldSolve(Times, Active, AnyFailed);
+    bool Triggered = Monitor.observe(Times, Active);
+    syncMonitorStats();
+    if (Settling && Monitor.armed())
+      Settling = false; // Imbalance cleared: the episode converged.
+    return Forced || Triggered || Settling;
+  }
+
+  void noteOutcome(bool Adopted, bool ForcedByFailure) override {
+    Equalizer::noteOutcome(Adopted, ForcedByFailure);
+    if (Adopted) {
+      Monitor.notifyRebalanced();
+      Settling = true;
+    } else {
+      Settling = false;
+    }
+  }
+
+  const ImbalanceMonitor *monitor() const override { return &Monitor; }
+
+protected:
+  void syncMonitorStats() {
+    const MonitorCounters &C = Monitor.counters();
+    Stats.Triggers = C.Triggers;
+    Stats.CooldownSuppressed = C.CooldownSuppressed;
+    Stats.HysteresisSuppressed = C.HysteresisSuppressed;
+  }
+
+  ImbalanceMonitor Monitor;
+  /// True while inside an episode: the last solve was adopted, so keep
+  /// refining next round.
+  bool Settling = false;
+};
+
+/// "arbitrated": the cost arbiter decides. The partial models are fed on
+/// every round, so a candidate repartition is always current and cheap
+/// to produce; the policy computes one every round and adopts it only
+/// when the arbiter's projected makespan savings over the benefit
+/// horizon amortize the migration, solver and halo costs. Once the
+/// distribution has converged the candidate reproduces the current
+/// shares or fails to amortize, so the policy goes quiet on its own —
+/// no imbalance threshold to tune — and pays migration bytes only when
+/// a drift makes them worth it.
+class ArbitratedEqualizer : public Equalizer {
+public:
+  explicit ArbitratedEqualizer(const EqualizeConfig &Cfg)
+      : Arbiter(Cfg.Arbiter) {}
+
+  bool shouldSolve(std::span<const double> Times,
+                   std::span<const std::uint8_t> Active,
+                   bool AnyFailed) override {
+    Equalizer::shouldSolve(Times, Active, AnyFailed);
+    // Snapshot the raw round for the arbiter: pricing works from the
+    // requesting round's own times.
+    LastTimes.assign(Times.begin(), Times.end());
+    LastActive.assign(Active.begin(), Active.end());
+    return true;
+  }
+
+  bool approve(const Dist &Current, const Dist &Candidate) override {
+    RebalanceQuote Q = Arbiter.quote(Current, Candidate, LastTimes,
+                                     LastActive);
+    if (Q.Approved) {
+      ++Stats.Triggers; // An approved quote is this policy's trigger.
+      Stats.PredictedSavings += Q.NetBenefit;
+      Stats.MigrationBytes += Q.MigrationBytes;
+    } else {
+      ++Stats.Vetoes;
+    }
+    return Q.Approved;
+  }
+
+  const CostArbiter *arbiter() const override { return &Arbiter; }
+
+private:
+  CostArbiter Arbiter;
+  std::vector<double> LastTimes;
+  std::vector<std::uint8_t> LastActive;
+};
+
+using Reg = Registrar<EqualizerRegistry>;
+Reg RegOff(equalizerRegistry(), "off", [](const EqualizeConfig &Cfg) {
+  return std::unique_ptr<Equalizer>(new OffEqualizer(Cfg));
+});
+Reg RegEvery(equalizerRegistry(), "every", [](const EqualizeConfig &Cfg) {
+  return std::unique_ptr<Equalizer>(new EveryKEqualizer(Cfg));
+});
+Reg RegThreshold(equalizerRegistry(), "threshold",
+                 [](const EqualizeConfig &Cfg) {
+                   return std::unique_ptr<Equalizer>(
+                       new ThresholdEqualizer(Cfg));
+                 });
+Reg RegArbitrated(equalizerRegistry(), "arbitrated",
+                  [](const EqualizeConfig &Cfg) {
+                    return std::unique_ptr<Equalizer>(
+                        new ArbitratedEqualizer(Cfg));
+                  });
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry, validation, spec conversion
+//===----------------------------------------------------------------------===//
+
+EqualizerRegistry &fupermod::equalize::equalizerRegistry() {
+  static EqualizerRegistry R("equalize policy");
+  return R;
+}
+
+Status fupermod::equalize::validateConfig(const EqualizeConfig &Cfg) {
+  if (!Cfg.Policy.empty() && !equalizerRegistry().contains(Cfg.Policy))
+    return Status::failure(equalizerRegistry().unknownNameError(Cfg.Policy));
+  if (Cfg.Period < 1)
+    return Status::failure("equalize: period must be at least 1");
+  if (Cfg.Monitor.TriggerThreshold < 0.0)
+    return Status::failure(
+        "equalize: imbalance threshold must be non-negative");
+  if (Cfg.Monitor.ClearThreshold < 0.0)
+    return Status::failure("equalize: clear threshold must be non-negative");
+  if (Cfg.Monitor.Cooldown < 0)
+    return Status::failure("equalize: cooldown must be non-negative");
+  if (Cfg.Monitor.MinBreaches < 1)
+    return Status::failure("equalize: breach count must be at least 1");
+  if (!(Cfg.Monitor.EwmaAlpha > 0.0) || Cfg.Monitor.EwmaAlpha > 1.0)
+    return Status::failure("equalize: EWMA weight must be in (0, 1]");
+  if (Cfg.Arbiter.BytesPerUnit < 0.0)
+    return Status::failure("equalize: bytes per unit must be non-negative");
+  if (Cfg.Arbiter.HorizonRounds < 0)
+    return Status::failure("equalize: benefit horizon must be non-negative");
+  if (Cfg.Arbiter.MinRelativeSaving < 0.0 ||
+      Cfg.Arbiter.MinRelativeSaving >= 1.0)
+    return Status::failure(
+        "equalize: relative saving floor must be in [0, 1)");
+  return okStatus();
+}
+
+Result<EqualizeConfig>
+fupermod::equalize::configFromSpec(const EqualizeSpec &Spec) {
+  EqualizeConfig Cfg;
+  Cfg.Policy = Spec.Policy;
+  Cfg.Period = Spec.Period;
+  Cfg.Monitor.TriggerThreshold = Spec.TriggerThreshold;
+  Cfg.Monitor.ClearThreshold = Spec.ClearThreshold;
+  Cfg.Monitor.Cooldown = Spec.Cooldown;
+  Cfg.Monitor.MinBreaches = Spec.MinBreaches;
+  Cfg.Monitor.EwmaAlpha = Spec.EwmaAlpha;
+  Cfg.Arbiter.HorizonRounds = Spec.HorizonRounds;
+  if (Status S = validateConfig(Cfg); !S)
+    return Result<EqualizeConfig>::failure(S.error());
+  return Cfg;
+}
+
+Result<std::unique_ptr<Equalizer>>
+fupermod::equalize::makeEqualizer(const EqualizeConfig &Cfg) {
+  using R = Result<std::unique_ptr<Equalizer>>;
+  if (Cfg.Policy.empty())
+    return R::failure("equalize: no policy configured");
+  if (Status S = validateConfig(Cfg); !S)
+    return R::failure(S.error());
+  std::string Err;
+  std::unique_ptr<Equalizer> E =
+      equalizerRegistry().create(Cfg.Policy, Cfg, &Err);
+  if (!E)
+    return R::failure(Err.empty() ? "equalize: policy construction failed"
+                                  : Err);
+  return R(std::move(E));
+}

@@ -40,6 +40,10 @@ void Comm::countCopied(std::size_t Bytes) {
 
 CommStatsSnapshot Comm::commStats() const { return G->statsSnapshot(); }
 
+void Comm::accumulateCounter(const std::string &Name, double Delta) {
+  G->accumulateCounter(Name, Delta);
+}
+
 void Comm::sendPayload(int Dst, int Tag, Payload Data, TrafficClass Class) {
   assert(Dst >= 0 && Dst < size() && "destination out of range");
   G->poison().check();

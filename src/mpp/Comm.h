@@ -194,6 +194,13 @@ public:
   /// bytes logically moved, bytes physically copied).
   CommStatsSnapshot commStats() const;
 
+  /// Adds \p Delta to the named free-form world counter. Counters ride
+  /// into the final SpmdResult snapshot; higher layers (e.g. the
+  /// equalization subsystem) publish per-run statistics through them.
+  /// Thread-safe; typically called by one designated rank to avoid
+  /// double counting.
+  void accumulateCounter(const std::string &Name, double Delta);
+
   /// True when this communicator's bcast/gatherv (and the collectives
   /// built on them) run the topology-aware two-level algorithms.
   bool usesTwoLevelCollectives() const;

@@ -211,7 +211,16 @@ CommStatsSnapshot Group::statsSnapshot() const {
       Stats->RedistributeBytes.load(std::memory_order_relaxed);
   S.ChannelsCreated =
       Stats->ChannelsCreated.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(Stats->CountersMutex);
+    S.Counters = Stats->Counters;
+  }
   return S;
+}
+
+void Group::accumulateCounter(const std::string &Name, double Delta) {
+  std::lock_guard<std::mutex> Lock(Stats->CountersMutex);
+  Stats->Counters[Name] += Delta;
 }
 
 Mailbox &Group::mailbox(int Src, int Dst) {

@@ -37,6 +37,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -75,6 +76,14 @@ struct CommStats {
   /// scale: nearest-neighbour traffic on P ranks creates O(P) channels,
   /// not the O(P²) a dense mailbox matrix would allocate up front.
   std::atomic<unsigned long long> ChannelsCreated{0};
+
+  /// Free-form named counters published by higher layers during the run
+  /// (e.g. the equalization subsystem's trigger/veto/savings tallies) —
+  /// they ride the world's stats object into SpmdResult so frontends see
+  /// them without the runtime knowing the publishers. Rare updates, so a
+  /// mutex instead of per-name atomics.
+  std::mutex CountersMutex;
+  std::map<std::string, double> Counters;
 };
 
 /// Plain-value snapshot of CommStats.
@@ -85,6 +94,14 @@ struct CommStatsSnapshot {
   unsigned long long HaloBytes = 0;
   unsigned long long RedistributeBytes = 0;
   unsigned long long ChannelsCreated = 0;
+  /// Named counters accumulated via Comm::accumulateCounter().
+  std::map<std::string, double> Counters;
+
+  /// Value of the named counter, or 0 when it was never published.
+  double counter(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0.0 : It->second;
+  }
 };
 
 /// FIFO channel for one (source, destination) rank pair, indexed by tag:
@@ -164,6 +181,9 @@ public:
 
   /// Plain-value copy of the counters.
   CommStatsSnapshot statsSnapshot() const;
+
+  /// Adds \p Delta to the named free-form world counter (thread-safe).
+  void accumulateCounter(const std::string &Name, double Delta);
 
   int size() const { return static_cast<int>(GlobalRanks.size()); }
   int globalRankOf(int Rank) const { return GlobalRanks[Rank]; }

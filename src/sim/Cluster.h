@@ -21,9 +21,35 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace fupermod {
+
+/// Equalization knobs carried by a cluster description's `equalize`
+/// line. The sim layer cannot depend on the equalize subsystem, so the
+/// spec is plain data; equalize::configFromSpec() converts it into an
+/// EqualizeConfig, and the policy name is validated there against the
+/// equalizer registry (the parser only checks ranges).
+struct EqualizeSpec {
+  /// Policy name ("off", "every", "threshold", "arbitrated"); empty =
+  /// no `equalize` line (apps keep their legacy per-round balancing).
+  std::string Policy;
+  /// Trigger when the windowed imbalance exceeds this.
+  double TriggerThreshold = 0.25;
+  /// Hysteresis re-arm level (clamped to at most TriggerThreshold).
+  double ClearThreshold = 0.1;
+  /// Rounds after a trigger during which no new trigger fires.
+  int Cooldown = 0;
+  /// Consecutive breach rounds required before a trigger.
+  int MinBreaches = 1;
+  /// EWMA weight of the newest sample, in (0, 1].
+  double EwmaAlpha = 1.0;
+  /// Cadence of the every-K policy.
+  int Period = 1;
+  /// Benefit horizon (rounds) of the cost-arbitrated policy.
+  int HorizonRounds = 10;
+};
 
 /// A simulated platform: one device per rank plus communication topology.
 struct Cluster {
@@ -45,6 +71,10 @@ struct Cluster {
   /// Per-rank fault schedules; may be shorter than Devices (trailing
   /// ranks then have no faults). Attached by makeDevice.
   std::vector<FaultPlan> Faults;
+  /// Equalization knobs from the description's `equalize` line (empty
+  /// Policy when absent). Engine sessions adopt them when their own
+  /// config leaves the policy unset.
+  EqualizeSpec Equalize;
 
   /// Number of ranks.
   int size() const { return static_cast<int>(Devices.size()); }

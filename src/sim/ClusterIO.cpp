@@ -98,6 +98,60 @@ bool parseFault(std::istringstream &LS, Cluster &Out, std::string *Error) {
   return true;
 }
 
+/// Parses one `equalize <policy> [knob value]...` line into
+/// \p Out.Equalize. Knob ranges are checked here (the parser is the
+/// tools' first validation line); the policy name resolves against the
+/// equalizer registry later, at session creation.
+bool parseEqualize(std::istringstream &LS, Cluster &Out, std::string *Error) {
+  EqualizeSpec &E = Out.Equalize;
+  if (!E.Policy.empty())
+    return fail(Error, "duplicate equalize line");
+  if (!(LS >> E.Policy))
+    return fail(Error, "equalize line needs a policy name");
+
+  std::string Key;
+  while (LS >> Key) {
+    double Value = 0.0;
+    if (!(LS >> Value))
+      return fail(Error, "equalize knob '" + Key + "' needs a value");
+    bool Integral = Value == static_cast<double>(static_cast<long>(Value));
+    if (Key == "threshold") {
+      if (Value < 0.0)
+        return fail(Error, "equalize threshold must be non-negative");
+      E.TriggerThreshold = Value;
+    } else if (Key == "clear") {
+      if (Value < 0.0)
+        return fail(Error, "equalize clear threshold must be non-negative");
+      E.ClearThreshold = Value;
+    } else if (Key == "cooldown") {
+      if (Value < 0.0 || !Integral)
+        return fail(Error,
+                    "equalize cooldown must be a non-negative integer");
+      E.Cooldown = static_cast<int>(Value);
+    } else if (Key == "breaches") {
+      if (Value < 1.0 || !Integral)
+        return fail(Error, "equalize breaches must be a positive integer");
+      E.MinBreaches = static_cast<int>(Value);
+    } else if (Key == "alpha") {
+      if (!(Value > 0.0) || Value > 1.0)
+        return fail(Error, "equalize alpha must be in (0, 1]");
+      E.EwmaAlpha = Value;
+    } else if (Key == "period") {
+      if (Value < 1.0 || !Integral)
+        return fail(Error, "equalize period must be a positive integer");
+      E.Period = static_cast<int>(Value);
+    } else if (Key == "horizon") {
+      if (Value < 0.0 || !Integral)
+        return fail(Error,
+                    "equalize horizon must be a non-negative integer");
+      E.HorizonRounds = static_cast<int>(Value);
+    } else {
+      return fail(Error, "unknown equalize knob '" + Key + "'");
+    }
+  }
+  return true;
+}
+
 } // namespace
 
 std::optional<Cluster> fupermod::parseCluster(std::istream &IS,
@@ -152,6 +206,9 @@ std::optional<Cluster> fupermod::parseCluster(std::istream &IS,
         return std::nullopt;
     } else if (Key == "fault") {
       if (!parseFault(LS, Out, Error))
+        return std::nullopt;
+    } else if (Key == "equalize") {
+      if (!parseEqualize(LS, Out, Error))
         return std::nullopt;
     } else {
       fail(Error, "unknown key '" + Key + "'");

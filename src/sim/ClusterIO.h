@@ -19,6 +19,7 @@
 ///   device 1 gpu accel 4000 0.05 12000 0.5
 ///   device 0 contended sibling 800 25 2000 300 0.55 3 0.15
 ///   fault 1 slowdown 30 4.0     # rank 1 runs 4x slower after 30s busy
+///   equalize arbitrated threshold 0.3 cooldown 5
 ///
 /// `intra`/`inter` set the default shared-memory and network links of the
 /// platform's two-level cost model; a `node <id> <latency> <bandwidth>`
@@ -43,6 +44,15 @@
 /// on) by factor; slowdown permanently multiplies all later measurements;
 /// hang stalls one measurement for hang_seconds; fail makes the device
 /// return no timings from the triggering call on. See sim/FaultPlan.h.
+///
+/// An `equalize <policy> [knob value]...` line configures the dynamic
+/// equalization subsystem ("off", "every", "threshold", "arbitrated";
+/// the name resolves against the policy registry at session creation).
+/// Knobs: threshold, clear (trigger/clear imbalance thresholds),
+/// cooldown (rounds), breaches (consecutive breaches to fire), alpha
+/// (EWMA weight in (0,1]), period ("every" cadence), horizon (benefit
+/// amortization rounds). Out-of-range values are parse errors naming the
+/// knob. At most one equalize line per file.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -2,6 +2,8 @@
 
 #include "sim/ClusterIO.h"
 
+#include "equalize/Policy.h"
+
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -218,4 +220,83 @@ TEST(ClusterIO, RejectsMalformedNodeLines) {
     EXPECT_FALSE(parseCluster(IS, &Error).has_value()) << Text;
     EXPECT_FALSE(Error.empty()) << Text;
   }
+}
+
+TEST(ClusterIO, ParsesEqualizeLine) {
+  std::istringstream IS(R"(
+device 0 constant a 10
+device 0 constant b 10
+equalize arbitrated threshold 0.3 clear 0.15 cooldown 5 breaches 2 alpha 0.6 period 4 horizon 12
+)");
+  std::string Error;
+  auto Cl = parseCluster(IS, &Error);
+  ASSERT_TRUE(Cl.has_value()) << Error;
+  EXPECT_EQ(Cl->Equalize.Policy, "arbitrated");
+  EXPECT_DOUBLE_EQ(Cl->Equalize.TriggerThreshold, 0.3);
+  EXPECT_DOUBLE_EQ(Cl->Equalize.ClearThreshold, 0.15);
+  EXPECT_EQ(Cl->Equalize.Cooldown, 5);
+  EXPECT_EQ(Cl->Equalize.MinBreaches, 2);
+  EXPECT_DOUBLE_EQ(Cl->Equalize.EwmaAlpha, 0.6);
+  EXPECT_EQ(Cl->Equalize.Period, 4);
+  EXPECT_EQ(Cl->Equalize.HorizonRounds, 12);
+}
+
+TEST(ClusterIO, EqualizeLineAbsentLeavesPolicyEmpty) {
+  std::istringstream IS("device 0 constant a 10\n");
+  auto Cl = parseCluster(IS);
+  ASSERT_TRUE(Cl.has_value());
+  EXPECT_TRUE(Cl->Equalize.Policy.empty());
+  // Knob defaults survive for sessions that set a policy themselves.
+  EXPECT_DOUBLE_EQ(Cl->Equalize.TriggerThreshold, 0.25);
+  EXPECT_EQ(Cl->Equalize.Period, 1);
+}
+
+TEST(ClusterIO, RejectsMalformedEqualizeLines) {
+  // Every rejection names the offending knob (strict validation: a typo
+  // must not silently fall back to a default).
+  const std::pair<const char *, const char *> Bad[] = {
+      {"device 0 constant a 1\nequalize\n", "policy name"},
+      {"device 0 constant a 1\nequalize off\nequalize off\n", "duplicate"},
+      {"device 0 constant a 1\nequalize every period\n", "period"},
+      {"device 0 constant a 1\nequalize threshold threshold -0.1\n",
+       "threshold"},
+      {"device 0 constant a 1\nequalize threshold clear -1\n", "clear"},
+      {"device 0 constant a 1\nequalize threshold cooldown -1\n",
+       "cooldown"},
+      {"device 0 constant a 1\nequalize threshold cooldown 1.5\n",
+       "cooldown"},
+      {"device 0 constant a 1\nequalize threshold breaches 0\n",
+       "breaches"},
+      {"device 0 constant a 1\nequalize threshold alpha 0\n", "alpha"},
+      {"device 0 constant a 1\nequalize threshold alpha 1.5\n", "alpha"},
+      {"device 0 constant a 1\nequalize every period 0\n", "period"},
+      {"device 0 constant a 1\nequalize arbitrated horizon -1\n",
+       "horizon"},
+      {"device 0 constant a 1\nequalize arbitrated frobnicate 3\n",
+       "frobnicate"},
+  };
+  for (const auto &[Text, Expect] : Bad) {
+    std::istringstream IS(Text);
+    std::string Error;
+    EXPECT_FALSE(parseCluster(IS, &Error).has_value()) << Text;
+    EXPECT_NE(Error.find(Expect), std::string::npos)
+        << "'" << Error << "' does not name '" << Expect << "'";
+  }
+}
+
+TEST(ClusterIO, EqualizePolicyNameResolvesAtSessionCreation) {
+  // The parser accepts any policy name — the registry lookup happens in
+  // equalize::configFromSpec, so tools report unknown policies with the
+  // registered alternatives instead of a generic parse error.
+  std::istringstream IS("device 0 constant a 10\nequalize warp\n");
+  auto Cl = parseCluster(IS);
+  ASSERT_TRUE(Cl.has_value());
+  EXPECT_EQ(Cl->Equalize.Policy, "warp");
+
+  auto Cfg = equalize::configFromSpec(Cl->Equalize);
+  ASSERT_FALSE(Cfg);
+  EXPECT_NE(Cfg.error().find("warp"), std::string::npos);
+  EXPECT_NE(Cfg.error().find("arbitrated"), std::string::npos)
+      << "unknown-policy diagnostic should list the registered policies: "
+      << Cfg.error();
 }

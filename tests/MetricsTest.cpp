@@ -57,6 +57,44 @@ TEST(Imbalance, SingleTimeIsBalanced) {
   EXPECT_DOUBLE_EQ(imbalance(T), 0.0);
 }
 
+TEST(MaskedImbalance, IgnoresInactiveRanks) {
+  // Regression: a rank excluded by staleness decay or a hard failure
+  // holds zero units and measures a near-zero time, which the unmasked
+  // metric misreads as a permanent maximal imbalance.
+  std::vector<double> T = {1.0, 4.0, 0.0};
+  std::vector<std::uint8_t> Active = {1, 1, 0};
+  EXPECT_DOUBLE_EQ(imbalance(T, Active), 0.75);
+  // The unmasked metric over the same times is pinned near 1.
+  EXPECT_DOUBLE_EQ(imbalance(T), 1.0);
+}
+
+TEST(MaskedImbalance, MatchesUnmaskedWhenAllActive) {
+  std::vector<double> T = {2.0, 3.0, 6.0};
+  std::vector<std::uint8_t> Active = {1, 1, 1};
+  EXPECT_DOUBLE_EQ(imbalance(T, Active), imbalance(T));
+}
+
+TEST(MaskedImbalance, AllInactiveIsBalanced) {
+  // A fully degraded run has no active ranks left to be imbalanced.
+  std::vector<double> T = {5.0, 7.0};
+  std::vector<std::uint8_t> Active = {0, 0};
+  EXPECT_DOUBLE_EQ(imbalance(T, Active), 0.0);
+}
+
+TEST(MaskedImbalance, SingleActiveRankIsBalanced) {
+  std::vector<double> T = {0.1, 9.0, 0.2};
+  std::vector<std::uint8_t> Active = {0, 1, 0};
+  EXPECT_DOUBLE_EQ(imbalance(T, Active), 0.0);
+}
+
+TEST(MaskedImbalance, ZeroTimesAmongActiveRanks) {
+  // An active rank with a zero time pins the metric at its maximum —
+  // that is real imbalance, not a masking artifact.
+  std::vector<double> T = {0.0, 2.0};
+  std::vector<std::uint8_t> Active = {1, 1};
+  EXPECT_DOUBLE_EQ(imbalance(T, Active), 1.0);
+}
+
 TEST(OptimalMakespan, AnalyticForConstantSpeeds) {
   // Speeds 10 and 30: optimum gives everything time D / 40.
   std::vector<DeviceProfile> Profiles = {makeConstantProfile("a", 10.0),

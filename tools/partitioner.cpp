@@ -78,12 +78,24 @@ int usage(const char *Program) {
                "usage: %s --total D [--algorithm "
                "constant|geometric|numerical] [--output FILE] "
                "[--explain] [--allow-degraded] [--stats] "
-               "model0.fpm model1.fpm ...\n"
+               "[--equalize POLICY] [--imbalance-threshold X] "
+               "[--cooldown N] model0.fpm model1.fpm ...\n"
                "       %s --serve REQFILE|- [--algorithm A] "
-               "[--allow-degraded] [--workers N] [--queue N] "
+               "[--allow-degraded] [--stats] [--workers N] [--queue N] "
                "[--deadline-ms N] model0.fpm model1.fpm ...\n",
                Program, Program);
   return 2;
+}
+
+/// The accumulated SPMD traffic of the session's runs, one deterministic
+/// summary line shared by the serve modes and the one-shot --stats path.
+void printTraffic(const engine::Session &Engine) {
+  CommStatsSnapshot T = Engine.commTraffic();
+  std::printf("# traffic: channels %llu, halo bytes %llu, redistribute "
+              "bytes %llu\n",
+              static_cast<unsigned long long>(T.ChannelsCreated),
+              static_cast<unsigned long long>(T.HaloBytes),
+              static_cast<unsigned long long>(T.RedistributeBytes));
 }
 
 } // namespace
@@ -93,7 +105,8 @@ int main(int Argc, char **Argv) {
   for (const std::string &Key :
        Opts.unknownKeys({"total", "algorithm", "output", "explain",
                          "allow-degraded", "stats", "serve", "workers",
-                         "queue", "deadline-ms"})) {
+                         "queue", "deadline-ms", "equalize",
+                         "imbalance-threshold", "cooldown"})) {
     std::fprintf(stderr, "error: unknown option --%s\n", Key.c_str());
     return usage(Argv[0]);
   }
@@ -102,11 +115,27 @@ int main(int Argc, char **Argv) {
   Result<std::int64_t> WorkersR = Opts.checkedInt("workers", 0);
   Result<std::int64_t> QueueR = Opts.checkedInt("queue", 256);
   Result<std::int64_t> DeadlineR = Opts.checkedInt("deadline-ms", 0);
-  for (const auto *R : {&TotalR, &WorkersR, &QueueR, &DeadlineR})
+  Result<std::int64_t> CooldownR = Opts.checkedInt("cooldown", 0);
+  for (const auto *R :
+       {&TotalR, &WorkersR, &QueueR, &DeadlineR, &CooldownR})
     if (!*R) {
       std::fprintf(stderr, "error: %s\n", R->error().c_str());
       return 2;
     }
+  Result<double> ThresholdR = Opts.checkedDouble("imbalance-threshold", 0.25);
+  if (!ThresholdR) {
+    std::fprintf(stderr, "error: %s\n", ThresholdR.error().c_str());
+    return 2;
+  }
+  if (ThresholdR.value() < 0.0) {
+    std::fprintf(stderr,
+                 "error: --imbalance-threshold must be non-negative\n");
+    return 2;
+  }
+  if (CooldownR.value() < 0) {
+    std::fprintf(stderr, "error: --cooldown must be non-negative\n");
+    return 2;
+  }
   std::int64_t Total = TotalR.value();
   std::string Algorithm = Opts.get("algorithm", "geometric");
   std::string ServeFile = Opts.get("serve");
@@ -125,6 +154,12 @@ int main(int Argc, char **Argv) {
   engine::SessionConfig Cfg;
   Cfg.Algorithm = Algorithm;
   Cfg.AllowDegraded = AllowDegraded;
+  // Equalization knobs ride on the session config; create() range-checks
+  // them and resolves the policy name against the registry, so a typo in
+  // --equalize is a diagnosable error listing the registered policies.
+  Cfg.Equalize.Policy = Opts.get("equalize");
+  Cfg.Equalize.Monitor.TriggerThreshold = ThresholdR.value();
+  Cfg.Equalize.Monitor.Cooldown = static_cast<int>(CooldownR.value());
   Result<std::unique_ptr<engine::Session>> SessionR =
       engine::Session::create(std::move(Cfg));
   if (!SessionR) {
@@ -181,6 +216,7 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(SrvSt.ShedQueueFull),
                   static_cast<unsigned long long>(SrvSt.ShedDeadline),
                   static_cast<unsigned long long>(SrvSt.ShedShutdown));
+      printTraffic(Engine);
     } else {
       Result<std::vector<engine::ServeRequest>> Requests =
           engine::parseServeRequests(IS);
@@ -192,6 +228,43 @@ int main(int Argc, char **Argv) {
       St = engine::serveRequests(Engine, Requests.value(), std::cout);
       std::printf("# served %d request(s), %d failed, %d model reload(s)\n",
                   St.Answered, St.Failed, St.Reloaded);
+      if (Stats) {
+        // Adoption replay per distinct answered request: an even-split
+        // container migrating to the answer plus one width-1 halo sweep,
+        // recorded into the session so `# traffic:` below reports the
+        // comm cost clients pay to adopt the served distributions.
+        std::vector<std::pair<std::int64_t, std::string>> Seen;
+        for (const engine::ServeRequest &Req : Requests.value()) {
+          if (Req.Reload || !Req.ParseError.empty() || Req.Total <= 0)
+            continue;
+          std::pair<std::int64_t, std::string> Key{Req.Total,
+                                                   Req.Algorithm};
+          if (std::find(Seen.begin(), Seen.end(), Key) != Seen.end())
+            continue;
+          Seen.push_back(Key);
+          Result<Dist> Answer = Engine.partition(Req.Total, Req.Algorithm);
+          if (!Answer)
+            continue; // Already reported as a per-request error.
+          const Dist &D = Answer.value();
+          int P = static_cast<int>(D.Parts.size());
+          Dist Even = Dist::even(D.Total, P);
+          SpmdResult Adopt = runSpmd(
+              P,
+              [&](Comm &C) {
+                dist::PartitionedVector<double> V(C, Even, 1);
+                V.generate([](std::int64_t U, std::span<double> Row) {
+                  Row[0] = static_cast<double>(U);
+                });
+                V.redistribute(D);
+                V.exchangeHalos(1, [](std::int64_t, std::span<double> Row) {
+                  Row[0] = 0.0;
+                });
+              },
+              std::make_shared<UniformCostModel>(1e-5, 1e9));
+          Engine.recordCommTraffic(Adopt.Comm);
+        }
+      }
+      printTraffic(Engine);
     }
     return St.Failed == 0 ? 0 : 1;
   }
